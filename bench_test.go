@@ -1,0 +1,351 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per experiment, as indexed in DESIGN.md §4), plus
+// micro-benchmarks of the library's hot paths. Key reproduced values are
+// attached to each benchmark via ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the paper-comparable numbers alongside the usual timings.
+package traxtents_test
+
+import (
+	"testing"
+
+	"traxtents"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/ffs"
+	"traxtents/internal/lfs"
+	"traxtents/internal/repro"
+)
+
+// BenchmarkTable1Models builds every Table 1 disk model (geometry walk,
+// layout table, seek calibration).
+func BenchmarkTable1Models(b *testing.B) {
+	rows := repro.Table1()
+	if len(rows) != 8 {
+		b.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := traxtents.DiskModel("Quantum-Atlas10KII")
+		if _, err := m.NewDisk(m.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Efficiency reproduces Figure 1; reported metrics are the
+// efficiencies at point A (264 KB: paper 0.73 aligned, ~0.51 unaligned).
+func BenchmarkFig1Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := repro.Fig1Efficiency(2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.X == 264 {
+				b.ReportMetric(p.Values["aligned"], "alignedEff@264KB")
+				b.ReportMetric(p.Values["unaligned"], "unalignedEff@264KB")
+				b.ReportMetric(p.Values["maxstream"], "maxStreamEff")
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkFig3RotationalLatency regenerates the analytic Figure 3.
+func BenchmarkFig3RotationalLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := repro.Fig3RotationalLatency()
+		b.ReportMetric(pts[0].Values["zero-latency"], "zlLat@0%ms")
+		b.ReportMetric(pts[len(pts)-1].Values["zero-latency"], "zlLat@100%ms")
+		b.ReportMetric(pts[0].Values["ordinary"], "ordinaryLatMs")
+	}
+}
+
+// BenchmarkFig6HeadTime reproduces Figure 6; metrics are the track-sized
+// head times (paper: onereq 11.2→9.2 ms, tworeq 12.2→8.3 ms).
+func BenchmarkFig6HeadTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := repro.Fig6HeadTime(2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			last := s.Times[len(s.Times)-1]
+			switch s.Label {
+			case "onereq aligned":
+				b.ReportMetric(last, "onereqAlignedMs")
+			case "onereq unaligned":
+				b.ReportMetric(last, "onereqUnalignedMs")
+			case "tworeq aligned":
+				b.ReportMetric(last, "tworeqAlignedMs")
+			case "tworeq unaligned":
+				b.ReportMetric(last, "tworeqUnalignedMs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Breakdown reproduces Figure 7 (out-of-order bus delivery).
+func BenchmarkFig7Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bk, err := repro.Fig7Breakdown(2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bk["track-aligned"]["response"], "alignedRespMs")
+		b.ReportMetric(bk["track-aligned out-of-order"]["response"], "oooRespMs")
+		b.ReportMetric(bk["normal (unaligned)"]["response"], "normalRespMs")
+	}
+}
+
+// BenchmarkWriteHeadTime reproduces the §5.2 write results (paper:
+// onereq 13.9 → 10.0 ms).
+func BenchmarkWriteHeadTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wr, err := repro.WriteHeadTimes(2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(wr["onereq aligned"], "onereqAlignedMs")
+		b.ReportMetric(wr["onereq unaligned"], "onereqUnalignedMs")
+	}
+}
+
+// BenchmarkOtherDisks reproduces the §5.2 cross-disk comparison: large
+// reductions only on zero-latency disks.
+func BenchmarkOtherDisks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		red, err := repro.OtherDisksReadReduction(1200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(red["Quantum-Atlas10K"][1]*100, "atlas10kTworeqPct")
+		b.ReportMetric(red["Seagate-CheetahX15"][1]*100, "cheetahTworeqPct")
+		b.ReportMetric(red["IBM-Ultrastar18ES"][1]*100, "ultrastarTworeqPct")
+	}
+}
+
+// BenchmarkFig8Variance reproduces Figure 8 (paper: sd 0.4 vs 1.5 ms at
+// track size).
+func BenchmarkFig8Variance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := repro.Fig8Variance(2000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.Values["aligned sd"], "alignedSdMs")
+		b.ReportMetric(last.Values["unaligned sd"], "unalignedSdMs")
+	}
+}
+
+// BenchmarkTable2FFS reproduces Table 2 at the quick sizes; metrics are
+// the traxtent-vs-unmodified ratios (paper: scan +5%, diff -19%,
+// copy -20%, head* +45%).
+func BenchmarkTable2FFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sz := repro.QuickTable2Sizes()
+		un, err := repro.RunTable2(ffs.Unmodified, sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx, err := repro.RunTable2(ffs.Traxtent, sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((tx.ScanS/un.ScanS-1)*100, "scanPenaltyPct")
+		b.ReportMetric((1-tx.DiffS/un.DiffS)*100, "diffSavingPct")
+		b.ReportMetric((1-tx.CopyS/un.CopyS)*100, "copySavingPct")
+		b.ReportMetric((tx.HeadS/un.HeadS-1)*100, "headStarPenaltyPct")
+	}
+}
+
+// BenchmarkFig9Video reproduces the soft-real-time admission behind
+// Figure 9 (paper: 70 vs 45 streams per disk).
+func BenchmarkFig9Video(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := traxtents.NewVideoServer(traxtents.VideoConfig{Rounds: 200, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := s.TrackSectors()
+		al, err := s.MaxStreamsSoft(ts, true, 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		un, err := s.MaxStreamsSoft(ts, false, 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(al), "alignedStreams")
+		b.ReportMetric(float64(un), "unalignedStreams")
+	}
+}
+
+// BenchmarkHardRealTime reproduces §5.4.2 (paper: 67 vs 36 at 264 KB).
+func BenchmarkHardRealTime(b *testing.B) {
+	s, err := traxtents.NewVideoServer(traxtents.VideoConfig{Rounds: 10, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := s.TrackSectors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, _, err := s.HardRealTime(ts, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		un, _, err := s.HardRealTime(ts, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(al), "alignedStreams")
+		b.ReportMetric(float64(un), "unalignedStreams")
+	}
+}
+
+// BenchmarkFig10LFS reproduces Figure 10 (paper: aligned minimum at the
+// track size, 44% below the unaligned minimum).
+func BenchmarkFig10LFS(b *testing.B) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	sizes := []float64{32, 64, 128, 264, 528, 1056, 2112, 4096}
+	for i := 0; i < b.N; i++ {
+		al, err := lfs.OWCCurve(m, sizes, true, 100, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		un, err := lfs.OWCCurve(m, sizes, false, 100, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alMin, unMin := al[0].OWC, un[0].OWC
+		for _, p := range al[1:] {
+			if p.OWC < alMin {
+				alMin = p.OWC
+			}
+		}
+		for _, p := range un[1:] {
+			if p.OWC < unMin {
+				unMin = p.OWC
+			}
+		}
+		b.ReportMetric(alMin, "alignedMinOWC")
+		b.ReportMetric(unMin, "unalignedMinOWC")
+		b.ReportMetric((1-alMin/unMin)*100, "savingPct")
+	}
+}
+
+// BenchmarkExtractSCSI runs the DIXtrac five-step characterization on a
+// full-size disk (§4.1.2: under 30,000 translations).
+func BenchmarkExtractSCSI(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10K")
+	for i := 0; i < b.N; i++ {
+		d, err := m.NewDisk(traxtents.DiskConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := traxtents.Characterize(traxtents.NewSCSITarget(d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Translations), "translations")
+	}
+}
+
+// BenchmarkExtractGeneral runs the timing-based extraction on a
+// full-size disk (the paper's took four hours of disk time).
+func BenchmarkExtractGeneral(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10K")
+	for i := 0; i < b.N; i++ {
+		d, err := m.NewDisk(m.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := traxtents.ExtractGeneral(d, traxtents.ExtractOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.SimulatedMs/60000, "simulatedMinutes")
+		b.ReportMetric(float64(rep.Reads), "reads")
+	}
+}
+
+// ---- Micro-benchmarks of library hot paths ----
+
+// BenchmarkLBNToPhys measures the core mapping lookup.
+func BenchmarkLBNToPhys(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := l.NumLBNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.LBNToPhys(int64(i) * 7919 % total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiskService measures one simulated request end to end.
+func BenchmarkDiskService(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := d.Lay.NumLBNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lbn := int64(i) * 104729 % (total - 1024)
+		if _, err := d.Submit(traxtents.Request{LBN: lbn, Sectors: 528}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableFind measures boundary lookup in the traxtent table.
+func BenchmarkTableFind(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	d, err := m.NewDisk(traxtents.DiskConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, end := table.Range()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.Find(int64(i) * 6151 % end); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableEncode measures the on-disk encoding round trip.
+func BenchmarkTableEncode(b *testing.B) {
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	d, err := m.NewDisk(traxtents.DiskConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := table.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := traxtents.DecodeTable(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

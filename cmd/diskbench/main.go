@@ -1,0 +1,160 @@
+// diskbench regenerates the paper's disk-level figures: efficiency vs
+// I/O size (Figure 1), expected rotational latency (Figure 3), the disk
+// characteristics table (Table 1), head times (Figure 6 and the §5.2
+// write/cross-disk results), the response-time breakdown (Figure 7),
+// and response-time variance (Figure 8).
+//
+// Usage:
+//
+//	diskbench -fig 1|3|6|7|8        one figure
+//	diskbench -table 1              Table 1
+//	diskbench -writes               §5.2 write head times
+//	diskbench -disks                §5.2 cross-disk comparison
+//	diskbench -all                  everything
+//	diskbench -n 5000               requests per measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"traxtents/internal/repro"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1, 3, 6, 7, 8)")
+	table := flag.Int("table", 0, "table number to regenerate (1)")
+	writes := flag.Bool("writes", false, "§5.2 write head times")
+	disks := flag.Bool("disks", false, "§5.2 cross-disk read comparison")
+	all := flag.Bool("all", false, "regenerate everything")
+	n := flag.Int("n", 5000, "requests per measurement (the paper uses 5000)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	any := false
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "diskbench:", err)
+		os.Exit(1)
+	}
+	if *all || *table == 1 {
+		any = true
+		fmt.Println("== Table 1: representative disk characteristics ==")
+		for _, row := range repro.Table1() {
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 1 {
+		any = true
+		fmt.Println("== Figure 1: disk efficiency vs I/O size (Atlas 10K II, first zone, tworeq) ==")
+		pts, err := repro.Fig1Efficiency(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%10s %10s %10s %10s\n", "I/O KB", "aligned", "unaligned", "max-stream")
+		for _, p := range pts {
+			fmt.Printf("%10.0f %10.3f %10.3f %10.3f\n",
+				p.X, p.Values["aligned"], p.Values["unaligned"], p.Values["maxstream"])
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 3 {
+		any = true
+		fmt.Println("== Figure 3: expected rotational latency vs request size (10K RPM) ==")
+		fmt.Printf("%12s %14s %10s\n", "% of track", "zero-latency", "ordinary")
+		for _, p := range repro.Fig3RotationalLatency() {
+			fmt.Printf("%11.0f%% %12.2fms %8.2fms\n", p.X, p.Values["zero-latency"], p.Values["ordinary"])
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 6 {
+		any = true
+		fmt.Println("== Figure 6: average head time vs I/O size (Atlas 10K II) ==")
+		series, err := repro.Fig6HeadTime(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-18s", "I/O (frac track)")
+		for _, f := range series[0].Fracs {
+			fmt.Printf("%8.1f", f)
+		}
+		fmt.Println()
+		for _, s := range series {
+			fmt.Printf("%-18s", s.Label)
+			for _, t := range s.Times {
+				fmt.Printf("%7.2fm", t)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 7 {
+		any = true
+		fmt.Println("== Figure 7: response time breakdown, track-sized onereq reads ==")
+		bk, err := repro.Fig7Breakdown(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		var labels []string
+		for k := range bk {
+			labels = append(labels, k)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			c := bk[label]
+			fmt.Printf("%-28s response %6.2f = seek %5.2f + rot/switch %5.2f + media %5.2f + bus tail %5.2f\n",
+				label, c["response"], c["seek"], c["rotational+switch"], c["media transfer"], c["bus tail"])
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 8 {
+		any = true
+		fmt.Println("== Figure 8: response time ± std dev (infinitely fast bus, onereq) ==")
+		pts, err := repro.Fig8Variance(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%12s %14s %12s %14s %12s\n", "% of track", "aligned mean", "aligned sd", "unalign mean", "unalign sd")
+		for _, p := range pts {
+			fmt.Printf("%11.0f%% %12.2fms %10.2fms %12.2fms %10.2fms\n", p.X,
+				p.Values["aligned mean"], p.Values["aligned sd"],
+				p.Values["unaligned mean"], p.Values["unaligned sd"])
+		}
+		fmt.Println()
+	}
+	if *all || *writes {
+		any = true
+		fmt.Println("== §5.2: track-sized write head times (paper: onereq 13.9→10.0, tworeq 13.8→10.2) ==")
+		wr, err := repro.WriteHeadTimes(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		for _, k := range []string{"onereq unaligned", "onereq aligned", "tworeq unaligned", "tworeq aligned"} {
+			fmt.Printf("%-18s %6.2f ms\n", k, wr[k])
+		}
+		fmt.Println()
+	}
+	if *all || *disks {
+		any = true
+		fmt.Println("== §5.2: aligned read head-time reduction per disk (onereq/tworeq) ==")
+		red, err := repro.OtherDisksReadReduction(*n, *seed)
+		if err != nil {
+			die(err)
+		}
+		var names []string
+		for k := range red {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-22s %5.1f%% / %5.1f%%\n", name, red[name][0]*100, red[name][1]*100)
+		}
+		fmt.Println()
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

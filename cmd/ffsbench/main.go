@@ -1,0 +1,71 @@
+// ffsbench regenerates Table 2: the FFS application benchmarks for the
+// unmodified, fast-start, and traxtent-aware file systems on a simulated
+// Quantum Atlas 10K.
+//
+// Usage:
+//
+//	ffsbench            quick (scaled-down) sizes
+//	ffsbench -full      the paper's sizes (4 GB scan, 512 MB diff, ...)
+//	ffsbench -mkfs      excluded-block fractions only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"traxtents"
+	"traxtents/internal/ffs"
+	"traxtents/internal/repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full sizes")
+	mkfs := flag.Bool("mkfs", false, "report excluded-block fractions only")
+	flag.Parse()
+
+	if *mkfs {
+		for _, name := range []string{"Quantum-Atlas10K", "Quantum-Atlas10KII"} {
+			m := traxtents.DiskModel(name)
+			d, err := m.NewDisk(m.DefaultConfig())
+			if err != nil {
+				fail(err)
+			}
+			table, err := traxtents.GroundTruthTable(d)
+			if err != nil {
+				fail(err)
+			}
+			fs, err := traxtents.NewFFS(d, traxtents.FFSParams{Variant: traxtents.FFSTraxtent, Table: table})
+			if err != nil {
+				fail(err)
+			}
+			fr := fs.ExcludedFraction()
+			fmt.Printf("%-22s excluded blocks: 1 in %.1f (%.2f%%)\n", name, 1/fr, fr*100)
+		}
+		return
+	}
+
+	sizes := repro.QuickTable2Sizes()
+	label := "quick sizes"
+	if *full {
+		sizes = repro.FullTable2Sizes()
+		label = "paper sizes"
+	}
+	fmt.Printf("== Table 2: FreeBSD FFS results (%s, Quantum Atlas 10K) ==\n", label)
+	var rows []repro.Table2Row
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.FastStart, ffs.Traxtent} {
+		row, err := repro.RunTable2(v, sizes)
+		if err != nil {
+			fail(err)
+		}
+		rows = append(rows, row)
+	}
+	for _, line := range repro.FormatTable2(rows) {
+		fmt.Println(line)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ffsbench:", err)
+	os.Exit(1)
+}

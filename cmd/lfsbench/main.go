@@ -1,0 +1,62 @@
+// lfsbench regenerates Figure 10: LFS overall write cost versus segment
+// size for track-aligned and unaligned access, alongside the analytic
+// transfer-inefficiency model line of Matthews et al.
+//
+// Usage:
+//
+//	lfsbench
+//	lfsbench -samples 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"traxtents"
+	"traxtents/internal/lfs"
+)
+
+func main() {
+	samples := flag.Int("samples", 200, "segment writes measured per point")
+	flag.Parse()
+
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	sizes := []float64{32, 64, 128, 264, 528, 1056, 2112, 4096}
+
+	al, err := lfs.OWCCurve(m, sizes, true, *samples, 3)
+	if err != nil {
+		fail(err)
+	}
+	un, err := lfs.OWCCurve(m, sizes, false, *samples, 3)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("== Figure 10: LFS overall write cost vs segment size (Atlas 10K II, Auspex write costs) ==")
+	fmt.Printf("%10s %12s %12s %12s\n", "seg KB", "aligned", "unaligned", "model")
+	for i := range sizes {
+		mod := lfs.WriteCost(sizes[i]) * lfs.ModelTI(5.2, 40, sizes[i])
+		fmt.Printf("%10.0f %12.2f %12.2f %12.2f\n", sizes[i], al[i].OWC, un[i].OWC, mod)
+	}
+
+	alMin, alKB := minOWC(al)
+	unMin, unKB := minOWC(un)
+	fmt.Printf("\nminima: aligned %.2f @ %.0f KB, unaligned %.2f @ %.0f KB (aligned %.0f%% lower; paper: 44%%)\n",
+		alMin, alKB, unMin, unKB, (1-alMin/unMin)*100)
+}
+
+func minOWC(pts []lfs.OWCPoint) (float64, float64) {
+	best, kb := pts[0].OWC, pts[0].SegKB
+	for _, p := range pts[1:] {
+		if p.OWC < best {
+			best, kb = p.OWC, p.SegKB
+		}
+	}
+	return best, kb
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lfsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// traxtentctl extracts and inspects track boundary tables from simulated
+// disks, exercising both detection methods of the paper's §4.1 and
+// verifying them against the simulator's ground truth.
+//
+// Usage:
+//
+//	traxtentctl -disk Quantum-Atlas10KII -method scsi
+//	traxtentctl -disk Quantum-Atlas10K   -method general
+//	traxtentctl -disk Quantum-Atlas10K   -method fallback
+//	traxtentctl -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"traxtents"
+)
+
+func main() {
+	disk := flag.String("disk", "Quantum-Atlas10KII", "disk model")
+	method := flag.String("method", "scsi", "extraction method: scsi, fallback, or general")
+	list := flag.Bool("list", false, "list disk models")
+	noise := flag.Float64("noise", 0, "host timing noise sd in ms (general method)")
+	samples := flag.Int("samples", 1, "timing samples per probe (general method)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range traxtents.DiskModels() {
+			fmt.Println(n)
+		}
+		return
+	}
+	m, err := traxtents.LookupDiskModel(*disk)
+	if err != nil {
+		fail(err)
+	}
+	cfg := m.DefaultConfig()
+	cfg.HostNoiseSD = *noise
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		fail(err)
+	}
+	truth, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		fail(err)
+	}
+
+	var table *traxtents.Table
+	switch *method {
+	case "scsi":
+		tgt := traxtents.NewSCSITarget(d)
+		res, err := traxtents.Characterize(tgt)
+		if err != nil {
+			fmt.Println("expert characterization failed, using fallback:", err)
+			if table, err = traxtents.CharacterizeFallback(tgt); err != nil {
+				fail(err)
+			}
+		} else {
+			table = res.Table
+			fmt.Printf("scheme: %v (K=%d), zones: %d, defects: %d, translations: %d\n",
+				res.Scheme, res.SpareK, len(res.Zones), len(res.Defects), res.Translations)
+		}
+	case "fallback":
+		tgt := traxtents.NewSCSITarget(d)
+		if table, err = traxtents.CharacterizeFallback(tgt); err != nil {
+			fail(err)
+		}
+		fmt.Printf("translations: %d (%.2f per track)\n", tgt.TranslationCount(),
+			float64(tgt.TranslationCount())/float64(table.NumTracks()))
+	case "general":
+		rep, err := traxtents.ExtractGeneral(d, traxtents.ExtractOptions{Samples: *samples})
+		if err != nil {
+			fail(err)
+		}
+		table = rep.Table
+		fmt.Printf("reads: %d, simulated time: %.1f minutes\n", rep.Reads, rep.SimulatedMs/60000)
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+
+	first, end := table.Range()
+	fmt.Printf("disk: %s\ntracks: %d, LBNs [%d,%d), mean track %.1f sectors (%.1f KB)\n",
+		*disk, table.NumTracks(), first, end, table.MeanTrackLen(), table.MeanTrackLen()*512/1024)
+
+	// Verify against the layout's ground truth.
+	got, want := table.Boundaries(), truth.Boundaries()
+	if len(got) != len(want) {
+		fmt.Printf("VERIFY: MISMATCH (%d boundaries, truth has %d)\n", len(got), len(want))
+		os.Exit(1)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			fmt.Printf("VERIFY: MISMATCH at boundary %d: %d != %d\n", i, got[i], want[i])
+			os.Exit(1)
+		}
+	}
+	fmt.Println("VERIFY: exact match with ground truth")
+
+	enc, err := table.MarshalBinary()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("encoded table: %d bytes (%.2f bytes/track)\n", len(enc),
+		float64(len(enc))/float64(table.NumTracks()))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traxtentctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// videobench regenerates the video-server results: Figure 9 (startup
+// latency vs concurrent streams on a 10-disk array) and the §5.4.2
+// hard-real-time admission numbers.
+//
+// Usage:
+//
+//	videobench -fig9
+//	videobench -hard
+//	videobench -soft      streams/disk at one-track I/Os (70 vs 45)
+//	videobench -rounds N  Monte-Carlo rounds (default 400)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"traxtents"
+)
+
+func main() {
+	fig9 := flag.Bool("fig9", false, "startup latency vs streams")
+	hard := flag.Bool("hard", false, "hard-real-time admission")
+	soft := flag.Bool("soft", false, "soft-real-time streams per disk")
+	rounds := flag.Int("rounds", 400, "Monte-Carlo rounds per point")
+	flag.Parse()
+	if !*fig9 && !*hard && !*soft {
+		*fig9, *hard, *soft = true, true, true
+	}
+
+	s, err := traxtents.NewVideoServer(traxtents.VideoConfig{Rounds: *rounds, Seed: 7})
+	if err != nil {
+		fail(err)
+	}
+	ts := s.TrackSectors()
+	fmt.Printf("server: %s; track = %d sectors (%d KB)\n\n", s.Describe(), ts, ts*512/1024)
+
+	if *soft {
+		fmt.Println("== §5.4.1: streams per disk at one-track I/Os, 99.99% deadlines (paper: 70 vs 45) ==")
+		al, err := s.MaxStreamsSoft(ts, true, 90)
+		if err != nil {
+			fail(err)
+		}
+		un, err := s.MaxStreamsSoft(ts, false, 90)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("aligned: %d streams/disk, unaligned: %d (+%.0f%%)\n\n", al, un,
+			(float64(al)/float64(un)-1)*100)
+	}
+	if *hard {
+		fmt.Println("== §5.4.2: hard-real-time admission (paper: 67 vs 36 at 264 KB; 75 vs 52 at 528 KB) ==")
+		for _, k := range []int{1, 2} {
+			alV, alE, err := s.HardRealTime(k*ts, true)
+			if err != nil {
+				fail(err)
+			}
+			unV, unE, err := s.HardRealTime(k*ts, false)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("I/O %4d KB: aligned %3d streams (%.0f%% eff), unaligned %3d (%.0f%% eff)\n",
+				k*ts*512/1024, alV, alE*100, unV, unE*100)
+		}
+		fmt.Println()
+	}
+	if *fig9 {
+		fmt.Println("== Figure 9: worst-case startup latency vs concurrent streams (10-disk array) ==")
+		fmt.Printf("%18s %16s %16s\n", "streams (array)", "aligned", "unaligned")
+		for _, v := range []int{20, 30, 40, 50, 55, 60, 65, 70} {
+			latA, _, okA, err := s.StartupLatency(v, true, 24*ts)
+			if err != nil {
+				fail(err)
+			}
+			latU, _, okU, err := s.StartupLatency(v, false, 24*ts)
+			if err != nil {
+				fail(err)
+			}
+			a, u := "unsupportable", "unsupportable"
+			if okA {
+				a = fmt.Sprintf("%13.1f s", latA/1000)
+			}
+			if okU {
+				u = fmt.Sprintf("%13.1f s", latU/1000)
+			}
+			fmt.Printf("%18d %16s %16s\n", v*s.Config().Disks, a, u)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "videobench:", err)
+	os.Exit(1)
+}

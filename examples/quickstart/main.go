@@ -1,0 +1,72 @@
+// Quickstart: create a simulated disk, extract its track boundaries,
+// and measure the benefit of track-aligned access — the paper's Figure 1
+// point A in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"traxtents"
+)
+
+func main() {
+	// A simulated Quantum Atlas 10K II with its default SCSI setup.
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize it through the (simulated) SCSI interface.
+	res, err := traxtents.Characterize(traxtents.NewSCSITarget(d))
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := res.Table
+	fmt.Printf("extracted %d track boundaries in %d translations\n",
+		table.NumTracks(), res.Translations)
+
+	// The traxtent holding LBN one million, and request clipping.
+	ext, err := table.Find(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LBN 1000000 lives in traxtent %v (%d KB)\n", ext, ext.Len*512/1024)
+	clipped, _ := table.Clip(1_000_000, 4096)
+	fmt.Printf("a 2 MB request at LBN 1000000 clips to %d sectors at the boundary\n", clipped)
+
+	// Measure: 2000 random track-sized reads, aligned vs unaligned.
+	rng := rand.New(rand.NewSource(1))
+	run := func(aligned bool) float64 {
+		disk, err := m.NewDisk(m.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var reqs []traxtents.Request
+		for len(reqs) < 2000 {
+			e := table.Index(rng.Intn(table.NumTracks() / 8)) // first zone
+			lbn := e.Start
+			if !aligned {
+				lbn += rng.Int63n(e.Len)
+				if lbn+e.Len > table.Boundaries()[len(table.Boundaries())-1] {
+					continue
+				}
+			}
+			reqs = append(reqs, traxtents.Request{LBN: lbn, Sectors: int(e.Len)})
+		}
+		rs, err := disk.TwoReq(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		for i := 1; i < len(rs); i++ {
+			sum += rs[i].Done - rs[i-1].Done
+		}
+		return sum / float64(len(rs)-1)
+	}
+	al, un := run(true), run(false)
+	fmt.Printf("track-sized reads: aligned %.2f ms vs unaligned %.2f ms head time (%.0f%% better)\n",
+		al, un, (un/al-1)*100)
+}

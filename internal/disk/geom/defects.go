@@ -1,0 +1,90 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Defect records one unusable physical sector. Primary defects (found at
+// the factory) are handled by slipping: the LBN-to-physical mapping skips
+// the sector, shifting all subsequent LBNs. Grown defects (appearing in
+// the field) are handled by remapping: the LBN keeps its logical position
+// but its data lives in a spare sector, so accessing it costs an
+// excursion. This mirrors §3.1 of the paper.
+type Defect struct {
+	Cyl, Head, Slot int
+	Grown           bool // true = remapped, false = slipped
+}
+
+// Loc returns the defect's physical location.
+func (d Defect) Loc() PhysLoc {
+	return PhysLoc{Cyl: int32(d.Cyl), Head: int32(d.Head), Slot: int32(d.Slot)}
+}
+
+// DefectList is a set of media defects, kept sorted in physical order
+// (cylinder, then head, then slot).
+type DefectList []Defect
+
+// Sort orders the list in physical order, matching the SCSI
+// READ DEFECT LIST "physical sector format" ordering.
+func (dl DefectList) Sort() {
+	sort.Slice(dl, func(i, j int) bool {
+		a, b := dl[i], dl[j]
+		if a.Cyl != b.Cyl {
+			return a.Cyl < b.Cyl
+		}
+		if a.Head != b.Head {
+			return a.Head < b.Head
+		}
+		return a.Slot < b.Slot
+	})
+}
+
+// validate checks that every defect lies within the geometry and that no
+// location is listed twice.
+func (dl DefectList) validate(g *Geometry) error {
+	seen := make(map[PhysLoc]bool, len(dl))
+	for i, d := range dl {
+		if d.Cyl < 0 || d.Cyl >= g.Cyls {
+			return fmt.Errorf("geom: defect %d cylinder %d out of range", i, d.Cyl)
+		}
+		if d.Head < 0 || d.Head >= g.Surfaces {
+			return fmt.Errorf("geom: defect %d head %d out of range", i, d.Head)
+		}
+		if d.Slot < 0 || d.Slot >= g.SPTOf(d.Cyl) {
+			return fmt.Errorf("geom: defect %d slot %d out of range", i, d.Slot)
+		}
+		loc := d.Loc()
+		if seen[loc] {
+			return fmt.Errorf("geom: duplicate defect at %v", loc)
+		}
+		seen[loc] = true
+	}
+	return nil
+}
+
+// RandomDefects generates n distinct defects uniformly over the media.
+// grownFrac in [0,1] selects the fraction handled by remapping rather
+// than slipping. The result is deterministic for a given seed.
+func RandomDefects(g *Geometry, n int, grownFrac float64, seed int64) DefectList {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[PhysLoc]bool, n)
+	dl := make(DefectList, 0, n)
+	for len(dl) < n {
+		cyl := rng.Intn(g.Cyls)
+		head := rng.Intn(g.Surfaces)
+		slot := rng.Intn(g.SPTOf(cyl))
+		loc := PhysLoc{Cyl: int32(cyl), Head: int32(head), Slot: int32(slot)}
+		if seen[loc] {
+			continue
+		}
+		seen[loc] = true
+		dl = append(dl, Defect{
+			Cyl: cyl, Head: head, Slot: slot,
+			Grown: rng.Float64() < grownFrac,
+		})
+	}
+	dl.Sort()
+	return dl
+}

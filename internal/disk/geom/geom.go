@@ -1,0 +1,229 @@
+// Package geom models disk drive geometry: zoned recording, track and
+// cylinder skew, spare-sector reservation schemes, and media defects
+// handled by slipping or remapping.
+//
+// The central type is Layout, a per-track table built by walking every
+// physical sector of a Geometry exactly once. The table provides exact
+// LBN-to-physical and physical-to-LBN translation and the ground-truth
+// track boundary list that the extraction algorithms (internal/extract,
+// internal/dixtrac) are validated against.
+//
+// Conventions:
+//   - A physical location is (cylinder, head, slot) where slot is the
+//     physical sector index on the track, 0..SPT-1.
+//   - LBNs are assigned cylinder-major: all tracks (surfaces) of cylinder
+//     0, then cylinder 1, and so on — the mapping of Figure 2(b) in the
+//     paper.
+//   - Angular position of a slot accounts for accumulated track/cylinder
+//     skew via each track's SkewOff (see Layout).
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpareScheme selects where the firmware reserves spare sectors for
+// defect management. The paper (§3.1) observes more than ten schemes in
+// the field; we implement the four structural families, which is enough
+// to exercise every branch of the DIXtrac expert rules.
+type SpareScheme int
+
+const (
+	// SpareNone reserves no spare space. Slipped defects simply shorten
+	// the disk; remapping is impossible (remap requests degrade to slips).
+	SpareNone SpareScheme = iota
+	// SparePerTrack reserves the last SpareK slots of every track.
+	SparePerTrack
+	// SparePerCylinder reserves the last SpareK slots of the last track
+	// (highest head) of every cylinder.
+	SparePerCylinder
+	// SpareTrackPerZone reserves all slots of the last SpareK tracks of
+	// each zone (the tracks of the zone's final cylinder, lowest heads
+	// first).
+	SpareTrackPerZone
+	// SpareCylAtEnd reserves the last SpareK cylinders of the disk.
+	SpareCylAtEnd
+)
+
+// String returns the scheme name used in reports and DIXtrac output.
+func (s SpareScheme) String() string {
+	switch s {
+	case SpareNone:
+		return "none"
+	case SparePerTrack:
+		return "per-track"
+	case SparePerCylinder:
+		return "per-cylinder"
+	case SpareTrackPerZone:
+		return "track-per-zone"
+	case SpareCylAtEnd:
+		return "cyl-at-end"
+	default:
+		return fmt.Sprintf("SpareScheme(%d)", int(s))
+	}
+}
+
+// Zone is a band of consecutive cylinders recorded with the same number
+// of sectors per track. Outer zones (lower cylinder numbers) have more
+// sectors. Skews are expressed in sectors of this zone.
+type Zone struct {
+	FirstCyl int // first cylinder of the zone (inclusive)
+	LastCyl  int // last cylinder of the zone (inclusive)
+	SPT      int // physical sectors per track, including spares
+	// TrackSkew is the angular offset, in sectors, added at each head
+	// switch so that streaming across surfaces loses no revolution.
+	TrackSkew int
+	// CylSkew is the angular offset, in sectors, added when crossing to
+	// the next cylinder (it replaces the track skew for that transition).
+	CylSkew int
+}
+
+// Cylinders returns the number of cylinders in the zone.
+func (z Zone) Cylinders() int { return z.LastCyl - z.FirstCyl + 1 }
+
+// PhysLoc identifies one physical sector on the media.
+type PhysLoc struct {
+	Cyl  int32
+	Head int32
+	Slot int32
+}
+
+func (p PhysLoc) String() string {
+	return fmt.Sprintf("(cyl %d, head %d, slot %d)", p.Cyl, p.Head, p.Slot)
+}
+
+// Geometry is the physical description of a disk drive.
+type Geometry struct {
+	Name       string
+	Surfaces   int // number of media surfaces (= read/write heads)
+	Cyls       int // total cylinders
+	SectorSize int // bytes per sector, conventionally 512
+	Zones      []Zone
+	Scheme     SpareScheme
+	SpareK     int // scheme-specific count (slots, tracks, or cylinders)
+	Defects    DefectList
+}
+
+// Validate checks structural consistency: zones must be non-empty,
+// contiguous, cover exactly [0, Cyls), and have positive SPT.
+func (g *Geometry) Validate() error {
+	if g.Surfaces <= 0 {
+		return errors.New("geom: surfaces must be positive")
+	}
+	if g.Cyls <= 0 {
+		return errors.New("geom: cylinders must be positive")
+	}
+	if g.SectorSize <= 0 {
+		return errors.New("geom: sector size must be positive")
+	}
+	if len(g.Zones) == 0 {
+		return errors.New("geom: at least one zone required")
+	}
+	next := 0
+	for i, z := range g.Zones {
+		if z.FirstCyl != next {
+			return fmt.Errorf("geom: zone %d starts at cyl %d, want %d", i, z.FirstCyl, next)
+		}
+		if z.LastCyl < z.FirstCyl {
+			return fmt.Errorf("geom: zone %d has LastCyl < FirstCyl", i)
+		}
+		if z.SPT <= 0 {
+			return fmt.Errorf("geom: zone %d has non-positive SPT", i)
+		}
+		if z.TrackSkew < 0 || z.TrackSkew >= z.SPT || z.CylSkew < 0 || z.CylSkew >= z.SPT {
+			return fmt.Errorf("geom: zone %d skews out of range [0,%d)", i, z.SPT)
+		}
+		next = z.LastCyl + 1
+	}
+	if next != g.Cyls {
+		return fmt.Errorf("geom: zones cover %d cylinders, geometry has %d", next, g.Cyls)
+	}
+	if g.SpareK < 0 {
+		return errors.New("geom: SpareK must be non-negative")
+	}
+	if g.Scheme != SpareNone && g.SpareK == 0 {
+		return errors.New("geom: sparing scheme selected but SpareK is zero")
+	}
+	for _, z := range g.Zones {
+		switch g.Scheme {
+		case SparePerTrack, SparePerCylinder:
+			if g.SpareK >= z.SPT {
+				return fmt.Errorf("geom: SpareK %d >= SPT %d", g.SpareK, z.SPT)
+			}
+		case SpareTrackPerZone:
+			if g.SpareK >= z.Cylinders()*g.Surfaces {
+				return fmt.Errorf("geom: SpareK %d reserves a whole zone", g.SpareK)
+			}
+		}
+	}
+	if g.Scheme == SpareCylAtEnd && g.SpareK >= g.Cyls {
+		return errors.New("geom: SpareK reserves all cylinders")
+	}
+	return g.Defects.validate(g)
+}
+
+// ZoneIndex returns the index of the zone containing cylinder cyl.
+// It panics if cyl is out of range (a programming error, not user input).
+func (g *Geometry) ZoneIndex(cyl int) int {
+	lo, hi := 0, len(g.Zones)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		z := g.Zones[mid]
+		switch {
+		case cyl < z.FirstCyl:
+			hi = mid - 1
+		case cyl > z.LastCyl:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	panic(fmt.Sprintf("geom: cylinder %d outside all zones", cyl))
+}
+
+// ZoneOf returns the zone containing cylinder cyl.
+func (g *Geometry) ZoneOf(cyl int) Zone { return g.Zones[g.ZoneIndex(cyl)] }
+
+// SPTOf returns the physical sectors per track at cylinder cyl.
+func (g *Geometry) SPTOf(cyl int) int { return g.ZoneOf(cyl).SPT }
+
+// Tracks returns the total number of physical tracks.
+func (g *Geometry) Tracks() int { return g.Cyls * g.Surfaces }
+
+// TrackIndex converts (cyl, head) to a dense track index.
+func (g *Geometry) TrackIndex(cyl, head int) int { return cyl*g.Surfaces + head }
+
+// PhysSectors returns the total number of physical sectors (including
+// spares and defects).
+func (g *Geometry) PhysSectors() int64 {
+	var n int64
+	for _, z := range g.Zones {
+		n += int64(z.Cylinders()) * int64(g.Surfaces) * int64(z.SPT)
+	}
+	return n
+}
+
+// spareSlot reports whether the given physical slot is reserved as spare
+// space by the geometry's scheme (independent of defects).
+func (g *Geometry) spareSlot(cyl, head, slot int) bool {
+	z := g.ZoneOf(cyl)
+	switch g.Scheme {
+	case SpareNone:
+		return false
+	case SparePerTrack:
+		return slot >= z.SPT-g.SpareK
+	case SparePerCylinder:
+		return head == g.Surfaces-1 && slot >= z.SPT-g.SpareK
+	case SpareTrackPerZone:
+		// The last SpareK tracks of the zone, counted from the end of the
+		// zone's last cylinder backwards across surfaces.
+		trackInZone := (cyl-z.FirstCyl)*g.Surfaces + head
+		total := z.Cylinders() * g.Surfaces
+		return trackInZone >= total-g.SpareK
+	case SpareCylAtEnd:
+		return cyl >= g.Cyls-g.SpareK
+	default:
+		return false
+	}
+}

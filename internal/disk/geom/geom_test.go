@@ -1,0 +1,431 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// simpleGeom builds a small defect-free geometry for unit tests.
+func simpleGeom(t *testing.T, scheme SpareScheme, spareK int) *Geometry {
+	t.Helper()
+	return &Geometry{
+		Name:       "test",
+		Surfaces:   2,
+		Cyls:       10,
+		SectorSize: 512,
+		Zones: []Zone{
+			{FirstCyl: 0, LastCyl: 4, SPT: 20, TrackSkew: 3, CylSkew: 5},
+			{FirstCyl: 5, LastCyl: 9, SPT: 16, TrackSkew: 2, CylSkew: 4},
+		},
+		Scheme: scheme,
+		SpareK: spareK,
+	}
+}
+
+func mustBuild(t *testing.T, g *Geometry) *Layout {
+	t.Helper()
+	l, err := Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return l
+}
+
+func TestValidateRejectsBadZones(t *testing.T) {
+	g := simpleGeom(t, SpareNone, 0)
+	g.Zones[1].FirstCyl = 6 // gap
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for non-contiguous zones")
+	}
+	g = simpleGeom(t, SpareNone, 0)
+	g.Zones[1].LastCyl = 8 // does not cover all cylinders
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for uncovered cylinders")
+	}
+	g = simpleGeom(t, SparePerTrack, 0)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected error for scheme with zero SpareK")
+	}
+}
+
+func TestCapacityNoSpares(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SpareNone, 0))
+	want := int64(5*2*20 + 5*2*16)
+	if l.NumLBNs() != want {
+		t.Fatalf("NumLBNs = %d, want %d", l.NumLBNs(), want)
+	}
+	if l.CapacityBytes() != want*512 {
+		t.Fatalf("CapacityBytes = %d, want %d", l.CapacityBytes(), want*512)
+	}
+}
+
+func TestCapacityPerTrackSpares(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SparePerTrack, 2))
+	want := int64(5*2*18 + 5*2*14)
+	if l.NumLBNs() != want {
+		t.Fatalf("NumLBNs = %d, want %d", l.NumLBNs(), want)
+	}
+	// Every track holds SPT-2 LBNs.
+	for ti := range l.Tracks {
+		cyl, _ := l.TrackCylHead(ti)
+		if got, want := int(l.Tracks[ti].Count), l.G.SPTOf(cyl)-2; got != want {
+			t.Fatalf("track %d count = %d, want %d", ti, got, want)
+		}
+	}
+}
+
+func TestCapacityPerCylinderSpares(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SparePerCylinder, 3))
+	want := int64(5*(20+17) + 5*(16+13))
+	if l.NumLBNs() != want {
+		t.Fatalf("NumLBNs = %d, want %d", l.NumLBNs(), want)
+	}
+}
+
+func TestCapacityTrackPerZoneSpares(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SpareTrackPerZone, 1))
+	want := int64((5*2-1)*20 + (5*2-1)*16)
+	if l.NumLBNs() != want {
+		t.Fatalf("NumLBNs = %d, want %d", l.NumLBNs(), want)
+	}
+}
+
+func TestCapacityCylAtEndSpares(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SpareCylAtEnd, 2))
+	// Last two cylinders (in zone 1) reserved.
+	want := int64(5*2*20 + 3*2*16)
+	if l.NumLBNs() != want {
+		t.Fatalf("NumLBNs = %d, want %d", l.NumLBNs(), want)
+	}
+}
+
+// TestFigure2Example reproduces the worked example of Figure 2(b): 200
+// sectors per track, two surfaces, track skew 20, and a slipped defect on
+// the third track between the sectors holding LBNs 580 and 581; the first
+// LBN of the following track becomes 599 instead of 600.
+func TestFigure2Example(t *testing.T) {
+	g := &Geometry{
+		Name:       "figure2",
+		Surfaces:   2,
+		Cyls:       4,
+		SectorSize: 512,
+		Zones:      []Zone{{FirstCyl: 0, LastCyl: 3, SPT: 200, TrackSkew: 20, CylSkew: 20}},
+		Scheme:     SpareNone,
+		// Track 2 (cyl 1, head 0) holds LBNs 400..599; the defect sits at
+		// slot 181, which would have held LBN 581.
+		Defects: DefectList{{Cyl: 1, Head: 0, Slot: 181, Grown: false}},
+	}
+	l := mustBuild(t, g)
+
+	if first, count := l.TrackRange(2); first != 400 || count != 199 {
+		t.Fatalf("track 2 = (%d,%d), want (400,199)", first, count)
+	}
+	if first, _ := l.TrackRange(3); first != 599 {
+		t.Fatalf("track 3 first LBN = %d, want 599 (slipped)", first)
+	}
+	// LBN 580 still maps to slot 180; LBN 581 slips to slot 182.
+	loc, err := l.LBNToPhys(580)
+	if err != nil || loc != (PhysLoc{Cyl: 1, Head: 0, Slot: 180}) {
+		t.Fatalf("LBN 580 -> %v, %v; want slot 180", loc, err)
+	}
+	loc, err = l.LBNToPhys(581)
+	if err != nil || loc != (PhysLoc{Cyl: 1, Head: 0, Slot: 182}) {
+		t.Fatalf("LBN 581 -> %v, %v; want slot 182", loc, err)
+	}
+	// The defective slot holds no LBN.
+	if _, ok := l.PhysToLBN(PhysLoc{Cyl: 1, Head: 0, Slot: 181}); ok {
+		t.Fatal("defective slot should hold no LBN")
+	}
+}
+
+func TestRemappedDefect(t *testing.T) {
+	g := simpleGeom(t, SparePerCylinder, 2)
+	g.Defects = DefectList{{Cyl: 2, Head: 0, Slot: 7, Grown: true}}
+	l := mustBuild(t, g)
+
+	if l.RemapCount() != 1 {
+		t.Fatalf("RemapCount = %d, want 1", l.RemapCount())
+	}
+	// The LBN sequence is NOT disturbed: track (2,0) still holds a full
+	// complement of LBNs.
+	ti := g.TrackIndex(2, 0)
+	if got := int(l.Tracks[ti].Count); got != 20 {
+		t.Fatalf("track count = %d, want 20 (remap keeps sequence)", got)
+	}
+	// Find the remapped LBN: logical index 7 on that track.
+	first, _ := l.TrackRange(ti)
+	lbn := first + 7
+	tgt, ok := l.IsRemapped(lbn)
+	if !ok {
+		t.Fatalf("LBN %d should be remapped", lbn)
+	}
+	// Target must be a spare slot in (or near) cylinder 2: with the
+	// per-cylinder scheme, head 1 slots 18..19.
+	if tgt.Cyl != 2 || tgt.Head != 1 || tgt.Slot < 18 {
+		t.Fatalf("remap target %v not in cylinder 2 spares", tgt)
+	}
+	// LBNToPhys follows the remap; PhysToLBN inverts it.
+	loc, err := l.LBNToPhys(lbn)
+	if err != nil || loc != tgt {
+		t.Fatalf("LBNToPhys(%d) = %v, want %v", lbn, loc, tgt)
+	}
+	back, ok := l.PhysToLBN(tgt)
+	if !ok || back != lbn {
+		t.Fatalf("PhysToLBN(%v) = %d,%v; want %d", tgt, back, ok, lbn)
+	}
+	// The defective home slot itself resolves to no LBN.
+	if _, ok := l.PhysToLBN(PhysLoc{Cyl: 2, Head: 0, Slot: 7}); ok {
+		t.Fatal("defective remapped slot should resolve to no LBN")
+	}
+}
+
+func TestRemapDegradesToSlipWithoutSpares(t *testing.T) {
+	g := simpleGeom(t, SpareNone, 0)
+	g.Defects = DefectList{{Cyl: 2, Head: 0, Slot: 7, Grown: true}}
+	l := mustBuild(t, g)
+	if l.RemapCount() != 0 {
+		t.Fatalf("RemapCount = %d, want 0 (degraded to slip)", l.RemapCount())
+	}
+	ti := g.TrackIndex(2, 0)
+	if got := int(l.Tracks[ti].Count); got != 19 {
+		t.Fatalf("track count = %d, want 19 (slipped)", got)
+	}
+}
+
+func TestBoundariesSortedAndComplete(t *testing.T) {
+	g := simpleGeom(t, SparePerCylinder, 2)
+	g.Defects = RandomDefects(g, 8, 0.5, 42)
+	l := mustBuild(t, g)
+	b := l.Boundaries()
+	if b[len(b)-1] != l.NumLBNs() {
+		t.Fatalf("last boundary = %d, want NumLBNs %d", b[len(b)-1], l.NumLBNs())
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("boundaries not strictly increasing at %d: %d <= %d", i, b[i], b[i-1])
+		}
+	}
+	if b[0] != 0 {
+		t.Fatalf("first boundary = %d, want 0", b[0])
+	}
+}
+
+// TestRoundTripExhaustive checks LBN->phys->LBN for every LBN of a
+// geometry exercising every scheme with both defect kinds.
+func TestRoundTripExhaustive(t *testing.T) {
+	schemes := []struct {
+		s SpareScheme
+		k int
+	}{
+		{SpareNone, 0}, {SparePerTrack, 1}, {SparePerCylinder, 2},
+		{SpareTrackPerZone, 1}, {SpareCylAtEnd, 1},
+	}
+	for _, sc := range schemes {
+		g := simpleGeom(t, sc.s, sc.k)
+		g.Defects = RandomDefects(g, 10, 0.5, 7)
+		l := mustBuild(t, g)
+		for lbn := int64(0); lbn < l.NumLBNs(); lbn++ {
+			loc, err := l.LBNToPhys(lbn)
+			if err != nil {
+				t.Fatalf("%v: LBNToPhys(%d): %v", sc.s, lbn, err)
+			}
+			back, ok := l.PhysToLBN(loc)
+			if !ok || back != lbn {
+				t.Fatalf("%v: roundtrip %d -> %v -> %d,%v", sc.s, lbn, loc, back, ok)
+			}
+		}
+	}
+}
+
+// TestMappingMonotoneWithinTrack verifies that logical order equals
+// physical slot order within every track (needed by the rotational
+// sweep math in mech).
+func TestMappingMonotoneWithinTrack(t *testing.T) {
+	g := simpleGeom(t, SparePerTrack, 2)
+	g.Defects = RandomDefects(g, 12, 0.3, 99)
+	l := mustBuild(t, g)
+	for ti := range l.Tracks {
+		_, count := l.TrackRange(ti)
+		prev := -1
+		for i := 0; i < count; i++ {
+			slot := l.SlotOf(ti, i)
+			if slot <= prev {
+				t.Fatalf("track %d: slot order broken at idx %d: %d <= %d", ti, i, slot, prev)
+			}
+			prev = slot
+			idx, ok := l.IdxOf(ti, slot)
+			if !ok || idx != i {
+				t.Fatalf("track %d: IdxOf(SlotOf(%d)) = %d,%v", ti, i, idx, ok)
+			}
+		}
+	}
+}
+
+// quickGeom derives a random but valid geometry from fuzz inputs.
+func quickGeom(rng *rand.Rand) *Geometry {
+	surfaces := 1 + rng.Intn(4)
+	nz := 1 + rng.Intn(3)
+	zones := make([]Zone, nz)
+	cyl := 0
+	for i := range zones {
+		n := 2 + rng.Intn(6)
+		spt := 8 + rng.Intn(25)
+		zones[i] = Zone{
+			FirstCyl:  cyl,
+			LastCyl:   cyl + n - 1,
+			SPT:       spt,
+			TrackSkew: rng.Intn(spt / 2),
+			CylSkew:   rng.Intn(spt / 2),
+		}
+		cyl += n
+	}
+	scheme := SpareScheme(rng.Intn(5))
+	k := 0
+	if scheme != SpareNone {
+		k = 1 + rng.Intn(2)
+		// Keep the configuration valid: a zone must retain at least one
+		// data track, and the disk at least one data cylinder.
+		minZoneTracks := zones[0].Cylinders() * surfaces
+		for _, z := range zones[1:] {
+			if n := z.Cylinders() * surfaces; n < minZoneTracks {
+				minZoneTracks = n
+			}
+		}
+		if scheme == SpareTrackPerZone && k >= minZoneTracks {
+			k = minZoneTracks - 1
+		}
+		if scheme == SpareCylAtEnd && k >= cyl {
+			k = cyl - 1
+		}
+	}
+	g := &Geometry{
+		Name:       "quick",
+		Surfaces:   surfaces,
+		Cyls:       cyl,
+		SectorSize: 512,
+		Zones:      zones,
+		Scheme:     scheme,
+		SpareK:     k,
+	}
+	g.Defects = RandomDefects(g, rng.Intn(8), rng.Float64(), rng.Int63())
+	return g
+}
+
+// TestQuickRoundTrip is the property-based version of the roundtrip test:
+// arbitrary geometry, schemes, skews, and defects must preserve the
+// LBN<->physical bijection and capacity accounting.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGeom(rng)
+		l, err := Build(g)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		// Bijection over every LBN.
+		seen := make(map[PhysLoc]bool, l.NumLBNs())
+		for lbn := int64(0); lbn < l.NumLBNs(); lbn++ {
+			loc, err := l.LBNToPhys(lbn)
+			if err != nil {
+				return false
+			}
+			if seen[loc] {
+				t.Logf("seed %d: physical location %v mapped twice", seed, loc)
+				return false
+			}
+			seen[loc] = true
+			back, ok := l.PhysToLBN(loc)
+			if !ok || back != lbn {
+				return false
+			}
+		}
+		// Capacity accounting: LBNs = physical - spares-and-skips + nothing.
+		var skips int64
+		for ti := range l.Tracks {
+			skips += int64(len(l.Tracks[ti].Skips))
+		}
+		return l.NumLBNs() == g.PhysSectors()-skips
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundariesPartitionDisk: track boundaries must partition
+// [0, NumLBNs) with no gaps or overlaps.
+func TestQuickBoundariesPartitionDisk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGeom(rng)
+		l, err := Build(g)
+		if err != nil {
+			return false
+		}
+		b := l.Boundaries()
+		if len(b) < 2 || b[0] != 0 || b[len(b)-1] != l.NumLBNs() {
+			return false
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				return false
+			}
+		}
+		// Each [b[i], b[i+1]) range must be exactly one track's LBN span.
+		for i := 0; i+1 < len(b); i++ {
+			ti, err := l.TrackOf(b[i])
+			if err != nil {
+				return false
+			}
+			first, count := l.TrackRange(ti)
+			if first != b[i] || first+int64(count) != b[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackOfOutOfRange(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SpareNone, 0))
+	if _, err := l.TrackOf(-1); err == nil {
+		t.Fatal("expected error for negative LBN")
+	}
+	if _, err := l.TrackOf(l.NumLBNs()); err == nil {
+		t.Fatal("expected error for LBN at capacity")
+	}
+}
+
+func TestZoneLBNRange(t *testing.T) {
+	l := mustBuild(t, simpleGeom(t, SpareNone, 0))
+	f0, l0, ok := l.ZoneLBNRange(0)
+	if !ok || f0 != 0 || l0 != 5*2*20-1 {
+		t.Fatalf("zone 0 range = [%d,%d],%v", f0, l0, ok)
+	}
+	f1, l1, ok := l.ZoneLBNRange(1)
+	if !ok || f1 != 5*2*20 || l1 != l.NumLBNs()-1 {
+		t.Fatalf("zone 1 range = [%d,%d],%v", f1, l1, ok)
+	}
+	zi, err := l.ZoneOfLBN(f1)
+	if err != nil || zi != 1 {
+		t.Fatalf("ZoneOfLBN(%d) = %d,%v", f1, zi, err)
+	}
+}
+
+func TestRandomDefectsDeterministic(t *testing.T) {
+	g := simpleGeom(t, SpareNone, 0)
+	a := RandomDefects(g, 20, 0.5, 1)
+	b := RandomDefects(g, 20, 0.5, 1)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("defect %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

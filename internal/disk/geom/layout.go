@@ -1,0 +1,410 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Track is the per-track record of a built Layout.
+//
+// Logical sector index i on the track (0 <= i < Count) maps to a physical
+// slot by advancing past the Skips list; the slot's angular position
+// additionally includes SkewOff. Remaps lists the (rare) slots whose
+// in-sequence LBN physically lives in a spare sector elsewhere.
+type Track struct {
+	Count   int32   // LBNs whose logical home is this track
+	SkewOff int32   // angular offset (slots) of physical slot 0
+	Skips   []int32 // sorted physical slots holding no in-sequence LBN
+	Remaps  []int32 // sorted physical slots whose LBN is remapped away
+}
+
+// Layout is the complete LBN-to-physical mapping of a Geometry: the
+// simulator's ground truth. Build walks every physical sector once; all
+// queries afterwards are O(log tracks) or better.
+type Layout struct {
+	G      *Geometry
+	Tracks []Track
+
+	// starts[i] is the first LBN whose home is track i; starts has
+	// Tracks()+1 entries and starts[len] == NumLBNs.
+	starts []int64
+
+	numLBNs int64
+
+	remapByLBN     map[int64]PhysLoc // defective-home LBN -> spare location
+	remapTargetLBN map[PhysLoc]int64 // spare location -> LBN stored there
+}
+
+// Build validates g and constructs its Layout.
+func Build(g *Geometry) (*Layout, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Layout{
+		G:              g,
+		Tracks:         make([]Track, g.Tracks()),
+		starts:         make([]int64, g.Tracks()+1),
+		remapByLBN:     make(map[int64]PhysLoc),
+		remapTargetLBN: make(map[PhysLoc]int64),
+	}
+
+	// Group defects by track for cheap per-track lookup during the walk.
+	defectsByTrack := make(map[int][]Defect)
+	for _, d := range g.Defects {
+		ti := g.TrackIndex(d.Cyl, d.Head)
+		defectsByTrack[ti] = append(defectsByTrack[ti], d)
+	}
+	for _, ds := range defectsByTrack {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Slot < ds[j].Slot })
+	}
+
+	// Choose spare locations for grown (remapped) defects up front, so the
+	// walk below knows which spare slots are consumed as remap targets.
+	targetBySource := l.chooseRemapTargets(defectsByTrack)
+	targetSet := make(map[PhysLoc]PhysLoc, len(targetBySource)) // target -> source
+	for src, tgt := range targetBySource {
+		targetSet[tgt] = src
+	}
+
+	lbnBySource := make(map[PhysLoc]int64, len(targetBySource))
+
+	var lbn int64
+	skewAcc := 0
+	prevZone := -1
+	for cyl := 0; cyl < g.Cyls; cyl++ {
+		zi := g.ZoneIndex(cyl)
+		z := g.Zones[zi]
+		if zi != prevZone {
+			skewAcc = 0 // skew units change with SPT; restart per zone
+			prevZone = zi
+		}
+		for head := 0; head < g.Surfaces; head++ {
+			ti := g.TrackIndex(cyl, head)
+			t := &l.Tracks[ti]
+			t.SkewOff = int32(skewAcc % z.SPT)
+			l.starts[ti] = lbn
+
+			spareFrom, spareAll := g.spareRange(cyl, head, z)
+			defects := defectsByTrack[ti]
+			di := 0
+			for slot := 0; slot < z.SPT; slot++ {
+				var def *Defect
+				if di < len(defects) && defects[di].Slot == slot {
+					def = &defects[di]
+					di++
+				}
+				loc := PhysLoc{Cyl: int32(cyl), Head: int32(head), Slot: int32(slot)}
+				isSpare := spareAll || (spareFrom >= 0 && slot >= spareFrom)
+				switch {
+				case def != nil && def.Grown:
+					if _, hasTarget := targetBySource[loc]; hasTarget && !isSpare {
+						// Remapped: the LBN sequence continues through this
+						// slot; data lives at the chosen spare.
+						t.Remaps = append(t.Remaps, int32(slot))
+						lbnBySource[loc] = lbn
+						lbn++
+						t.Count++
+					} else {
+						// No spare available (or defect inside spare space):
+						// degrade to slipping.
+						t.Skips = append(t.Skips, int32(slot))
+					}
+				case def != nil:
+					// Primary defect: slipped.
+					t.Skips = append(t.Skips, int32(slot))
+				case isSpare:
+					t.Skips = append(t.Skips, int32(slot))
+				default:
+					lbn++
+					t.Count++
+				}
+			}
+
+			// Advance skew for the next track.
+			if head == g.Surfaces-1 {
+				skewAcc += z.CylSkew
+			} else {
+				skewAcc += z.TrackSkew
+			}
+		}
+	}
+	l.starts[len(l.Tracks)] = lbn
+	l.numLBNs = lbn
+
+	for src, tgt := range targetBySource {
+		srcLBN, ok := lbnBySource[src]
+		if !ok {
+			continue // degraded to slip (defect inside spare space)
+		}
+		l.remapByLBN[srcLBN] = tgt
+		l.remapTargetLBN[tgt] = srcLBN
+	}
+	return l, nil
+}
+
+// spareRange describes the spare slots of one track: if spareAll, the
+// whole track is spare; otherwise slots >= from are spare (from == -1
+// means none).
+func (g *Geometry) spareRange(cyl, head int, z Zone) (from int, all bool) {
+	switch g.Scheme {
+	case SparePerTrack:
+		return z.SPT - g.SpareK, false
+	case SparePerCylinder:
+		if head == g.Surfaces-1 {
+			return z.SPT - g.SpareK, false
+		}
+		return -1, false
+	case SpareTrackPerZone:
+		trackInZone := (cyl-z.FirstCyl)*g.Surfaces + head
+		total := z.Cylinders() * g.Surfaces
+		return -1, trackInZone >= total-g.SpareK
+	case SpareCylAtEnd:
+		return -1, cyl >= g.Cyls-g.SpareK
+	default:
+		return -1, false
+	}
+}
+
+// chooseRemapTargets assigns each grown defect a spare slot, preferring
+// the defect's own cylinder and expanding outward. Returns source->target.
+func (l *Layout) chooseRemapTargets(defectsByTrack map[int][]Defect) map[PhysLoc]PhysLoc {
+	g := l.G
+	out := make(map[PhysLoc]PhysLoc)
+	if g.Scheme == SpareNone {
+		return out
+	}
+	taken := make(map[PhysLoc]bool)
+	defective := make(map[PhysLoc]bool)
+	for _, ds := range defectsByTrack {
+		for _, d := range ds {
+			defective[d.Loc()] = true
+		}
+	}
+	var grown []Defect
+	for _, ds := range defectsByTrack {
+		for _, d := range ds {
+			if d.Grown {
+				grown = append(grown, d)
+			}
+		}
+	}
+	sort.Slice(grown, func(i, j int) bool {
+		a, b := grown[i], grown[j]
+		if a.Cyl != b.Cyl {
+			return a.Cyl < b.Cyl
+		}
+		if a.Head != b.Head {
+			return a.Head < b.Head
+		}
+		return a.Slot < b.Slot
+	})
+	for _, d := range grown {
+		if tgt, ok := l.findSpare(d.Cyl, taken, defective); ok {
+			taken[tgt] = true
+			out[d.Loc()] = tgt
+		}
+	}
+	return out
+}
+
+// findSpare locates the nearest unused, non-defective spare slot to the
+// given cylinder, scanning outward.
+func (l *Layout) findSpare(cyl int, taken, defective map[PhysLoc]bool) (PhysLoc, bool) {
+	g := l.G
+	for delta := 0; delta < g.Cyls; delta++ {
+		cands := []int{cyl - delta}
+		if delta > 0 {
+			cands = append(cands, cyl+delta)
+		}
+		for _, c := range cands {
+			if c < 0 || c >= g.Cyls {
+				continue
+			}
+			if loc, ok := spareInCyl(g, c, taken, defective); ok {
+				return loc, true
+			}
+		}
+	}
+	return PhysLoc{}, false
+}
+
+// spareInCyl returns the first free spare slot in cylinder c, if any.
+func spareInCyl(g *Geometry, c int, taken, defective map[PhysLoc]bool) (PhysLoc, bool) {
+	z := g.ZoneOf(c)
+	for head := 0; head < g.Surfaces; head++ {
+		from, all := g.spareRange(c, head, z)
+		lo := from
+		if all {
+			lo = 0
+		}
+		if lo < 0 {
+			continue
+		}
+		for slot := lo; slot < z.SPT; slot++ {
+			loc := PhysLoc{Cyl: int32(c), Head: int32(head), Slot: int32(slot)}
+			if !taken[loc] && !defective[loc] {
+				return loc, true
+			}
+		}
+	}
+	return PhysLoc{}, false
+}
+
+// NumLBNs returns the disk's logical capacity in sectors.
+func (l *Layout) NumLBNs() int64 { return l.numLBNs }
+
+// CapacityBytes returns the logical capacity in bytes.
+func (l *Layout) CapacityBytes() int64 { return l.numLBNs * int64(l.G.SectorSize) }
+
+// TrackOf returns the index of the track whose LBN range contains lbn.
+func (l *Layout) TrackOf(lbn int64) (int, error) {
+	if lbn < 0 || lbn >= l.numLBNs {
+		return 0, fmt.Errorf("geom: LBN %d out of range [0,%d)", lbn, l.numLBNs)
+	}
+	// First track whose start exceeds lbn, minus one. Tracks with zero
+	// LBNs share their start with the next track and can never win.
+	i := sort.Search(len(l.Tracks), func(i int) bool { return l.starts[i+1] > lbn })
+	return i, nil
+}
+
+// TrackRange returns the first LBN on track ti and the number of LBNs
+// homed there. Count may be zero (spare or fully defective track).
+func (l *Layout) TrackRange(ti int) (first int64, count int) {
+	return l.starts[ti], int(l.Tracks[ti].Count)
+}
+
+// TrackCylHead converts a track index back to (cylinder, head).
+func (l *Layout) TrackCylHead(ti int) (cyl, head int) {
+	return ti / l.G.Surfaces, ti % l.G.Surfaces
+}
+
+// SlotOf maps logical sector index idx on track ti to its physical slot,
+// accounting for skipped slots. idx must be < Count.
+func (l *Layout) SlotOf(ti, idx int) int {
+	t := &l.Tracks[ti]
+	slot := idx
+	for _, s := range t.Skips {
+		if int(s) <= slot {
+			slot++
+		} else {
+			break
+		}
+	}
+	return slot
+}
+
+// IdxOf is the inverse of SlotOf: the logical index of physical slot on
+// track ti, or ok=false if the slot holds no in-sequence LBN.
+func (l *Layout) IdxOf(ti, slot int) (int, bool) {
+	t := &l.Tracks[ti]
+	skipped := 0
+	for _, s := range t.Skips {
+		switch {
+		case int(s) < slot:
+			skipped++
+		case int(s) == slot:
+			return 0, false
+		}
+	}
+	idx := slot - skipped
+	if idx < 0 || idx >= int(t.Count) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// LBNHome returns the logical home of lbn: its track index and logical
+// sector index on that track, before any remapping.
+func (l *Layout) LBNHome(lbn int64) (ti, idx int, err error) {
+	ti, err = l.TrackOf(lbn)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ti, int(lbn - l.starts[ti]), nil
+}
+
+// LBNToPhys resolves lbn to the physical sector actually holding its
+// data, following any remap.
+func (l *Layout) LBNToPhys(lbn int64) (PhysLoc, error) {
+	if loc, ok := l.remapByLBN[lbn]; ok {
+		return loc, nil
+	}
+	ti, idx, err := l.LBNHome(lbn)
+	if err != nil {
+		return PhysLoc{}, err
+	}
+	cyl, head := l.TrackCylHead(ti)
+	return PhysLoc{Cyl: int32(cyl), Head: int32(head), Slot: int32(l.SlotOf(ti, idx))}, nil
+}
+
+// PhysToLBN returns the LBN stored at the given physical sector, if any.
+// Spare slots used as remap targets resolve to the remapped LBN; other
+// spare and defective slots hold no LBN.
+func (l *Layout) PhysToLBN(loc PhysLoc) (int64, bool) {
+	if lbn, ok := l.remapTargetLBN[loc]; ok {
+		return lbn, true
+	}
+	if loc.Cyl < 0 || int(loc.Cyl) >= l.G.Cyls || loc.Head < 0 || int(loc.Head) >= l.G.Surfaces {
+		return 0, false
+	}
+	ti := l.G.TrackIndex(int(loc.Cyl), int(loc.Head))
+	t := &l.Tracks[ti]
+	idx, ok := l.IdxOf(ti, int(loc.Slot))
+	if !ok {
+		return 0, false
+	}
+	// A remapped-defect slot's LBN lives elsewhere; the physical sector
+	// itself is unreadable.
+	for _, r := range t.Remaps {
+		if int(r) == int(loc.Slot) {
+			return 0, false
+		}
+	}
+	return l.starts[ti] + int64(idx), true
+}
+
+// IsRemapped reports whether lbn's data lives in a spare sector, and
+// where.
+func (l *Layout) IsRemapped(lbn int64) (PhysLoc, bool) {
+	loc, ok := l.remapByLBN[lbn]
+	return loc, ok
+}
+
+// RemapCount returns the number of remapped LBNs.
+func (l *Layout) RemapCount() int { return len(l.remapByLBN) }
+
+// Boundaries returns the ground-truth track boundary table: the first
+// LBN of every track that homes at least one LBN, followed by a final
+// sentinel equal to NumLBNs. Consecutive entries delimit one track's LBN
+// range — the paper's traxtent boundaries.
+func (l *Layout) Boundaries() []int64 {
+	out := make([]int64, 0, len(l.Tracks)+1)
+	for ti := range l.Tracks {
+		if l.Tracks[ti].Count > 0 {
+			out = append(out, l.starts[ti])
+		}
+	}
+	out = append(out, l.numLBNs)
+	return out
+}
+
+// ZoneOfLBN returns the zone index containing lbn's home track.
+func (l *Layout) ZoneOfLBN(lbn int64) (int, error) {
+	ti, err := l.TrackOf(lbn)
+	if err != nil {
+		return 0, err
+	}
+	cyl, _ := l.TrackCylHead(ti)
+	return l.G.ZoneIndex(cyl), nil
+}
+
+// ZoneLBNRange returns the [first, last] LBNs homed in zone zi, with
+// ok=false if the zone holds no LBNs.
+func (l *Layout) ZoneLBNRange(zi int) (first, last int64, ok bool) {
+	z := l.G.Zones[zi]
+	firstTi := l.G.TrackIndex(z.FirstCyl, 0)
+	lastTi := l.G.TrackIndex(z.LastCyl, l.G.Surfaces-1)
+	first = l.starts[firstTi]
+	last = l.starts[lastTi+1] - 1
+	return first, last, last >= first
+}

@@ -1,0 +1,395 @@
+package mech
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"traxtents/internal/disk/geom"
+)
+
+func testLayout(t *testing.T) *geom.Layout {
+	t.Helper()
+	g := &geom.Geometry{
+		Name:       "mech-test",
+		Surfaces:   2,
+		Cyls:       100,
+		SectorSize: 512,
+		Zones:      []geom.Zone{{FirstCyl: 0, LastCyl: 99, SPT: 100, TrackSkew: 10, CylSkew: 15}},
+	}
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return l
+}
+
+func testMech(t *testing.T, zeroLat bool) *Mech {
+	t.Helper()
+	m, err := New(Spec{
+		RPM:         6000, // P = 10 ms, slot = 0.1 ms
+		HeadSwitch:  0.8,
+		WriteSettle: 1.0,
+		SeekSingle:  0.5,
+		SeekAvg:     5.0,
+		SeekFull:    10.0,
+		ZeroLatency: zeroLat,
+	}, 100)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestSeekCurveEndpoints(t *testing.T) {
+	m := testMech(t, true)
+	if got := m.Seek(0); got != 0 {
+		t.Fatalf("Seek(0) = %g, want 0", got)
+	}
+	if got := m.Seek(1); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Seek(1) = %g, want 0.5", got)
+	}
+	if got := m.Seek(99); math.Abs(got-10.0) > 1e-9 {
+		t.Fatalf("Seek(max) = %g, want 10", got)
+	}
+	// Beyond max clamps.
+	if got := m.Seek(500); math.Abs(got-10.0) > 1e-9 {
+		t.Fatalf("Seek(500) = %g, want 10", got)
+	}
+	// Negative distance is absolute.
+	if m.Seek(-30) != m.Seek(30) {
+		t.Fatal("Seek should be symmetric in distance")
+	}
+}
+
+func TestSeekCurveMonotone(t *testing.T) {
+	m := testMech(t, true)
+	prev := 0.0
+	for d := 0; d <= 99; d++ {
+		v := m.Seek(d)
+		if v < prev-1e-12 {
+			t.Fatalf("seek curve not monotone at d=%d: %g < %g", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSeekCalibrationHitsAverage asserts the calibrated curve's mean over
+// random cylinder pairs matches the spec average within 1%, for a range
+// of realistic specs (the paper's Table 1 entries among them).
+func TestSeekCalibrationHitsAverage(t *testing.T) {
+	cases := []struct {
+		single, avg, full float64
+		cyls              int
+	}{
+		{0.5, 5.0, 10.0, 100},
+		{0.6, 4.7, 10.0, 10000}, // Atlas 10K II-like
+		{0.7, 5.0, 11.0, 10022}, // Atlas 10K-like
+		{1.0, 10.0, 20.0, 2582}, // HP C2247-like
+		{0.4, 3.9, 8.0, 18479},  // Cheetah X15-like
+	}
+	for _, c := range cases {
+		curve, err := calibrateSeek(c.single, c.avg, c.full, c.cyls)
+		if err != nil {
+			t.Fatalf("calibrate(%v): %v", c, err)
+		}
+		got := curve.meanRandom(c.cyls)
+		if math.Abs(got-c.avg)/c.avg > 0.01 {
+			t.Errorf("calibrate(%v): mean random seek %.4f, want %.4f", c, got, c.avg)
+		}
+		if math.Abs(curve.time(c.cyls-1)-c.full)/c.full > 0.01 {
+			t.Errorf("calibrate(%v): full seek %.4f, want %.4f", c, curve.time(c.cyls-1), c.full)
+		}
+	}
+}
+
+func TestNewRejectsBadSpec(t *testing.T) {
+	if _, err := New(Spec{RPM: 0, SeekSingle: 1, SeekAvg: 2, SeekFull: 3}, 10); err == nil {
+		t.Fatal("expected error for zero RPM")
+	}
+	if _, err := New(Spec{RPM: 10000, SeekSingle: 5, SeekAvg: 2, SeekFull: 3}, 10); err == nil {
+		t.Fatal("expected error for single > avg")
+	}
+	if _, err := New(Spec{RPM: 10000, SeekSingle: 1, SeekAvg: 2, SeekFull: 3, HeadSwitch: -1}, 10); err == nil {
+		t.Fatal("expected error for negative head switch")
+	}
+}
+
+// TestFullTrackZeroLatencyOneRevolution: reading an entire track on a
+// zero-latency disk takes exactly one revolution plus the sub-slot
+// settling residue, regardless of arrival angle (§2.2).
+func TestFullTrackZeroLatencyOneRevolution(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	st := m.SlotTime(100)
+	for i := 0; i < 50; i++ {
+		at := float64(i) * 0.377 // scan arrival angles
+		tm, err := m.Access(l, at, Pos{Cyl: 0, Head: 0}, 0, 100, false)
+		if err != nil {
+			t.Fatalf("Access: %v", err)
+		}
+		media := tm.Latency + tm.Transfer
+		if media < m.Period()-1e-9 || media > m.Period()+st+1e-9 {
+			t.Fatalf("arrival %g: media time %g, want within [P, P+slot] = [%g, %g]",
+				at, media, m.Period(), m.Period()+st)
+		}
+	}
+}
+
+// TestFullTrackOrdinaryAveragesHalfRevLatency: an ordinary disk pays
+// (SPT-1)/(2*SPT) revolutions of rotational latency on average.
+func TestFullTrackOrdinaryAveragesHalfRevLatency(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, false)
+	var sum float64
+	n := 997
+	for i := 0; i < n; i++ {
+		at := float64(i) * 0.0101 // densely scan angles
+		tm, err := m.Access(l, at, Pos{Cyl: 0, Head: 0}, 0, 100, false)
+		if err != nil {
+			t.Fatalf("Access: %v", err)
+		}
+		sum += tm.Latency
+	}
+	avg := sum / float64(n)
+	want := m.Period() * 99 / 200 // (SPT-1)/(2*SPT) * P
+	if math.Abs(avg-want) > 0.15 {
+		t.Fatalf("avg ordinary latency %g, want about %g", avg, want)
+	}
+}
+
+// TestZeroLatencyNeverSlower: for identical requests and arrival times, a
+// zero-latency disk's media phase is never longer than an ordinary one's.
+func TestZeroLatencyNeverSlower(t *testing.T) {
+	l := testLayout(t)
+	zl := testMech(t, true)
+	ord := testMech(t, false)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		lbn := int64(rng.Intn(int(l.NumLBNs()) - 200))
+		n := 1 + rng.Intn(150)
+		at := rng.Float64() * 100
+		a, err := zl.Access(l, at, Pos{}, lbn, n, false)
+		if err != nil {
+			t.Fatalf("zl access: %v", err)
+		}
+		b, err := ord.Access(l, at, Pos{}, lbn, n, false)
+		if err != nil {
+			t.Fatalf("ord access: %v", err)
+		}
+		if a.HeadTime() > b.HeadTime()+1e-9 {
+			t.Fatalf("zero-latency slower: lbn=%d n=%d at=%g: %g > %g", lbn, n, at, a.HeadTime(), b.HeadTime())
+		}
+	}
+}
+
+// TestExpectedRotLatencyFormula: measured average rotational latency for
+// track-aligned partial reads matches P*(1-f^2)/2 on a zero-latency disk
+// (Figure 3's curve).
+func TestExpectedRotLatencyFormula(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		f := float64(n) / 100
+		var sum float64
+		samples := 2000
+		for i := 0; i < samples; i++ {
+			at := float64(i) * m.Period() / float64(samples) * 7.13 // spread over angles
+			tm, err := m.Access(l, at, Pos{}, 0, n, false)
+			if err != nil {
+				t.Fatalf("Access: %v", err)
+			}
+			sum += tm.Latency
+		}
+		got := sum / float64(samples)
+		want := m.ExpectedRotLatency(f, 100)
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("f=%.2f: measured latency %.3f, analytic %.3f", f, got, want)
+		}
+	}
+}
+
+// TestChunksCoverRequest: availability chunks account for every sector,
+// in order, with sane times.
+func TestChunksCoverRequest(t *testing.T) {
+	l := testLayout(t)
+	for _, zl := range []bool{true, false} {
+		m := testMech(t, zl)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 300; i++ {
+			lbn := int64(rng.Intn(int(l.NumLBNs()) - 400))
+			n := 1 + rng.Intn(350) // up to several tracks
+			at := rng.Float64() * 50
+			tm, err := m.Access(l, at, Pos{}, lbn, n, false)
+			if err != nil {
+				t.Fatalf("Access: %v", err)
+			}
+			total := 0
+			prevEnd := at
+			for _, c := range tm.Chunks {
+				if c.Sectors <= 0 {
+					t.Fatalf("empty chunk: %+v", c)
+				}
+				if c.At < prevEnd-1e-6 {
+					t.Fatalf("chunk availability regressed: %+v before %g", c, prevEnd)
+				}
+				total += c.Sectors
+				last := c.At + float64(c.Sectors-1)*c.Per
+				if last > tm.EndTime+1e-6 {
+					t.Fatalf("chunk extends past media end: last=%g end=%g", last, tm.EndTime)
+				}
+				prevEnd = c.At
+			}
+			if total != n {
+				t.Fatalf("chunks cover %d sectors, want %d", total, n)
+			}
+		}
+	}
+}
+
+// TestTimingConsistency (property): EndTime - start == HeadTime for
+// arbitrary requests, and all components are non-negative.
+func TestTimingConsistency(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lbn := int64(rng.Intn(int(l.NumLBNs()) - 500))
+		n := 1 + rng.Intn(450)
+		at := rng.Float64() * 200
+		write := rng.Intn(2) == 0
+		from := Pos{Cyl: rng.Intn(100), Head: rng.Intn(2)}
+		tm, err := m.Access(l, at, from, lbn, n, write)
+		if err != nil {
+			return false
+		}
+		if tm.Seek < 0 || tm.Settle < 0 || tm.Latency < -1e-9 || tm.Transfer <= 0 || tm.Switch < 0 {
+			return false
+		}
+		return math.Abs((tm.EndTime-at)-tm.HeadTime()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrackSpanningAddsSwitch: a request crossing one track boundary
+// includes exactly one head switch; writes add settle per switch.
+func TestTrackSpanningAddsSwitch(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	// LBNs 50..149 span tracks 0 and 1 (same cylinder: head switch).
+	tm, err := m.Access(l, 0, Pos{}, 50, 100, false)
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if math.Abs(tm.Switch-m.HeadSwitch) > 1e-9 {
+		t.Fatalf("Switch = %g, want one head switch %g", tm.Switch, m.HeadSwitch)
+	}
+	if tm.Settle != 0 {
+		t.Fatalf("read Settle = %g, want 0", tm.Settle)
+	}
+	wm, err := m.Access(l, 0, Pos{}, 50, 100, true)
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if math.Abs(wm.Settle-2*m.WriteSettle) > 1e-9 {
+		t.Fatalf("write Settle = %g, want %g (initial + per switch)", wm.Settle, 2*m.WriteSettle)
+	}
+	// Crossing a cylinder (track 1 -> track 2) costs at least a
+	// single-cylinder seek.
+	tm2, err := m.Access(l, 0, Pos{}, 150, 100, false)
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if tm2.Switch < m.Seek(1)-1e-9 {
+		t.Fatalf("cylinder-crossing switch %g < single-cyl seek %g", tm2.Switch, m.Seek(1))
+	}
+}
+
+// TestStreamTimeMatchesSkewModel: streaming a full track costs one
+// revolution; streaming k tracks costs k revolutions plus (k-1) skews.
+func TestStreamTimeMatchesSkewModel(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	st := m.SlotTime(100)
+	one, err := m.StreamTime(l, 0, 100)
+	if err != nil {
+		t.Fatalf("StreamTime: %v", err)
+	}
+	if math.Abs(one-m.Period()) > 1e-9 {
+		t.Fatalf("one-track stream %g, want %g", one, m.Period())
+	}
+	three, err := m.StreamTime(l, 0, 300)
+	if err != nil {
+		t.Fatalf("StreamTime: %v", err)
+	}
+	// tracks 0->1: head switch within cylinder, skew 10; 1->2: cylinder
+	// crossing, skew 15.
+	want := 3*m.Period() + 10*st + 15*st
+	if math.Abs(three-want) > 1e-6 {
+		t.Fatalf("three-track stream %g, want %g", three, want)
+	}
+}
+
+// TestRemapExcursion: accessing a remapped LBN pays a round-trip
+// excursion.
+func TestRemapExcursion(t *testing.T) {
+	g := &geom.Geometry{
+		Name:       "remap-test",
+		Surfaces:   2,
+		Cyls:       100,
+		SectorSize: 512,
+		Zones:      []geom.Zone{{FirstCyl: 0, LastCyl: 99, SPT: 100, TrackSkew: 10, CylSkew: 15}},
+		Scheme:     geom.SparePerCylinder,
+		SpareK:     2,
+		Defects:    geom.DefectList{{Cyl: 5, Head: 0, Slot: 10, Grown: true}},
+	}
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if l.RemapCount() != 1 {
+		t.Fatalf("RemapCount = %d, want 1", l.RemapCount())
+	}
+	m := testMech(t, true)
+	ti := g.TrackIndex(5, 0)
+	first, count := l.TrackRange(ti)
+	tm, err := m.Access(l, 0, Pos{Cyl: 5, Head: 0}, first, count, false)
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if tm.Excursion <= 0 {
+		t.Fatal("expected a positive excursion for the remapped sector")
+	}
+}
+
+func TestAccessErrors(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	if _, err := m.Access(l, 0, Pos{}, -1, 10, false); err == nil {
+		t.Fatal("expected error for negative LBN")
+	}
+	if _, err := m.Access(l, 0, Pos{}, l.NumLBNs()-5, 10, false); err == nil {
+		t.Fatal("expected error for overrun")
+	}
+	if _, err := m.Access(l, 0, Pos{}, 0, 0, false); err == nil {
+		t.Fatal("expected error for zero sectors")
+	}
+}
+
+func TestMeanSeekSubrange(t *testing.T) {
+	m := testMech(t, true)
+	whole := m.MeanSeek(0, 99)
+	if math.Abs(whole-5.0)/5.0 > 0.02 {
+		t.Fatalf("MeanSeek over whole disk = %g, want about 5.0", whole)
+	}
+	zone := m.MeanSeek(0, 9)
+	if zone >= whole {
+		t.Fatalf("first-zone mean seek %g should be below whole-disk %g", zone, whole)
+	}
+	if m.MeanSeek(5, 5) != 0 {
+		t.Fatal("single-cylinder range should have zero mean seek")
+	}
+}

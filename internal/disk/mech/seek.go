@@ -1,0 +1,101 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+)
+
+// seekCurve is the three-coefficient seek-time model
+//
+//	t(0) = 0
+//	t(d) = gamma + alpha*sqrt(d-1) + beta*(d-1)   for d >= 1
+//
+// (the square-root term models the accelerate/decelerate phase, the
+// linear term the coast phase, gamma the single-cylinder settle). The
+// coefficients are calibrated from three published numbers — the
+// single-cylinder, average, and full-strobe seek times — so that the
+// curve's mean over uniformly random cylinder pairs equals the published
+// average. This is the standard calibration used by DiskSim-style
+// simulators.
+type seekCurve struct {
+	alpha, beta, gamma float64
+	maxDelta           int
+}
+
+// calibrateSeek fits the curve to (single, avg, full) over a disk with
+// cyls cylinders.
+func calibrateSeek(single, avg, full float64, cyls int) (seekCurve, error) {
+	if cyls < 2 {
+		return seekCurve{}, fmt.Errorf("mech: need at least 2 cylinders, got %d", cyls)
+	}
+	if single <= 0 || avg < single || full < avg {
+		return seekCurve{}, fmt.Errorf("mech: seek spec must satisfy 0 < single <= avg <= full (got %g, %g, %g)",
+			single, avg, full)
+	}
+	maxDelta := cyls - 1
+	c := seekCurve{gamma: single, maxDelta: maxDelta}
+	if maxDelta == 1 {
+		return c, nil
+	}
+
+	// Moments of the random-pair distance distribution restricted to
+	// d >= 1: p(d) = 2*(C-d)/C^2 for d in 1..C-1.
+	C := float64(cyls)
+	var s0, s1, s2 float64
+	for d := 1; d <= maxDelta; d++ {
+		p := 2 * (C - float64(d)) / (C * C)
+		s0 += p
+		s1 += p * math.Sqrt(float64(d-1))
+		s2 += p * float64(d-1)
+	}
+
+	M := float64(maxDelta - 1)
+	if M == 0 {
+		return c, nil
+	}
+	// Solve  gamma*s0 + alpha*s1 + beta*s2 = avg  subject to
+	// alpha*sqrt(M) + beta*M = full - gamma.
+	sqM := math.Sqrt(M)
+	denom := s1 - sqM*s2/M
+	rhs := avg - c.gamma*s0 - (full-c.gamma)*s2/M
+	if denom != 0 {
+		c.alpha = rhs / denom
+	}
+	c.beta = (full - c.gamma - c.alpha*sqM) / M
+
+	// Clamp to a physically sensible monotone curve if the spec is
+	// extreme; honor the full-strobe constraint in that case.
+	if c.alpha < 0 {
+		c.alpha = 0
+		c.beta = (full - c.gamma) / M
+	}
+	if c.beta < 0 {
+		c.beta = 0
+		c.alpha = (full - c.gamma) / sqM
+	}
+	return c, nil
+}
+
+// time returns the seek time for a cylinder distance d.
+func (c seekCurve) time(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if d > c.maxDelta {
+		d = c.maxDelta
+	}
+	return c.gamma + c.alpha*math.Sqrt(float64(d-1)) + c.beta*float64(d-1)
+}
+
+// meanRandom returns the curve's mean over uniform random cylinder pairs
+// (including same-cylinder pairs, which cost nothing). Used by tests to
+// confirm the calibration hits the published average.
+func (c seekCurve) meanRandom(cyls int) float64 {
+	C := float64(cyls)
+	var sum float64
+	for d := 1; d < cyls; d++ {
+		p := 2 * (C - float64(d)) / (C * C)
+		sum += p * c.time(d)
+	}
+	return sum
+}

@@ -1,0 +1,141 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"traxtents/internal/disk/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("registered %d models, want the 7 of Table 1: %v", len(names), names)
+	}
+	// Table 1 is ordered by year.
+	prev := 0
+	for _, n := range names {
+		m := MustGet(n)
+		if m.Year < prev {
+			t.Fatalf("names not in year order: %v", names)
+		}
+		prev = m.Year
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestGeometriesValid(t *testing.T) {
+	for _, n := range Names() {
+		m := MustGet(n)
+		g := m.Geometry()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid geometry: %v", n, err)
+		}
+		if g.Zones[0].SPT != m.SPTMax {
+			t.Errorf("%s: first zone SPT %d, want %d", n, g.Zones[0].SPT, m.SPTMax)
+		}
+		if g.Zones[len(g.Zones)-1].SPT != m.SPTMin {
+			t.Errorf("%s: last zone SPT %d, want %d", n, g.Zones[len(g.Zones)-1].SPT, m.SPTMin)
+		}
+	}
+}
+
+func TestAtlas10KIIFirstZoneTrackSize(t *testing.T) {
+	m := MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	// The paper's headline number: 264 KB per track in the first zone
+	// (528 sectors * 512 B).
+	first, count := l.TrackRange(0)
+	if first != 0 {
+		t.Fatalf("first track starts at %d", first)
+	}
+	if kb := count * 512 / 1024; kb < 256 || kb > 264 {
+		t.Fatalf("first-zone track = %d KB, want about 264 KB", kb)
+	}
+}
+
+func TestLayoutMemoized(t *testing.T) {
+	m := MustGet("Quantum-Viking")
+	a, err := m.Layout()
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	b, err := m.Layout()
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	if a != b {
+		t.Fatal("Layout should be memoized")
+	}
+}
+
+func TestMeanSeekMatchesSpec(t *testing.T) {
+	for _, n := range Names() {
+		m := MustGet(n)
+		mm, err := m.Mechanism()
+		if err != nil {
+			t.Fatalf("%s: Mechanism: %v", n, err)
+		}
+		got := mm.MeanSeek(0, m.Cyls-1)
+		if rel := abs(got-m.Mech.SeekAvg) / m.Mech.SeekAvg; rel > 0.02 {
+			t.Errorf("%s: mean seek %.3f, spec %.3f", n, got, m.Mech.SeekAvg)
+		}
+		// First-zone mean seek must be far below the disk average (the
+		// paper measures 2.2 ms for the Atlas 10K II, 2.4 for the 10K).
+		g := m.Geometry()
+		z0 := g.Zones[0]
+		zoneMean := mm.MeanSeek(z0.FirstCyl, z0.LastCyl)
+		if zoneMean >= m.Mech.SeekAvg {
+			t.Errorf("%s: first-zone mean seek %.3f not below average %.3f", n, zoneMean, m.Mech.SeekAvg)
+		}
+	}
+}
+
+func TestAtlas10KIIZoneSeek(t *testing.T) {
+	m := MustGet("Quantum-Atlas10KII")
+	mm, err := m.Mechanism()
+	if err != nil {
+		t.Fatalf("Mechanism: %v", err)
+	}
+	z0 := m.Geometry().Zones[0]
+	got := mm.MeanSeek(z0.FirstCyl, z0.LastCyl)
+	if got < 1.2 || got > 3.0 {
+		t.Fatalf("first-zone mean seek %.2f ms, want in [1.2, 3.0] (paper: 2.2)", got)
+	}
+}
+
+func TestNewDiskWorks(t *testing.T) {
+	m := MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	res, err := d.Submit(sim.Request{LBN: 0, Sectors: 528})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.Done <= 0 {
+		t.Fatal("no service time")
+	}
+}
+
+func TestTableRow(t *testing.T) {
+	row := MustGet("Quantum-Atlas10KII").TableRow()
+	for _, want := range []string{"Quantum-Atlas10KII", "2000", "10000", "0.6", "528"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("TableRow %q missing %q", row, want)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

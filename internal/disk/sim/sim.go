@@ -1,0 +1,361 @@
+// Package sim assembles the geometry and mechanical models into a whole
+// disk drive: a virtual-time simulator with FCFS command queueing, a
+// SCSI-style bus with in-order data delivery, a segmented firmware read
+// cache with prefetch, and optional positioning-time noise.
+//
+// The simulator is deterministic (given a seed) and analytic: each
+// request's service is computed in closed form against the global
+// spindle phase, so five thousand requests simulate in microseconds.
+// Head and bus are separate resources, which is what lets command
+// queueing (the paper's "tworeq" pattern) overlap one request's bus
+// transfer with the next request's positioning.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+)
+
+// Config holds the non-mechanical behaviour of the drive and its
+// interconnect.
+type Config struct {
+	// BusMBps is the bus bandwidth in MB/s; 0 simulates an infinitely
+	// fast bus (the paper's "zero bus transfer" DiskSim configuration).
+	BusMBps float64
+	// CmdOverhead is the fixed per-command controller/firmware time in
+	// ms. It is paid on the issue path for idle disks and absorbed into
+	// queueing when commands are outstanding.
+	CmdOverhead float64
+	// OutOfOrderBus allows data delivery in media order rather than
+	// ascending-LBN order (the SCSI MODIFY DATA POINTER behaviour of
+	// Figure 7 that no real drive implements).
+	OutOfOrderBus bool
+	// CacheSegments and CacheSegSectors configure the firmware read
+	// cache; zero segments disables caching.
+	CacheSegments   int
+	CacheSegSectors int
+	// ReadAhead enables firmware prefetch: after an idle read the head
+	// keeps streaming into the cache segment.
+	ReadAhead bool
+	// SeekNoiseSD adds |N(0,sd)| ms of positioning noise to every
+	// mechanical access. Note that sub-revolution positioning noise is
+	// largely re-absorbed by the rotation: media completion is pinned to
+	// absolute slot passings, exactly as on a real spindle.
+	SeekNoiseSD float64
+	// HostNoiseSD adds |N(0,sd)| ms of host-observed measurement jitter
+	// to completion times (interrupt latency, driver overhead). This is
+	// the noise the timing-based extraction algorithm must tolerate.
+	HostNoiseSD float64
+	// Seed makes the noise deterministic.
+	Seed int64
+}
+
+// Request is one host command.
+type Request struct {
+	LBN     int64
+	Sectors int
+	Write   bool
+	// FUA (Force Unit Access) forces a media access: the firmware cache
+	// and prefetch stream are bypassed and not updated. Extraction tools
+	// use it to reposition the head deterministically.
+	FUA bool
+}
+
+// Bytes returns the request's payload size.
+func (r Request) Bytes(sectorSize int) int64 { return int64(r.Sectors) * int64(sectorSize) }
+
+// Result is the full timing record of one serviced request.
+type Result struct {
+	Req   Request
+	Issue float64 // host issues the command
+	Start float64 // mechanism dedicated to the request (0-width for hits)
+	// MediaEnd is when the media transfer completes (= Start for cache
+	// hits). Done is when the host sees completion, including the bus.
+	MediaEnd float64
+	Done     float64
+
+	Timing     mech.Timing // media-phase breakdown; zero for cache hits
+	BusTime    float64     // time the bus was dedicated to this request
+	CacheHit   bool
+	Prefetched int // sectors served from the firmware prefetch stream
+}
+
+// Response returns the host-observed response time.
+func (r Result) Response() float64 { return r.Done - r.Issue }
+
+// Stats aggregates disk activity.
+type Stats struct {
+	Requests   int
+	CacheHits  int
+	SectorsIn  int64 // written
+	SectorsOut int64 // read
+	HeadBusy   float64
+	BusBusy    float64
+	Transfer   float64 // useful media transfer time
+}
+
+// Disk is a simulated disk drive.
+type Disk struct {
+	Lay *geom.Layout
+	M   *mech.Mech
+	Cfg Config
+
+	headPos  mech.Pos
+	headFree float64
+	busFree  float64
+	lastDone float64
+
+	rng    *rand.Rand
+	cache  *readCache
+	cursor streamCursor
+
+	stats Stats
+}
+
+// New creates a Disk from a built layout, a calibrated mechanism, and a
+// configuration.
+func New(l *geom.Layout, m *mech.Mech, cfg Config) *Disk {
+	d := &Disk{Lay: l, M: m, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.CacheSegments > 0 && cfg.CacheSegSectors > 0 {
+		d.cache = newReadCache(cfg.CacheSegments)
+	}
+	return d
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats clears the statistics without disturbing disk state.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Now returns the completion time of the last request serviced.
+func (d *Disk) Now() float64 { return d.lastDone }
+
+// HeadPos returns the current head position (useful in tests).
+func (d *Disk) HeadPos() mech.Pos { return d.headPos }
+
+// sectorBusTime returns the bus time for one sector, or 0 for an
+// infinitely fast bus.
+func (d *Disk) sectorBusTime() float64 {
+	if d.Cfg.BusMBps <= 0 {
+		return 0
+	}
+	return float64(d.Lay.G.SectorSize) / (d.Cfg.BusMBps * 1000) // bytes / (bytes per ms)
+}
+
+// SubmitAt services one request issued at the given time. Requests must
+// be submitted in non-decreasing issue order; the disk queues them FCFS.
+// The returned Result contains the complete timing breakdown.
+func (d *Disk) SubmitAt(issue float64, req Request) (Result, error) {
+	if req.Sectors <= 0 {
+		return Result{}, fmt.Errorf("sim: request for %d sectors", req.Sectors)
+	}
+	if req.LBN < 0 || req.LBN+int64(req.Sectors) > d.Lay.NumLBNs() {
+		return Result{}, fmt.Errorf("sim: request [%d,%d) outside disk", req.LBN, req.LBN+int64(req.Sectors))
+	}
+	res := Result{Req: req, Issue: issue}
+	d.stats.Requests++
+	if req.Write {
+		d.stats.SectorsIn += int64(req.Sectors)
+	} else {
+		d.stats.SectorsOut += int64(req.Sectors)
+	}
+
+	if req.Write {
+		d.serviceWrite(issue, req, &res)
+	} else {
+		d.serviceRead(issue, req, &res)
+	}
+	if d.Cfg.HostNoiseSD > 0 {
+		// Host-observed jitter only; internal resource state (headFree,
+		// busFree) keeps the true completion.
+		n := d.rng.NormFloat64() * d.Cfg.HostNoiseSD
+		if n < 0 {
+			n = -n
+		}
+		res.Done += n
+	}
+	if res.Done > d.lastDone {
+		d.lastDone = res.Done
+	}
+	return res, nil
+}
+
+// Submit issues the request as soon as the previous completion is known
+// (the paper's onereq pattern when used back to back).
+func (d *Disk) Submit(req Request) (Result, error) { return d.SubmitAt(d.lastDone, req) }
+
+func (d *Disk) serviceRead(issue float64, req Request, res *Result) {
+	// Full cache hit: bus-only service.
+	if !req.FUA && d.cache != nil && d.cache.contains(req.LBN, req.Sectors, issue) {
+		busStart := maxf(issue+d.Cfg.CmdOverhead, d.busFree)
+		xfer := float64(req.Sectors) * d.sectorBusTime()
+		res.CacheHit = true
+		res.Start = busStart
+		res.MediaEnd = busStart
+		res.Done = busStart + xfer
+		res.BusTime = xfer
+		d.busFree = res.Done
+		d.stats.CacheHits++
+		d.stats.BusBusy += xfer
+		return
+	}
+
+	start := maxf(issue+d.Cfg.CmdOverhead, d.headFree)
+	res.Start = start
+
+	// Firmware prefetch continuation: the head has been streaming ahead
+	// since the last sequential read completed.
+	if !req.FUA {
+		prefetched, streamed := d.tryStream(start, req, res)
+		if streamed {
+			res.Prefetched = prefetched
+			d.finishRead(req, res)
+			return
+		}
+	}
+
+	start += d.noise()
+	tm, err := d.M.Access(d.Lay, start, d.headPos, req.LBN, req.Sectors, false)
+	if err != nil {
+		// Range-checked above; any failure here is a programming error.
+		panic(fmt.Sprintf("sim: access failed after validation: %v", err))
+	}
+	res.Timing = tm
+	res.MediaEnd = tm.EndTime
+	d.headPos = tm.EndPos
+	d.headFree = tm.EndTime
+	d.stats.HeadBusy += tm.HeadTime()
+	d.stats.Transfer += tm.Transfer
+	d.finishRead(req, res)
+}
+
+// finishRead models the bus phase of a read and updates cache state.
+func (d *Disk) finishRead(req Request, res *Result) {
+	sb := d.sectorBusTime()
+	switch {
+	case sb == 0:
+		res.Done = res.MediaEnd
+	case res.CacheHit:
+		// handled by caller
+	case d.Cfg.OutOfOrderBus:
+		// Data flows in media order: the bus can trail the media transfer
+		// and finishes one sector-time after whichever ends later.
+		busStart := maxf(d.busFree, res.Start+res.Timing.Seek+res.Timing.Settle)
+		xfer := float64(req.Sectors) * sb
+		res.Done = maxf(res.MediaEnd+sb, busStart+xfer)
+		res.BusTime = res.Done - busStart
+		d.busFree = res.Done
+		d.stats.BusBusy += xfer
+	default:
+		// In-LBN-order delivery constrained by chunk availability.
+		done, busy := drainChunks(res.Timing.Chunks, d.busFree, sb)
+		if done < res.MediaEnd { // e.g. prefetch-served requests
+			done = res.MediaEnd
+		}
+		res.Done = done
+		res.BusTime = busy
+		d.busFree = done
+		d.stats.BusBusy += busy
+	}
+
+	if req.FUA {
+		// FUA reads neither populate the cache nor arm prefetch, but the
+		// head has physically moved, so any prefetch stream is broken.
+		d.cursor.valid = false
+		return
+	}
+	if d.cache != nil {
+		d.cache.insert(req.LBN, req.Sectors, d.Cfg.CacheSegSectors, res.Done)
+	}
+	if d.Cfg.ReadAhead {
+		d.cursor = streamCursor{valid: true, lbn: req.LBN + int64(req.Sectors), time: res.MediaEnd}
+	} else {
+		d.cursor.valid = false
+	}
+}
+
+func (d *Disk) serviceWrite(issue float64, req Request, res *Result) {
+	sb := d.sectorBusTime()
+	xfer := float64(req.Sectors) * sb
+	busStart := maxf(issue+d.Cfg.CmdOverhead, d.busFree)
+	busDone := busStart + xfer
+	d.busFree = busDone
+	d.stats.BusBusy += xfer
+	res.BusTime = xfer
+
+	// The arm starts moving when the command arrives; the media write
+	// cannot begin its sweep before the data is on board.
+	start := maxf(issue+d.Cfg.CmdOverhead, d.headFree) + d.noise()
+	res.Start = start
+	tm, err := d.M.Access(d.Lay, start, d.headPos, req.LBN, req.Sectors, true)
+	if err != nil {
+		panic(fmt.Sprintf("sim: access failed after validation: %v", err))
+	}
+	if gate := busDone - (start + tm.Seek + tm.Settle); gate > 0 {
+		// Data arrived after the seek settled: re-run the sweep with the
+		// media phase gated on the bus completion. The seek length is
+		// unchanged, only the rotational phase shifts.
+		tm, err = d.M.Access(d.Lay, start+gate, d.headPos, req.LBN, req.Sectors, true)
+		if err != nil {
+			panic(fmt.Sprintf("sim: gated access failed: %v", err))
+		}
+	}
+	res.Timing = tm
+	res.MediaEnd = tm.EndTime
+	res.Done = tm.EndTime
+	d.headPos = tm.EndPos
+	d.headFree = tm.EndTime
+	d.stats.HeadBusy += tm.HeadTime()
+	d.stats.Transfer += tm.Transfer
+	d.cursor.valid = false
+	if d.cache != nil {
+		d.cache.invalidate(req.LBN, req.Sectors)
+	}
+}
+
+// noise returns a non-negative positioning perturbation.
+func (d *Disk) noise() float64 {
+	if d.Cfg.SeekNoiseSD <= 0 {
+		return 0
+	}
+	n := d.rng.NormFloat64() * d.Cfg.SeekNoiseSD
+	if n < 0 {
+		n = -n
+	}
+	return n
+}
+
+// drainChunks computes the completion of an in-order bus transfer over
+// availability chunks, starting no earlier than busFree, sending each
+// sector in sb ms once available. Returns completion time and the bus
+// occupancy.
+func drainChunks(chunks []mech.AvailChunk, busFree, sb float64) (done, busy float64) {
+	t := busFree
+	first := true
+	var busStart float64
+	for _, c := range chunks {
+		for j := 0; j < c.Sectors; j++ {
+			avail := c.At + float64(j)*c.Per
+			if avail > t {
+				t = avail
+			}
+			if first {
+				busStart = t
+				first = false
+			}
+			t += sb
+		}
+	}
+	return t, t - busStart
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

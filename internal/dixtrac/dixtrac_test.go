@@ -1,0 +1,252 @@
+package dixtrac
+
+import (
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/scsi"
+)
+
+// buildTarget makes a SCSI target over an arbitrary geometry.
+func buildTarget(t *testing.T, g *geom.Geometry) *scsi.Target {
+	t.Helper()
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m, err := mech.New(mech.Spec{
+		RPM: 10000, HeadSwitch: 0.8, WriteSettle: 1.0,
+		SeekSingle: 0.8, SeekAvg: 4.7, SeekFull: 10, ZeroLatency: true,
+	}, g.Cyls)
+	if err != nil {
+		t.Fatalf("mech.New: %v", err)
+	}
+	return scsi.NewTarget(sim.New(l, m, sim.Config{}))
+}
+
+func smallGeom(scheme geom.SpareScheme, k int, defects geom.DefectList) *geom.Geometry {
+	return &geom.Geometry{
+		Name:       "dixtrac-test",
+		Surfaces:   3,
+		Cyls:       60,
+		SectorSize: 512,
+		Zones: []geom.Zone{
+			{FirstCyl: 0, LastCyl: 19, SPT: 40, TrackSkew: 4, CylSkew: 6},
+			{FirstCyl: 20, LastCyl: 39, SPT: 32, TrackSkew: 3, CylSkew: 5},
+			{FirstCyl: 40, LastCyl: 59, SPT: 24, TrackSkew: 3, CylSkew: 4},
+		},
+		Scheme:  scheme,
+		SpareK:  k,
+		Defects: defects,
+	}
+}
+
+func boundariesEqual(t *testing.T, got, want []int64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d boundaries, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: boundary %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCharacterizeAllSchemes: the five-step algorithm recovers the exact
+// track boundary table for every sparing scheme, with and without
+// defects.
+func TestCharacterizeAllSchemes(t *testing.T) {
+	cases := []struct {
+		name   string
+		scheme geom.SpareScheme
+		k      int
+	}{
+		{"none", geom.SpareNone, 0},
+		{"per-track", geom.SparePerTrack, 2},
+		{"per-cylinder", geom.SparePerCylinder, 3},
+		{"track-per-zone", geom.SpareTrackPerZone, 2},
+		{"cyl-at-end", geom.SpareCylAtEnd, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := smallGeom(c.scheme, c.k, nil)
+			tgt := buildTarget(t, g)
+			res, err := Characterize(tgt)
+			if err != nil {
+				t.Fatalf("Characterize: %v", err)
+			}
+			if res.Scheme != c.scheme {
+				t.Fatalf("scheme = %v, want %v", res.Scheme, c.scheme)
+			}
+			if c.scheme != geom.SpareNone && res.SpareK != c.k {
+				t.Fatalf("SpareK = %d, want %d", res.SpareK, c.k)
+			}
+			truth := tgt.Disk().Lay.Boundaries()
+			boundariesEqual(t, res.Table.Boundaries(), truth, c.name)
+		})
+	}
+}
+
+// TestCharacterizeWithDefects covers slipped and remapped defects,
+// including the step-5 classification.
+func TestCharacterizeWithDefects(t *testing.T) {
+	defects := geom.DefectList{
+		{Cyl: 5, Head: 1, Slot: 10, Grown: false}, // slipped
+		{Cyl: 12, Head: 0, Slot: 3, Grown: true},  // remapped
+		{Cyl: 30, Head: 2, Slot: 20, Grown: false},
+		{Cyl: 45, Head: 1, Slot: 5, Grown: true},
+	}
+	g := smallGeom(geom.SparePerCylinder, 3, defects)
+	tgt := buildTarget(t, g)
+	res, err := Characterize(tgt)
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	truth := tgt.Disk().Lay.Boundaries()
+	boundariesEqual(t, res.Table.Boundaries(), truth, "defects")
+	// Classification matches the geometry's handling.
+	for i, d := range res.Defects {
+		want := d.Grown // grown defects were remapped (spares available)
+		if res.Remapped[i] != want {
+			t.Errorf("defect %v classified remapped=%v, want %v", d.Loc, res.Remapped[i], want)
+		}
+	}
+}
+
+// TestCharacterizeZoneRecovery: recovered zones match the real ones.
+func TestCharacterizeZoneRecovery(t *testing.T) {
+	g := smallGeom(geom.SpareNone, 0, nil)
+	tgt := buildTarget(t, g)
+	res, err := Characterize(tgt)
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	if len(res.Zones) != 3 {
+		t.Fatalf("recovered %d zones, want 3: %+v", len(res.Zones), res.Zones)
+	}
+	for i, z := range res.Zones {
+		want := g.Zones[i]
+		if z.FirstCyl != want.FirstCyl || z.LastCyl != want.LastCyl || z.SPT != want.SPT {
+			t.Errorf("zone %d = %+v, want %+v", i, z, want)
+		}
+	}
+}
+
+// TestCharacterizeRealModels runs the full algorithm against the paper's
+// evaluation disks and checks the translation budget (§4.1.2: fewer than
+// 30,000 translations).
+func TestCharacterizeRealModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size disks in -short mode")
+	}
+	for _, name := range []string{"Quantum-Atlas10K", "Quantum-Atlas10KII"} {
+		m := model.MustGet(name)
+		d, err := m.NewDisk(sim.Config{})
+		if err != nil {
+			t.Fatalf("%s: NewDisk: %v", name, err)
+		}
+		tgt := scsi.NewTarget(d)
+		res, err := Characterize(tgt)
+		if err != nil {
+			t.Fatalf("%s: Characterize: %v", name, err)
+		}
+		truth := d.Lay.Boundaries()
+		boundariesEqual(t, res.Table.Boundaries(), truth, name)
+		if res.Translations >= 30000 {
+			t.Errorf("%s: %d translations, want < 30000", name, res.Translations)
+		}
+		t.Logf("%s: %d tracks, %d translations", name, res.Table.NumTracks(), res.Translations)
+	}
+}
+
+// TestFallbackMatchesTruth: the expertise-free walk recovers the exact
+// boundaries on every scheme, costing about 2.0-2.3 translations per
+// track.
+func TestFallbackMatchesTruth(t *testing.T) {
+	for _, scheme := range []struct {
+		s geom.SpareScheme
+		k int
+	}{
+		{geom.SpareNone, 0}, {geom.SparePerTrack, 2}, {geom.SparePerCylinder, 3},
+		{geom.SpareTrackPerZone, 2}, {geom.SpareCylAtEnd, 2},
+	} {
+		defects := geom.DefectList{
+			{Cyl: 7, Head: 0, Slot: 12, Grown: false},
+			{Cyl: 25, Head: 1, Slot: 8, Grown: true},
+		}
+		g := smallGeom(scheme.s, scheme.k, defects)
+		tgt := buildTarget(t, g)
+		table, err := Fallback(tgt)
+		if err != nil {
+			t.Fatalf("%v: Fallback: %v", scheme.s, err)
+		}
+		// The fallback discovers *LBN-range* boundaries: tracks with zero
+		// LBNs are invisible (they hold no range), which matches the
+		// ground-truth Boundaries() exactly.
+		truth := tgt.Disk().Lay.Boundaries()
+		boundariesEqual(t, table.Boundaries(), truth, scheme.s.String())
+		perTrack := float64(tgt.TranslationCount()) / float64(table.NumTracks())
+		if perTrack > 3.0 {
+			t.Errorf("%v: %.2f translations/track, want about 2.0-2.3", scheme.s, perTrack)
+		}
+	}
+}
+
+// TestFallbackOnRealModel checks the per-track translation cost on a
+// full-size disk.
+func TestFallbackOnRealModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size disk in -short mode")
+	}
+	m := model.MustGet("Quantum-Atlas10K")
+	d, err := m.NewDisk(sim.Config{})
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	tgt := scsi.NewTarget(d)
+	table, err := Fallback(tgt)
+	if err != nil {
+		t.Fatalf("Fallback: %v", err)
+	}
+	boundariesEqual(t, table.Boundaries(), d.Lay.Boundaries(), "atlas10k")
+	perTrack := float64(tgt.TranslationCount()) / float64(table.NumTracks())
+	t.Logf("fallback: %d tracks, %.2f translations/track", table.NumTracks(), perTrack)
+	if perTrack > 2.5 {
+		t.Errorf("%.2f translations/track, paper reports 2.0-2.3", perTrack)
+	}
+}
+
+// TestCharacterizeRandomGeometries is the property-style test: random
+// geometry within the supported scheme family must always reconstruct
+// exactly or fail loudly (never silently wrong).
+func TestCharacterizeRandomGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 15; trial++ {
+		scheme := geom.SpareScheme(rng.Intn(5))
+		k := 0
+		if scheme != geom.SpareNone {
+			k = 1 + rng.Intn(3)
+		}
+		g := smallGeom(scheme, k, nil)
+		g.Defects = geom.RandomDefects(g, rng.Intn(6), 0.5, int64(trial))
+		tgt := buildTarget(t, g)
+		res, err := Characterize(tgt)
+		if err != nil {
+			// Loud failure is acceptable (fallback path); silent
+			// misreconstruction is not.
+			t.Logf("trial %d (%v): fell back: %v", trial, scheme, err)
+			table, ferr := Fallback(tgt)
+			if ferr != nil {
+				t.Fatalf("trial %d: fallback also failed: %v", trial, ferr)
+			}
+			boundariesEqual(t, table.Boundaries(), tgt.Disk().Lay.Boundaries(), "fallback")
+			continue
+		}
+		boundariesEqual(t, res.Table.Boundaries(), tgt.Disk().Lay.Boundaries(), "characterize")
+	}
+}

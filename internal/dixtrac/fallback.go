@@ -1,0 +1,225 @@
+package dixtrac
+
+import (
+	"fmt"
+
+	"traxtents/internal/scsi"
+	"traxtents/internal/traxtent"
+)
+
+// Fallback is the expertise-free, SCSI-specific extraction of §4.1.2's
+// closing paragraph: instead of request timing it walks the disk with
+// SEND/RECEIVE DIAGNOSTIC translations, discovering each track boundary
+// directly. It needs no knowledge of sparing schemes and costs about
+// 2.0–2.3 translations per track (the paper's number): in the steady
+// state, one translation confirms the predicted boundary's predecessor
+// is still on the current track and one identifies the new track. Track
+// lengths are learned per head, so per-cylinder sparing (a shorter last
+// track every cylinder) still predicts exactly.
+func Fallback(t *scsi.Target) (*traxtent.Table, error) {
+	maxLBN, _ := t.ReadCapacity()
+	end := maxLBN + 1
+	_, surfaces := t.ModeGeometry()
+
+	type track struct{ cyl, head int32 }
+	trackOf := func(lbn int64) (track, error) {
+		loc, err := t.TranslateLBN(lbn)
+		if err != nil {
+			return track{}, err
+		}
+		return track{loc.Cyl, loc.Head}, nil
+	}
+	successor := func(tk track) track {
+		tk.head++
+		if int(tk.head) >= surfaces {
+			tk.head = 0
+			tk.cyl++
+		}
+		return tk
+	}
+
+	bounds := []int64{0}
+	curTrack, err := trackOf(0)
+	if err != nil {
+		return nil, err
+	}
+
+	// isChange looks past a single remapped-LBN anomaly: a remapped
+	// sector translates to a distant spare, which would masquerade as a
+	// track change for exactly one LBN.
+	isChange := func(lbn int64, cur track) (bool, error) {
+		tk, err := trackOf(lbn)
+		if err != nil {
+			return false, err
+		}
+		if tk == cur {
+			return false, nil
+		}
+		if lbn+1 < end {
+			tk2, err := trackOf(lbn + 1)
+			if err != nil {
+				return false, err
+			}
+			if tk2 == cur {
+				return false, nil // lone anomaly: remapped LBN
+			}
+		}
+		return true, nil
+	}
+
+	// findBoundary locates the first LBN in (lo, hi] on a different
+	// track than cur, by bisection.
+	findBoundary := func(lo, hi int64, cur track) (int64, error) {
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			ch, err := isChange(mid, cur)
+			if err != nil {
+				return 0, err
+			}
+			if ch {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi, nil
+	}
+
+	// lengths remembers the last observed track length per head, which
+	// makes the prediction exact under per-track and per-cylinder
+	// sparing alike.
+	lengths := make(map[int32]int64)
+	commit := func(b int64, cur int64, head int32) {
+		bounds = append(bounds, b)
+		lengths[head] = b - cur
+	}
+
+	cur := int64(0)
+	n := int64(256) // first-track guess; learned thereafter
+	for cur < end {
+		if l, ok := lengths[curTrack.head]; ok {
+			n = l
+		}
+		cand := cur + n
+		if cand >= end {
+			// The remainder may still contain boundaries (short final
+			// zone): bisect while any track change remains.
+			for cur+1 < end {
+				ch, err := isChange(end-1, curTrack)
+				if err != nil {
+					return nil, err
+				}
+				if !ch {
+					break
+				}
+				b, err := findBoundary(cur, end-1, curTrack)
+				if err != nil {
+					return nil, err
+				}
+				commit(b, cur, curTrack.head)
+				if curTrack, err = trackOf(b); err != nil {
+					return nil, err
+				}
+				cur = b
+			}
+			break
+		}
+
+		chPrev, err := isChange(cand-1, curTrack)
+		if err != nil {
+			return nil, err
+		}
+		if chPrev {
+			// Boundary earlier than predicted (defect slip, zone change).
+			b, err := findBoundary(cur, cand-1, curTrack)
+			if err != nil {
+				return nil, err
+			}
+			commit(b, cur, curTrack.head)
+			if curTrack, err = trackOf(b); err != nil {
+				return nil, err
+			}
+			n = b - cur
+			cur = b
+			continue
+		}
+
+		tk, err := trackOf(cand)
+		if err != nil {
+			return nil, err
+		}
+		if tk != curTrack {
+			accept := tk == successor(curTrack)
+			if !accept {
+				// Either the next data track is further away (spare
+				// tracks between) or cand is a remapped anomaly; one
+				// extra probe distinguishes them.
+				tk2, err := trackOf(cand + 1)
+				if err == nil && tk2 == curTrack {
+					// Anomaly: keep walking this track below.
+					tk = curTrack
+				} else {
+					accept = true
+				}
+			}
+			if accept {
+				commit(cand, cur, curTrack.head)
+				curTrack = tk
+				n = cand - cur
+				cur = cand
+				continue
+			}
+		}
+
+		// Boundary later than predicted: grow, then bisect.
+		lo, hi := cand, cand+n
+		for {
+			if hi >= end {
+				hi = end - 1
+				break
+			}
+			ch, err := isChange(hi, curTrack)
+			if err != nil {
+				return nil, err
+			}
+			if ch {
+				break
+			}
+			lo = hi
+			hi += n
+		}
+		ch, err := isChange(hi, curTrack)
+		if err != nil {
+			return nil, err
+		}
+		if !ch {
+			break // disk ends inside the current track
+		}
+		b, err := findBoundary(lo, hi, curTrack)
+		if err != nil {
+			return nil, err
+		}
+		commit(b, cur, curTrack.head)
+		if curTrack, err = trackOf(b); err != nil {
+			return nil, err
+		}
+		n = b - cur
+		cur = b
+		if n <= 0 {
+			return nil, fmt.Errorf("dixtrac: fallback made no progress at LBN %d", cur)
+		}
+	}
+	bounds = append(bounds, end)
+	return traxtent.New(dedup(bounds))
+}
+
+// dedup removes repeated entries from a sorted boundary list.
+func dedup(bounds []int64) []int64 {
+	out := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

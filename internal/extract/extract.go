@@ -1,0 +1,522 @@
+// Package extract implements the general, interface-agnostic track
+// boundary detection of §4.1.1: it discovers track boundaries purely by
+// timing read commands, so it works on any disk that can read — no SCSI
+// diagnostic pages required.
+//
+// Method, following the paper:
+//
+//   - Requests are issued synchronized with the rotation: each probe for
+//     a region is issued at a fixed offset within the rotational period,
+//     tuned so the head arrives just before the first wanted sector. At
+//     that phase, the response to an N-sector read grows exactly
+//     linearly in N while the read stays within one track, and jumps by
+//     the head-switch/skew gap when it crosses a boundary.
+//   - A binary search finds the smallest N whose response exceeds the
+//     linear model: the boundary is at S+N-1.
+//   - Once a track's size is known, each following track is verified
+//     with two reads (full-track vs full-track-plus-one); only zone
+//     changes and defective tracks fall back to the full search.
+//   - To defeat the firmware cache, measurements for ~100 widespread
+//     regions are interleaved round-robin, so the cache has always
+//     evicted a region's data before the extractor returns to it
+//     (§4.1.1's "100 parallel extraction operations").
+//   - With measurement noise, each probe is the average of several
+//     samples, themselves interleaved.
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/traxtent"
+)
+
+// Options tunes the extraction.
+type Options struct {
+	// Interleave is the number of regions extracted concurrently. It
+	// must exceed the firmware cache segment count or timings will be
+	// poisoned by cache hits. Default 100.
+	Interleave int
+	// Samples is the number of timing samples averaged per probe.
+	// Default 1; use 3-5 against measurement noise.
+	Samples int
+	// MaxSPT bounds the per-track search. Default 2048.
+	MaxSPT int
+	// ThresholdSlots is the discontinuity threshold in slot times.
+	// Default 2.5.
+	ThresholdSlots float64
+	// RetuneEvery forces a phase re-tune after this many tracks, to
+	// bound drift. Default 64.
+	RetuneEvery int
+}
+
+func (o *Options) fill() {
+	if o.Interleave <= 0 {
+		o.Interleave = 100
+	}
+	if o.Samples <= 0 {
+		o.Samples = 1
+	}
+	if o.MaxSPT <= 0 {
+		o.MaxSPT = 2048
+	}
+	if o.ThresholdSlots <= 0 {
+		o.ThresholdSlots = 2.5
+	}
+	if o.RetuneEvery <= 0 {
+		o.RetuneEvery = 64
+	}
+}
+
+// Report is the extraction outcome.
+type Report struct {
+	Table *traxtent.Table
+	// Reads is the number of read commands issued; SimulatedMs is the
+	// disk time the extraction consumed (the paper reports four hours
+	// for a 9 GB disk with its implementation).
+	Reads       int
+	SimulatedMs float64
+}
+
+// General extracts the disk's track boundary table by timing reads.
+func General(d *sim.Disk, opts Options) (*Report, error) {
+	opts.fill()
+	total := d.Lay.NumLBNs()
+	if total <= 0 {
+		return nil, errors.New("extract: empty disk")
+	}
+	// Each region should span several tracks, or the fixed per-region
+	// costs (phase tuning, first-boundary search) dominate and the
+	// straggler phase at the end of the run stretches out. 512 sectors
+	// is 1.5-20 tracks across the disks of this era.
+	k := opts.Interleave
+	if int64(k) > total/512 {
+		k = int(total / 512)
+		if k == 0 {
+			k = 1
+		}
+	}
+
+	e := &engine{d: d, opts: opts, period: d.M.Period()}
+
+	// Carve the LBN space into k regions.
+	type region struct{ start, end int64 }
+	regions := make([]region, 0, k)
+	per := total / int64(k)
+	for i := 0; i < k; i++ {
+		start := int64(i) * per
+		end := start + per
+		if i == k-1 {
+			end = total
+		}
+		regions = append(regions, region{start, end})
+	}
+
+	// Run one worker goroutine per region; the scheduler below services
+	// their measurements strictly round-robin, which is what defeats the
+	// firmware cache.
+	type answer struct{ v float64 }
+	type probe struct {
+		lbn, anchor int64
+		n           int
+		phase       float64
+		resp        chan answer
+	}
+	chans := make([]chan probe, len(regions))
+	outs := make([][]int64, len(regions))
+	errs := make([]error, len(regions))
+	for i := range chans {
+		chans[i] = make(chan probe)
+	}
+	for i, r := range regions {
+		go func(i int, r region) {
+			defer close(chans[i])
+			// Fixed per-region head anchor, half a disk away.
+			anchor := (r.start + total/2) % total
+			m := func(lbn int64, n int, phase float64) float64 {
+				p := probe{lbn: lbn, anchor: anchor, n: n, phase: phase, resp: make(chan answer)}
+				chans[i] <- p
+				return (<-p.resp).v
+			}
+			outs[i], errs[i] = e.extractRegion(r.start, r.end, m)
+		}(i, r)
+	}
+
+	// The interleave only defeats the firmware cache while many regions
+	// remain live: once stragglers are alone, their own probes would be
+	// the only traffic and could be served from cache. The scheduler
+	// therefore pads the stream with widespread dummy reads to keep the
+	// effective interleave at minInterleave.
+	const minInterleave = 24
+	live := len(regions)
+	done := make([]bool, len(regions))
+	var doneRanges []region
+	var dummies int64
+	for live > 0 {
+		for i := range chans {
+			if done[i] {
+				continue
+			}
+			p, ok := <-chans[i]
+			if !ok {
+				done[i] = true
+				live--
+				doneRanges = append(doneRanges, regions[i])
+				continue
+			}
+			if live < minInterleave && len(doneRanges) > 0 {
+				// Pad with reads confined to *finished* regions, so a
+				// padding segment can never be mistaken for a live
+				// region's data.
+				for j := live; j < minInterleave; j++ {
+					dummies++
+					r := doneRanges[int(dummies)%len(doneRanges)]
+					if span := r.end - r.start; span > 16 {
+						lbn := r.start + (dummies*127)%(span-8)
+						if _, err := e.d.SubmitAt(e.d.Now(), sim.Request{LBN: lbn, Sectors: 8}); err == nil {
+							e.reads++
+						}
+					}
+				}
+			}
+			v := e.measureOnce(p.lbn, p.anchor, p.n, p.phase)
+			p.resp <- answer{v}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("extract: region %d: %w", i, err)
+		}
+	}
+
+	// Stitch: regions overlap by at most one boundary at each seam.
+	var bounds []int64
+	bounds = append(bounds, 0)
+	for _, o := range outs {
+		bounds = append(bounds, o...)
+	}
+	bounds = append(bounds, total)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	table, err := traxtent.New(uniq)
+	if err != nil {
+		return nil, fmt.Errorf("extract: inconsistent boundaries: %w", err)
+	}
+	return &Report{Table: table, Reads: e.reads, SimulatedMs: d.Now()}, nil
+}
+
+// engine issues rotation-synchronized measurements.
+type engine struct {
+	d      *sim.Disk
+	opts   Options
+	period float64
+	reads  int
+}
+
+// measureOnce issues one read at the next instant matching the given
+// rotational phase and returns the response time.
+//
+// A probe's response is only comparable to another's if the arm starts
+// from the same place: the seek is part of the response, so a varying
+// starting position would shift the arrival phase. Each probe is
+// therefore preceded by an "anchor" read half a disk away, issued with
+// FUA (force unit access) so it always physically repositions the head
+// regardless of the firmware cache. This makes the seek to the target
+// constant per probe point.
+func (e *engine) measureOnce(lbn, anchor int64, n int, phase float64) float64 {
+	if _, err := e.d.SubmitAt(e.d.Now(), sim.Request{LBN: anchor, Sectors: 1, FUA: true}); err == nil {
+		e.reads++
+	}
+	now := e.d.Now()
+	// Next t >= now with t mod period == phase.
+	k := (now - phase) / e.period
+	ik := float64(int64(k))
+	if ik < k {
+		ik++
+	}
+	t := phase + ik*e.period
+	if t < now {
+		t += e.period
+	}
+	res, err := e.d.SubmitAt(t, sim.Request{LBN: lbn, Sectors: n})
+	if err != nil {
+		// Region logic clamps ranges; treat as a huge response so the
+		// caller's search backs off rather than crashing.
+		return 1e12
+	}
+	e.reads++
+	return res.Response()
+}
+
+// measurer is the probe function handed to a region worker; it routes
+// through the round-robin scheduler.
+type measurer func(lbn int64, n int, phase float64) float64
+
+// extractRegion finds every track boundary in [start, end), plus the
+// first boundary at or past end (for seam stitching). It returns the
+// boundary list in order.
+func (e *engine) extractRegion(start, end int64, rawMeasure measurer) ([]int64, error) {
+	total := e.d.Lay.NumLBNs()
+	// Every legitimate probe pays at least the anchor-to-target seek; a
+	// response far below the region's floor can only be a firmware
+	// cache hit that slipped through the interleave. Retrying after the
+	// scheduler's intervening traffic evicts the offending segment. The
+	// floor is established from the region's first tune sweep, whose
+	// probes are guaranteed fresh.
+	regionFloor := 0.0
+	one := func(lbn int64, n int, phase float64) float64 {
+		r := rawMeasure(lbn, n, phase)
+		for retry := 0; retry < 3 && r < regionFloor*0.6; retry++ {
+			r = rawMeasure(lbn, n, phase)
+		}
+		return r
+	}
+	sample := func(lbn int64, n int, phase float64) float64 {
+		if e.opts.Samples == 1 {
+			return one(lbn, n, phase)
+		}
+		var sum float64
+		for i := 0; i < e.opts.Samples; i++ {
+			sum += one(lbn, n, phase)
+		}
+		return sum / float64(e.opts.Samples)
+	}
+
+	// tune finds a phase at which the head arrives shortly before the
+	// sector at lbn: the argmin of single-sector responses over a coarse
+	// phase sweep.
+	tune := func(lbn int64) float64 {
+		const probes = 8
+		best, bestResp := 0.0, 1e18
+		for i := 0; i < probes; i++ {
+			ph := float64(i) / probes * e.period
+			r := sample(lbn, 1, ph)
+			if r < bestResp {
+				bestResp, best = r, ph
+			}
+		}
+		if regionFloor == 0 {
+			regionFloor = bestResp
+		}
+		// Back off by a sixteenth of a revolution: the argmin phase
+		// arrives just before the target sector, and the margin keeps
+		// the arrival safely ahead of it under drift and noise (a
+		// zero-latency disk that arrives just *inside* the wanted range
+		// breaks the linear response model).
+		best -= e.period / 16
+		if best < 0 {
+			best += e.period
+		}
+		return best
+	}
+
+	// slotTime estimates the per-sector time from successive response
+	// deltas. The probe point can sit near a track's end, where one
+	// delta is a boundary jump and — on a zero-latency disk whose read
+	// wrapped — subsequent deltas shrink to the bus rate; the upper
+	// median of four deltas is robust to both corruptions at once.
+	slotTime := func(lbn int64, phase float64) (float64, error) {
+		rs := make([]float64, 5)
+		for i := range rs {
+			rs[i] = sample(lbn, i+1, phase)
+		}
+		deltas := make([]float64, 0, len(rs)-1)
+		for i := 1; i < len(rs); i++ {
+			deltas = append(deltas, rs[i]-rs[i-1])
+		}
+		sort.Float64s(deltas)
+		// Drop the largest delta (a potential boundary jump) and average
+		// the rest. Under measurement noise this is slightly low-biased,
+		// which is the safe direction: an overestimated slot time makes
+		// the linear model overtake multi-track responses (whose mean
+		// per-sector slope includes free skew gaps) and blinds the
+		// search; an underestimate merely fires a little early, behind
+		// the true crossing that the bisection prefers anyway.
+		st := (deltas[0] + deltas[1] + deltas[2]) / 3
+		if st <= 0 {
+			return 0, fmt.Errorf("non-positive slot time at LBN %d (cache interference?)", lbn)
+		}
+		// Refine over a longer baseline when it stays within the track:
+		// with measurement noise, a per-delta median carries a small
+		// upward bias that the linear model then multiplies by N. The
+		// 12-sector slope has negligible bias. Only adopt it if the long
+		// read shows no boundary jump.
+		const long = 12
+		if lbn+long <= total {
+			rl := sample(lbn, long, phase)
+			// Accept only deviations well under one slot: a boundary jump
+			// or a defect-slip hole inside the long read inflates the
+			// slope and must leave the coarse estimate in place.
+			if dev := rl - (rs[0] + float64(long-1)*st); dev < 0.75*st && dev > -0.75*st {
+				refined := (rl - rs[0]) / float64(long-1)
+				if refined > 0 {
+					st = refined
+				}
+			}
+		}
+		return st, nil
+	}
+
+	var bounds []int64
+	cur := start
+	phase := tune(cur)
+	st, err := slotTime(cur, phase)
+	if err != nil {
+		return nil, err
+	}
+	thresh := e.opts.ThresholdSlots * st
+
+	// findBoundary binary-searches the smallest N in [2, maxN] whose
+	// response exceeds the linear model; the boundary is at S+N-1.
+	// findBoundaryFn allows the rare remapped-sector recursion below.
+	var findBoundaryFn func(s int64) (int64, error)
+	findBoundary := func(s int64) (int64, error) {
+		base := sample(s, 1, phase)
+		maxN := int64(e.opts.MaxSPT + 2)
+		if s+maxN > total {
+			maxN = total - s
+		}
+		if maxN < 2 {
+			return total, nil
+		}
+		over := func(n int64) bool {
+			r := sample(s, int(n), phase)
+			return r > base+float64(n-1)*st+thresh
+		}
+		if !over(maxN) {
+			if s+maxN >= total {
+				return total, nil // disk ends within this track
+			}
+			return 0, fmt.Errorf("no boundary within %d sectors of LBN %d", maxN, s)
+		}
+		lo, hi := int64(1), maxN // over(lo) false, over(hi) true
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if over(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		cand := s + hi - 1
+		// Confirm locally: a true crossing shows the full jump between
+		// the hi-1 and hi sector reads. A fire without a local jump is a
+		// phantom from accumulated model error (the per-sector estimate
+		// is only so precise over hundreds of sectors); restart with a
+		// fresh base at the phantom point.
+		if hi > 2 {
+			jump := sample(s, int(hi), phase) - sample(s, int(hi-1), phase)
+			if jump < 0.7*thresh {
+				return findBoundaryFn(cand)
+			}
+		}
+		// A remapped (grown-defect) sector produces the same response
+		// discontinuity as a boundary, because reading it costs an
+		// excursion to its spare location. Unlike a boundary, the
+		// anomaly travels with the sector: reads *starting at* cand
+		// still pay it, reads starting one later do not.
+		if cand+9 <= total {
+			rA := sample(cand, 8, phase)
+			rB := sample(cand+1, 8, phase)
+			if rA-rB > thresh {
+				return findBoundaryFn(cand + 1)
+			}
+		}
+		return cand, nil
+	}
+	findBoundaryFn = findBoundary
+
+	// First boundary of the region (the region may start mid-track).
+	b, err := findBoundary(cur)
+	if err != nil {
+		return nil, err
+	}
+	if b >= total {
+		return bounds, nil
+	}
+	bounds = append(bounds, b)
+	if b >= end {
+		return bounds, nil
+	}
+
+	// Walk track by track. After the first full track we know its
+	// length; verification needs only two reads per track.
+	prevLen := int64(0)
+	trackStart := b
+	phase = tune(trackStart)
+	if nst, err := slotTime(trackStart, phase); err == nil {
+		st = nst
+		thresh = e.opts.ThresholdSlots * st
+	}
+	sinceTune := 0
+	for {
+		if prevLen == 0 {
+			nb, err := findBoundary(trackStart)
+			if err != nil {
+				return nil, err
+			}
+			if nb >= total {
+				return bounds, nil
+			}
+			prevLen = nb - trackStart
+			bounds = append(bounds, nb)
+			// Propagate the phase across the boundary: the next track's
+			// first sector follows the previous track's end by the skew
+			// gap, measured as the response jump at the crossing.
+			rFull := sample(trackStart, int(prevLen), phase)
+			rCross := sample(trackStart, int(prevLen+1), phase)
+			phase += rCross - rFull - st
+			for phase >= e.period {
+				phase -= e.period
+			}
+			trackStart = nb
+			if nb >= end {
+				return bounds, nil
+			}
+			continue
+		}
+
+		// Fast path: verify the predicted boundary with two reads.
+		cand := trackStart + prevLen
+		if cand >= total {
+			return bounds, nil
+		}
+		sinceTune++
+		if sinceTune >= e.opts.RetuneEvery {
+			phase = tune(trackStart)
+			sinceTune = 0
+		}
+		rFull := sample(trackStart, int(prevLen), phase)
+		rCross := sample(trackStart, int(prevLen+1), phase)
+		jump := rCross - rFull
+		if jump > thresh {
+			// Boundary confirmed at cand.
+			bounds = append(bounds, cand)
+			phase += jump - st
+			for phase >= e.period {
+				phase -= e.period
+			}
+			trackStart = cand
+			if cand >= end {
+				return bounds, nil
+			}
+			continue
+		}
+		// Prediction wrong: this track differs (zone change or defect).
+		// Re-tune and run the full search.
+		phase = tune(trackStart)
+		sinceTune = 0
+		if nst, err := slotTime(trackStart, phase); err == nil {
+			st = nst
+			thresh = e.opts.ThresholdSlots * st
+		}
+		prevLen = 0
+	}
+}

@@ -1,0 +1,153 @@
+package extract
+
+import (
+	"testing"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+)
+
+func testDisk(t *testing.T, cfg sim.Config, zeroLat bool, defects geom.DefectList) *sim.Disk {
+	t.Helper()
+	g := &geom.Geometry{
+		Name:       "extract-test",
+		Surfaces:   3,
+		Cyls:       60,
+		SectorSize: 512,
+		Zones: []geom.Zone{
+			{FirstCyl: 0, LastCyl: 19, SPT: 40, TrackSkew: 4, CylSkew: 6},
+			{FirstCyl: 20, LastCyl: 39, SPT: 32, TrackSkew: 3, CylSkew: 5},
+			{FirstCyl: 40, LastCyl: 59, SPT: 24, TrackSkew: 3, CylSkew: 4},
+		},
+		Scheme:  geom.SparePerCylinder,
+		SpareK:  2,
+		Defects: defects,
+	}
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m, err := mech.New(mech.Spec{
+		RPM: 10000, HeadSwitch: 0.8, WriteSettle: 1.0,
+		SeekSingle: 0.8, SeekAvg: 4.7, SeekFull: 10, ZeroLatency: zeroLat,
+	}, g.Cyls)
+	if err != nil {
+		t.Fatalf("mech.New: %v", err)
+	}
+	return sim.New(l, m, cfg)
+}
+
+func checkBoundaries(t *testing.T, got, want []int64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d boundaries, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: boundary %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGeneralExactOnCleanDisk: noise-free extraction recovers the exact
+// boundary table on both zero-latency and ordinary disks.
+func TestGeneralExactOnCleanDisk(t *testing.T) {
+	for _, zl := range []bool{true, false} {
+		d := testDisk(t, sim.Config{BusMBps: 80, CmdOverhead: 0.2}, zl, nil)
+		rep, err := General(d, Options{})
+		if err != nil {
+			t.Fatalf("zl=%v: General: %v", zl, err)
+		}
+		checkBoundaries(t, rep.Table.Boundaries(), d.Lay.Boundaries(), "clean")
+		if rep.Reads == 0 || rep.SimulatedMs <= 0 {
+			t.Fatalf("zl=%v: missing report stats: %+v", zl, rep)
+		}
+	}
+}
+
+// TestGeneralWithDefects: slipped defects shorten tracks; the full
+// search path must find the irregular boundaries.
+func TestGeneralWithDefects(t *testing.T) {
+	defects := geom.DefectList{
+		{Cyl: 3, Head: 1, Slot: 10},
+		{Cyl: 3, Head: 1, Slot: 11}, // two on one track
+		{Cyl: 25, Head: 0, Slot: 5},
+		{Cyl: 50, Head: 2, Slot: 1},
+	}
+	d := testDisk(t, sim.Config{BusMBps: 80, CmdOverhead: 0.2}, true, defects)
+	rep, err := General(d, Options{})
+	if err != nil {
+		t.Fatalf("General: %v", err)
+	}
+	checkBoundaries(t, rep.Table.Boundaries(), d.Lay.Boundaries(), "defects")
+}
+
+// TestGeneralDefeatsCache: with the firmware cache enabled, interleaved
+// extraction still matches ground truth...
+func TestGeneralDefeatsCache(t *testing.T) {
+	cfg := sim.Config{BusMBps: 80, CmdOverhead: 0.2, CacheSegments: 4, CacheSegSectors: 256, ReadAhead: true}
+	d := testDisk(t, cfg, true, nil)
+	rep, err := General(d, Options{})
+	if err != nil {
+		t.Fatalf("General: %v", err)
+	}
+	checkBoundaries(t, rep.Table.Boundaries(), d.Lay.Boundaries(), "cache+interleave")
+}
+
+// ...whereas a non-interleaved extraction is poisoned by cache hits —
+// the paper's rationale for the 100-way interleave.
+func TestGeneralWithoutInterleaveFails(t *testing.T) {
+	cfg := sim.Config{BusMBps: 80, CmdOverhead: 0.2, CacheSegments: 4, CacheSegSectors: 256, ReadAhead: true}
+	d := testDisk(t, cfg, true, nil)
+	rep, err := General(d, Options{Interleave: 1})
+	if err != nil {
+		return // loud failure is the acceptable outcome
+	}
+	got, want := rep.Table.Boundaries(), d.Lay.Boundaries()
+	if len(got) == len(want) {
+		same := true
+		for i := range got {
+			if got[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("single-context extraction unexpectedly survived the firmware cache")
+		}
+	}
+}
+
+// TestGeneralWithNoise: with host-side measurement jitter, multi-sample
+// averaging still recovers the exact table.
+func TestGeneralWithNoise(t *testing.T) {
+	cfg := sim.Config{BusMBps: 80, CmdOverhead: 0.2, HostNoiseSD: 0.03, Seed: 17}
+	d := testDisk(t, cfg, true, nil)
+	rep, err := General(d, Options{Samples: 5})
+	if err != nil {
+		t.Fatalf("General: %v", err)
+	}
+	checkBoundaries(t, rep.Table.Boundaries(), d.Lay.Boundaries(), "noise")
+}
+
+// TestGeneralOnRealModel runs the timing extraction on a full-size
+// evaluation disk.
+func TestGeneralOnRealModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size disk in -short mode")
+	}
+	m := model.MustGet("Quantum-Atlas10K")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	rep, err := General(d, Options{})
+	if err != nil {
+		t.Fatalf("General: %v", err)
+	}
+	checkBoundaries(t, rep.Table.Boundaries(), d.Lay.Boundaries(), "atlas10k")
+	t.Logf("atlas10k: %d tracks, %d reads, %.1f simulated minutes",
+		rep.Table.NumTracks(), rep.Reads, rep.SimulatedMs/60000)
+}

@@ -1,0 +1,41 @@
+package ffs
+
+// bufferCache tracks, per block, when its data is (or will be) in host
+// memory. Read-ahead inserts blocks with a future availability time; a
+// foreground read of such a block waits until then. Eviction is
+// clock-style over a bounded population.
+type bufferCache struct {
+	cap   int
+	avail map[int64]float64 // blkno -> absolute ms when data is resident
+	order []int64           // FIFO eviction order (approximates LRU at
+	// the request sizes involved; per-block LRU bookkeeping would
+	// dominate simulation time for multi-GB scans)
+}
+
+func newBufferCache(capBlocks int) *bufferCache {
+	return &bufferCache{cap: capBlocks, avail: make(map[int64]float64)}
+}
+
+// get returns the availability time for a cached block.
+func (c *bufferCache) get(blk int64) (float64, bool) {
+	t, ok := c.avail[blk]
+	return t, ok
+}
+
+// put inserts a block, evicting the oldest entries beyond capacity.
+func (c *bufferCache) put(blk int64, at float64) {
+	if _, ok := c.avail[blk]; !ok {
+		c.order = append(c.order, blk)
+	}
+	c.avail[blk] = at
+	for len(c.avail) > c.cap && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.avail, victim)
+	}
+}
+
+// drop removes a block (file deletion).
+func (c *bufferCache) drop(blk int64) {
+	delete(c.avail, blk)
+}

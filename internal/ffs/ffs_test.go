@@ -1,0 +1,307 @@
+package ffs_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/ffs"
+	"traxtents/internal/traxtent"
+	"traxtents/internal/workload"
+)
+
+// newFS builds a fresh FS of the given variant on a fresh Atlas 10K.
+func newFS(t testing.TB, v ffs.Variant) *ffs.FS {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10K")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	table, err := traxtent.New(d.Lay.Boundaries())
+	if err != nil {
+		t.Fatalf("traxtent.New: %v", err)
+	}
+	fs, err := ffs.New(d, ffs.Params{Variant: v, Table: table})
+	if err != nil {
+		t.Fatalf("ffs.New: %v", err)
+	}
+	return fs
+}
+
+func TestNewRequiresTableForTraxtent(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10K")
+	d, err := m.NewDisk(sim.Config{})
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	if _, err := ffs.New(d, ffs.Params{Variant: ffs.Traxtent}); err == nil {
+		t.Fatal("expected error without boundary table")
+	}
+}
+
+// TestExcludedFraction checks the paper's §4.2.2 numbers: about one in
+// twenty 8 KB blocks excluded on the Atlas 10K, one in thirty on the
+// Atlas 10K II.
+func TestExcludedFraction(t *testing.T) {
+	cases := []struct {
+		model  string
+		lo, hi float64
+	}{
+		{"Quantum-Atlas10K", 1.0 / 25, 1.0 / 15},   // paper: 1/20
+		{"Quantum-Atlas10KII", 1.0 / 40, 1.0 / 22}, // paper: 1/30
+	}
+	for _, c := range cases {
+		m := model.MustGet(c.model)
+		d, err := m.NewDisk(sim.Config{})
+		if err != nil {
+			t.Fatalf("NewDisk: %v", err)
+		}
+		table, err := traxtent.New(d.Lay.Boundaries())
+		if err != nil {
+			t.Fatalf("table: %v", err)
+		}
+		fs, err := ffs.New(d, ffs.Params{Variant: ffs.Traxtent, Table: table})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		got := fs.ExcludedFraction()
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: excluded fraction %.4f (1/%.1f), want in [%.4f, %.4f]",
+				c.model, got, 1/got, c.lo, c.hi)
+		}
+	}
+}
+
+// TestTraxtentNeverAllocatesExcluded: no file block may span a track
+// boundary in the traxtent variant.
+func TestTraxtentNeverAllocatesExcluded(t *testing.T) {
+	fs := newFS(t, ffs.Traxtent)
+	f, err := workload.MakeFile(fs, "big", 4096) // 32 MB crosses many tracks
+	if err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	for _, blk := range f.BlockMap() {
+		if fs.IsExcludedBlock(blk) {
+			t.Fatalf("excluded block %d allocated", blk)
+		}
+		if fs.P.Table.IsExcluded(blk, fs.P.BlockSectors) {
+			t.Fatalf("block %d spans a track boundary", blk)
+		}
+	}
+}
+
+// TestAllocationUniqueAndFreed (property): random create/write/delete
+// sequences never double-allocate, and deletion restores the free count.
+func TestAllocationUniqueAndFreed(t *testing.T) {
+	fs := newFS(t, ffs.Traxtent)
+	baseFree := countFree(fs)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{}
+		owned := map[int64]bool{}
+		for op := 0; op < 20; op++ {
+			if rng.Intn(3) < 2 {
+				name := fsName(seed, op)
+				file, err := workload.MakeFile(fs, name, 1+rng.Int63n(64))
+				if err != nil {
+					return false
+				}
+				for _, b := range file.BlockMap() {
+					if owned[b] {
+						return false // double allocation
+					}
+					owned[b] = true
+				}
+				names = append(names, name)
+			} else if len(names) > 0 {
+				name := names[len(names)-1]
+				names = names[:len(names)-1]
+				file, _ := fs.Open(name)
+				for _, b := range file.BlockMap() {
+					delete(owned, b)
+				}
+				if fs.Delete(name) != nil {
+					return false
+				}
+			}
+		}
+		for _, n := range names {
+			if fs.Delete(n) != nil {
+				return false
+			}
+		}
+		return countFree(fs) == baseFree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fsName(seed int64, op int) string {
+	return "q" + string(rune('a'+seed%26)) + string(rune('a'+(seed/26)%26)) + string(rune('a'+op))
+}
+
+func countFree(fs *ffs.FS) int { return fs.FreeBlocks() }
+
+// TestScanPenalty: a single sequential scan is slightly slower with
+// traxtents (the excluded-block gaps), around the paper's 5%.
+func TestScanPenalty(t *testing.T) {
+	const blocks = 16384 // 128 MB scan is plenty to converge
+	elapsed := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent} {
+		fs := newFS(t, v)
+		if _, err := workload.MakeFile(fs, "scan", blocks); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		fs.Sync()
+		e, err := workload.Scan(fs, "scan")
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		elapsed[v] = e
+	}
+	ratio := elapsed[ffs.Traxtent] / elapsed[ffs.Unmodified]
+	if ratio < 1.0 {
+		t.Fatalf("traxtent scan unexpectedly faster: ratio %.3f", ratio)
+	}
+	if ratio > 1.15 {
+		t.Fatalf("traxtent scan penalty %.1f%%, expected around 5%%", (ratio-1)*100)
+	}
+}
+
+// TestDiffSpeedup: interleaved reads of two large files are markedly
+// faster with traxtents (paper: 19% lower runtime).
+func TestDiffSpeedup(t *testing.T) {
+	const blocks = 8192 // 64 MB per file
+	elapsed := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent} {
+		fs := newFS(t, v)
+		if _, err := workload.MakeFile(fs, "a", blocks); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		if _, err := workload.MakeFile(fs, "b", blocks); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		fs.Sync()
+		e, err := workload.Diff(fs, "a", "b")
+		if err != nil {
+			t.Fatalf("Diff: %v", err)
+		}
+		elapsed[v] = e
+	}
+	saving := 1 - elapsed[ffs.Traxtent]/elapsed[ffs.Unmodified]
+	if saving < 0.08 {
+		t.Fatalf("diff saving %.1f%%, expected a double-digit improvement", saving*100)
+	}
+}
+
+// TestCopySpeedup: copying a large file (two interleaved streams, one of
+// them writes) is faster with traxtents (paper: 20%).
+func TestCopySpeedup(t *testing.T) {
+	const blocks = 8192
+	elapsed := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent} {
+		fs := newFS(t, v)
+		if _, err := workload.MakeFile(fs, "src", blocks); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		fs.Sync()
+		e, err := workload.Copy(fs, "src", "dst")
+		if err != nil {
+			t.Fatalf("Copy: %v", err)
+		}
+		elapsed[v] = e
+	}
+	saving := 1 - elapsed[ffs.Traxtent]/elapsed[ffs.Unmodified]
+	if saving < 0.05 {
+		t.Fatalf("copy saving %.1f%%, expected a clear improvement", saving*100)
+	}
+}
+
+// TestHeadStarPenalty: reading the first byte of many mid-size files is
+// the traxtent worst case (paper: 45% slower than unmodified).
+func TestHeadStarPenalty(t *testing.T) {
+	elapsed := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent, ffs.FastStart} {
+		fs := newFS(t, v)
+		e, err := workload.HeadStar(fs, 200, 25) // 200 files of 200 KB
+		if err != nil {
+			t.Fatalf("HeadStar: %v", err)
+		}
+		elapsed[v] = e
+	}
+	if elapsed[ffs.Traxtent] <= elapsed[ffs.Unmodified] {
+		t.Fatalf("head*: traxtent %.0f should be slower than unmodified %.0f",
+			elapsed[ffs.Traxtent], elapsed[ffs.Unmodified])
+	}
+	if elapsed[ffs.FastStart] <= elapsed[ffs.Traxtent] {
+		t.Fatalf("head*: fast start %.0f should be the slowest (paper: 5.5 s vs 5.2 s), traxtent %.0f",
+			elapsed[ffs.FastStart], elapsed[ffs.Traxtent])
+	}
+}
+
+// TestReadOwnWrites: blocks written are readable, sizes correct, reads
+// past EOF rejected.
+func TestReadOwnWrites(t *testing.T) {
+	fs := newFS(t, ffs.Unmodified)
+	f, err := workload.MakeFile(fs, "f", 10)
+	if err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	if f.Blocks() != 10 {
+		t.Fatalf("Blocks = %d, want 10", f.Blocks())
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := fs.Read(f, i); err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+	}
+	if err := fs.Read(f, 10); err == nil {
+		t.Fatal("read past EOF accepted")
+	}
+	if err := fs.Write(f, 12); err == nil {
+		t.Fatal("sparse write accepted")
+	}
+	if _, err := fs.Create("f"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("open of missing file accepted")
+	}
+	if err := fs.Delete("nope"); err == nil {
+		t.Fatal("delete of missing file accepted")
+	}
+}
+
+// TestSmallFileWorkloadsNearParity: Postmark-like and SSH-build-like
+// workloads should show little difference across variants (Table 2).
+func TestSmallFileWorkloadsNearParity(t *testing.T) {
+	tps := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent} {
+		fs := newFS(t, v)
+		r, _, err := workload.Postmark(fs, workload.PostmarkConfig{Files: 200, Transactions: 800, Seed: 4})
+		if err != nil {
+			t.Fatalf("Postmark: %v", err)
+		}
+		tps[v] = r
+	}
+	if rel := tps[ffs.Traxtent]/tps[ffs.Unmodified] - 1; rel < -0.05 || rel > 0.25 {
+		t.Fatalf("postmark delta %.1f%%, expected near parity with a slight traxtent edge", rel*100)
+	}
+
+	build := map[ffs.Variant]float64{}
+	for _, v := range []ffs.Variant{ffs.Unmodified, ffs.Traxtent} {
+		fs := newFS(t, v)
+		e, err := workload.SSHBuild(fs, 1)
+		if err != nil {
+			t.Fatalf("SSHBuild: %v", err)
+		}
+		build[v] = e
+	}
+	if rel := build[ffs.Traxtent]/build[ffs.Unmodified] - 1; rel < -0.02 || rel > 0.02 {
+		t.Fatalf("ssh-build delta %.2f%%, expected under 2%%", rel*100)
+	}
+}

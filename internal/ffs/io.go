@@ -1,0 +1,329 @@
+package ffs
+
+import (
+	"fmt"
+
+	"traxtents/internal/disk/sim"
+)
+
+// ---- Allocation (§4.2.1/4.2.2) ----
+
+// alloc assigns the next physical block for f. The preferred block is
+// the one following the last commit; FFS switches to the next cylinder
+// group after a file claims half a group. Excluded blocks are already
+// marked used, so a traxtent FS that hits one naturally continues at the
+// first block of the next traxtent.
+func (fs *FS) alloc(f *File) (int64, error) {
+	var pref int64
+	switch {
+	case f.lastBlk >= 0:
+		pref = f.lastBlk + 1
+	default:
+		pref = f.groupIndex * fs.P.GroupBlocks
+	}
+	if f.groupUsed >= fs.P.GroupBlocks/2 {
+		// Fair-local-allocation rule: only half of a block group may go
+		// to a single file before moving on.
+		f.groupIndex = (f.groupIndex + 1) % fs.groups
+		f.groupUsed = 0
+		pref = f.groupIndex * fs.P.GroupBlocks
+	}
+	blk, ok := fs.findFree(pref)
+	if !ok {
+		return 0, fmt.Errorf("ffs: out of space")
+	}
+	fs.free[blk] = false
+	f.lastBlk = blk
+	f.groupUsed++
+	fs.stats.AllocatedBlocks++
+	return blk, nil
+}
+
+// findFree scans forward from pref, wrapping once.
+func (fs *FS) findFree(pref int64) (int64, bool) {
+	if pref < 0 || pref >= fs.nblocks {
+		pref = 0
+	}
+	for blk := pref; blk < fs.nblocks; blk++ {
+		if fs.free[blk] {
+			return blk, true
+		}
+	}
+	for blk := int64(0); blk < pref; blk++ {
+		if fs.free[blk] {
+			return blk, true
+		}
+	}
+	return 0, false
+}
+
+// ---- Write path: delayed writes with cluster commit ----
+
+// Write appends (or overwrites) one block of the file. Data goes to the
+// buffer cache; a full cluster of physically contiguous dirty blocks is
+// committed to disk with a single request, clipped at track boundaries
+// in the traxtent variant.
+func (fs *FS) Write(f *File, lblkno int64) error {
+	var blk int64
+	switch {
+	case lblkno < int64(len(f.blocks)):
+		blk = f.blocks[lblkno]
+	case lblkno == int64(len(f.blocks)):
+		b, err := fs.alloc(f)
+		if err != nil {
+			return err
+		}
+		f.blocks = append(f.blocks, b)
+		blk = b
+	default:
+		return fmt.Errorf("ffs: non-contiguous append (lblkno %d, file has %d)", lblkno, len(f.blocks))
+	}
+	fs.cache.put(blk, fs.now)
+	f.dirty = append(f.dirty, blk)
+
+	// Commit when the dirty run stops being physically contiguous or
+	// reaches the cluster limit.
+	n := len(f.dirty)
+	if n > 1 && f.dirty[n-1] != f.dirty[n-2]+1 {
+		fs.commit(f.dirty[:n-1])
+		f.dirty = f.dirty[n-1:]
+		return nil
+	}
+	if len(f.dirty) >= fs.clusterLimit(f.dirty[0]) {
+		fs.commit(f.dirty)
+		f.dirty = nil
+	}
+	return nil
+}
+
+// clusterLimit is the write-cluster size in blocks starting at blk:
+// MaxContig for track-unaware variants, the remainder of the traxtent
+// for the traxtent variant.
+func (fs *FS) clusterLimit(blk int64) int {
+	if fs.P.Variant != Traxtent {
+		return fs.P.MaxContig
+	}
+	lbn := blk * fs.P.BlockSectors
+	room, err := fs.P.Table.Clip(lbn, int64(fs.P.MaxContig*2)*fs.P.BlockSectors)
+	if err != nil {
+		return fs.P.MaxContig
+	}
+	blocks := int(room / fs.P.BlockSectors)
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// commit issues one write request for a physically contiguous block run.
+func (fs *FS) commit(run []int64) {
+	if len(run) == 0 {
+		return
+	}
+	req := sim.Request{
+		LBN:     run[0] * fs.P.BlockSectors,
+		Sectors: int(int64(len(run)) * fs.P.BlockSectors),
+		Write:   true,
+	}
+	res, err := fs.D.SubmitAt(fs.now, req)
+	if err != nil {
+		return // validated allocation; unreachable in practice
+	}
+	fs.stats.Writes++
+	fs.stats.WriteBlocks += int64(len(run))
+	fs.pending = append(fs.pending, res.Done)
+}
+
+// Close flushes the file's remaining dirty blocks (asynchronously, as
+// the syncer would).
+func (fs *FS) Close(f *File) {
+	// Split at any physical discontinuity.
+	start := 0
+	for i := 1; i <= len(f.dirty); i++ {
+		if i == len(f.dirty) || f.dirty[i] != f.dirty[i-1]+1 {
+			fs.commit(f.dirty[start:i])
+			start = i
+		}
+	}
+	f.dirty = nil
+}
+
+// Sync waits for every outstanding write to reach the media.
+func (fs *FS) Sync() {
+	for _, name := range fs.sortedFiles() {
+		fs.Close(fs.files[name])
+	}
+	for _, done := range fs.pending {
+		if done > fs.now {
+			fs.now = done
+		}
+	}
+	fs.pending = fs.pending[:0]
+}
+
+func (fs *FS) sortedFiles() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	// Deterministic order for reproducible simulations.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ---- Read path: history-based read-ahead (§4.2.1) ----
+
+// Read obtains one block, blocking the application until its data is
+// resident. Misses trigger a clustered read whose length depends on the
+// variant; sequential streams keep a window outstanding so the disk
+// always has a queued request (§3.2's command-queueing requirement).
+func (fs *FS) Read(f *File, lblkno int64) error {
+	if lblkno < 0 || lblkno >= int64(len(f.blocks)) {
+		return fmt.Errorf("ffs: read past EOF (lblkno %d of %d)", lblkno, len(f.blocks))
+	}
+	sequential := lblkno == f.lastRead+1
+	if sequential {
+		f.seqCount++
+	} else {
+		f.seqCount = 1
+		f.nonSeq = f.lastRead != -1
+		f.windowEnd = 0
+	}
+	f.lastRead = lblkno
+
+	blk := f.blocks[lblkno]
+	if at, ok := fs.cache.get(blk); ok {
+		if at > fs.now {
+			fs.stats.BlockedMs += at - fs.now
+			fs.now = at
+		}
+		fs.stats.CacheHits++
+		fs.pipeline(f, lblkno)
+		return nil
+	}
+
+	l := fs.readAheadLen(f, lblkno)
+	done := fs.issueRead(f, lblkno, l)
+	f.windowEnd = lblkno + int64(l)
+	if done > fs.now {
+		fs.stats.BlockedMs += done - fs.now
+		fs.now = done
+	}
+	fs.pipeline(f, lblkno)
+	return nil
+}
+
+// pipeline keeps the next read-ahead window outstanding once the
+// application has consumed half of the current one.
+func (fs *FS) pipeline(f *File, lblkno int64) {
+	if f.seqCount < 2 || f.windowEnd == 0 || f.windowEnd >= int64(len(f.blocks)) {
+		return
+	}
+	l := int64(fs.readAheadLen(f, f.windowEnd))
+	if lblkno >= f.windowEnd-(l+1)/2 {
+		fs.issueRead(f, f.windowEnd, int(l))
+		f.windowEnd += l
+	}
+}
+
+// readAheadLen is the cluster length (in blocks, including the demanded
+// block) for a read at lblkno.
+func (fs *FS) readAheadLen(f *File, lblkno int64) int {
+	contig := fs.contigRun(f, lblkno)
+	max := fs.P.ReadAheadMax
+	switch fs.P.Variant {
+	case Unmodified:
+		// The lowest of the sequential count, the remaining cluster, and
+		// the cap.
+		l := f.seqCount
+		if l > contig {
+			l = contig
+		}
+		if l > max {
+			l = max
+		}
+		if l < 1 {
+			l = 1
+		}
+		return l
+	case FastStart:
+		l := contig
+		if l > max {
+			l = max
+		}
+		return l
+	default: // Traxtent
+		if f.nonSeq {
+			// Non-sequential session: fall back to the default ramp.
+			l := f.seqCount
+			if l > contig {
+				l = contig
+			}
+			if l > max {
+				l = max
+			}
+			if l < 1 {
+				l = 1
+			}
+			return l
+		}
+		// Runs of blocks between excluded blocks form natural clusters;
+		// never read beyond a track boundary.
+		lbn := f.blocks[lblkno] * fs.P.BlockSectors
+		room, err := fs.P.Table.Clip(lbn, int64(contig)*fs.P.BlockSectors)
+		if err != nil {
+			return 1
+		}
+		l := int(room / fs.P.BlockSectors)
+		if l < 1 {
+			l = 1
+		}
+		return l
+	}
+}
+
+// contigRun counts contiguously allocated blocks from lblkno.
+func (fs *FS) contigRun(f *File, lblkno int64) int {
+	n := 1
+	for i := lblkno + 1; i < int64(len(f.blocks)); i++ {
+		if f.blocks[i] != f.blocks[i-1]+1 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// issueRead submits one clustered read and inserts the covered blocks
+// into the buffer cache with the request's completion time. It returns
+// the completion time.
+func (fs *FS) issueRead(f *File, lblkno int64, l int) float64 {
+	if rem := int64(len(f.blocks)) - lblkno; int64(l) > rem {
+		l = int(rem)
+	}
+	if l < 1 {
+		return fs.now
+	}
+	// Clip to the physically contiguous run.
+	if c := fs.contigRun(f, lblkno); l > c {
+		l = c
+	}
+	req := sim.Request{
+		LBN:     f.blocks[lblkno] * fs.P.BlockSectors,
+		Sectors: int(int64(l) * fs.P.BlockSectors),
+	}
+	res, err := fs.D.SubmitAt(fs.now, req)
+	if err != nil {
+		return fs.now
+	}
+	fs.stats.Reads++
+	fs.stats.ReadBlocks += int64(l)
+	for i := 0; i < l; i++ {
+		fs.cache.put(f.blocks[lblkno+int64(i)], res.Done)
+	}
+	return res.Done
+}

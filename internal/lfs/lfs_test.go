@@ -1,0 +1,236 @@
+package lfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/traxtent"
+)
+
+func TestWriteCostInterpolation(t *testing.T) {
+	if WriteCost(32) != 1.01 {
+		t.Fatalf("WriteCost(32) = %g", WriteCost(32))
+	}
+	if WriteCost(4096) != 3.00 {
+		t.Fatalf("WriteCost(4096) = %g", WriteCost(4096))
+	}
+	if WriteCost(8) != 1.01 || WriteCost(1<<20) != 3.00 {
+		t.Fatal("clamping broken")
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for kb := 16.0; kb <= 8192; kb *= 1.3 {
+		v := WriteCost(kb)
+		if v < prev {
+			t.Fatalf("WriteCost not monotone at %g KB: %g < %g", kb, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestTransferInefficiencyOrdering: aligned track-sized writes waste
+// less time than unaligned ones; both approach 1 for huge transfers.
+func TestTransferInefficiencyOrdering(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	_, trackSec := l.TrackRange(0)
+	al, err := TransferInefficiency(m, trackSec, true, 200, 1)
+	if err != nil {
+		t.Fatalf("TI aligned: %v", err)
+	}
+	un, err := TransferInefficiency(m, trackSec, false, 200, 1)
+	if err != nil {
+		t.Fatalf("TI unaligned: %v", err)
+	}
+	if al >= un {
+		t.Fatalf("aligned TI %.2f should be below unaligned %.2f", al, un)
+	}
+	big, err := TransferInefficiency(m, 8*trackSec, false, 100, 1)
+	if err != nil {
+		t.Fatalf("TI big: %v", err)
+	}
+	if big >= un {
+		t.Fatalf("TI should fall with segment size: %.2f vs %.2f", big, un)
+	}
+}
+
+// TestOWCMinimumAtTrackSize (Figure 10): the aligned OWC curve reaches
+// its minimum at the track size, and that minimum is far below the
+// unaligned curve's own minimum (paper: 44% lower).
+func TestOWCMinimumAtTrackSize(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	sizes := []float64{32, 64, 128, 264, 528, 1056, 2112, 4096}
+	al, err := OWCCurve(m, sizes, true, 120, 2)
+	if err != nil {
+		t.Fatalf("OWCCurve: %v", err)
+	}
+	un, err := OWCCurve(m, sizes, false, 120, 2)
+	if err != nil {
+		t.Fatalf("OWCCurve: %v", err)
+	}
+	minAt := func(pts []OWCPoint) (float64, float64) {
+		best, kb := math.Inf(1), 0.0
+		for _, p := range pts {
+			if p.OWC < best {
+				best, kb = p.OWC, p.SegKB
+			}
+		}
+		return best, kb
+	}
+	alMin, alKB := minAt(al)
+	unMin, _ := minAt(un)
+	if alKB != 264 {
+		t.Errorf("aligned OWC minimum at %g KB, want the 264 KB track", alKB)
+	}
+	saving := 1 - alMin/unMin
+	// The paper reports 44% with Matthews et al.'s exact Auspex write
+	// costs; with our interpolated curve the same mechanism yields ~30%
+	// (EXPERIMENTS.md discusses the gap).
+	if saving < 0.25 {
+		t.Errorf("aligned OWC minimum %.2f vs unaligned %.2f: %.0f%% lower, paper reports 44%%",
+			alMin, unMin, saving*100)
+	}
+	t.Logf("OWC minima: aligned %.2f @ %g KB, unaligned %.2f (%.0f%% lower)", alMin, alKB, unMin, saving*100)
+	// The analytic model line should roughly match the unaligned curve
+	// (the paper's verification).
+	for _, p := range un {
+		mod := WriteCost(p.SegKB) * ModelTI(5.2, 40, p.SegKB)
+		if p.OWC > 2.5*mod || mod > 2.5*p.OWC {
+			t.Errorf("unaligned OWC %.2f far from model %.2f at %g KB", p.OWC, mod, p.SegKB)
+		}
+	}
+}
+
+// buildLFS makes a small LFS over the first tracks of an Atlas 10K II.
+func buildLFS(t testing.TB, variable bool, nSegs int) *LFS {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	var segs []traxtent.Extent
+	if variable {
+		table, err := traxtent.New(d.Lay.Boundaries())
+		if err != nil {
+			t.Fatalf("table: %v", err)
+		}
+		for i := 0; i < nSegs; i++ {
+			segs = append(segs, table.Index(i))
+		}
+	} else {
+		segs = FixedSegments(int64(nSegs)*512, 512)[:nSegs]
+	}
+	l, err := NewLFS(d, segs, 16)
+	if err != nil {
+		t.Fatalf("NewLFS: %v", err)
+	}
+	return l
+}
+
+// TestLFSLiveDataSurvivesCleaning (property): after any pattern of
+// overwrites that forces cleaning, exactly the most recent version of
+// each logical block remains indexed, and segment live counts equal the
+// index contents.
+func TestLFSLiveDataSurvivesCleaning(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := buildLFS(t, true, 12)
+		logical := int64(200) // working set smaller than capacity
+		for op := 0; op < 3000; op++ {
+			if err := l.Write(rng.Int63n(logical)); err != nil {
+				return false
+			}
+		}
+		// Every logical block written at least... check the indexed set
+		// is consistent: lookup succeeds and locations are unique.
+		seen := make(map[int64]bool)
+		for b := range l.LiveBlocks() {
+			loc, ok := l.Lookup(b)
+			if !ok {
+				return false
+			}
+			if seen[loc.Start] {
+				return false // two blocks at one location
+			}
+			seen[loc.Start] = true
+		}
+		// Live counts match the index size.
+		total := 0
+		for _, s := range l.Segments() {
+			if s.Live < 0 {
+				return false
+			}
+			total += s.Live
+		}
+		return total == len(l.LiveBlocks())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLFSWriteCostGrowsWithUtilization: a nearly-full LFS cleans more
+// live data per segment, raising the measured write cost.
+func TestLFSWriteCostGrowsWithUtilization(t *testing.T) {
+	run := func(logical int64) float64 {
+		rng := rand.New(rand.NewSource(5))
+		l := buildLFS(t, true, 12)
+		for op := 0; op < 6000; op++ {
+			if err := l.Write(rng.Int63n(logical)); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		return l.MeasuredWriteCost()
+	}
+	low := run(100)  // ~25% utilization
+	high := run(300) // ~75% utilization
+	if low < 1 || high < 1 {
+		t.Fatalf("write cost below 1: %g, %g", low, high)
+	}
+	if high <= low {
+		t.Fatalf("write cost should grow with utilization: %.2f vs %.2f", low, high)
+	}
+}
+
+// TestVariableSegmentsMatchTracks: the segment usage table of a
+// traxtent-based LFS records per-track (variable) lengths (§5.5.1).
+func TestVariableSegmentsMatchTracks(t *testing.T) {
+	l := buildLFS(t, true, 10)
+	segs := l.Segments()
+	varied := false
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Ext.Len != segs[0].Ext.Len {
+			varied = true
+		}
+	}
+	_ = varied // zone 0 tracks can be uniform; the point is exact alignment:
+	m := model.MustGet("Quantum-Atlas10KII")
+	lay, _ := m.Layout()
+	for i, s := range segs {
+		first, count := lay.TrackRange(i)
+		if s.Ext.Start != first || s.Ext.Len != int64(count) {
+			t.Fatalf("segment %d = %v, want track [%d,+%d)", i, s.Ext, first, count)
+		}
+	}
+}
+
+func TestNewLFSValidates(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	if _, err := NewLFS(d, nil, 16); err == nil {
+		t.Fatal("empty segment list accepted")
+	}
+	if _, err := NewLFS(d, []traxtent.Extent{{Start: 0, Len: 8}}, 16); err == nil {
+		t.Fatal("segment smaller than a block accepted")
+	}
+}

@@ -1,0 +1,372 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation from the simulator: each function returns the data series
+// the paper plots, and the cmd/ tools and root benchmarks print them.
+// EXPERIMENTS.md records paper-vs-measured for each.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/stats"
+)
+
+// Point is one (x, series...) row of a figure.
+type Point struct {
+	X      float64
+	Values map[string]float64
+}
+
+// zone0Requests builds n random requests of ioSectors within the first
+// zone of the disk, track-aligned or not — the workload of Figures 1 and
+// 6 (5000 random requests within the first zone).
+func zone0Requests(d *sim.Disk, n, ioSectors int, aligned, write bool, seed int64) []sim.Request {
+	rng := rand.New(rand.NewSource(seed))
+	l := d.Lay
+	zFirst, zLast, _ := l.ZoneLBNRange(0)
+	zc := l.G.Zones[0]
+	lastTrack := l.G.TrackIndex(zc.LastCyl, l.G.Surfaces-1)
+	_, track0 := l.TrackRange(0)
+	reqs := make([]sim.Request, 0, n)
+	for len(reqs) < n {
+		var lbn int64
+		sectors := ioSectors
+		if aligned {
+			ti := rng.Intn(lastTrack + 1)
+			first, count := l.TrackRange(ti)
+			if count == 0 || first+int64(ioSectors) > zLast+1 {
+				continue
+			}
+			lbn = first
+			if ioSectors >= count {
+				// Whole-track (variable-sized) extents: cover the exact
+				// tracks, however many LBNs they hold.
+				tracks := (ioSectors + track0 - 1) / track0
+				sectors = 0
+				bad := false
+				for k := 0; k < tracks; k++ {
+					if ti+k > lastTrack {
+						bad = true
+						break
+					}
+					_, c := l.TrackRange(ti + k)
+					sectors += c
+				}
+				if bad || sectors == 0 {
+					continue
+				}
+			}
+		} else {
+			lbn = zFirst + rng.Int63n(zLast-zFirst+1-int64(ioSectors))
+		}
+		reqs = append(reqs, sim.Request{LBN: lbn, Sectors: sectors, Write: write})
+	}
+	return reqs
+}
+
+// headTime measures the average head time and the average useful media
+// transfer time for the given access pattern; their ratio is the paper's
+// disk efficiency.
+func headTime(m model.Model, n, ioSectors int, aligned, write, twoReq bool, cfg sim.Config, seed int64) (ht, xfer float64, err error) {
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	reqs := zone0Requests(d, n, ioSectors, aligned, write, seed)
+	var rs []sim.Result
+	if twoReq {
+		rs, err = d.TwoReq(reqs)
+	} else {
+		rs, err = d.OneReq(reqs)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	st := d.M.SlotTime(d.Lay.G.Zones[0].SPT)
+	var sectors int64
+	for _, r := range rs {
+		sectors += int64(r.Req.Sectors)
+	}
+	xfer = float64(sectors) / float64(len(rs)) * st
+	if twoReq {
+		return stats.Mean(sim.HeadTimesTwoReq(rs)), xfer, nil
+	}
+	return stats.Mean(sim.HeadTimesOneReq(rs)), xfer, nil
+}
+
+// Fig1Efficiency computes disk efficiency versus I/O size for
+// track-aligned and unaligned access on the Atlas 10K II's first zone
+// (tworeq pattern), plus the maximum streaming efficiency line.
+func Fig1Efficiency(n int, seed int64) ([]Point, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return nil, err
+	}
+	mm, err := m.Mechanism()
+	if err != nil {
+		return nil, err
+	}
+	_, trackSec := l.TrackRange(0)
+	st := mm.SlotTime(l.G.Zones[0].SPT)
+	skew := float64(l.G.Zones[0].TrackSkew) * st
+	maxStream := (float64(trackSec) * st) / (float64(trackSec)*st + skew)
+
+	var out []Point
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 6, 8} {
+		io := int(frac * float64(trackSec))
+		if io < 1 {
+			continue
+		}
+		if frac >= 1 {
+			io = int(frac) * trackSec // whole tracks for the aligned peaks
+		}
+		p := Point{X: float64(io) * 512 / 1024, Values: map[string]float64{"maxstream": maxStream}}
+		for _, aligned := range []bool{true, false} {
+			ht, actualXfer, err := headTime(m, n, io, aligned, false, true, m.DefaultConfig(), seed)
+			if err != nil {
+				return nil, err
+			}
+			key := "unaligned"
+			if aligned {
+				key = "aligned"
+			}
+			p.Values[key] = actualXfer / ht
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Fig3RotationalLatency returns the analytic expected rotational latency
+// versus request size (fraction of a track) for zero-latency and
+// ordinary disks at 10,000 RPM.
+func Fig3RotationalLatency() []Point {
+	m := model.MustGet("Quantum-Atlas10KII")
+	mm, _ := m.Mechanism()
+	spt := m.SPTMax
+	var out []Point
+	for f := 0.0; f <= 1.0001; f += 0.05 {
+		zl := mm.Period() * (1 - f*f) / 2
+		ord := mm.Period() * float64(spt-1) / (2 * float64(spt))
+		out = append(out, Point{X: f * 100, Values: map[string]float64{
+			"zero-latency": zl, "ordinary": ord,
+		}})
+	}
+	return out
+}
+
+// Table1 returns the formatted rows of the disk characteristics table.
+func Table1() []string {
+	rows := []string{fmt.Sprintf("%-22s %s  %9s  %7s  %7s  %7s  %6s  %s",
+		"Disk", "Year", "RPM", "HdSw", "AvgSeek", "SPT", "Tracks", "Capacity")}
+	for _, name := range model.Names() {
+		rows = append(rows, model.MustGet(name).TableRow())
+	}
+	return rows
+}
+
+// Fig6Series is one curve of Figure 6.
+type Fig6Series struct {
+	Label string
+	// Head time (ms) per I/O size (fraction of a track).
+	Fracs []float64
+	Times []float64
+}
+
+// Fig6HeadTime measures average head time versus I/O size for the four
+// onereq/tworeq × aligned/unaligned combinations, plus the zero-bus-
+// transfer simulation (the dotted line).
+func Fig6HeadTime(n int, seed int64) ([]Fig6Series, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return nil, err
+	}
+	_, trackSec := l.TrackRange(0)
+	fracs := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+	type combo struct {
+		label          string
+		aligned, two   bool
+		zeroBusVariant bool
+	}
+	combos := []combo{
+		{"onereq unaligned", false, false, false},
+		{"onereq aligned", true, false, false},
+		{"tworeq unaligned", false, true, false},
+		{"tworeq aligned", true, true, false},
+		{"zero-bus aligned", true, false, true},
+	}
+	var out []Fig6Series
+	for _, c := range combos {
+		cfg := m.DefaultConfig()
+		if c.zeroBusVariant {
+			cfg.BusMBps = 0 // infinitely fast bus
+		}
+		s := Fig6Series{Label: c.label}
+		for _, f := range fracs {
+			io := int(f * float64(trackSec))
+			ht, _, err := headTime(m, n, io, c.aligned, false, c.two, cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			s.Fracs = append(s.Fracs, f)
+			s.Times = append(s.Times, ht)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WriteHeadTimes reproduces the §5.2 write results: onereq/tworeq head
+// times for track-sized writes, aligned vs unaligned (paper: 10.0 vs
+// 13.9 ms onereq, 10.2 vs 13.8 ms tworeq).
+func WriteHeadTimes(n int, seed int64) (map[string]float64, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return nil, err
+	}
+	_, trackSec := l.TrackRange(0)
+	out := map[string]float64{}
+	for _, two := range []bool{false, true} {
+		for _, aligned := range []bool{false, true} {
+			ht, _, err := headTime(m, n, trackSec, aligned, true, two, m.DefaultConfig(), seed)
+			if err != nil {
+				return nil, err
+			}
+			key := "onereq"
+			if two {
+				key = "tworeq"
+			}
+			if aligned {
+				key += " aligned"
+			} else {
+				key += " unaligned"
+			}
+			out[key] = ht
+		}
+	}
+	return out, nil
+}
+
+// OtherDisksReadReduction reproduces §5.2's cross-disk comparison: the
+// track-aligned head-time reduction for track-sized reads on each
+// evaluation disk (zero-latency disks improve by far more).
+func OtherDisksReadReduction(n int, seed int64) (map[string][2]float64, error) {
+	out := map[string][2]float64{}
+	for _, name := range []string{
+		"Quantum-Atlas10KII", "Quantum-Atlas10K",
+		"IBM-Ultrastar18ES", "Seagate-CheetahX15",
+	} {
+		m := model.MustGet(name)
+		l, err := m.Layout()
+		if err != nil {
+			return nil, err
+		}
+		_, trackSec := l.TrackRange(0)
+		var red [2]float64
+		for i, two := range []bool{false, true} {
+			al, _, err := headTime(m, n, trackSec, true, false, two, m.DefaultConfig(), seed)
+			if err != nil {
+				return nil, err
+			}
+			un, _, err := headTime(m, n, trackSec, false, false, two, m.DefaultConfig(), seed)
+			if err != nil {
+				return nil, err
+			}
+			red[i] = 1 - al/un
+		}
+		out[name] = red
+	}
+	return out, nil
+}
+
+// Fig8Variance measures response time and its standard deviation versus
+// I/O size for aligned and unaligned onereq reads on an infinitely fast
+// bus (the paper's variance experiment).
+func Fig8Variance(n int, seed int64) ([]Point, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return nil, err
+	}
+	_, trackSec := l.TrackRange(0)
+	cfg := m.DefaultConfig()
+	cfg.BusMBps = 0
+	var out []Point
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		io := int(f * float64(trackSec))
+		p := Point{X: f * 100, Values: map[string]float64{}}
+		for _, aligned := range []bool{true, false} {
+			d, err := m.NewDisk(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := d.OneReq(zone0Requests(d, n, io, aligned, false, seed))
+			if err != nil {
+				return nil, err
+			}
+			resp := sim.Responses(rs)
+			key := "unaligned"
+			if aligned {
+				key = "aligned"
+			}
+			p.Values[key+" mean"] = stats.Mean(resp)
+			p.Values[key+" sd"] = stats.StdDev(resp)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Fig7Breakdown reports the average response-time components for
+// track-sized onereq reads: unaligned, aligned with in-order bus
+// delivery, and aligned with out-of-order delivery (the MODIFY DATA
+// POINTER bar).
+func Fig7Breakdown(n int, seed int64) (map[string]map[string]float64, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return nil, err
+	}
+	_, trackSec := l.TrackRange(0)
+	out := map[string]map[string]float64{}
+	cases := []struct {
+		label   string
+		aligned bool
+		ooo     bool
+	}{
+		{"normal (unaligned)", false, false},
+		{"track-aligned", true, false},
+		{"track-aligned out-of-order", true, true},
+	}
+	for _, c := range cases {
+		cfg := m.DefaultConfig()
+		cfg.OutOfOrderBus = c.ooo
+		d, err := m.NewDisk(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := d.OneReq(zone0Requests(d, n, trackSec, c.aligned, false, seed))
+		if err != nil {
+			return nil, err
+		}
+		comp := map[string]float64{}
+		for _, r := range rs {
+			comp["seek"] += r.Timing.Seek
+			comp["rotational+switch"] += r.Timing.Latency + r.Timing.Switch
+			comp["media transfer"] += r.Timing.Transfer
+			comp["bus tail"] += r.Done - r.MediaEnd
+			comp["response"] += r.Response()
+		}
+		for k := range comp {
+			comp[k] /= float64(len(rs))
+		}
+		out[c.label] = comp
+	}
+	return out, nil
+}

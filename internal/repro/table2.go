@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"fmt"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/ffs"
+	"traxtents/internal/traxtent"
+	"traxtents/internal/workload"
+)
+
+// Table2Row holds one FFS variant's results across the six benchmarks
+// (times in virtual seconds; Postmark in transactions/second).
+type Table2Row struct {
+	Variant  string
+	ScanS    float64
+	DiffS    float64
+	CopyS    float64
+	Postmark float64
+	SSHS     float64
+	HeadS    float64
+}
+
+// Table2Sizes scales the benchmarks; the paper's full sizes (4 GB scan,
+// 512 MB diff, 1 GB copy, 1000 head* files) are the defaults of
+// FullTable2Sizes; tests use smaller ones.
+type Table2Sizes struct {
+	ScanBlocks  int64
+	DiffBlocks  int64
+	CopyBlocks  int64
+	HeadFiles   int
+	HeadBlocks  int64
+	PostmarkTxs int
+}
+
+// FullTable2Sizes reproduces the paper's configuration.
+func FullTable2Sizes() Table2Sizes {
+	return Table2Sizes{
+		ScanBlocks:  4 << 30 >> 13, // 4 GB of 8 KB blocks
+		DiffBlocks:  512 << 20 >> 13,
+		CopyBlocks:  1 << 30 >> 13,
+		HeadFiles:   1000,
+		HeadBlocks:  25, // 200 KB
+		PostmarkTxs: 5000,
+	}
+}
+
+// QuickTable2Sizes is a scaled-down configuration for fast runs.
+func QuickTable2Sizes() Table2Sizes {
+	return Table2Sizes{
+		ScanBlocks:  32768, // 256 MB
+		DiffBlocks:  8192,  // 64 MB
+		CopyBlocks:  16384, // 128 MB
+		HeadFiles:   300,
+		HeadBlocks:  25,
+		PostmarkTxs: 1500,
+	}
+}
+
+// RunTable2 runs the Table 2 benchmarks for one FFS variant on a fresh
+// Atlas 10K (the paper's FFS disk).
+func RunTable2(v ffs.Variant, sz Table2Sizes) (Table2Row, error) {
+	row := Table2Row{Variant: v.String()}
+	mk := func() (*ffs.FS, error) {
+		m := model.MustGet("Quantum-Atlas10K")
+		d, err := m.NewDisk(m.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		table, err := traxtent.New(d.Lay.Boundaries())
+		if err != nil {
+			return nil, err
+		}
+		return ffs.New(d, ffs.Params{Variant: v, Table: table})
+	}
+
+	// Scan.
+	fs, err := mk()
+	if err != nil {
+		return row, err
+	}
+	if _, err := workload.MakeFile(fs, "scan", sz.ScanBlocks); err != nil {
+		return row, err
+	}
+	fs.Sync()
+	e, err := workload.Scan(fs, "scan")
+	if err != nil {
+		return row, err
+	}
+	row.ScanS = e / 1000
+
+	// Diff.
+	if fs, err = mk(); err != nil {
+		return row, err
+	}
+	if _, err := workload.MakeFile(fs, "a", sz.DiffBlocks); err != nil {
+		return row, err
+	}
+	if _, err := workload.MakeFile(fs, "b", sz.DiffBlocks); err != nil {
+		return row, err
+	}
+	fs.Sync()
+	if e, err = workload.Diff(fs, "a", "b"); err != nil {
+		return row, err
+	}
+	row.DiffS = e / 1000
+
+	// Copy.
+	if fs, err = mk(); err != nil {
+		return row, err
+	}
+	if _, err := workload.MakeFile(fs, "src", sz.CopyBlocks); err != nil {
+		return row, err
+	}
+	fs.Sync()
+	if e, err = workload.Copy(fs, "src", "dst"); err != nil {
+		return row, err
+	}
+	row.CopyS = e / 1000
+
+	// Postmark.
+	if fs, err = mk(); err != nil {
+		return row, err
+	}
+	tps, _, err := workload.Postmark(fs, workload.PostmarkConfig{Transactions: sz.PostmarkTxs, Seed: 42})
+	if err != nil {
+		return row, err
+	}
+	row.Postmark = tps
+
+	// SSH-build.
+	if fs, err = mk(); err != nil {
+		return row, err
+	}
+	if e, err = workload.SSHBuild(fs, 42); err != nil {
+		return row, err
+	}
+	row.SSHS = e / 1000
+
+	// head*.
+	if fs, err = mk(); err != nil {
+		return row, err
+	}
+	if e, err = workload.HeadStar(fs, sz.HeadFiles, sz.HeadBlocks); err != nil {
+		return row, err
+	}
+	row.HeadS = e / 1000
+	return row, nil
+}
+
+// FormatTable2 renders rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) []string {
+	out := []string{fmt.Sprintf("%-12s %9s %9s %9s %10s %10s %8s",
+		"", "scan", "diff", "copy", "Postmark", "SSH-build", "head*")}
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%-12s %8.1fs %8.1fs %8.1fs %7.0f tr/s %8.1fs %6.2fs",
+			r.Variant, r.ScanS, r.DiffS, r.CopyS, r.Postmark, r.SSHS, r.HeadS))
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package scsi simulates the subset of the SCSI command set that the
+// DIXtrac-style characterization tool (internal/dixtrac) depends on:
+//
+//	READ CAPACITY             — highest LBN and block size
+//	SEND/RECEIVE DIAGNOSTIC   — LBN-to-physical and physical-to-LBN
+//	                            address translation pages
+//	READ DEFECT LIST          — primary (P) and grown (G) lists in
+//	                            physical sector format
+//	READ / WRITE              — data commands with full service timing
+//	INQUIRY / MODE SENSE      — identity and (nominal) geometry
+//
+// The target answers translations from the simulated disk's layout table
+// — the same source of truth the mechanical model uses — and counts
+// them, because translation count is DIXtrac's efficiency metric
+// (fewer than 30,000 translations for a complete map, §4.1.2).
+package scsi
+
+import (
+	"fmt"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/sim"
+)
+
+// Target is a SCSI logical unit backed by a simulated disk.
+type Target struct {
+	disk *sim.Disk
+
+	translations int
+	reads        int
+	writes       int
+}
+
+// NewTarget attaches a target to a disk.
+func NewTarget(d *sim.Disk) *Target { return &Target{disk: d} }
+
+// Disk exposes the backing disk (for experiments that mix raw access
+// with SCSI queries).
+func (t *Target) Disk() *sim.Disk { return t.disk }
+
+// TranslationCount returns the number of address translations performed.
+func (t *Target) TranslationCount() int { return t.translations }
+
+// ReadCount and WriteCount return data-command counts.
+func (t *Target) ReadCount() int  { return t.reads }
+func (t *Target) WriteCount() int { return t.writes }
+
+// ResetCounters clears the command counters.
+func (t *Target) ResetCounters() { t.translations, t.reads, t.writes = 0, 0, 0 }
+
+// ReadCapacity implements READ CAPACITY: the last valid LBN and the
+// block size in bytes.
+func (t *Target) ReadCapacity() (maxLBN int64, blockSize int) {
+	return t.disk.Lay.NumLBNs() - 1, t.disk.Lay.G.SectorSize
+}
+
+// Inquiry returns vendor/product identification.
+func (t *Target) Inquiry() (vendor, product string) {
+	return "SIMULATD", t.disk.Lay.G.Name
+}
+
+// ModeGeometry implements the rigid disk geometry mode page: nominal
+// cylinder and head counts. (Real drives often report rounded values
+// here; ours reports the true ones, and DIXtrac verifies them via
+// translation anyway.)
+func (t *Target) ModeGeometry() (cyls, heads int) {
+	return t.disk.Lay.G.Cyls, t.disk.Lay.G.Surfaces
+}
+
+// TranslateLBN implements the SEND/RECEIVE DIAGNOSTIC address
+// translation page, logical-to-physical direction. Remapped LBNs
+// resolve to their spare location, as on real drives.
+func (t *Target) TranslateLBN(lbn int64) (geom.PhysLoc, error) {
+	t.translations++
+	loc, err := t.disk.Lay.LBNToPhys(lbn)
+	if err != nil {
+		return geom.PhysLoc{}, fmt.Errorf("scsi: translate LBN %d: %w", lbn, err)
+	}
+	return loc, nil
+}
+
+// TranslatePhys is the physical-to-logical direction. ok=false means the
+// sector holds no LBN (spare, or defective). An error means the address
+// itself is invalid (slot beyond the track's physical end) — the probe
+// DIXtrac uses to discover the physical sectors-per-track.
+func (t *Target) TranslatePhys(loc geom.PhysLoc) (lbn int64, ok bool, err error) {
+	t.translations++
+	g := t.disk.Lay.G
+	if loc.Cyl < 0 || int(loc.Cyl) >= g.Cyls || loc.Head < 0 || int(loc.Head) >= g.Surfaces {
+		return 0, false, fmt.Errorf("scsi: invalid physical address %v", loc)
+	}
+	if loc.Slot < 0 || int(loc.Slot) >= g.SPTOf(int(loc.Cyl)) {
+		return 0, false, fmt.Errorf("scsi: invalid physical address %v", loc)
+	}
+	lbn, ok = t.disk.Lay.PhysToLBN(loc)
+	return lbn, ok, nil
+}
+
+// DefectEntry is one READ DEFECT LIST entry in physical sector format.
+type DefectEntry struct {
+	Loc   geom.PhysLoc
+	Grown bool
+}
+
+// ReadDefectList returns the requested defect lists (primary and/or
+// grown), in physical order.
+func (t *Target) ReadDefectList(plist, glist bool) []DefectEntry {
+	var out []DefectEntry
+	for _, d := range t.disk.Lay.G.Defects {
+		if (d.Grown && glist) || (!d.Grown && plist) {
+			out = append(out, DefectEntry{Loc: d.Loc(), Grown: d.Grown})
+		}
+	}
+	return out
+}
+
+// Read issues a READ command at the given host time and returns the full
+// timing record.
+func (t *Target) Read(at float64, lbn int64, sectors int) (sim.Result, error) {
+	t.reads++
+	return t.disk.SubmitAt(at, sim.Request{LBN: lbn, Sectors: sectors})
+}
+
+// Write issues a WRITE command.
+func (t *Target) Write(at float64, lbn int64, sectors int) (sim.Result, error) {
+	t.writes++
+	return t.disk.SubmitAt(at, sim.Request{LBN: lbn, Sectors: sectors, Write: true})
+}

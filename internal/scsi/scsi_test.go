@@ -1,0 +1,119 @@
+package scsi
+
+import (
+	"testing"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+	"traxtents/internal/disk/sim"
+)
+
+func testTarget(t *testing.T) *Target {
+	t.Helper()
+	g := &geom.Geometry{
+		Name:       "scsi-test",
+		Surfaces:   2,
+		Cyls:       20,
+		SectorSize: 512,
+		Zones:      []geom.Zone{{FirstCyl: 0, LastCyl: 19, SPT: 32, TrackSkew: 3, CylSkew: 4}},
+		Scheme:     geom.SparePerCylinder,
+		SpareK:     2,
+		Defects: geom.DefectList{
+			{Cyl: 2, Head: 0, Slot: 5, Grown: false},
+			{Cyl: 7, Head: 1, Slot: 9, Grown: true},
+		},
+	}
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m, err := mech.New(mech.Spec{
+		RPM: 10000, HeadSwitch: 0.8, WriteSettle: 1.0,
+		SeekSingle: 0.8, SeekAvg: 4.7, SeekFull: 10, ZeroLatency: true,
+	}, g.Cyls)
+	if err != nil {
+		t.Fatalf("mech.New: %v", err)
+	}
+	return NewTarget(sim.New(l, m, sim.Config{BusMBps: 80}))
+}
+
+func TestReadCapacityAndInquiry(t *testing.T) {
+	tgt := testTarget(t)
+	maxLBN, bs := tgt.ReadCapacity()
+	if maxLBN != tgt.Disk().Lay.NumLBNs()-1 || bs != 512 {
+		t.Fatalf("ReadCapacity = %d,%d", maxLBN, bs)
+	}
+	vendor, product := tgt.Inquiry()
+	if vendor == "" || product != "scsi-test" {
+		t.Fatalf("Inquiry = %q,%q", vendor, product)
+	}
+	cyls, heads := tgt.ModeGeometry()
+	if cyls != 20 || heads != 2 {
+		t.Fatalf("ModeGeometry = %d,%d", cyls, heads)
+	}
+}
+
+func TestTranslationRoundTripAndCounting(t *testing.T) {
+	tgt := testTarget(t)
+	for lbn := int64(0); lbn < 100; lbn++ {
+		loc, err := tgt.TranslateLBN(lbn)
+		if err != nil {
+			t.Fatalf("TranslateLBN(%d): %v", lbn, err)
+		}
+		back, ok, err := tgt.TranslatePhys(loc)
+		if err != nil || !ok || back != lbn {
+			t.Fatalf("TranslatePhys(%v) = %d,%v,%v", loc, back, ok, err)
+		}
+	}
+	if got := tgt.TranslationCount(); got != 200 {
+		t.Fatalf("TranslationCount = %d, want 200", got)
+	}
+	tgt.ResetCounters()
+	if tgt.TranslationCount() != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+	// Invalid physical addresses error; spare slots report no LBN.
+	if _, _, err := tgt.TranslatePhys(geom.PhysLoc{Cyl: 0, Head: 0, Slot: 99}); err == nil {
+		t.Fatal("invalid slot accepted")
+	}
+	if _, _, err := tgt.TranslatePhys(geom.PhysLoc{Cyl: 50, Head: 0, Slot: 0}); err == nil {
+		t.Fatal("invalid cylinder accepted")
+	}
+	if _, ok, err := tgt.TranslatePhys(geom.PhysLoc{Cyl: 0, Head: 1, Slot: 31}); err != nil || ok {
+		t.Fatal("spare slot should hold no LBN without error")
+	}
+	if _, err := tgt.TranslateLBN(-1); err == nil {
+		t.Fatal("negative LBN accepted")
+	}
+}
+
+func TestDefectLists(t *testing.T) {
+	tgt := testTarget(t)
+	all := tgt.ReadDefectList(true, true)
+	if len(all) != 2 {
+		t.Fatalf("full defect list has %d entries", len(all))
+	}
+	p := tgt.ReadDefectList(true, false)
+	if len(p) != 1 || p[0].Grown {
+		t.Fatalf("plist = %+v", p)
+	}
+	g := tgt.ReadDefectList(false, true)
+	if len(g) != 1 || !g[0].Grown {
+		t.Fatalf("glist = %+v", g)
+	}
+}
+
+func TestDataCommands(t *testing.T) {
+	tgt := testTarget(t)
+	r, err := tgt.Read(0, 0, 32)
+	if err != nil || r.Done <= 0 {
+		t.Fatalf("Read: %v %v", r, err)
+	}
+	w, err := tgt.Write(r.Done, 64, 16)
+	if err != nil || w.Done <= r.Done {
+		t.Fatalf("Write: %v %v", w, err)
+	}
+	if tgt.ReadCount() != 1 || tgt.WriteCount() != 1 {
+		t.Fatalf("counts = %d/%d", tgt.ReadCount(), tgt.WriteCount())
+	}
+}

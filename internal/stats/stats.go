@@ -1,0 +1,208 @@
+// Package stats provides the small set of statistics helpers used by the
+// traxtents experiments: means, standard deviations, percentiles, and
+// fixed-width histograms for response-time distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. The input need not be
+// sorted. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return sortedPercentile(s, p)
+}
+
+// sortedPercentile is Percentile for an already-sorted slice.
+func sortedPercentile(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds the common aggregate statistics for a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	P9999  float64 // 99.99th percentile, used by soft-real-time admission
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	if len(s) == 0 {
+		return sum
+	}
+	sum.Min = s[0]
+	sum.Max = s[len(s)-1]
+	sum.P50 = sortedPercentile(s, 50)
+	sum.P90 = sortedPercentile(s, 90)
+	sum.P99 = sortedPercentile(s, 99)
+	sum.P9999 = sortedPercentile(s, 99.99)
+	return sum
+}
+
+// String renders the summary on one line with millisecond-style precision.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p99=%.3f p99.99=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P99, s.P9999, s.Max)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi). Samples outside the
+// range are clamped into the first/last bucket so that totals always match
+// the number of observations.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	total   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// CDF returns, for each bucket upper edge, the cumulative fraction of
+// observations at or below it. Empty histogram yields all zeros.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Buckets))
+	if h.total == 0 {
+		return out
+	}
+	run := 0
+	for i, c := range h.Buckets {
+		run += c
+		out[i] = float64(run) / float64(h.total)
+	}
+	return out
+}
+
+// InvCDF returns the smallest bucket upper edge whose cumulative fraction
+// reaches q (0..1]. It is the histogram analogue of a percentile and is
+// used to pick round times that satisfy a deadline-miss probability.
+func (h *Histogram) InvCDF(q float64) float64 {
+	cdf := h.CDF()
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range cdf {
+		if c >= q {
+			return h.Lo + float64(i+1)*w
+		}
+	}
+	return h.Hi
+}

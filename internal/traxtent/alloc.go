@@ -1,0 +1,97 @@
+package traxtent
+
+import "fmt"
+
+// Allocator hands out whole traxtents (track-sized, track-aligned
+// extents) with locality: AllocNear returns the free traxtent closest to
+// a hint LBN, which is what an extent-based file system or an LFS with
+// variable-sized segments needs (§3.2, §5.5.1).
+type Allocator struct {
+	t     *Table
+	free  []bool
+	nfree int
+}
+
+// NewAllocator creates an allocator with every traxtent free.
+func NewAllocator(t *Table) *Allocator {
+	a := &Allocator{t: t, free: make([]bool, t.NumTracks()), nfree: t.NumTracks()}
+	for i := range a.free {
+		a.free[i] = true
+	}
+	return a
+}
+
+// FreeCount returns the number of free traxtents.
+func (a *Allocator) FreeCount() int { return a.nfree }
+
+// Alloc returns the lowest-numbered free traxtent.
+func (a *Allocator) Alloc() (Extent, bool) {
+	for i, f := range a.free {
+		if f {
+			a.free[i] = false
+			a.nfree--
+			return a.t.Index(i), true
+		}
+	}
+	return Extent{}, false
+}
+
+// AllocNear returns the free traxtent whose start is closest to hint,
+// scanning outward from the traxtent containing it.
+func (a *Allocator) AllocNear(hint int64) (Extent, bool) {
+	if a.nfree == 0 {
+		return Extent{}, false
+	}
+	first, end := a.t.Range()
+	if hint < first {
+		hint = first
+	}
+	if hint >= end {
+		hint = end - 1
+	}
+	c, err := a.t.find(hint)
+	if err != nil {
+		return Extent{}, false
+	}
+	for d := 0; d < len(a.free); d++ {
+		if i := c + d; i < len(a.free) && a.free[i] {
+			a.free[i] = false
+			a.nfree--
+			return a.t.Index(i), true
+		}
+		if i := c - d; d > 0 && i >= 0 && a.free[i] {
+			a.free[i] = false
+			a.nfree--
+			return a.t.Index(i), true
+		}
+	}
+	return Extent{}, false
+}
+
+// Reserve marks traxtent i allocated; it reports false if already taken.
+func (a *Allocator) Reserve(i int) bool {
+	if i < 0 || i >= len(a.free) || !a.free[i] {
+		return false
+	}
+	a.free[i] = false
+	a.nfree--
+	return true
+}
+
+// Free returns an extent to the allocator. The extent must be exactly
+// one traxtent (same contract as an LFS freeing a cleaned segment).
+func (a *Allocator) Free(e Extent) error {
+	i, err := a.t.find(e.Start)
+	if err != nil {
+		return err
+	}
+	if got := a.t.Index(i); got != e {
+		return fmt.Errorf("traxtent: Free(%v) is not a whole traxtent (%v)", e, got)
+	}
+	if a.free[i] {
+		return fmt.Errorf("traxtent: double free of %v", e)
+	}
+	a.free[i] = true
+	a.nfree++
+	return nil
+}

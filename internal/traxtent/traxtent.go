@@ -1,0 +1,193 @@
+// Package traxtent implements track-aligned extents, the paper's primary
+// contribution: a compact table of disk track boundaries and the
+// operations systems need to exploit it — finding the traxtent holding
+// an LBN, clipping and splitting requests at track boundaries, computing
+// excluded blocks for block-based file systems, allocating whole-track
+// extents, and serializing the table for on-disk storage.
+//
+// The package is deliberately device-independent: it consumes a boundary
+// list produced by either extraction method (internal/extract,
+// internal/dixtrac) or by any other means, and nothing in it depends on
+// a particular disk. That separation is the paper's §3 design argument —
+// file system code needs variable-sized extents, not device drivers.
+package traxtent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Extent is a contiguous LBN range [Start, Start+Len).
+type Extent struct {
+	Start int64
+	Len   int64
+}
+
+// End returns the first LBN past the extent.
+func (e Extent) End() int64 { return e.Start + e.Len }
+
+// Contains reports whether lbn lies inside the extent.
+func (e Extent) Contains(lbn int64) bool { return lbn >= e.Start && lbn < e.End() }
+
+func (e Extent) String() string { return fmt.Sprintf("[%d,%d)", e.Start, e.End()) }
+
+// Table is a track-boundary table: entry i is the first LBN of track i,
+// and a final sentinel marks the end of the covered range. Tracks are
+// the natural traxtents; consecutive entries delimit one.
+type Table struct {
+	bounds []int64
+}
+
+// ErrOutOfRange is returned for LBNs outside the table's coverage.
+var ErrOutOfRange = errors.New("traxtent: LBN outside table range")
+
+// New validates and adopts a boundary list: at least two entries,
+// strictly increasing. The caller's slice is copied.
+func New(bounds []int64) (*Table, error) {
+	if len(bounds) < 2 {
+		return nil, errors.New("traxtent: need at least two boundaries")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("traxtent: boundaries not strictly increasing at %d (%d <= %d)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Table{bounds: b}, nil
+}
+
+// NumTracks returns the number of traxtents in the table.
+func (t *Table) NumTracks() int { return len(t.bounds) - 1 }
+
+// Range returns the covered LBN range [first, end).
+func (t *Table) Range() (first, end int64) { return t.bounds[0], t.bounds[len(t.bounds)-1] }
+
+// Index returns the i-th traxtent.
+func (t *Table) Index(i int) Extent {
+	return Extent{Start: t.bounds[i], Len: t.bounds[i+1] - t.bounds[i]}
+}
+
+// Boundaries returns a copy of the raw boundary list.
+func (t *Table) Boundaries() []int64 {
+	out := make([]int64, len(t.bounds))
+	copy(out, t.bounds)
+	return out
+}
+
+// find returns the index of the traxtent containing lbn.
+func (t *Table) find(lbn int64) (int, error) {
+	if lbn < t.bounds[0] || lbn >= t.bounds[len(t.bounds)-1] {
+		return 0, fmt.Errorf("%w: %d not in [%d,%d)", ErrOutOfRange, lbn, t.bounds[0], t.bounds[len(t.bounds)-1])
+	}
+	// First boundary greater than lbn, minus one.
+	i := sort.Search(len(t.bounds), func(i int) bool { return t.bounds[i] > lbn }) - 1
+	return i, nil
+}
+
+// Find returns the traxtent containing lbn.
+func (t *Table) Find(lbn int64) (Extent, error) {
+	i, err := t.find(lbn)
+	if err != nil {
+		return Extent{}, err
+	}
+	return t.Index(i), nil
+}
+
+// FindIndex returns the index of the traxtent containing lbn.
+func (t *Table) FindIndex(lbn int64) (int, error) { return t.find(lbn) }
+
+// Clip returns the largest count <= n such that [lbn, lbn+count) does
+// not cross a track boundary. This is the request-clipping primitive the
+// modified FFS read-ahead uses (§4.2.2).
+func (t *Table) Clip(lbn int64, n int64) (int64, error) {
+	e, err := t.Find(lbn)
+	if err != nil {
+		return 0, err
+	}
+	if room := e.End() - lbn; n > room {
+		return room, nil
+	}
+	return n, nil
+}
+
+// Split partitions the request [lbn, lbn+n) into track-aligned pieces,
+// one per crossed traxtent. The pieces cover the request exactly.
+func (t *Table) Split(lbn int64, n int64) ([]Extent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("traxtent: split of %d sectors", n)
+	}
+	var out []Extent
+	for n > 0 {
+		c, err := t.Clip(lbn, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Extent{Start: lbn, Len: c})
+		lbn += c
+		n -= c
+	}
+	return out, nil
+}
+
+// Aligned reports whether the request [lbn, lbn+n) exactly covers one or
+// more whole traxtents.
+func (t *Table) Aligned(lbn int64, n int64) bool {
+	e, err := t.Find(lbn)
+	if err != nil || e.Start != lbn {
+		return false
+	}
+	end := lbn + n
+	for e.End() < end {
+		ne, err := t.Find(e.End())
+		if err != nil {
+			return false
+		}
+		e = ne
+	}
+	return e.End() == end
+}
+
+// Next returns the first traxtent starting at or after lbn.
+func (t *Table) Next(lbn int64) (Extent, bool) {
+	i := sort.Search(len(t.bounds)-1, func(i int) bool { return t.bounds[i] >= lbn })
+	if i >= t.NumTracks() {
+		return Extent{}, false
+	}
+	return t.Index(i), true
+}
+
+// Adjust rebases the table to a partition starting at offset LBNs into
+// the disk and limited to size LBNs (the paper's "adjusted to the file
+// system's partition" step). Boundaries outside the partition are
+// dropped; partial first/last tracks remain as (shorter) extents so the
+// partition stays fully covered.
+func (t *Table) Adjust(offset, size int64) (*Table, error) {
+	if offset < 0 || size <= 0 {
+		return nil, fmt.Errorf("traxtent: bad partition offset=%d size=%d", offset, size)
+	}
+	first, end := t.Range()
+	if offset < first || offset+size > end {
+		return nil, fmt.Errorf("traxtent: partition [%d,%d) outside table [%d,%d)",
+			offset, offset+size, first, end)
+	}
+	var out []int64
+	out = append(out, 0)
+	for _, b := range t.bounds {
+		rel := b - offset
+		if rel > 0 && rel < size {
+			out = append(out, rel)
+		}
+	}
+	out = append(out, size)
+	return New(out)
+}
+
+// MeanTrackLen returns the average traxtent length in sectors (useful
+// for sizing decisions and reports).
+func (t *Table) MeanTrackLen() float64 {
+	first, end := t.Range()
+	return float64(end-first) / float64(t.NumTracks())
+}

@@ -1,0 +1,406 @@
+package traxtent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fixedTable builds a table of n tracks of the given length.
+func fixedTable(t *testing.T, n int, length int64) *Table {
+	t.Helper()
+	bounds := make([]int64, n+1)
+	for i := range bounds {
+		bounds[i] = int64(i) * length
+	}
+	tb, err := New(bounds)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tb
+}
+
+// randomTable builds a table with varying track lengths (like a zoned,
+// defect-slipped disk).
+func randomTable(rng *rand.Rand, tracks int) *Table {
+	bounds := make([]int64, 0, tracks+1)
+	cur := int64(rng.Intn(1000))
+	bounds = append(bounds, cur)
+	for i := 0; i < tracks; i++ {
+		cur += int64(50 + rng.Intn(500))
+		bounds = append(bounds, cur)
+	}
+	tb, err := New(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New([]int64{5}); err == nil {
+		t.Fatal("single boundary must be rejected")
+	}
+	if _, err := New([]int64{0, 10, 10}); err == nil {
+		t.Fatal("non-increasing boundaries must be rejected")
+	}
+	if _, err := New([]int64{0, 10, 5}); err == nil {
+		t.Fatal("decreasing boundaries must be rejected")
+	}
+	tb, err := New([]int64{0, 10, 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tb.NumTracks() != 2 {
+		t.Fatalf("NumTracks = %d, want 2", tb.NumTracks())
+	}
+}
+
+func TestFindAndClip(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	e, err := tb.Find(250)
+	if err != nil || e.Start != 200 || e.Len != 100 {
+		t.Fatalf("Find(250) = %v, %v", e, err)
+	}
+	if _, err := tb.Find(-1); err == nil {
+		t.Fatal("Find(-1) must fail")
+	}
+	if _, err := tb.Find(1000); err == nil {
+		t.Fatal("Find(end) must fail")
+	}
+	// Clip stops at the boundary.
+	c, err := tb.Clip(250, 500)
+	if err != nil || c != 50 {
+		t.Fatalf("Clip(250,500) = %d, %v; want 50", c, err)
+	}
+	c, err = tb.Clip(200, 60)
+	if err != nil || c != 60 {
+		t.Fatalf("Clip(200,60) = %d, %v; want 60", c, err)
+	}
+}
+
+func TestSplitCoversRequest(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	parts, err := tb.Split(150, 400)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	want := []Extent{{150, 50}, {200, 100}, {300, 100}, {400, 100}, {500, 50}}
+	if len(parts) != len(want) {
+		t.Fatalf("Split = %v, want %v", parts, want)
+	}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("part %d = %v, want %v", i, parts[i], want[i])
+		}
+	}
+	if _, err := tb.Split(0, 0); err == nil {
+		t.Fatal("zero-length split must fail")
+	}
+}
+
+func TestAligned(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	for _, c := range []struct {
+		lbn, n int64
+		want   bool
+	}{
+		{0, 100, true}, {100, 200, true}, {0, 1000, true},
+		{0, 50, false}, {50, 100, false}, {100, 150, false},
+	} {
+		if got := tb.Aligned(c.lbn, c.n); got != c.want {
+			t.Errorf("Aligned(%d,%d) = %v, want %v", c.lbn, c.n, got, c.want)
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	tb := fixedTable(t, 4, 100)
+	e, ok := tb.Next(150)
+	if !ok || e.Start != 200 {
+		t.Fatalf("Next(150) = %v,%v; want start 200", e, ok)
+	}
+	e, ok = tb.Next(200)
+	if !ok || e.Start != 200 {
+		t.Fatalf("Next(200) = %v,%v; want start 200", e, ok)
+	}
+	if _, ok := tb.Next(400); ok {
+		t.Fatal("Next past end must fail")
+	}
+}
+
+func TestAdjustToPartition(t *testing.T) {
+	tb := fixedTable(t, 10, 100) // [0,1000)
+	// Partition starting mid-track 1, 500 LBNs long.
+	p, err := tb.Adjust(150, 500)
+	if err != nil {
+		t.Fatalf("Adjust: %v", err)
+	}
+	first, end := p.Range()
+	if first != 0 || end != 500 {
+		t.Fatalf("partition range [%d,%d), want [0,500)", first, end)
+	}
+	// First extent is the 50-sector tail of disk track 1.
+	if e := p.Index(0); e.Len != 50 {
+		t.Fatalf("first partition extent %v, want len 50", e)
+	}
+	// Interior extents are whole 100-sector tracks.
+	if e := p.Index(1); e.Start != 50 || e.Len != 100 {
+		t.Fatalf("second partition extent %v", e)
+	}
+	if _, err := tb.Adjust(900, 200); err == nil {
+		t.Fatal("partition past table end must fail")
+	}
+	if _, err := tb.Adjust(-1, 10); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+}
+
+func TestExcludedBlocks(t *testing.T) {
+	// Track length 100, blocks of 16: boundaries at multiples of 100.
+	// Block 6 = [96,112) spans boundary 100 -> excluded. Pattern repeats
+	// every 4 blocks (lcm(16,100)=400) except where boundary falls on a
+	// block edge.
+	tb := fixedTable(t, 10, 100)
+	ex := tb.ExcludedBlocks(16)
+	if len(ex) == 0 {
+		t.Fatal("expected excluded blocks")
+	}
+	for _, blk := range ex {
+		if !tb.IsExcluded(blk, 16) {
+			t.Errorf("block %d listed but IsExcluded false", blk)
+		}
+	}
+	// Exhaustive cross-check.
+	var want []int64
+	for blk := int64(0); blk < 1000/16; blk++ {
+		if tb.IsExcluded(blk, 16) {
+			want = append(want, blk)
+		}
+	}
+	if len(want) != len(ex) {
+		t.Fatalf("ExcludedBlocks = %v, exhaustive scan = %v", ex, want)
+	}
+	for i := range want {
+		if want[i] != ex[i] {
+			t.Fatalf("ExcludedBlocks[%d] = %d, want %d", i, ex[i], want[i])
+		}
+	}
+	// Block-aligned boundaries exclude nothing.
+	tb2 := fixedTable(t, 10, 160)
+	if ex := tb2.ExcludedBlocks(16); len(ex) != 0 {
+		t.Fatalf("aligned boundaries produced exclusions: %v", ex)
+	}
+}
+
+// TestQuickExcluded: for arbitrary tables and block sizes, the
+// boundary-walking ExcludedBlocks matches an exhaustive scan.
+func TestQuickExcluded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 5+rng.Intn(30))
+		bs := int64(4 << rng.Intn(4)) // 4..32 sectors
+		fast := tb.ExcludedBlocks(bs)
+		first, end := tb.Range()
+		var slow []int64
+		for blk := int64(0); blk < (end-first)/bs; blk++ {
+			if tb.IsExcluded(blk, bs) {
+				slow = append(slow, blk)
+			}
+		}
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitInvariants: Split always covers exactly the request, the
+// pieces abut, and every interior piece boundary is a track boundary.
+func TestQuickSplitInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 5+rng.Intn(30))
+		first, end := tb.Range()
+		lbn := first + rng.Int63n(end-first-1)
+		n := 1 + rng.Int63n(end-lbn)
+		parts, err := tb.Split(lbn, n)
+		if err != nil {
+			return false
+		}
+		cur := lbn
+		var total int64
+		for _, p := range parts {
+			if p.Start != cur || p.Len <= 0 {
+				return false
+			}
+			cur = p.End()
+			total += p.Len
+			// No piece crosses a boundary.
+			e, err := tb.Find(p.Start)
+			if err != nil || p.End() > e.End() {
+				return false
+			}
+		}
+		return total == n && cur == lbn+n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		tb := randomTable(rng, 1+rng.Intn(100))
+		data, err := tb.MarshalBinary()
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		back, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		a, b := tb.Boundaries(), back.Boundaries()
+		if len(a) != len(b) {
+			t.Fatalf("boundary count %d != %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("boundary %d: %d != %d", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsCorruption(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	data, err := tb.MarshalBinary()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, mut := range []func([]byte) []byte{
+		func(d []byte) []byte { d[7] ^= 0xFF; return d },       // body flip
+		func(d []byte) []byte { return d[:len(d)-1] },          // truncate
+		func(d []byte) []byte { d[0] = 0; return d },           // magic
+		func(d []byte) []byte { d[len(d)-1] ^= 0x1; return d }, // checksum
+	} {
+		c := append([]byte(nil), data...)
+		if _, err := UnmarshalBinary(mut(c)); err == nil {
+			t.Fatal("corrupted encoding accepted")
+		}
+	}
+	if _, err := UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	a := NewAllocator(tb)
+	if a.FreeCount() != 10 {
+		t.Fatalf("FreeCount = %d, want 10", a.FreeCount())
+	}
+	e, ok := a.AllocNear(450)
+	if !ok || e.Start != 400 {
+		t.Fatalf("AllocNear(450) = %v,%v; want track at 400", e, ok)
+	}
+	// Nearest again: same hint now picks a neighbour.
+	e2, ok := a.AllocNear(450)
+	if !ok || (e2.Start != 500 && e2.Start != 300) {
+		t.Fatalf("AllocNear(450) second = %v,%v; want neighbour", e2, ok)
+	}
+	if err := a.Free(e); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(e); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.Free(Extent{Start: 410, Len: 50}); err == nil {
+		t.Fatal("partial-extent free accepted")
+	}
+	// Exhaust.
+	for {
+		if _, ok := a.Alloc(); !ok {
+			break
+		}
+	}
+	if a.FreeCount() != 0 {
+		t.Fatalf("FreeCount = %d after exhaustion", a.FreeCount())
+	}
+	if _, ok := a.AllocNear(0); ok {
+		t.Fatal("allocation from empty pool succeeded")
+	}
+}
+
+// TestQuickAllocatorNeverDoubleAllocates: random alloc/free sequences
+// keep the free count consistent and never hand out a traxtent twice.
+func TestQuickAllocatorNeverDoubleAllocates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 5+rng.Intn(20))
+		a := NewAllocator(tb)
+		held := make(map[int64]Extent)
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 {
+				first, end := tb.Range()
+				e, ok := a.AllocNear(first + rng.Int63n(end-first))
+				if !ok {
+					continue
+				}
+				if _, dup := held[e.Start]; dup {
+					return false
+				}
+				held[e.Start] = e
+			} else {
+				for _, e := range held {
+					if a.Free(e) != nil {
+						return false
+					}
+					delete(held, e.Start)
+					break
+				}
+			}
+			if a.FreeCount() != tb.NumTracks()-len(held) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	tb := fixedTable(t, 5, 100)
+	a := NewAllocator(tb)
+	if !a.Reserve(2) {
+		t.Fatal("Reserve(2) failed")
+	}
+	if a.Reserve(2) {
+		t.Fatal("double Reserve succeeded")
+	}
+	if a.Reserve(-1) || a.Reserve(5) {
+		t.Fatal("out-of-range Reserve succeeded")
+	}
+	e, ok := a.AllocNear(250)
+	if !ok || e.Start == 200 {
+		t.Fatalf("AllocNear returned reserved traxtent %v", e)
+	}
+}
+
+func TestMeanTrackLen(t *testing.T) {
+	tb := fixedTable(t, 10, 100)
+	if got := tb.MeanTrackLen(); got != 100 {
+		t.Fatalf("MeanTrackLen = %g, want 100", got)
+	}
+}

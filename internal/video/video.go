@@ -1,0 +1,252 @@
+// Package video implements the paper's §5.4 video-server evaluation: a
+// round-based scheduler serving fixed-bit-rate streams from an array of
+// disks, with soft-real-time admission (Monte-Carlo percentile of round
+// completion times, as in the RIO video server) and hard-real-time
+// admission (worst-case seek route, rotation, and transfer).
+//
+// Track-aligned I/O raises disk efficiency, so a given round time admits
+// more streams (56% more in the paper's configuration), or equivalently
+// a given stream count needs a smaller I/O size and so a much lower
+// startup latency (Figure 9).
+package video
+
+import (
+	"fmt"
+	"math/rand"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/stats"
+)
+
+// Config describes the server.
+type Config struct {
+	Model       string  // disk model (default Quantum-Atlas10KII)
+	Disks       int     // array width (default 10)
+	BitRateMbps float64 // per-stream rate (default 4)
+	DeadlineQ   float64 // deadline-miss quantile (default 0.9999)
+	Rounds      int     // Monte-Carlo rounds per configuration (default 1000)
+	Seed        int64
+}
+
+func (c *Config) fill() {
+	if c.Model == "" {
+		c.Model = "Quantum-Atlas10KII"
+	}
+	if c.Disks == 0 {
+		c.Disks = 10
+	}
+	if c.BitRateMbps == 0 {
+		c.BitRateMbps = 4
+	}
+	if c.DeadlineQ == 0 {
+		c.DeadlineQ = 0.9999
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1000
+	}
+}
+
+// bytesPerMs returns the stream consumption rate in bytes per ms.
+func (c *Config) bytesPerMs() float64 { return c.BitRateMbps * 1e6 / 8 / 1000 }
+
+// Server evaluates admission for one disk of the array (streams are
+// striped uniformly, so the array scales by Disks).
+type Server struct {
+	cfg Config
+	m   model.Model
+}
+
+// New creates a server evaluator.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	m, err := model.Get(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, m: m}, nil
+}
+
+// Config returns the filled configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// RoundTimeQ measures, by Monte Carlo on the disk simulator, the
+// DeadlineQ quantile of the time to complete v simultaneous requests of
+// ioSectors each (aligned: whole-track reads of that many sectors;
+// unaligned: same size at uncorrelated offsets). Requests in a round are
+// issued together and sorted by LBN — the per-round elevator schedule of
+// RIO/Tiger.
+func (s *Server) RoundTimeQ(v int, ioSectors int, aligned bool) (float64, error) {
+	d, err := s.m.NewDisk(s.m.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(v)*7 + int64(ioSectors)))
+	times := make([]float64, 0, s.cfg.Rounds)
+	// Video content lives in the first zone, whose track size matches the
+	// I/O size — the placement video servers use anyway (Tiger stores
+	// primary copies in the outer, faster zones; paper §6).
+	zFirst, zLast, _ := d.Lay.ZoneLBNRange(0)
+	zc := d.Lay.G.Zones[0]
+	firstTrack := 0
+	lastTrack := d.Lay.G.TrackIndex(zc.LastCyl, d.Lay.G.Surfaces-1)
+	for r := 0; r < s.cfg.Rounds; r++ {
+		lbns := make([]int64, 0, v)
+		for i := 0; i < v; i++ {
+			if aligned {
+				// A whole number of tracks starting at a track boundary.
+				ti := firstTrack + rng.Intn(lastTrack-firstTrack+1)
+				first, count := d.Lay.TrackRange(ti)
+				if count == 0 || first+int64(ioSectors) > zLast+1 {
+					i--
+					continue
+				}
+				lbns = append(lbns, first)
+			} else {
+				lbns = append(lbns, zFirst+rng.Int63n(zLast-zFirst+1-int64(ioSectors)))
+			}
+		}
+		sortInt64(lbns)
+		start := d.Now()
+		var last float64
+		for _, lbn := range lbns {
+			res, err := d.SubmitAt(start, sim.Request{LBN: lbn, Sectors: ioSectors})
+			if err != nil {
+				return 0, err
+			}
+			if res.Done > last {
+				last = res.Done
+			}
+		}
+		times = append(times, last-start)
+	}
+	return stats.Percentile(times, s.cfg.DeadlineQ*100), nil
+}
+
+// MaxStreamsSoft returns the largest per-disk stream count whose
+// DeadlineQ round time fits within the round duration implied by the
+// I/O size (round = ioBytes / bitrate). This is the paper's soft-real-
+// time admission: 70 aligned vs 45 unaligned streams per disk at one
+// track per round.
+func (s *Server) MaxStreamsSoft(ioSectors int, aligned bool, maxV int) (int, error) {
+	roundMs := float64(ioSectors*512) / s.cfg.bytesPerMs()
+	best := 0
+	// Round times grow monotonically with v; binary search.
+	lo, hi := 1, maxV
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		q, err := s.RoundTimeQ(mid, ioSectors, aligned)
+		if err != nil {
+			return 0, err
+		}
+		if q <= roundMs {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, nil
+}
+
+// StartupLatency returns the worst-case startup latency for v streams
+// per disk: the smallest feasible round time times (Disks+1), per Santos
+// et al. as cited in §5.4. The I/O size is grown (whole tracks when
+// aligned) until the round is feasible; ok=false if no size up to maxIO
+// sectors works.
+func (s *Server) StartupLatency(v int, aligned bool, maxIOSectors int) (latencyMs float64, ioSectors int, ok bool, err error) {
+	trackSectors := s.trackSectors()
+	step := trackSectors
+	if !aligned {
+		step = trackSectors // same sizes for comparability
+	}
+	for io := step; io <= maxIOSectors; io += step {
+		roundMs := float64(io*512) / s.cfg.bytesPerMs()
+		q, err := s.RoundTimeQ(v, io, aligned)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if q <= roundMs {
+			return roundMs * float64(s.cfg.Disks+1), io, true, nil
+		}
+	}
+	return 0, 0, false, nil
+}
+
+// trackSectors returns the first-zone track size in sectors.
+func (s *Server) trackSectors() int {
+	l, err := s.m.Layout()
+	if err != nil {
+		return 0
+	}
+	_, count := l.TrackRange(0)
+	return count
+}
+
+// TrackSectors exposes the first-zone track size (the paper's 264 KB on
+// the Atlas 10K II).
+func (s *Server) TrackSectors() int { return s.trackSectors() }
+
+// HardRealTime computes worst-case admission (§5.4.2): the scheduler
+// sorts each round, so the worst total seek for v stops is v hops of
+// Cyls/v cylinders (Reddy & Wyllie); unaligned access adds a full
+// rotation of worst-case latency plus one head switch per request, while
+// track-aligned access has neither. Returns the maximum stream count per
+// disk and the implied disk efficiency.
+func (s *Server) HardRealTime(ioSectors int, aligned bool) (streams int, efficiency float64, err error) {
+	mm, err := s.m.Mechanism()
+	if err != nil {
+		return 0, 0, err
+	}
+	l, err := s.m.Layout()
+	if err != nil {
+		return 0, 0, err
+	}
+	roundMs := float64(ioSectors*512) / s.cfg.bytesPerMs()
+	_, trackSec := l.TrackRange(0)
+	st := mm.SlotTime(l.G.Zones[0].SPT)
+	media := float64(ioSectors) * st
+	tracksSpanned := (ioSectors + trackSec - 1) / trackSec
+
+	perReq := func(v int) float64 {
+		seek := mm.Seek(s.m.Cyls / v)
+		t := seek + media
+		if aligned {
+			// Zero rotational latency, no head switch for whole tracks;
+			// multi-track I/Os still pay the inter-track switches.
+			t += float64(tracksSpanned-1) * mm.HeadSwitch
+		} else {
+			t += mm.Period()                            // worst-case rotation
+			t += float64(tracksSpanned) * mm.HeadSwitch // at least one switch
+		}
+		return t
+	}
+	v := 0
+	for cand := 1; cand <= 4096; cand++ {
+		if float64(cand)*perReq(cand) <= roundMs {
+			v = cand
+		} else if v > 0 {
+			break
+		}
+	}
+	if v == 0 {
+		return 0, 0, nil
+	}
+	efficiency = float64(v) * media / roundMs
+	return v, efficiency, nil
+}
+
+// sortInt64 is a small insertion sort; rounds have at most ~100 entries.
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Describe summarizes the configuration for reports.
+func (s *Server) Describe() string {
+	return fmt.Sprintf("%d x %s, %.0f Mb/s streams, %.2f%% deadlines",
+		s.cfg.Disks, s.cfg.Model, s.cfg.BitRateMbps, s.cfg.DeadlineQ*100)
+}

@@ -1,0 +1,140 @@
+package video
+
+import "testing"
+
+func testServer(t *testing.T, rounds int) *Server {
+	t.Helper()
+	s, err := New(Config{Rounds: rounds, Seed: 9})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestRoundTimeGrowsWithStreams(t *testing.T) {
+	s := testServer(t, 60)
+	ts := s.TrackSectors()
+	q10, err := s.RoundTimeQ(10, ts, true)
+	if err != nil {
+		t.Fatalf("RoundTimeQ: %v", err)
+	}
+	q40, err := s.RoundTimeQ(40, ts, true)
+	if err != nil {
+		t.Fatalf("RoundTimeQ: %v", err)
+	}
+	if q40 <= q10 {
+		t.Fatalf("round time should grow with streams: %g vs %g", q10, q40)
+	}
+}
+
+// TestAlignedAdmitsMoreSoft: the headline §5.4.1 result — at a
+// track-sized I/O per round, aligned access supports substantially more
+// streams per disk (paper: 70 vs 45, +56%).
+func TestAlignedAdmitsMoreSoft(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in -short mode")
+	}
+	s := testServer(t, 300)
+	ts := s.TrackSectors()
+	al, err := s.MaxStreamsSoft(ts, true, 90)
+	if err != nil {
+		t.Fatalf("MaxStreamsSoft: %v", err)
+	}
+	un, err := s.MaxStreamsSoft(ts, false, 90)
+	if err != nil {
+		t.Fatalf("MaxStreamsSoft: %v", err)
+	}
+	if al <= un {
+		t.Fatalf("aligned %d streams should beat unaligned %d", al, un)
+	}
+	gain := float64(al)/float64(un) - 1
+	if gain < 0.25 {
+		t.Fatalf("aligned gain %.0f%%, paper reports 56%%", gain*100)
+	}
+	t.Logf("streams/disk: aligned %d, unaligned %d (+%.0f%%)", al, un, gain*100)
+}
+
+// TestHardRealTime reproduces §5.4.2: 264 KB I/Os admit about 67 aligned
+// vs 36 unaligned streams (83%% vs 45%% efficiency); 528 KB I/Os about
+// 75 vs 52.
+func TestHardRealTime(t *testing.T) {
+	s := testServer(t, 10)
+	ts := s.TrackSectors() // 264 KB
+	alV, alEff, err := s.HardRealTime(ts, true)
+	if err != nil {
+		t.Fatalf("HardRealTime: %v", err)
+	}
+	unV, unEff, err := s.HardRealTime(ts, false)
+	if err != nil {
+		t.Fatalf("HardRealTime: %v", err)
+	}
+	t.Logf("264KB: aligned %d (%.0f%%), unaligned %d (%.0f%%)", alV, alEff*100, unV, unEff*100)
+	if alV < 55 || alV > 75 {
+		t.Errorf("aligned streams %d, paper reports 67", alV)
+	}
+	if unV < 30 || unV > 42 {
+		t.Errorf("unaligned streams %d, paper reports 36", unV)
+	}
+	if alEff < 0.7 || unEff > 0.55 {
+		t.Errorf("efficiencies %.2f/%.2f, paper reports 0.83/0.45", alEff, unEff)
+	}
+
+	al2, _, err := s.HardRealTime(2*ts, true)
+	if err != nil {
+		t.Fatalf("HardRealTime: %v", err)
+	}
+	un2, _, err := s.HardRealTime(2*ts, false)
+	if err != nil {
+		t.Fatalf("HardRealTime: %v", err)
+	}
+	t.Logf("528KB: aligned %d, unaligned %d", al2, un2)
+	if al2 <= alV || un2 <= unV {
+		t.Error("doubling the I/O size should admit more streams")
+	}
+	if un2 >= al2 {
+		t.Error("aligned should still lead at 528 KB")
+	}
+}
+
+// TestStartupLatencyLowerAligned (Figure 9): at a stream count only the
+// aligned system reaches with track-sized I/Os, the unaligned system
+// needs larger I/Os and so a higher startup latency.
+func TestStartupLatencyLowerAligned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in -short mode")
+	}
+	s := testServer(t, 200)
+	ts := s.TrackSectors()
+	const v = 55
+	latAl, ioAl, okAl, err := s.StartupLatency(v, true, 20*ts)
+	if err != nil {
+		t.Fatalf("StartupLatency: %v", err)
+	}
+	latUn, ioUn, okUn, err := s.StartupLatency(v, false, 20*ts)
+	if err != nil {
+		t.Fatalf("StartupLatency: %v", err)
+	}
+	if !okAl {
+		t.Fatal("aligned system cannot support 55 streams at all")
+	}
+	if okUn && latUn <= latAl {
+		t.Fatalf("unaligned latency %.0f ms (io %d) should exceed aligned %.0f ms (io %d)",
+			latUn, ioUn, latAl, ioAl)
+	}
+	t.Logf("55 streams: aligned %.1f s (io %d sectors), unaligned %.1f s (io %d)",
+		latAl/1000, ioAl, latUn/1000, ioUn)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := testServer(t, 1)
+	cfg := s.Config()
+	if cfg.Disks != 10 || cfg.BitRateMbps != 4 || cfg.DeadlineQ != 0.9999 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if s.Describe() == "" {
+		t.Fatal("empty description")
+	}
+	if _, err := New(Config{Model: "bogus"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

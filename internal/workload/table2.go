@@ -1,0 +1,284 @@
+// Package workload implements the application workloads of the paper's
+// evaluation: the Table 2 file-system benchmarks (large-file scan, diff,
+// copy, Postmark-like small-file transactions, an SSH-build-like
+// software build, and the head* worst case), plus request generators for
+// the disk-level experiments.
+//
+// CPU-bound components (compilation in SSH-build, per-transaction
+// processing in Postmark) are modelled as declared constants advancing
+// the virtual clock, as DESIGN.md notes; all I/O time comes from the
+// disk simulator.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"traxtents/internal/ffs"
+)
+
+// MakeFile writes a file of the given length and flushes it; setup time
+// is the caller's to exclude (use the FS clock around the timed phase).
+func MakeFile(fs *ffs.FS, name string, blocks int64) (*ffs.File, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < blocks; i++ {
+		if err := fs.Write(f, i); err != nil {
+			return nil, err
+		}
+	}
+	fs.Close(f)
+	return f, nil
+}
+
+// Scan reads a file sequentially, returning elapsed virtual ms (the
+// paper's 4 GB scan).
+func Scan(fs *ffs.FS, name string) (float64, error) {
+	fs.DropCaches()
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	t0 := fs.Now()
+	for i := int64(0); i < f.Blocks(); i++ {
+		if err := fs.Read(f, i); err != nil {
+			return 0, err
+		}
+	}
+	return fs.Now() - t0, nil
+}
+
+// Diff interleaves sequential reads of two files block by block, as
+// diff(1) comparing two large files does (the paper's 512 MB diff).
+func Diff(fs *ffs.FS, a, b string) (float64, error) {
+	fs.DropCaches()
+	fa, err := fs.Open(a)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := fs.Open(b)
+	if err != nil {
+		return 0, err
+	}
+	n := fa.Blocks()
+	if m := fb.Blocks(); m < n {
+		n = m
+	}
+	t0 := fs.Now()
+	for i := int64(0); i < n; i++ {
+		if err := fs.Read(fa, i); err != nil {
+			return 0, err
+		}
+		if err := fs.Read(fb, i); err != nil {
+			return 0, err
+		}
+	}
+	return fs.Now() - t0, nil
+}
+
+// Copy reads src sequentially and writes an equally sized dst in the
+// same directory, yielding the paper's two interleaved request streams
+// (the 1 GB copy).
+func Copy(fs *ffs.FS, src, dst string) (float64, error) {
+	fs.DropCaches()
+	fsrc, err := fs.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	t0 := fs.Now()
+	fdst, err := fs.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < fsrc.Blocks(); i++ {
+		if err := fs.Read(fsrc, i); err != nil {
+			return 0, err
+		}
+		if err := fs.Write(fdst, i); err != nil {
+			return 0, err
+		}
+	}
+	fs.Close(fdst)
+	fs.Sync()
+	return fs.Now() - t0, nil
+}
+
+// PostmarkConfig sizes the small-file transaction benchmark. Defaults
+// follow Postmark v1.11 as the paper used it: 5-10 KB files, 1:1
+// read-to-write and create-to-delete ratios.
+type PostmarkConfig struct {
+	Files        int     // initial file pool (default 1000)
+	Transactions int     // transactions to run (default 5000)
+	MinBlocks    int64   // minimum file size in blocks (default 1)
+	MaxBlocks    int64   // maximum file size in blocks (default 2)
+	CPUPerOpMs   float64 // per-transaction CPU cost (default 8 ms)
+	Seed         int64
+}
+
+func (c *PostmarkConfig) fill() {
+	if c.Files == 0 {
+		c.Files = 1000
+	}
+	if c.Transactions == 0 {
+		c.Transactions = 5000
+	}
+	if c.MinBlocks == 0 {
+		c.MinBlocks = 1
+	}
+	if c.MaxBlocks == 0 {
+		c.MaxBlocks = 2
+	}
+	if c.CPUPerOpMs == 0 {
+		c.CPUPerOpMs = 8
+	}
+}
+
+// Postmark runs the small-file benchmark and returns transactions per
+// second and the elapsed virtual ms.
+func Postmark(fs *ffs.FS, cfg PostmarkConfig) (tps float64, elapsed float64, err error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	size := func() int64 { return cfg.MinBlocks + rng.Int63n(cfg.MaxBlocks-cfg.MinBlocks+1) }
+
+	var pool []string
+	mk := func() error {
+		name := fmt.Sprintf("pm%06d", len(pool))
+		for {
+			if _, exists := fs.Open(name); exists != nil {
+				break
+			}
+			name += "x"
+		}
+		if _, err := MakeFile(fs, name, size()); err != nil {
+			return err
+		}
+		pool = append(pool, name)
+		return nil
+	}
+	for i := 0; i < cfg.Files; i++ {
+		if err := mk(); err != nil {
+			return 0, 0, err
+		}
+	}
+	fs.Sync()
+
+	t0 := fs.Now()
+	for tx := 0; tx < cfg.Transactions; tx++ {
+		fs.AdvanceCPU(cfg.CPUPerOpMs)
+		switch rng.Intn(4) {
+		case 0: // create
+			if err := mk(); err != nil {
+				return 0, 0, err
+			}
+		case 1: // delete
+			if len(pool) > 1 {
+				i := rng.Intn(len(pool))
+				if err := fs.Delete(pool[i]); err != nil {
+					return 0, 0, err
+				}
+				pool = append(pool[:i], pool[i+1:]...)
+			}
+		case 2: // read
+			f, err := fs.Open(pool[rng.Intn(len(pool))])
+			if err != nil {
+				return 0, 0, err
+			}
+			for i := int64(0); i < f.Blocks(); i++ {
+				if err := fs.Read(f, i); err != nil {
+					return 0, 0, err
+				}
+			}
+		case 3: // append
+			f, err := fs.Open(pool[rng.Intn(len(pool))])
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := fs.Write(f, f.Blocks()); err != nil {
+				return 0, 0, err
+			}
+			fs.Close(f)
+		}
+	}
+	fs.Sync()
+	elapsed = fs.Now() - t0
+	return float64(cfg.Transactions) / (elapsed / 1000), elapsed, nil
+}
+
+// SSHBuild models the three phases of the paper's SSH-build benchmark:
+// unpack (many small file writes), configure (small reads, some CPU),
+// and build (CPU-dominated with object-file writes). Absolute time is
+// dominated by the declared CPU components, as in the paper, so all
+// three FFS variants should land within a fraction of a percent.
+func SSHBuild(fs *ffs.FS, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t0 := fs.Now()
+
+	// Unpack: ~400 source files of 1-4 blocks, written synchronously.
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("src%04d.c", i)
+		if _, err := MakeFile(fs, name, 1+rng.Int63n(4)); err != nil {
+			return 0, err
+		}
+		fs.AdvanceCPU(2) // tar + namei overhead
+	}
+	fs.Sync()
+
+	// Configure: read a third of the sources, small CPU per test.
+	for i := 0; i < 130; i++ {
+		f, err := fs.Open(fmt.Sprintf("src%04d.c", i*3))
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.Read(f, 0); err != nil {
+			return 0, err
+		}
+		fs.AdvanceCPU(40)
+	}
+
+	// Build: compile each file (CPU) and write an object file.
+	for i := 0; i < 400; i++ {
+		f, err := fs.Open(fmt.Sprintf("src%04d.c", i))
+		if err != nil {
+			return 0, err
+		}
+		for b := int64(0); b < f.Blocks(); b++ {
+			if err := fs.Read(f, b); err != nil {
+				return 0, err
+			}
+		}
+		fs.AdvanceCPU(120) // compilation
+		if _, err := MakeFile(fs, fmt.Sprintf("obj%04d.o", i), 1+rng.Int63n(3)); err != nil {
+			return 0, err
+		}
+	}
+	fs.Sync()
+	return fs.Now() - t0, nil
+}
+
+// HeadStar reads the first byte of n files of the given size — the
+// paper's worst-case scenario for traxtents, which fetch the whole first
+// traxtent (~160 KB) where stock FFS fetches one block.
+func HeadStar(fs *ffs.FS, n int, fileBlocks int64) (float64, error) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("hd%05d", i)
+		if _, err := MakeFile(fs, names[i], fileBlocks); err != nil {
+			return 0, err
+		}
+	}
+	fs.Sync()
+	fs.DropCaches()
+	t0 := fs.Now()
+	for _, name := range names {
+		f, err := fs.Open(name)
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.Read(f, 0); err != nil {
+			return 0, err
+		}
+	}
+	return fs.Now() - t0, nil
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"traxtents/internal/disk/model"
+	"traxtents/internal/ffs"
+	"traxtents/internal/traxtent"
+)
+
+func testFS(t *testing.T) *ffs.FS {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10K")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	table, err := traxtent.New(d.Lay.Boundaries())
+	if err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	fs, err := ffs.New(d, ffs.Params{Variant: ffs.Traxtent, Table: table})
+	if err != nil {
+		t.Fatalf("ffs.New: %v", err)
+	}
+	return fs
+}
+
+func TestMakeFileAndScan(t *testing.T) {
+	fs := testFS(t)
+	f, err := MakeFile(fs, "f", 256)
+	if err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	if f.Blocks() != 256 {
+		t.Fatalf("Blocks = %d", f.Blocks())
+	}
+	fs.Sync()
+	e, err := Scan(fs, "f")
+	if err != nil || e <= 0 {
+		t.Fatalf("Scan = %g, %v", e, err)
+	}
+	if _, err := Scan(fs, "missing"); err == nil {
+		t.Fatal("scan of missing file accepted")
+	}
+}
+
+func TestDiffAndCopyProduceTime(t *testing.T) {
+	fs := testFS(t)
+	if _, err := MakeFile(fs, "a", 128); err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	if _, err := MakeFile(fs, "b", 128); err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	fs.Sync()
+	e, err := Diff(fs, "a", "b")
+	if err != nil || e <= 0 {
+		t.Fatalf("Diff = %g, %v", e, err)
+	}
+	e, err = Copy(fs, "a", "a2")
+	if err != nil || e <= 0 {
+		t.Fatalf("Copy = %g, %v", e, err)
+	}
+	f2, err := fs.Open("a2")
+	if err != nil || f2.Blocks() != 128 {
+		t.Fatalf("copy produced %v, %v", f2, err)
+	}
+}
+
+func TestPostmarkDeterministic(t *testing.T) {
+	cfg := PostmarkConfig{Files: 50, Transactions: 200, Seed: 3}
+	r1, e1, err := Postmark(testFS(t), cfg)
+	if err != nil {
+		t.Fatalf("Postmark: %v", err)
+	}
+	r2, e2, err := Postmark(testFS(t), cfg)
+	if err != nil {
+		t.Fatalf("Postmark: %v", err)
+	}
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("Postmark not deterministic: %g/%g vs %g/%g", r1, e1, r2, e2)
+	}
+	if r1 <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestSSHBuildAndHeadStar(t *testing.T) {
+	e, err := SSHBuild(testFS(t), 1)
+	if err != nil || e <= 0 {
+		t.Fatalf("SSHBuild = %g, %v", e, err)
+	}
+	// CPU components dominate: at least 400 compilations of 120 ms.
+	if e < 400*120 {
+		t.Fatalf("SSH-build too fast: %g ms", e)
+	}
+	h, err := HeadStar(testFS(t), 50, 25)
+	if err != nil || h <= 0 {
+		t.Fatalf("HeadStar = %g, %v", h, err)
+	}
+}

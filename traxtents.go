@@ -1,0 +1,154 @@
+// Package traxtents is the public facade of a Go reproduction of
+// "Track-aligned Extents: Matching Access Patterns to Disk Drive
+// Characteristics" (Schindler, Griffin, Lumb, Ganger — FAST 2002).
+//
+// The library provides, built entirely on the standard library:
+//
+//   - A calibrated disk drive simulator (zoned recording, skews, spare
+//     sectors, defect slipping/remapping, seek curves, zero-latency
+//     firmware, in-order SCSI bus, firmware cache) with models of the
+//     paper's Table 1 disks.
+//   - Two track-boundary extraction methods: the general timing-based
+//     algorithm and the DIXtrac-style five-step SCSI characterization,
+//     both validated against the simulator's ground truth.
+//   - The traxtent core: boundary tables, request clipping/splitting,
+//     excluded-block computation, whole-track allocation, and a compact
+//     on-disk encoding.
+//   - The paper's three case studies: a traxtent-aware FFS, a video
+//     server admission model, and an LFS with variable-sized segments.
+//
+// Quick start:
+//
+//	m := traxtents.DiskModel("Quantum-Atlas10KII")
+//	d, _ := m.NewDisk(m.DefaultConfig())
+//	rep, _ := traxtents.ExtractGeneral(d, traxtents.ExtractOptions{})
+//	ext, _ := rep.Table.Find(123456)     // the traxtent holding LBN 123456
+//	n, _ := rep.Table.Clip(123456, 1024) // clip a request at the boundary
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package traxtents
+
+import (
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+	"traxtents/internal/dixtrac"
+	"traxtents/internal/extract"
+	"traxtents/internal/ffs"
+	"traxtents/internal/lfs"
+	"traxtents/internal/scsi"
+	"traxtents/internal/traxtent"
+	"traxtents/internal/video"
+)
+
+// Core traxtent types.
+type (
+	// Table is a track-boundary table — the traxtent map of a disk.
+	Table = traxtent.Table
+	// Extent is a contiguous LBN range.
+	Extent = traxtent.Extent
+	// Allocator hands out whole-track extents with locality.
+	Allocator = traxtent.Allocator
+)
+
+// Disk simulation types.
+type (
+	// Disk is a simulated disk drive.
+	Disk = sim.Disk
+	// DiskConfig controls bus, cache, and firmware behaviour.
+	DiskConfig = sim.Config
+	// Request is one disk command.
+	Request = sim.Request
+	// Result is a serviced request's timing record.
+	Result = sim.Result
+	// Model is a named, calibrated drive model.
+	Model = model.Model
+	// Geometry is the physical description of a drive.
+	Geometry = geom.Geometry
+	// MechSpec holds a drive's mechanical parameters.
+	MechSpec = mech.Spec
+)
+
+// Extraction types.
+type (
+	// ExtractOptions tunes the timing-based extraction.
+	ExtractOptions = extract.Options
+	// ExtractReport is its outcome.
+	ExtractReport = extract.Report
+	// SCSITarget is a simulated SCSI logical unit.
+	SCSITarget = scsi.Target
+	// DIXtracResult is the five-step characterization outcome.
+	DIXtracResult = dixtrac.Result
+)
+
+// Case-study types.
+type (
+	// FFS is the simulated (traxtent-aware) file system.
+	FFS = ffs.FS
+	// FFSParams configures it.
+	FFSParams = ffs.Params
+	// VideoServer evaluates stream admission.
+	VideoServer = video.Server
+	// VideoConfig describes the server.
+	VideoConfig = video.Config
+	// LFS is the miniature log-structured store.
+	LFS = lfs.LFS
+)
+
+// FFS variants.
+const (
+	FFSUnmodified = ffs.Unmodified
+	FFSFastStart  = ffs.FastStart
+	FFSTraxtent   = ffs.Traxtent
+)
+
+// NewTable validates and adopts a boundary list.
+func NewTable(bounds []int64) (*Table, error) { return traxtent.New(bounds) }
+
+// DecodeTable parses a table from its on-disk encoding.
+func DecodeTable(data []byte) (*Table, error) { return traxtent.UnmarshalBinary(data) }
+
+// NewAllocator creates a whole-traxtent allocator.
+func NewAllocator(t *Table) *Allocator { return traxtent.NewAllocator(t) }
+
+// DiskModels lists the Table 1 drive models.
+func DiskModels() []string { return model.Names() }
+
+// DiskModel returns a named drive model; it panics on unknown names
+// (use LookupDiskModel for error handling).
+func DiskModel(name string) Model { return model.MustGet(name) }
+
+// LookupDiskModel returns a named drive model.
+func LookupDiskModel(name string) (Model, error) { return model.Get(name) }
+
+// ExtractGeneral runs the timing-based boundary extraction (§4.1.1).
+func ExtractGeneral(d *Disk, opts ExtractOptions) (*ExtractReport, error) {
+	return extract.General(d, opts)
+}
+
+// NewSCSITarget attaches a SCSI target to a simulated disk.
+func NewSCSITarget(d *Disk) *SCSITarget { return scsi.NewTarget(d) }
+
+// Characterize runs the DIXtrac five-step SCSI extraction (§4.1.2).
+func Characterize(t *SCSITarget) (*DIXtracResult, error) { return dixtrac.Characterize(t) }
+
+// CharacterizeFallback runs the expertise-free SCSI walk (~2
+// translations per track).
+func CharacterizeFallback(t *SCSITarget) (*Table, error) { return dixtrac.Fallback(t) }
+
+// NewFFS formats a simulated file system.
+func NewFFS(d *Disk, p FFSParams) (*FFS, error) { return ffs.New(d, p) }
+
+// NewVideoServer creates a video-server admission evaluator.
+func NewVideoServer(cfg VideoConfig) (*VideoServer, error) { return video.New(cfg) }
+
+// NewLFS builds a log-structured store over the given segments.
+func NewLFS(d *Disk, segments []Extent, blockSectors int64) (*LFS, error) {
+	return lfs.NewLFS(d, segments, blockSectors)
+}
+
+// GroundTruthTable returns the boundary table straight from a simulated
+// disk's layout — what extraction is validated against.
+func GroundTruthTable(d *Disk) (*Table, error) { return traxtent.New(d.Lay.Boundaries()) }

@@ -1,0 +1,112 @@
+package traxtents_test
+
+import (
+	"testing"
+
+	"traxtents"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: pick a model, build a disk, characterize it, align requests,
+// persist the table.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	names := traxtents.DiskModels()
+	if len(names) != 7 {
+		t.Fatalf("DiskModels: %v", names)
+	}
+	if _, err := traxtents.LookupDiskModel("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+
+	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	res, err := traxtents.Characterize(traxtents.NewSCSITarget(d))
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	table := res.Table
+
+	truth, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		t.Fatalf("GroundTruthTable: %v", err)
+	}
+	if table.NumTracks() != truth.NumTracks() {
+		t.Fatalf("characterized %d tracks, truth %d", table.NumTracks(), truth.NumTracks())
+	}
+
+	// Align a request.
+	ext, err := table.Find(123456)
+	if err != nil || !ext.Contains(123456) {
+		t.Fatalf("Find: %v %v", ext, err)
+	}
+	parts, err := table.Split(ext.Start, ext.Len*3)
+	if err != nil || len(parts) < 3 {
+		t.Fatalf("Split: %v %v", parts, err)
+	}
+
+	// Persist and reload.
+	data, err := table.MarshalBinary()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := traxtents.DecodeTable(data)
+	if err != nil || back.NumTracks() != table.NumTracks() {
+		t.Fatalf("DecodeTable: %v", err)
+	}
+
+	// Allocate whole-track extents.
+	a := traxtents.NewAllocator(table)
+	e1, ok := a.AllocNear(500000)
+	if !ok {
+		t.Fatal("AllocNear failed")
+	}
+	if err := a.Free(e1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+
+	// Issue an aligned request through the simulator.
+	r, err := d.Submit(traxtents.Request{LBN: e1.Start, Sectors: int(e1.Len)})
+	if err != nil || r.Done <= 0 {
+		t.Fatalf("Submit: %v %v", r, err)
+	}
+}
+
+// TestFacadeFFS builds a traxtent-aware FS through the facade.
+func TestFacadeFFS(t *testing.T) {
+	m := traxtents.DiskModel("Quantum-Atlas10K")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	table, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	fs, err := traxtents.NewFFS(d, traxtents.FFSParams{
+		Variant: traxtents.FFSTraxtent, Table: table,
+	})
+	if err != nil {
+		t.Fatalf("NewFFS: %v", err)
+	}
+	f, err := fs.Create("hello")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if err := fs.Write(f, i); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	fs.Sync()
+	for i := int64(0); i < 64; i++ {
+		if err := fs.Read(f, i); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if fs.Now() <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
