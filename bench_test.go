@@ -9,7 +9,10 @@
 package traxtents_test
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"traxtents"
 	"traxtents/internal/disk/model"
@@ -27,8 +30,8 @@ func BenchmarkTable1Models(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := traxtents.DiskModel("Quantum-Atlas10KII")
-		if _, err := m.NewDisk(m.DefaultConfig()); err != nil {
+		m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+		if _, err := traxtents.NewDisk(m); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -37,6 +40,7 @@ func BenchmarkTable1Models(b *testing.B) {
 // BenchmarkFig1Efficiency reproduces Figure 1; reported metrics are the
 // efficiencies at point A (264 KB: paper 0.73 aligned, ~0.51 unaligned).
 func BenchmarkFig1Efficiency(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		pts, err := repro.Fig1Efficiency(2000, 1)
 		if err != nil {
@@ -66,6 +70,7 @@ func BenchmarkFig3RotationalLatency(b *testing.B) {
 // BenchmarkFig6HeadTime reproduces Figure 6; metrics are the track-sized
 // head times (paper: onereq 11.2→9.2 ms, tworeq 12.2→8.3 ms).
 func BenchmarkFig6HeadTime(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		series, err := repro.Fig6HeadTime(2000, 1)
 		if err != nil {
@@ -89,6 +94,7 @@ func BenchmarkFig6HeadTime(b *testing.B) {
 
 // BenchmarkFig7Breakdown reproduces Figure 7 (out-of-order bus delivery).
 func BenchmarkFig7Breakdown(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		bk, err := repro.Fig7Breakdown(2000, 1)
 		if err != nil {
@@ -103,6 +109,7 @@ func BenchmarkFig7Breakdown(b *testing.B) {
 // BenchmarkWriteHeadTime reproduces the §5.2 write results (paper:
 // onereq 13.9 → 10.0 ms).
 func BenchmarkWriteHeadTime(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		wr, err := repro.WriteHeadTimes(2000, 1)
 		if err != nil {
@@ -116,6 +123,7 @@ func BenchmarkWriteHeadTime(b *testing.B) {
 // BenchmarkOtherDisks reproduces the §5.2 cross-disk comparison: large
 // reductions only on zero-latency disks.
 func BenchmarkOtherDisks(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		red, err := repro.OtherDisksReadReduction(1200, 1)
 		if err != nil {
@@ -130,6 +138,7 @@ func BenchmarkOtherDisks(b *testing.B) {
 // BenchmarkFig8Variance reproduces Figure 8 (paper: sd 0.4 vs 1.5 ms at
 // track size).
 func BenchmarkFig8Variance(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		pts, err := repro.Fig8Variance(2000, 1)
 		if err != nil {
@@ -145,6 +154,7 @@ func BenchmarkFig8Variance(b *testing.B) {
 // the traxtent-vs-unmodified ratios (paper: scan +5%, diff -19%,
 // copy -20%, head* +45%).
 func BenchmarkTable2FFS(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		sz := repro.QuickTable2Sizes()
 		un, err := repro.RunTable2(ffs.Unmodified, sz)
@@ -165,6 +175,7 @@ func BenchmarkTable2FFS(b *testing.B) {
 // BenchmarkFig9Video reproduces the soft-real-time admission behind
 // Figure 9 (paper: 70 vs 45 streams per disk).
 func BenchmarkFig9Video(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		s, err := traxtents.NewVideoServer(traxtents.VideoConfig{Rounds: 200, Seed: 7})
 		if err != nil {
@@ -209,6 +220,7 @@ func BenchmarkHardRealTime(b *testing.B) {
 // BenchmarkFig10LFS reproduces Figure 10 (paper: aligned minimum at the
 // track size, 44% below the unaligned minimum).
 func BenchmarkFig10LFS(b *testing.B) {
+	skipShort(b)
 	m := model.MustGet("Quantum-Atlas10KII")
 	sizes := []float64{32, 64, 128, 264, 528, 1056, 2112, 4096}
 	for i := 0; i < b.N; i++ {
@@ -240,9 +252,10 @@ func BenchmarkFig10LFS(b *testing.B) {
 // BenchmarkExtractSCSI runs the DIXtrac five-step characterization on a
 // full-size disk (§4.1.2: under 30,000 translations).
 func BenchmarkExtractSCSI(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10K")
+	skipShort(b)
+	m := traxtents.MustDiskModel("Quantum-Atlas10K")
 	for i := 0; i < b.N; i++ {
-		d, err := m.NewDisk(traxtents.DiskConfig{})
+		d, err := traxtents.NewDisk(m, traxtents.WithConfig(traxtents.DiskConfig{}))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,9 +270,10 @@ func BenchmarkExtractSCSI(b *testing.B) {
 // BenchmarkExtractGeneral runs the timing-based extraction on a
 // full-size disk (the paper's took four hours of disk time).
 func BenchmarkExtractGeneral(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10K")
+	skipShort(b)
+	m := traxtents.MustDiskModel("Quantum-Atlas10K")
 	for i := 0; i < b.N; i++ {
-		d, err := m.NewDisk(m.DefaultConfig())
+		d, err := traxtents.NewDisk(m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -276,7 +290,7 @@ func BenchmarkExtractGeneral(b *testing.B) {
 
 // BenchmarkLBNToPhys measures the core mapping lookup.
 func BenchmarkLBNToPhys(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
 	l, err := m.Layout()
 	if err != nil {
 		b.Fatal(err)
@@ -292,8 +306,8 @@ func BenchmarkLBNToPhys(b *testing.B) {
 
 // BenchmarkDiskService measures one simulated request end to end.
 func BenchmarkDiskService(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -309,8 +323,8 @@ func BenchmarkDiskService(b *testing.B) {
 
 // BenchmarkTableFind measures boundary lookup in the traxtent table.
 func BenchmarkTableFind(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(traxtents.DiskConfig{})
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	d, err := traxtents.NewDisk(m, traxtents.WithConfig(traxtents.DiskConfig{}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -329,8 +343,8 @@ func BenchmarkTableFind(b *testing.B) {
 
 // BenchmarkTableEncode measures the on-disk encoding round trip.
 func BenchmarkTableEncode(b *testing.B) {
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(traxtents.DiskConfig{})
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	d, err := traxtents.NewDisk(m, traxtents.WithConfig(traxtents.DiskConfig{}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -347,5 +361,134 @@ func BenchmarkTableEncode(b *testing.B) {
 		if _, err := traxtents.DecodeTable(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// skipShort keeps CI fast: the paper-reproduction benchmarks regenerate
+// whole figures per iteration and are skipped under -short (and can be
+// bounded with -benchtime as usual).
+func skipShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-scale benchmark skipped in -short mode")
+	}
+}
+
+// ---- Device-backend comparison (sim vs striped array) ----
+
+// deviceBackends builds the two backends the BENCH_device.json report
+// compares: one simulated Atlas 10K II, and a 4-wide traxtent-striped
+// array of them.
+func deviceBackends(tb testing.TB) map[string]traxtents.Device {
+	tb.Helper()
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	one, err := traxtents.NewDisk(m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var children []traxtents.Device
+	for i := 0; i < 4; i++ {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(int64(i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		children = append(children, d)
+	}
+	arr, err := traxtents.NewStripedDevice(children)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]traxtents.Device{"sim": one, "striped-4": arr}
+}
+
+// driveDevice issues n traxtent-aligned, traxtent-sized reads back to
+// back (onereq) and returns the mean simulated service and response
+// times in ms.
+func driveDevice(tb testing.TB, d traxtents.Device, n int) (service, response float64) {
+	tb.Helper()
+	table, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	at := d.Now()
+	for i := 0; i < n; i++ {
+		e := table.Index(i * 127 % table.NumTracks())
+		res, err := d.Serve(at, traxtents.Request{LBN: e.Start, Sectors: int(e.Len)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		service += res.Done - res.Start
+		response += res.Response()
+		at = res.Done
+	}
+	return service / float64(n), response / float64(n)
+}
+
+// BenchmarkDeviceServe measures one traxtent-aligned read per backend.
+func BenchmarkDeviceServe(b *testing.B) {
+	for _, name := range []string{"sim", "striped-4"} {
+		b.Run(name, func(b *testing.B) {
+			d := deviceBackends(b)[name]
+			table, err := traxtents.GroundTruthTable(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			at := 0.0
+			for i := 0; i < b.N; i++ {
+				e := table.Index(i * 127 % table.NumTracks())
+				res, err := d.Serve(at, traxtents.Request{LBN: e.Start, Sectors: int(e.Len)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				at = res.Done
+			}
+		})
+	}
+}
+
+// TestBenchDeviceJSON emits BENCH_device.json: a small machine-readable
+// comparison of simulated service times on the sim and striped-array
+// backends (virtual-time measurement, so it is cheap enough for CI).
+func TestBenchDeviceJSON(t *testing.T) {
+	const n = 512
+	type row struct {
+		Backend       string  `json:"backend"`
+		Requests      int     `json:"requests"`
+		MeanServiceMs float64 `json:"mean_service_ms"`
+		MeanRespMs    float64 `json:"mean_response_ms"`
+		WallNsPerReq  float64 `json:"wall_ns_per_req"`
+	}
+	report := struct {
+		Benchmark string `json:"benchmark"`
+		Rows      []row  `json:"rows"`
+	}{Benchmark: "traxtent-aligned track-sized reads, onereq"}
+
+	backends := deviceBackends(t)
+	for _, name := range []string{"sim", "striped-4"} {
+		d := backends[name]
+		start := time.Now()
+		svc, resp := driveDevice(t, d, n)
+		wall := time.Since(start)
+		if svc <= 0 || resp < svc {
+			t.Fatalf("%s: implausible times svc=%g resp=%g", name, svc, resp)
+		}
+		report.Rows = append(report.Rows, row{
+			Backend: name, Requests: n,
+			MeanServiceMs: svc, MeanRespMs: resp,
+			WallNsPerReq: float64(wall.Nanoseconds()) / n,
+		})
+	}
+	// The array serves its chunk reads at single-child service times, so
+	// its mean must stay in the same ballpark as one disk's.
+	if a, b := report.Rows[0].MeanServiceMs, report.Rows[1].MeanServiceMs; b > 3*a {
+		t.Errorf("striped mean service %.2f ms vs sim %.2f ms", b, a)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_device.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -26,8 +26,11 @@ func main() {
 
 	if *mkfs {
 		for _, name := range []string{"Quantum-Atlas10K", "Quantum-Atlas10KII"} {
-			m := traxtents.DiskModel(name)
-			d, err := m.NewDisk(m.DefaultConfig())
+			m, err := traxtents.DiskModel(name)
+			if err != nil {
+				fail(err)
+			}
+			d, err := traxtents.NewDisk(m)
 			if err != nil {
 				fail(err)
 			}

@@ -21,7 +21,10 @@ func main() {
 	samples := flag.Int("samples", 200, "segment writes measured per point")
 	flag.Parse()
 
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
+	m, err := traxtents.DiskModel("Quantum-Atlas10KII")
+	if err != nil {
+		fail(err)
+	}
 	sizes := []float64{32, 64, 128, 264, 528, 1056, 2112, 4096}
 
 	al, err := lfs.OWCCurve(m, sizes, true, *samples, 3)

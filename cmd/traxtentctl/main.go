@@ -32,13 +32,11 @@ func main() {
 		}
 		return
 	}
-	m, err := traxtents.LookupDiskModel(*disk)
+	m, err := traxtents.DiskModel(*disk)
 	if err != nil {
 		fail(err)
 	}
-	cfg := m.DefaultConfig()
-	cfg.HostNoiseSD = *noise
-	d, err := m.NewDisk(cfg)
+	d, err := traxtents.NewDisk(m, traxtents.WithHostNoise(*noise))
 	if err != nil {
 		fail(err)
 	}

@@ -12,8 +12,11 @@ import (
 )
 
 func main() {
-	m := traxtents.DiskModel("Quantum-Atlas10K")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m, err := traxtents.DiskModel("Quantum-Atlas10K")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func main() {
 		fb.NumTracks(), tgt.TranslationCount(),
 		float64(tgt.TranslationCount())/float64(fb.NumTracks()), equal(fb, truth))
 
-	d2, err := m.NewDisk(m.DefaultConfig())
+	d2, err := traxtents.NewDisk(m)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,8 +12,11 @@ import (
 )
 
 func main() {
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m, err := traxtents.DiskModel("Quantum-Atlas10KII")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,8 +13,11 @@ import (
 
 func main() {
 	// A simulated Quantum Atlas 10K II with its default SCSI setup.
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m, err := traxtents.DiskModel("Quantum-Atlas10KII")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func main() {
 	// Measure: 2000 random track-sized reads, aligned vs unaligned.
 	rng := rand.New(rand.NewSource(1))
 	run := func(aligned bool) float64 {
-		disk, err := m.NewDisk(m.DefaultConfig())
+		disk, err := traxtents.NewDisk(m)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module traxtents
+
+go 1.24

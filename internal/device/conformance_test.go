@@ -1,0 +1,115 @@
+package device_test
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/devtest"
+	"traxtents/internal/device/striped"
+	"traxtents/internal/device/trace"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+)
+
+// newSim builds a fresh simulated disk of the smallest Table 1 model
+// (its layout is memoized, so repeated construction is cheap).
+func newSim(t testing.TB, seed int64) *sim.Disk {
+	t.Helper()
+	m := model.MustGet("HP-C2247")
+	cfg := m.DefaultConfig()
+	cfg.Seed = seed
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	return d
+}
+
+func newStriped(t testing.TB) device.Device {
+	t.Helper()
+	children := []device.Device{newSim(t, 1), newSim(t, 2), newSim(t, 3)}
+	a, err := striped.New(children)
+	if err != nil {
+		t.Fatalf("striped.New: %v", err)
+	}
+	return a
+}
+
+// newPlayer records a spread of reads and writes on a simulated disk
+// and returns a replay device for them (non-strict, so the conformance
+// suite's own request mix is served at the trace's mean service time).
+func newPlayer(t testing.TB) device.Device {
+	t.Helper()
+	rec := trace.NewRecorder(newSim(t, 4))
+	at := 0.0
+	for i := 0; i < 64; i++ {
+		res, err := rec.Serve(at, device.Request{
+			LBN:     int64(i) * 997 % (rec.Capacity() - 64),
+			Sectors: 8 + i%32,
+			Write:   i%4 == 0,
+		})
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		at = res.Done
+	}
+	p, err := trace.NewPlayer(rec.Trace())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	return p
+}
+
+// TestConformance runs the shared device suite against all three
+// backends — the calibrated simulator, the traxtent-striped array, and
+// the trace-replay device — plus the recorder wrapper.
+func TestConformance(t *testing.T) {
+	devtest.Run(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) })
+	devtest.Run(t, "striped", func(t *testing.T) device.Device { return newStriped(t) })
+	devtest.Run(t, "trace", func(t *testing.T) device.Device { return newPlayer(t) })
+	devtest.Run(t, "recorder", func(t *testing.T) device.Device { return trace.NewRecorder(newSim(t, 8)) })
+}
+
+// TestRecorderForwardsCapabilities: a recorder stands in for the
+// wrapped device under capability discovery, so extraction and tables
+// work through it.
+func TestRecorderForwardsCapabilities(t *testing.T) {
+	d := newSim(t, 9)
+	rec := trace.NewRecorder(d)
+	if rot, ok := device.Device(rec).(device.Rotational); !ok || rot.RotationPeriod() != d.RotationPeriod() {
+		t.Fatalf("recorder does not forward the rotation period")
+	}
+	bp, ok := device.Device(rec).(device.BoundaryProvider)
+	if !ok || len(bp.TrackBoundaries()) != len(d.TrackBoundaries()) {
+		t.Fatalf("recorder does not forward boundaries")
+	}
+	m, ok := device.Device(rec).(device.Mapped)
+	if !ok || m.Layout() != d.Lay {
+		t.Fatalf("recorder does not forward the layout")
+	}
+	if n, ok := device.Device(rec).(device.Named); !ok || n.Name() != d.Name() {
+		t.Fatalf("recorder does not forward the name")
+	}
+	// A recorder over a capability-free device reports "none" values.
+	bare := trace.NewRecorder(newPlayerWithout(t))
+	if bare.RotationPeriod() != 0 {
+		t.Fatalf("bare recorder invents a rotation period")
+	}
+	if bare.TrackBoundaries() != nil {
+		t.Fatalf("bare recorder invents boundaries")
+	}
+	if bare.Layout() != nil {
+		t.Fatalf("bare recorder invents a layout")
+	}
+}
+
+// newPlayerWithout builds a replay device whose trace has no rotation
+// period, boundaries, or name.
+func newPlayerWithout(t testing.TB) device.Device {
+	t.Helper()
+	p, err := trace.NewPlayer(trace.Trace{Capacity: 1024, SectorSize: 512})
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	return p
+}

@@ -1,0 +1,123 @@
+// Package device defines the storage-device abstraction at the heart of
+// the v1 API: the paper's thesis is that track-aligned access is a
+// property of the *storage interface*, not of one drive, so everything
+// above the device layer — extraction, traxtent tables, allocators, the
+// FFS/LFS/video case studies — speaks to this small interface instead of
+// a concrete simulator type.
+//
+// A Device services timed requests against a logical block address
+// space. The calibrated disk simulator (internal/disk/sim) is one
+// implementation; a traxtent-striped multi-disk array (striped) and a
+// trace-replay device (trace) are others. Capabilities beyond request
+// service — rotation period, track boundaries, a full physical mapping —
+// are optional interfaces discovered by type assertion, because not
+// every backend has them (a replayed trace has no spindle; a striped
+// array has no single physical geometry).
+package device
+
+import (
+	"fmt"
+
+	"traxtents/internal/disk/geom"
+	"traxtents/internal/disk/mech"
+)
+
+// Request is one host command against a device.
+type Request struct {
+	LBN     int64
+	Sectors int
+	Write   bool
+	// FUA (Force Unit Access) forces a media access: any firmware cache
+	// and prefetch stream are bypassed and not updated. Extraction tools
+	// use it to reposition a disk's head deterministically; devices
+	// without caches may ignore it.
+	FUA bool
+}
+
+// Bytes returns the request's payload size.
+func (r Request) Bytes(sectorSize int) int64 { return int64(r.Sectors) * int64(sectorSize) }
+
+// Result is the full timing record of one serviced request. All times
+// are in milliseconds of virtual time.
+type Result struct {
+	Req   Request
+	Issue float64 // host issues the command
+	Start float64 // device dedicated to the request (0-width for hits)
+	// MediaEnd is when the media transfer completes (= Start for cache
+	// hits). Done is when the host sees completion, including the bus.
+	MediaEnd float64
+	Done     float64
+
+	// Timing is the media-phase breakdown; zero for cache hits and for
+	// backends (trace replay, arrays) that do not expose one.
+	Timing     mech.Timing
+	BusTime    float64 // time the bus was dedicated to this request
+	CacheHit   bool
+	Prefetched int // sectors served from a firmware prefetch stream
+}
+
+// Response returns the host-observed response time.
+func (r Result) Response() float64 { return r.Done - r.Issue }
+
+// Device is a storage device servicing one request at a time in issue
+// order. Implementations simulate (or replay) virtual time: Serve
+// returns immediately, and the Result carries the timing.
+type Device interface {
+	// Serve services one request issued at the given host time (ms).
+	// Requests must be served in non-decreasing issue order; the device
+	// queues them FCFS against its internal resources.
+	Serve(at float64, req Request) (Result, error)
+	// Now returns the completion time of the last request serviced (the
+	// device's virtual clock), 0 before any request.
+	Now() float64
+	// Capacity returns the number of addressable LBNs.
+	Capacity() int64
+	// SectorSize returns the sector (block) size in bytes.
+	SectorSize() int
+}
+
+// Rotational is implemented by devices with a (single, known) spindle
+// speed. RotationPeriod returns the revolution time in ms, or 0 when
+// unknown — callers must treat 0 as "not rotational".
+type Rotational interface {
+	RotationPeriod() float64
+}
+
+// BoundaryProvider is implemented by devices that know their own
+// track (or stripe-unit) boundaries — the ground truth that boundary
+// extraction is validated against, and the cheap path to a traxtent
+// table when no extraction is needed.
+type BoundaryProvider interface {
+	// TrackBoundaries returns the ascending LBN boundaries, starting at
+	// 0 and ending at Capacity(). Nil when unknown.
+	TrackBoundaries() []int64
+}
+
+// Mapped is implemented by devices that can expose their full logical-
+// to-physical mapping — the information behind the SCSI diagnostic
+// address-translation pages that DIXtrac-style characterization needs.
+// Multi-device backends and replayed traces have no single physical
+// geometry and do not implement it. Layout may return nil (a wrapper
+// whose inner device is not Mapped); callers must treat nil as "no
+// mapping".
+type Mapped interface {
+	Layout() *geom.Layout
+}
+
+// Named is implemented by devices with a product identity (INQUIRY).
+type Named interface {
+	Name() string
+}
+
+// CheckRequest validates a request against a device's address space; it
+// is the shared gate every backend applies before servicing.
+func CheckRequest(d Device, req Request) error {
+	if req.Sectors <= 0 {
+		return fmt.Errorf("device: request for %d sectors", req.Sectors)
+	}
+	if req.LBN < 0 || req.LBN+int64(req.Sectors) > d.Capacity() {
+		return fmt.Errorf("device: request [%d,%d) outside device of %d LBNs",
+			req.LBN, req.LBN+int64(req.Sectors), d.Capacity())
+	}
+	return nil
+}

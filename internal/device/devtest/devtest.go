@@ -1,0 +1,125 @@
+// Package devtest is the Device conformance suite: behavioural checks
+// every backend (simulator, striped array, trace replay, and anything
+// future) must pass to be usable behind the public API. Backend test
+// packages call Run with a factory for a fresh device.
+package devtest
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+)
+
+// Run exercises the device.Device contract against fresh instances from
+// mk. The factory must return an unused device each call.
+func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
+	t.Run(name+"/identity", func(t *testing.T) {
+		d := mk(t)
+		if d.Capacity() <= 0 {
+			t.Fatalf("Capacity = %d, want > 0", d.Capacity())
+		}
+		if d.SectorSize() <= 0 {
+			t.Fatalf("SectorSize = %d, want > 0", d.SectorSize())
+		}
+		if d.Now() != 0 {
+			t.Fatalf("fresh device Now = %g, want 0", d.Now())
+		}
+	})
+
+	t.Run(name+"/rejects-bad-requests", func(t *testing.T) {
+		d := mk(t)
+		bad := []device.Request{
+			{LBN: 0, Sectors: 0},
+			{LBN: 0, Sectors: -4},
+			{LBN: -1, Sectors: 1},
+			{LBN: d.Capacity(), Sectors: 1},
+			{LBN: d.Capacity() - 4, Sectors: 8},
+		}
+		for _, req := range bad {
+			if _, err := d.Serve(0, req); err == nil {
+				t.Errorf("request %+v accepted, want error", req)
+			}
+		}
+		if d.Now() != 0 {
+			t.Errorf("rejected requests advanced the clock to %g", d.Now())
+		}
+	})
+
+	t.Run(name+"/serves-edges", func(t *testing.T) {
+		d := mk(t)
+		for _, req := range []device.Request{
+			{LBN: 0, Sectors: 1},
+			{LBN: d.Capacity() - 1, Sectors: 1},
+		} {
+			res, err := d.Serve(d.Now(), req)
+			if err != nil {
+				t.Fatalf("Serve(%+v): %v", req, err)
+			}
+			if res.Done < res.Issue || res.Start < res.Issue || res.Done < res.Start {
+				t.Fatalf("Serve(%+v): incoherent times %+v", req, res)
+			}
+		}
+	})
+
+	t.Run(name+"/timing-and-clock", func(t *testing.T) {
+		d := mk(t)
+		at := 0.0
+		prevNow := d.Now()
+		for i := 0; i < 16; i++ {
+			req := device.Request{LBN: int64(i) * 61 % (d.Capacity() - 8), Sectors: 8, Write: i%3 == 0}
+			res, err := d.Serve(at, req)
+			if err != nil {
+				t.Fatalf("Serve %d: %v", i, err)
+			}
+			if res.Req != req {
+				t.Fatalf("Serve %d: result echoes %+v, want %+v", i, res.Req, req)
+			}
+			if res.Issue != at {
+				t.Fatalf("Serve %d: Issue = %g, want %g", i, res.Issue, at)
+			}
+			if res.Done < at {
+				t.Fatalf("Serve %d: Done %g before issue %g", i, res.Done, at)
+			}
+			if res.MediaEnd > res.Done {
+				t.Fatalf("Serve %d: MediaEnd %g after Done %g", i, res.MediaEnd, res.Done)
+			}
+			if d.Now() < prevNow {
+				t.Fatalf("Serve %d: Now went backwards (%g -> %g)", i, prevNow, d.Now())
+			}
+			if d.Now() < res.Done {
+				t.Fatalf("Serve %d: Now %g behind completion %g", i, d.Now(), res.Done)
+			}
+			prevNow = d.Now()
+			at = res.Done // onereq
+		}
+		if at <= 0 {
+			t.Fatal("no virtual time elapsed over 16 requests")
+		}
+	})
+
+	t.Run(name+"/capabilities-coherent", func(t *testing.T) {
+		d := mk(t)
+		if bp, ok := d.(device.BoundaryProvider); ok {
+			b := bp.TrackBoundaries()
+			if len(b) == 0 {
+				t.Skip("device declares no boundaries")
+			}
+			if len(b) < 2 {
+				t.Fatalf("boundary list of %d entries", len(b))
+			}
+			if b[0] != 0 || b[len(b)-1] != d.Capacity() {
+				t.Fatalf("boundaries span [%d,%d], want [0,%d]", b[0], b[len(b)-1], d.Capacity())
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					t.Fatalf("boundaries not ascending at %d: %d, %d", i, b[i-1], b[i])
+				}
+			}
+		}
+		if r, ok := d.(device.Rotational); ok {
+			if r.RotationPeriod() < 0 {
+				t.Fatalf("negative rotation period %g", r.RotationPeriod())
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package striped implements a multi-disk array device: the paper's
+// track-aligned ideas at RAID scale. The array's stripe units are by
+// default the children's own traxtents — array track j is child
+// (j mod N)'s track (j div N), whatever its individual length — so a
+// stripe-unit-aligned read is exactly one zero-latency whole-track
+// access on one child even as track sizes drift across zones, spare
+// areas, and slipped defects, and a full-stripe read drives all N
+// children in parallel with one such access each. Fixed-size chunks
+// (ordinary RAID-0) are available via WithChunkSectors.
+//
+// The array is itself a device.BoundaryProvider whose "tracks" are its
+// stripe units, so a traxtent table built over the array (via the
+// facade's GroundTruthTable) aligns requests to stripe units exactly as
+// a single-disk table aligns them to tracks.
+package striped
+
+import (
+	"fmt"
+	"sort"
+
+	"traxtents/internal/device"
+)
+
+// config collects constructor options.
+type config struct {
+	chunkSectors int64
+}
+
+// Option configures the array.
+type Option func(*config)
+
+// WithChunkSectors switches the array from traxtent-matched (variable)
+// stripe units to fixed chunks of n sectors, as in an ordinary RAID-0.
+// Fixed chunks do not follow the children's track-size drift, so
+// chunk-aligned reads are only track-aligned where the grid happens to
+// coincide with a child boundary.
+func WithChunkSectors(n int64) Option {
+	return func(c *config) { c.chunkSectors = n }
+}
+
+// Array is a striped multi-device array.
+type Array struct {
+	children []device.Device
+	// bounds[j] is the array LBN where stripe unit j starts; the last
+	// entry is the capacity. Unit j lives on child j mod N, starting at
+	// child LBN childLBN[j].
+	bounds     []int64
+	childLBN   []int64
+	uniform    int64 // stripe unit when all are equal (fixed chunks), else 0
+	sectorSize int
+	period     float64 // common child rotation period, 0 if mixed/unknown
+	lastDone   float64
+}
+
+var (
+	_ device.Device           = (*Array)(nil)
+	_ device.Rotational       = (*Array)(nil)
+	_ device.BoundaryProvider = (*Array)(nil)
+	_ device.Named            = (*Array)(nil)
+)
+
+// New builds an array over the given children (at least one; they must
+// share a sector size). Without options every child must expose its
+// track boundaries, and the stripe units become the children's own
+// traxtents; with WithChunkSectors the units are a fixed grid, and
+// capacity is the largest whole number of stripes on the smallest
+// child.
+func New(children []device.Device, opts ...Option) (*Array, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("striped: no children")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	a := &Array{children: children, sectorSize: children[0].SectorSize()}
+	minCap := children[0].Capacity()
+	for i, c := range children {
+		if c.SectorSize() != a.sectorSize {
+			return nil, fmt.Errorf("striped: child %d sector size %d != %d", i, c.SectorSize(), a.sectorSize)
+		}
+		if cc := c.Capacity(); cc < minCap {
+			minCap = cc
+		}
+	}
+
+	// Per-child stripe-unit boundary lists.
+	childBounds := make([][]int64, len(children))
+	if cfg.chunkSectors != 0 {
+		if cfg.chunkSectors < 0 {
+			return nil, fmt.Errorf("striped: chunk of %d sectors", cfg.chunkSectors)
+		}
+		per := minCap / cfg.chunkSectors
+		if per == 0 {
+			return nil, fmt.Errorf("striped: chunk of %d sectors exceeds smallest child (%d LBNs)", cfg.chunkSectors, minCap)
+		}
+		grid := make([]int64, per+1)
+		for i := range grid {
+			grid[i] = int64(i) * cfg.chunkSectors
+		}
+		for i := range children {
+			childBounds[i] = grid
+		}
+		a.uniform = cfg.chunkSectors
+	} else {
+		for i, c := range children {
+			bp, ok := c.(device.BoundaryProvider)
+			if !ok {
+				return nil, fmt.Errorf("striped: child %d exposes no track boundaries (use WithChunkSectors)", i)
+			}
+			b := bp.TrackBoundaries()
+			if len(b) < 2 {
+				return nil, fmt.Errorf("striped: child %d has an empty boundary table (use WithChunkSectors)", i)
+			}
+			childBounds[i] = b
+		}
+	}
+
+	// Interleave: array unit j = child (j mod N)'s unit (j div N), up to
+	// the smallest child unit count so every stripe is complete.
+	units := len(childBounds[0]) - 1
+	for _, b := range childBounds[1:] {
+		if n := len(b) - 1; n < units {
+			units = n
+		}
+	}
+	n := len(children)
+	a.bounds = make([]int64, 0, units*n+1)
+	a.childLBN = make([]int64, 0, units*n)
+	at := int64(0)
+	a.bounds = append(a.bounds, 0)
+	for j := 0; j < units*n; j++ {
+		c, k := j%n, j/n
+		a.childLBN = append(a.childLBN, childBounds[c][k])
+		at += childBounds[c][k+1] - childBounds[c][k]
+		a.bounds = append(a.bounds, at)
+	}
+
+	// A common child rotation period is the array's; mixed spindles (or
+	// non-rotational children) leave it unknown.
+	for i, c := range children {
+		r, ok := c.(device.Rotational)
+		if !ok || r.RotationPeriod() <= 0 {
+			a.period = 0
+			break
+		}
+		if i == 0 {
+			a.period = r.RotationPeriod()
+		} else if r.RotationPeriod() != a.period {
+			a.period = 0
+			break
+		}
+	}
+	return a, nil
+}
+
+// Width returns the number of child devices.
+func (a *Array) Width() int { return len(a.children) }
+
+// ChunkSectors returns the fixed stripe unit in sectors, or 0 when the
+// units are traxtent-matched (variable).
+func (a *Array) ChunkSectors() int64 { return a.uniform }
+
+// Units returns the number of stripe units.
+func (a *Array) Units() int { return len(a.childLBN) }
+
+// Children exposes the child devices (for per-child statistics).
+func (a *Array) Children() []device.Device { return a.children }
+
+// Capacity returns the number of addressable LBNs.
+func (a *Array) Capacity() int64 { return a.bounds[len(a.bounds)-1] }
+
+// SectorSize returns the sector size in bytes.
+func (a *Array) SectorSize() int { return a.sectorSize }
+
+// Now returns the completion time of the last request serviced.
+func (a *Array) Now() float64 { return a.lastDone }
+
+// RotationPeriod returns the children's common revolution time, or 0
+// when the children disagree or are not rotational.
+func (a *Array) RotationPeriod() float64 { return a.period }
+
+// Name identifies the array configuration.
+func (a *Array) Name() string {
+	if a.uniform > 0 {
+		return fmt.Sprintf("striped[%dx%d]", len(a.children), a.uniform)
+	}
+	return fmt.Sprintf("striped[%dxtraxtent]", len(a.children))
+}
+
+// TrackBoundaries returns the stripe-unit boundaries: the array's
+// traxtents are its stripe units.
+func (a *Array) TrackBoundaries() []int64 {
+	out := make([]int64, len(a.bounds))
+	copy(out, a.bounds)
+	return out
+}
+
+// unitOf returns the stripe unit holding the array LBN.
+func (a *Array) unitOf(lbn int64) int {
+	// First boundary strictly greater than lbn, minus one.
+	return sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] > lbn }) - 1
+}
+
+// span is one contiguous piece of a request on one child.
+type span struct {
+	child   int
+	lbn     int64
+	sectors int
+}
+
+// split carves a request into per-child contiguous spans. Stripe units
+// landing on the same child (a request spanning at least a full stripe)
+// are contiguous on that child and are merged into one sub-request.
+func (a *Array) split(req device.Request) []span {
+	byChild := make([][]span, len(a.children))
+	lbn := req.LBN
+	left := int64(req.Sectors)
+	j := a.unitOf(lbn)
+	for left > 0 {
+		n := a.bounds[j+1] - lbn // sectors to the unit boundary
+		if n > left {
+			n = left
+		}
+		c := j % len(a.children)
+		cl := a.childLBN[j] + (lbn - a.bounds[j])
+		if ps := byChild[c]; len(ps) > 0 && ps[len(ps)-1].lbn+int64(ps[len(ps)-1].sectors) == cl {
+			ps[len(ps)-1].sectors += int(n)
+		} else {
+			byChild[c] = append(ps, span{child: c, lbn: cl, sectors: int(n)})
+		}
+		lbn += n
+		left -= n
+		j++
+	}
+	var out []span
+	for _, ps := range byChild {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// Serve services one request: each per-child span is issued at the
+// request's issue time (the children position and transfer in
+// parallel), and the array's completion is the last child's. The
+// aggregate Result has no media-phase breakdown — per-child timing is
+// available from the children themselves.
+func (a *Array) Serve(at float64, req device.Request) (device.Result, error) {
+	if err := device.CheckRequest(a, req); err != nil {
+		return device.Result{}, err
+	}
+	res := device.Result{Req: req, Issue: at, CacheHit: true}
+	first := true
+	for _, s := range a.split(req) {
+		sub := device.Request{LBN: s.lbn, Sectors: s.sectors, Write: req.Write, FUA: req.FUA}
+		r, err := a.children[s.child].Serve(at, sub)
+		if err != nil {
+			return device.Result{}, fmt.Errorf("striped: child %d: %w", s.child, err)
+		}
+		if first || r.Start < res.Start {
+			res.Start = r.Start
+		}
+		if r.MediaEnd > res.MediaEnd {
+			res.MediaEnd = r.MediaEnd
+		}
+		if r.Done > res.Done {
+			res.Done = r.Done
+		}
+		res.BusTime += r.BusTime
+		res.Prefetched += r.Prefetched
+		res.CacheHit = res.CacheHit && r.CacheHit
+		first = false
+	}
+	if res.Done > a.lastDone {
+		a.lastDone = res.Done
+	}
+	return res, nil
+}

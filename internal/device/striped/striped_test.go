@@ -1,0 +1,224 @@
+package striped_test
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/striped"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+)
+
+func disks(t *testing.T, n int) ([]device.Device, []*sim.Disk) {
+	t.Helper()
+	m := model.MustGet("HP-C2247")
+	var devs []device.Device
+	var raw []*sim.Disk
+	for i := 0; i < n; i++ {
+		cfg := m.DefaultConfig()
+		cfg.Seed = int64(i)
+		d, err := m.NewDisk(cfg)
+		if err != nil {
+			t.Fatalf("NewDisk: %v", err)
+		}
+		devs = append(devs, d)
+		raw = append(raw, d)
+	}
+	return devs, raw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := striped.New(nil); err == nil {
+		t.Error("empty child list accepted")
+	}
+	devs, _ := disks(t, 2)
+	if _, err := striped.New(devs, striped.WithChunkSectors(-8)); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	if _, err := striped.New(devs, striped.WithChunkSectors(devs[0].Capacity()+1)); err == nil {
+		t.Error("chunk larger than a child accepted")
+	}
+}
+
+// TestDefaultTraxtentStriping: without options, array stripe unit j is
+// child (j mod N)'s track (j div N) — variable lengths and all.
+func TestDefaultTraxtentStriping(t *testing.T) {
+	devs, raw := disks(t, 3)
+	a, err := striped.New(devs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.ChunkSectors() != 0 {
+		t.Fatalf("traxtent mode reports fixed chunk %d", a.ChunkSectors())
+	}
+	bounds := a.TrackBoundaries()
+	var childB [][]int64
+	for _, d := range raw {
+		childB = append(childB, d.TrackBoundaries())
+	}
+	if len(bounds) < 100 {
+		t.Fatalf("only %d array boundaries", len(bounds))
+	}
+	for j := 0; j < len(bounds)-1; j++ {
+		c, k := j%3, j/3
+		want := childB[c][k+1] - childB[c][k]
+		if got := bounds[j+1] - bounds[j]; got != want {
+			t.Fatalf("array unit %d is %d sectors, want child %d track %d length %d",
+				j, got, c, k, want)
+		}
+	}
+	// An aligned stripe-unit read is one whole-track access on exactly
+	// one child.
+	table := bounds
+	for _, j := range []int{0, 7, len(table) - 2} {
+		before := make([]int, len(raw))
+		for i, d := range raw {
+			before[i] = d.Stats().Requests
+		}
+		sz := table[j+1] - table[j]
+		if _, err := a.Serve(a.Now(), device.Request{LBN: table[j], Sectors: int(sz), FUA: true}); err != nil {
+			t.Fatalf("Serve unit %d: %v", j, err)
+		}
+		served := 0
+		for i, d := range raw {
+			if got := d.Stats().Requests - before[i]; got > 0 {
+				served++
+				if i != j%3 || got != 1 {
+					t.Fatalf("unit %d: child %d served %d requests", j, i, got)
+				}
+			}
+		}
+		if served != 1 {
+			t.Fatalf("unit %d touched %d children", j, served)
+		}
+	}
+}
+
+func TestCapacityAndBoundaries(t *testing.T) {
+	devs, _ := disks(t, 3)
+	const chunk = 96
+	a, err := striped.New(devs, striped.WithChunkSectors(chunk))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	per := devs[0].Capacity() / chunk
+	if want := per * chunk * 3; a.Capacity() != want {
+		t.Fatalf("Capacity = %d, want %d", a.Capacity(), want)
+	}
+	bounds := a.TrackBoundaries()
+	if int64(len(bounds)) != a.Capacity()/chunk+1 {
+		t.Fatalf("%d boundaries for %d chunks", len(bounds), a.Capacity()/chunk)
+	}
+	for i, b := range bounds {
+		if b != int64(i)*chunk {
+			t.Fatalf("boundary %d = %d, want %d", i, b, int64(i)*chunk)
+		}
+	}
+}
+
+// TestRoundRobinPlacement serves one-sector reads chunk by chunk and
+// checks, via the children's own statistics, that chunk c lands on
+// child c mod N.
+func TestRoundRobinPlacement(t *testing.T) {
+	devs, raw := disks(t, 3)
+	const chunk = 64
+	a, err := striped.New(devs, striped.WithChunkSectors(chunk))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for c := int64(0); c < 9; c++ {
+		before := make([]int, len(raw))
+		for i, d := range raw {
+			before[i] = d.Stats().Requests
+		}
+		if _, err := a.Serve(a.Now(), device.Request{LBN: c * chunk, Sectors: 1, FUA: true}); err != nil {
+			t.Fatalf("Serve chunk %d: %v", c, err)
+		}
+		for i, d := range raw {
+			got := d.Stats().Requests - before[i]
+			want := 0
+			if int64(i) == c%3 {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("chunk %d: child %d served %d requests, want %d", c, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFullStripeCoalesces: a request spanning a whole stripe issues
+// exactly one contiguous sub-request per child.
+func TestFullStripeCoalesces(t *testing.T) {
+	devs, raw := disks(t, 3)
+	const chunk = 64
+	a, err := striped.New(devs, striped.WithChunkSectors(chunk))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Two full stripes: chunks 0..5 → each child gets chunks (i, i+3),
+	// which are contiguous on the child and must coalesce to one request.
+	res, err := a.Serve(0, device.Request{LBN: 0, Sectors: 6 * chunk})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if res.Done <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	for i, d := range raw {
+		st := d.Stats()
+		if st.Requests != 1 {
+			t.Errorf("child %d served %d requests, want 1 (coalesced)", i, st.Requests)
+		}
+		if st.SectorsOut != 2*chunk {
+			t.Errorf("child %d transferred %d sectors, want %d", i, st.SectorsOut, 2*chunk)
+		}
+	}
+}
+
+// TestParallelService: a full-stripe read finishes in roughly the time
+// of one chunk on one disk, not N chunks — the point of striping.
+func TestParallelService(t *testing.T) {
+	devs, _ := disks(t, 4)
+	single := devs[0]
+	arr, err := striped.New(devs[1:], striped.WithChunkSectors(96))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	total := 3 * 96 // one full stripe of the 3-wide array
+	rs, err := single.Serve(0, device.Request{LBN: 0, Sectors: total, FUA: true})
+	if err != nil {
+		t.Fatalf("single Serve: %v", err)
+	}
+	ra, err := arr.Serve(0, device.Request{LBN: 0, Sectors: total, FUA: true})
+	if err != nil {
+		t.Fatalf("array Serve: %v", err)
+	}
+	if ra.Response() >= rs.Response() {
+		t.Fatalf("striped full-stripe read (%.3f ms) not faster than one disk (%.3f ms)",
+			ra.Response(), rs.Response())
+	}
+}
+
+func TestWriteReadMix(t *testing.T) {
+	devs, _ := disks(t, 2)
+	a, err := striped.New(devs, striped.WithChunkSectors(32))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	at := 0.0
+	for i := 0; i < 20; i++ {
+		res, err := a.Serve(at, device.Request{
+			LBN:     int64(i) * 17 % (a.Capacity() - 128),
+			Sectors: 1 + i*7%96, // spans chunk boundaries at various offsets
+			Write:   i%2 == 0,
+		})
+		if err != nil {
+			t.Fatalf("Serve %d: %v", i, err)
+		}
+		at = res.Done
+	}
+	if a.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}

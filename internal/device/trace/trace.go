@@ -1,0 +1,283 @@
+// Package trace implements trace-driven storage: a Recorder that wraps
+// any device and captures each request's observed service time, and a
+// Player that serves requests from such a trace without any simulator —
+// replay of a captured workload costs a map lookup per request.
+//
+// The Player models the device as a single server: a request issued at
+// time t starts at max(t, previous completion) and completes one
+// recorded service time later. Requests are matched to trace records by
+// (LBN, length, direction), each record consumed once in trace order,
+// so replaying the workload that produced the trace reproduces its
+// timing; unmatched requests fall back to the trace's mean service time
+// (or fail, under Strict).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"traxtents/internal/device"
+	"traxtents/internal/disk/geom"
+)
+
+// Record is one traced request: what was asked and how long the device
+// was dedicated to it (Start to Done, in ms).
+type Record struct {
+	LBN     int64   `json:"lbn"`
+	Sectors int     `json:"sectors"`
+	Write   bool    `json:"write,omitempty"`
+	Service float64 `json:"service_ms"`
+}
+
+// Trace is a captured workload plus the device identity needed to serve
+// it back: capacity, sector size, and (when the source device had them)
+// rotation period and track boundaries.
+type Trace struct {
+	Name           string   `json:"name,omitempty"`
+	Capacity       int64    `json:"capacity"`
+	SectorSize     int      `json:"sector_size"`
+	RotationPeriod float64  `json:"rotation_period_ms,omitempty"`
+	Boundaries     []int64  `json:"boundaries,omitempty"`
+	Records        []Record `json:"records"`
+}
+
+// Encode serializes the trace as JSON.
+func (tr Trace) Encode() ([]byte, error) { return json.Marshal(tr) }
+
+// Decode parses an encoded trace.
+func Decode(data []byte) (Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return Trace{}, fmt.Errorf("trace: decode: %w", err)
+	}
+	if tr.Capacity <= 0 || tr.SectorSize <= 0 {
+		return Trace{}, fmt.Errorf("trace: decoded header invalid (capacity %d, sector size %d)",
+			tr.Capacity, tr.SectorSize)
+	}
+	return tr, nil
+}
+
+// ---- Recorder ----
+
+// Recorder wraps a device, passing requests through while capturing a
+// Trace of them. It implements device.Device and forwards the wrapped
+// device's capabilities (rotation period, boundaries, layout, name), so
+// it can stand in for the wrapped device anywhere — including under
+// extraction or a striped array.
+type Recorder struct {
+	dev device.Device
+	tr  Trace
+}
+
+var (
+	_ device.Device           = (*Recorder)(nil)
+	_ device.Rotational       = (*Recorder)(nil)
+	_ device.BoundaryProvider = (*Recorder)(nil)
+	_ device.Mapped           = (*Recorder)(nil)
+	_ device.Named            = (*Recorder)(nil)
+)
+
+// NewRecorder wraps a device, snapshotting its identity (capacity,
+// sector size, rotation period, boundaries, name) into the trace header.
+func NewRecorder(d device.Device) *Recorder {
+	r := &Recorder{dev: d, tr: Trace{
+		Capacity:   d.Capacity(),
+		SectorSize: d.SectorSize(),
+	}}
+	if n, ok := d.(device.Named); ok {
+		r.tr.Name = n.Name()
+	}
+	if rot, ok := d.(device.Rotational); ok {
+		r.tr.RotationPeriod = rot.RotationPeriod()
+	}
+	if bp, ok := d.(device.BoundaryProvider); ok {
+		r.tr.Boundaries = bp.TrackBoundaries()
+	}
+	return r
+}
+
+// Serve forwards to the wrapped device and records the request.
+func (r *Recorder) Serve(at float64, req device.Request) (device.Result, error) {
+	res, err := r.dev.Serve(at, req)
+	if err != nil {
+		return res, err
+	}
+	r.tr.Records = append(r.tr.Records, Record{
+		LBN: req.LBN, Sectors: req.Sectors, Write: req.Write,
+		Service: res.Done - res.Start,
+	})
+	return res, nil
+}
+
+// Now returns the wrapped device's clock.
+func (r *Recorder) Now() float64 { return r.dev.Now() }
+
+// Capacity returns the wrapped device's capacity.
+func (r *Recorder) Capacity() int64 { return r.dev.Capacity() }
+
+// SectorSize returns the wrapped device's sector size.
+func (r *Recorder) SectorSize() int { return r.dev.SectorSize() }
+
+// RotationPeriod forwards the wrapped device's revolution time (0 when
+// it has none).
+func (r *Recorder) RotationPeriod() float64 { return r.tr.RotationPeriod }
+
+// TrackBoundaries forwards the wrapped device's boundaries (nil when it
+// has none).
+func (r *Recorder) TrackBoundaries() []int64 { return r.tr.Boundaries }
+
+// Layout forwards the wrapped device's physical mapping; nil when the
+// wrapped device is not Mapped, per the device.Mapped contract.
+func (r *Recorder) Layout() *geom.Layout {
+	if m, ok := r.dev.(device.Mapped); ok {
+		return m.Layout()
+	}
+	return nil
+}
+
+// Name identifies the wrapped device.
+func (r *Recorder) Name() string {
+	if r.tr.Name == "" {
+		return "recorder"
+	}
+	return r.tr.Name
+}
+
+// Trace returns a copy of the captured trace.
+func (r *Recorder) Trace() Trace {
+	tr := r.tr
+	tr.Records = append([]Record(nil), r.tr.Records...)
+	return tr
+}
+
+// ---- Player ----
+
+type key struct {
+	lbn     int64
+	sectors int
+	write   bool
+}
+
+// Player serves requests from a recorded trace.
+type Player struct {
+	tr     Trace
+	byKey  map[key][]int // record indexes, FIFO per key
+	mean   float64
+	strict bool
+
+	busy     float64 // single-server: time the device frees up
+	lastDone float64
+	misses   int
+}
+
+// Option configures a Player.
+type Option func(*Player)
+
+// Strict makes requests with no matching trace record fail instead of
+// falling back to the trace's mean service time.
+func Strict() Option { return func(p *Player) { p.strict = true } }
+
+var (
+	_ device.Device           = (*Player)(nil)
+	_ device.Rotational       = (*Player)(nil)
+	_ device.BoundaryProvider = (*Player)(nil)
+	_ device.Named            = (*Player)(nil)
+)
+
+// NewPlayer builds a replay device from a trace.
+func NewPlayer(tr Trace, opts ...Option) (*Player, error) {
+	if tr.Capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity %d", tr.Capacity)
+	}
+	if tr.SectorSize <= 0 {
+		return nil, fmt.Errorf("trace: sector size %d", tr.SectorSize)
+	}
+	p := &Player{tr: tr, byKey: make(map[key][]int, len(tr.Records))}
+	var sum float64
+	for i, rec := range tr.Records {
+		if rec.Sectors <= 0 || rec.LBN < 0 || rec.LBN+int64(rec.Sectors) > tr.Capacity {
+			return nil, fmt.Errorf("trace: record %d (%+v) outside device", i, rec)
+		}
+		if rec.Service < 0 {
+			return nil, fmt.Errorf("trace: record %d has negative service time", i)
+		}
+		k := key{rec.LBN, rec.Sectors, rec.Write}
+		p.byKey[k] = append(p.byKey[k], i)
+		sum += rec.Service
+	}
+	if n := len(tr.Records); n > 0 {
+		p.mean = sum / float64(n)
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// match consumes the next unused record for the request's key.
+func (p *Player) match(req device.Request) (float64, bool) {
+	k := key{req.LBN, req.Sectors, req.Write}
+	q := p.byKey[k]
+	if len(q) == 0 {
+		return 0, false
+	}
+	svc := p.tr.Records[q[0]].Service
+	p.byKey[k] = q[1:]
+	return svc, true
+}
+
+// Serve replays one request.
+func (p *Player) Serve(at float64, req device.Request) (device.Result, error) {
+	if err := device.CheckRequest(p, req); err != nil {
+		return device.Result{}, err
+	}
+	svc, ok := p.match(req)
+	if !ok {
+		if p.strict {
+			return device.Result{}, fmt.Errorf("trace: no record for %+v", req)
+		}
+		p.misses++
+		svc = p.mean
+	}
+	start := at
+	if p.busy > start {
+		start = p.busy
+	}
+	done := start + svc
+	p.busy = done
+	if done > p.lastDone {
+		p.lastDone = done
+	}
+	return device.Result{
+		Req: req, Issue: at, Start: start, MediaEnd: done, Done: done,
+	}, nil
+}
+
+// Now returns the completion time of the last request replayed.
+func (p *Player) Now() float64 { return p.lastDone }
+
+// Capacity returns the traced device's capacity.
+func (p *Player) Capacity() int64 { return p.tr.Capacity }
+
+// SectorSize returns the traced device's sector size.
+func (p *Player) SectorSize() int { return p.tr.SectorSize }
+
+// RotationPeriod returns the traced device's revolution time (0 when
+// the trace does not record one).
+func (p *Player) RotationPeriod() float64 { return p.tr.RotationPeriod }
+
+// TrackBoundaries returns the traced device's boundaries (nil when the
+// trace does not record them).
+func (p *Player) TrackBoundaries() []int64 { return p.tr.Boundaries }
+
+// Name identifies the traced device.
+func (p *Player) Name() string {
+	if p.tr.Name == "" {
+		return "trace-replay"
+	}
+	return "trace:" + p.tr.Name
+}
+
+// Misses returns how many requests found no matching record and were
+// served at the trace's mean service time.
+func (p *Player) Misses() int { return p.misses }

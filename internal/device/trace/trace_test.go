@@ -1,0 +1,175 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/trace"
+)
+
+func testTrace() trace.Trace {
+	return trace.Trace{
+		Name:       "unit",
+		Capacity:   10000,
+		SectorSize: 512,
+		Records: []trace.Record{
+			{LBN: 0, Sectors: 8, Service: 5},
+			{LBN: 0, Sectors: 8, Service: 3}, // same key, queued behind the first
+			{LBN: 100, Sectors: 16, Write: true, Service: 7},
+		},
+	}
+}
+
+func TestPlayerValidation(t *testing.T) {
+	bad := []trace.Trace{
+		{Capacity: 0, SectorSize: 512},
+		{Capacity: 100, SectorSize: 0},
+		{Capacity: 100, SectorSize: 512, Records: []trace.Record{{LBN: 99, Sectors: 2, Service: 1}}},
+		{Capacity: 100, SectorSize: 512, Records: []trace.Record{{LBN: 0, Sectors: 0, Service: 1}}},
+		{Capacity: 100, SectorSize: 512, Records: []trace.Record{{LBN: 0, Sectors: 1, Service: -2}}},
+	}
+	for i, tr := range bad {
+		if _, err := trace.NewPlayer(tr); err == nil {
+			t.Errorf("trace %d accepted: %+v", i, tr)
+		}
+	}
+}
+
+func TestReplayFIFOAndQueueing(t *testing.T) {
+	p, err := trace.NewPlayer(testTrace())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	// Records with the same key replay in trace order.
+	r1, err := p.Serve(0, device.Request{LBN: 0, Sectors: 8})
+	if err != nil || r1.Done-r1.Start != 5 {
+		t.Fatalf("first replay: %+v, %v", r1, err)
+	}
+	// Issued before the device frees up: queued behind r1.
+	r2, err := p.Serve(1, device.Request{LBN: 0, Sectors: 8})
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if r2.Start != r1.Done || r2.Done != r2.Start+3 {
+		t.Fatalf("second replay queued wrong: %+v after %+v", r2, r1)
+	}
+	// Issued after an idle gap: starts at its issue time.
+	r3, err := p.Serve(r2.Done+10, device.Request{LBN: 100, Sectors: 16, Write: true})
+	if err != nil {
+		t.Fatalf("third replay: %v", err)
+	}
+	if r3.Start != r2.Done+10 || r3.Done-r3.Start != 7 {
+		t.Fatalf("idle replay wrong: %+v", r3)
+	}
+	if p.Misses() != 0 {
+		t.Fatalf("misses = %d, want 0", p.Misses())
+	}
+}
+
+func TestReplayFallbackAndStrict(t *testing.T) {
+	p, err := trace.NewPlayer(testTrace())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	// Mean service of the trace is (5+3+7)/3 = 5.
+	r, err := p.Serve(0, device.Request{LBN: 500, Sectors: 4})
+	if err != nil {
+		t.Fatalf("fallback Serve: %v", err)
+	}
+	if got := r.Done - r.Start; got != 5 {
+		t.Fatalf("fallback service %g, want trace mean 5", got)
+	}
+	if p.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", p.Misses())
+	}
+
+	strict, err := trace.NewPlayer(testTrace(), trace.Strict())
+	if err != nil {
+		t.Fatalf("NewPlayer(strict): %v", err)
+	}
+	if _, err := strict.Serve(0, device.Request{LBN: 500, Sectors: 4}); err == nil {
+		t.Fatal("strict player served an untraced request")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := testTrace()
+	tr.RotationPeriod = 6
+	tr.Boundaries = []int64{0, 5000, 10000}
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := trace.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Name != tr.Name || back.Capacity != tr.Capacity ||
+		back.SectorSize != tr.SectorSize || back.RotationPeriod != tr.RotationPeriod ||
+		len(back.Records) != len(tr.Records) || len(back.Boundaries) != 3 {
+		t.Fatalf("round trip mangled the trace: %+v", back)
+	}
+	for i := range tr.Records {
+		if back.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back.Records[i], tr.Records[i])
+		}
+	}
+
+	if _, err := trace.Decode([]byte("not json")); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := trace.Decode([]byte(`{"capacity":0,"sector_size":512}`)); err == nil {
+		t.Error("headerless trace decoded")
+	}
+	if !strings.Contains(string(data), "service_ms") {
+		t.Error("encoding does not carry service times")
+	}
+}
+
+// fakeDev is a minimal Device (no optional capabilities) for Recorder
+// identity tests.
+type fakeDev struct{ now float64 }
+
+func (f *fakeDev) Serve(at float64, req device.Request) (device.Result, error) {
+	if err := device.CheckRequest(f, req); err != nil {
+		return device.Result{}, err
+	}
+	start := at
+	if f.now > start {
+		start = f.now
+	}
+	done := start + 2.5
+	f.now = done
+	return device.Result{Req: req, Issue: at, Start: start, MediaEnd: done, Done: done}, nil
+}
+func (f *fakeDev) Now() float64    { return f.now }
+func (f *fakeDev) Capacity() int64 { return 4096 }
+func (f *fakeDev) SectorSize() int { return 512 }
+
+func TestRecorderSnapshotsIdentity(t *testing.T) {
+	rec := trace.NewRecorder(&fakeDev{})
+	if rec.Capacity() != 4096 || rec.SectorSize() != 512 {
+		t.Fatalf("recorder identity %d/%d", rec.Capacity(), rec.SectorSize())
+	}
+	if _, err := rec.Serve(0, device.Request{LBN: 0, Sectors: 8}); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	// Failed requests are not recorded.
+	if _, err := rec.Serve(0, device.Request{LBN: 5000, Sectors: 8}); err == nil {
+		t.Fatal("out-of-range request accepted")
+	}
+	tr := rec.Trace()
+	if len(tr.Records) != 1 || tr.Records[0].Service != 2.5 {
+		t.Fatalf("trace records: %+v", tr.Records)
+	}
+	if tr.RotationPeriod != 0 || tr.Boundaries != nil || tr.Name != "" {
+		t.Fatalf("capability-free device leaked identity: %+v", tr)
+	}
+	// The snapshot is a copy: appending to it must not affect the
+	// recorder.
+	_ = append(tr.Records, trace.Record{})
+	if got := len(rec.Trace().Records); got != 1 {
+		t.Fatalf("recorder trace grew to %d records", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"traxtents/internal/device"
 	"traxtents/internal/disk/geom"
 	"traxtents/internal/disk/mech"
 )
@@ -53,38 +54,12 @@ type Config struct {
 	Seed int64
 }
 
-// Request is one host command.
-type Request struct {
-	LBN     int64
-	Sectors int
-	Write   bool
-	// FUA (Force Unit Access) forces a media access: the firmware cache
-	// and prefetch stream are bypassed and not updated. Extraction tools
-	// use it to reposition the head deterministically.
-	FUA bool
-}
-
-// Bytes returns the request's payload size.
-func (r Request) Bytes(sectorSize int) int64 { return int64(r.Sectors) * int64(sectorSize) }
+// Request is one host command; it is the canonical device-layer request
+// type, aliased here because the simulator predates internal/device.
+type Request = device.Request
 
 // Result is the full timing record of one serviced request.
-type Result struct {
-	Req   Request
-	Issue float64 // host issues the command
-	Start float64 // mechanism dedicated to the request (0-width for hits)
-	// MediaEnd is when the media transfer completes (= Start for cache
-	// hits). Done is when the host sees completion, including the bus.
-	MediaEnd float64
-	Done     float64
-
-	Timing     mech.Timing // media-phase breakdown; zero for cache hits
-	BusTime    float64     // time the bus was dedicated to this request
-	CacheHit   bool
-	Prefetched int // sectors served from the firmware prefetch stream
-}
-
-// Response returns the host-observed response time.
-func (r Result) Response() float64 { return r.Done - r.Issue }
+type Result = device.Result
 
 // Stats aggregates disk activity.
 type Stats struct {
@@ -136,6 +111,36 @@ func (d *Disk) Now() float64 { return d.lastDone }
 
 // HeadPos returns the current head position (useful in tests).
 func (d *Disk) HeadPos() mech.Pos { return d.headPos }
+
+// Disk implements device.Device and all of its optional capabilities.
+var (
+	_ device.Device           = (*Disk)(nil)
+	_ device.Rotational       = (*Disk)(nil)
+	_ device.BoundaryProvider = (*Disk)(nil)
+	_ device.Mapped           = (*Disk)(nil)
+	_ device.Named            = (*Disk)(nil)
+)
+
+// Serve services one request issued at the given time (device.Device).
+func (d *Disk) Serve(at float64, req Request) (Result, error) { return d.SubmitAt(at, req) }
+
+// Capacity returns the number of addressable LBNs.
+func (d *Disk) Capacity() int64 { return d.Lay.NumLBNs() }
+
+// SectorSize returns the sector size in bytes.
+func (d *Disk) SectorSize() int { return d.Lay.G.SectorSize }
+
+// RotationPeriod returns the spindle revolution time in ms.
+func (d *Disk) RotationPeriod() float64 { return d.M.Period() }
+
+// TrackBoundaries returns the layout's ground-truth track boundaries.
+func (d *Disk) TrackBoundaries() []int64 { return d.Lay.Boundaries() }
+
+// Layout exposes the full logical-to-physical mapping (device.Mapped).
+func (d *Disk) Layout() *geom.Layout { return d.Lay }
+
+// Name returns the drive's product name.
+func (d *Disk) Name() string { return d.Lay.G.Name }
 
 // sectorBusTime returns the bus time for one sector, or 0 for an
 // infinitely fast bus.

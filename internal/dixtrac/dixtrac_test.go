@@ -86,7 +86,7 @@ func TestCharacterizeAllSchemes(t *testing.T) {
 			if c.scheme != geom.SpareNone && res.SpareK != c.k {
 				t.Fatalf("SpareK = %d, want %d", res.SpareK, c.k)
 			}
-			truth := tgt.Disk().Lay.Boundaries()
+			truth := tgt.Device().(*sim.Disk).Lay.Boundaries()
 			boundariesEqual(t, res.Table.Boundaries(), truth, c.name)
 		})
 	}
@@ -107,7 +107,7 @@ func TestCharacterizeWithDefects(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Characterize: %v", err)
 	}
-	truth := tgt.Disk().Lay.Boundaries()
+	truth := tgt.Device().(*sim.Disk).Lay.Boundaries()
 	boundariesEqual(t, res.Table.Boundaries(), truth, "defects")
 	// Classification matches the geometry's handling.
 	for i, d := range res.Defects {
@@ -188,7 +188,7 @@ func TestFallbackMatchesTruth(t *testing.T) {
 		// The fallback discovers *LBN-range* boundaries: tracks with zero
 		// LBNs are invisible (they hold no range), which matches the
 		// ground-truth Boundaries() exactly.
-		truth := tgt.Disk().Lay.Boundaries()
+		truth := tgt.Device().(*sim.Disk).Lay.Boundaries()
 		boundariesEqual(t, table.Boundaries(), truth, scheme.s.String())
 		perTrack := float64(tgt.TranslationCount()) / float64(table.NumTracks())
 		if perTrack > 3.0 {
@@ -244,9 +244,9 @@ func TestCharacterizeRandomGeometries(t *testing.T) {
 			if ferr != nil {
 				t.Fatalf("trial %d: fallback also failed: %v", trial, ferr)
 			}
-			boundariesEqual(t, table.Boundaries(), tgt.Disk().Lay.Boundaries(), "fallback")
+			boundariesEqual(t, table.Boundaries(), tgt.Device().(*sim.Disk).Lay.Boundaries(), "fallback")
 			continue
 		}
-		boundariesEqual(t, res.Table.Boundaries(), tgt.Disk().Lay.Boundaries(), "characterize")
+		boundariesEqual(t, res.Table.Boundaries(), tgt.Device().(*sim.Disk).Lay.Boundaries(), "characterize")
 	}
 }

@@ -29,7 +29,7 @@ import (
 	"fmt"
 	"sort"
 
-	"traxtents/internal/disk/sim"
+	"traxtents/internal/device"
 	"traxtents/internal/traxtent"
 )
 
@@ -80,12 +80,18 @@ type Report struct {
 	SimulatedMs float64
 }
 
-// General extracts the disk's track boundary table by timing reads.
-func General(d *sim.Disk, opts Options) (*Report, error) {
+// General extracts the device's track boundary table by timing reads.
+// The method needs rotation-synchronized probes, so the device must be
+// a device.Rotational with a known (non-zero) period.
+func General(d device.Device, opts Options) (*Report, error) {
 	opts.fill()
-	total := d.Lay.NumLBNs()
+	total := d.Capacity()
 	if total <= 0 {
 		return nil, errors.New("extract: empty disk")
+	}
+	rot, ok := d.(device.Rotational)
+	if !ok || rot.RotationPeriod() <= 0 {
+		return nil, errors.New("extract: device has no known rotation period (required for timing-based extraction)")
 	}
 	// Each region should span several tracks, or the fixed per-region
 	// costs (phase tuning, first-boundary search) dominate and the
@@ -99,7 +105,7 @@ func General(d *sim.Disk, opts Options) (*Report, error) {
 		}
 	}
 
-	e := &engine{d: d, opts: opts, period: d.M.Period()}
+	e := &engine{d: d, opts: opts, period: rot.RotationPeriod()}
 
 	// Carve the LBN space into k regions.
 	type region struct{ start, end int64 }
@@ -175,7 +181,7 @@ func General(d *sim.Disk, opts Options) (*Report, error) {
 					r := doneRanges[int(dummies)%len(doneRanges)]
 					if span := r.end - r.start; span > 16 {
 						lbn := r.start + (dummies*127)%(span-8)
-						if _, err := e.d.SubmitAt(e.d.Now(), sim.Request{LBN: lbn, Sectors: 8}); err == nil {
+						if _, err := e.d.Serve(e.d.Now(), device.Request{LBN: lbn, Sectors: 8}); err == nil {
 							e.reads++
 						}
 					}
@@ -214,7 +220,7 @@ func General(d *sim.Disk, opts Options) (*Report, error) {
 
 // engine issues rotation-synchronized measurements.
 type engine struct {
-	d      *sim.Disk
+	d      device.Device
 	opts   Options
 	period float64
 	reads  int
@@ -231,7 +237,7 @@ type engine struct {
 // regardless of the firmware cache. This makes the seek to the target
 // constant per probe point.
 func (e *engine) measureOnce(lbn, anchor int64, n int, phase float64) float64 {
-	if _, err := e.d.SubmitAt(e.d.Now(), sim.Request{LBN: anchor, Sectors: 1, FUA: true}); err == nil {
+	if _, err := e.d.Serve(e.d.Now(), device.Request{LBN: anchor, Sectors: 1, FUA: true}); err == nil {
 		e.reads++
 	}
 	now := e.d.Now()
@@ -245,7 +251,7 @@ func (e *engine) measureOnce(lbn, anchor int64, n int, phase float64) float64 {
 	if t < now {
 		t += e.period
 	}
-	res, err := e.d.SubmitAt(t, sim.Request{LBN: lbn, Sectors: n})
+	res, err := e.d.Serve(t, device.Request{LBN: lbn, Sectors: n})
 	if err != nil {
 		// Region logic clamps ranges; treat as a huge response so the
 		// caller's search backs off rather than crashing.
@@ -263,7 +269,7 @@ type measurer func(lbn int64, n int, phase float64) float64
 // first boundary at or past end (for seam stitching). It returns the
 // boundary list in order.
 func (e *engine) extractRegion(start, end int64, rawMeasure measurer) ([]int64, error) {
-	total := e.d.Lay.NumLBNs()
+	total := e.d.Capacity()
 	// Every legitimate probe pays at least the anchor-to-target seek; a
 	// response far below the region's floor can only be a firmware
 	// cache hit that slipped through the interleave. Retrying after the

@@ -20,7 +20,7 @@ package ffs
 import (
 	"fmt"
 
-	"traxtents/internal/disk/sim"
+	"traxtents/internal/device"
 	"traxtents/internal/traxtent"
 )
 
@@ -84,9 +84,9 @@ func (p *Params) fill() {
 	}
 }
 
-// FS is a simulated file system on a simulated disk.
+// FS is a simulated file system on a storage device.
 type FS struct {
-	D *sim.Disk
+	D device.Device
 	P Params
 
 	nblocks  int64
@@ -134,14 +134,14 @@ type File struct {
 	dirty []int64
 }
 
-// New formats a file system over the disk. In the Traxtent variant every
-// block spanning a track boundary is pre-marked used (§4.2.2).
-func New(d *sim.Disk, p Params) (*FS, error) {
+// New formats a file system over the device. In the Traxtent variant
+// every block spanning a track boundary is pre-marked used (§4.2.2).
+func New(d device.Device, p Params) (*FS, error) {
 	p.fill()
 	if p.Variant == Traxtent && p.Table == nil {
 		return nil, fmt.Errorf("ffs: traxtent variant requires a boundary table")
 	}
-	nblocks := d.Lay.NumLBNs() / p.BlockSectors
+	nblocks := d.Capacity() / p.BlockSectors
 	fs := &FS{
 		D: d, P: p,
 		nblocks:  nblocks,

@@ -3,7 +3,7 @@ package ffs
 import (
 	"fmt"
 
-	"traxtents/internal/disk/sim"
+	"traxtents/internal/device"
 )
 
 // ---- Allocation (§4.2.1/4.2.2) ----
@@ -120,12 +120,12 @@ func (fs *FS) commit(run []int64) {
 	if len(run) == 0 {
 		return
 	}
-	req := sim.Request{
+	req := device.Request{
 		LBN:     run[0] * fs.P.BlockSectors,
 		Sectors: int(int64(len(run)) * fs.P.BlockSectors),
 		Write:   true,
 	}
-	res, err := fs.D.SubmitAt(fs.now, req)
+	res, err := fs.D.Serve(fs.now, req)
 	if err != nil {
 		return // validated allocation; unreachable in practice
 	}
@@ -312,11 +312,11 @@ func (fs *FS) issueRead(f *File, lblkno int64, l int) float64 {
 	if c := fs.contigRun(f, lblkno); l > c {
 		l = c
 	}
-	req := sim.Request{
+	req := device.Request{
 		LBN:     f.blocks[lblkno] * fs.P.BlockSectors,
 		Sectors: int(int64(l) * fs.P.BlockSectors),
 	}
-	res, err := fs.D.SubmitAt(fs.now, req)
+	res, err := fs.D.Serve(fs.now, req)
 	if err != nil {
 		return fs.now
 	}

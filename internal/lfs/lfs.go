@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"traxtents/internal/device"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/disk/sim"
 	"traxtents/internal/traxtent"
@@ -149,9 +150,9 @@ type SegmentInfo struct {
 }
 
 // LFS is a small log-structured store of fixed-size blocks over a
-// simulated disk, with traxtent-sized (variable) or fixed-size segments.
+// storage device, with traxtent-sized (variable) or fixed-size segments.
 type LFS struct {
-	d            *sim.Disk
+	d            device.Device
 	blockSectors int64
 
 	segs    []SegmentInfo
@@ -188,7 +189,7 @@ type segState struct {
 // NewLFS builds an LFS whose segments are the given extents (use a
 // traxtent.Table's tracks for track-matched variable segments, or
 // fixed-size extents for the baseline).
-func NewLFS(d *sim.Disk, segments []traxtent.Extent, blockSectors int64) (*LFS, error) {
+func NewLFS(d device.Device, segments []traxtent.Extent, blockSectors int64) (*LFS, error) {
 	if len(segments) == 0 {
 		return nil, fmt.Errorf("lfs: no segments")
 	}
@@ -275,7 +276,7 @@ func (l *LFS) Write(block int64) error {
 // flush writes the current segment to disk in one request.
 func (l *LFS) flush() error {
 	seg := l.segs[l.cur].Ext
-	res, err := l.d.SubmitAt(l.now, sim.Request{LBN: seg.Start, Sectors: int(l.curOff * l.blockSectors), Write: true})
+	res, err := l.d.Serve(l.now, device.Request{LBN: seg.Start, Sectors: int(l.curOff * l.blockSectors), Write: true})
 	if err != nil {
 		return err
 	}
@@ -330,7 +331,7 @@ func (l *LFS) Clean(n int) error {
 		}
 		// Read the whole victim (the cleaner reads segments wholesale).
 		seg := l.segs[victim].Ext
-		res, err := l.d.SubmitAt(l.now, sim.Request{LBN: seg.Start, Sectors: int(seg.Len)})
+		res, err := l.d.Serve(l.now, device.Request{LBN: seg.Start, Sectors: int(seg.Len)})
 		if err != nil {
 			return err
 		}

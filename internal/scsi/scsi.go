@@ -9,34 +9,56 @@
 //	READ / WRITE              — data commands with full service timing
 //	INQUIRY / MODE SENSE      — identity and (nominal) geometry
 //
-// The target answers translations from the simulated disk's layout table
-// — the same source of truth the mechanical model uses — and counts
-// them, because translation count is DIXtrac's efficiency metric
-// (fewer than 30,000 translations for a complete map, §4.1.2).
+// A target attaches to any device.Device. Data commands and READ
+// CAPACITY work against every backend; the diagnostic pages (address
+// translation, defect lists, mode geometry) need the device's physical
+// layout and are only served when the device implements device.Mapped —
+// on anything else they fail with ErrNoTranslation, exactly as a real
+// array controller refuses drive-internal diagnostic pages.
+//
+// The target answers translations from the device's layout table — the
+// same source of truth the mechanical model uses — and counts them,
+// because translation count is DIXtrac's efficiency metric (fewer than
+// 30,000 translations for a complete map, §4.1.2).
 package scsi
 
 import (
+	"errors"
 	"fmt"
 
+	"traxtents/internal/device"
 	"traxtents/internal/disk/geom"
-	"traxtents/internal/disk/sim"
 )
 
-// Target is a SCSI logical unit backed by a simulated disk.
+// ErrNoTranslation is returned for diagnostic-page commands on devices
+// that expose no physical mapping (no device.Mapped implementation).
+var ErrNoTranslation = errors.New("scsi: device exposes no address translation")
+
+// Target is a SCSI logical unit backed by a device.
 type Target struct {
-	disk *sim.Disk
+	dev device.Device
+	lay *geom.Layout // nil when the device is not Mapped
 
 	translations int
 	reads        int
 	writes       int
 }
 
-// NewTarget attaches a target to a disk.
-func NewTarget(d *sim.Disk) *Target { return &Target{disk: d} }
+// NewTarget attaches a target to a device.
+func NewTarget(d device.Device) *Target {
+	t := &Target{dev: d}
+	if m, ok := d.(device.Mapped); ok {
+		t.lay = m.Layout()
+	}
+	return t
+}
 
-// Disk exposes the backing disk (for experiments that mix raw access
-// with SCSI queries).
-func (t *Target) Disk() *sim.Disk { return t.disk }
+// Device exposes the backing device (for experiments that mix raw
+// access with SCSI queries).
+func (t *Target) Device() device.Device { return t.dev }
+
+// Mapped reports whether the diagnostic pages are available.
+func (t *Target) Mapped() bool { return t.lay != nil }
 
 // TranslationCount returns the number of address translations performed.
 func (t *Target) TranslationCount() int { return t.translations }
@@ -51,20 +73,26 @@ func (t *Target) ResetCounters() { t.translations, t.reads, t.writes = 0, 0, 0 }
 // ReadCapacity implements READ CAPACITY: the last valid LBN and the
 // block size in bytes.
 func (t *Target) ReadCapacity() (maxLBN int64, blockSize int) {
-	return t.disk.Lay.NumLBNs() - 1, t.disk.Lay.G.SectorSize
+	return t.dev.Capacity() - 1, t.dev.SectorSize()
 }
 
 // Inquiry returns vendor/product identification.
 func (t *Target) Inquiry() (vendor, product string) {
-	return "SIMULATD", t.disk.Lay.G.Name
+	if n, ok := t.dev.(device.Named); ok {
+		return "SIMULATD", n.Name()
+	}
+	return "SIMULATD", "UNKNOWN"
 }
 
 // ModeGeometry implements the rigid disk geometry mode page: nominal
 // cylinder and head counts. (Real drives often report rounded values
 // here; ours reports the true ones, and DIXtrac verifies them via
-// translation anyway.)
+// translation anyway.) Devices without a physical layout report 0, 0.
 func (t *Target) ModeGeometry() (cyls, heads int) {
-	return t.disk.Lay.G.Cyls, t.disk.Lay.G.Surfaces
+	if t.lay == nil {
+		return 0, 0
+	}
+	return t.lay.G.Cyls, t.lay.G.Surfaces
 }
 
 // TranslateLBN implements the SEND/RECEIVE DIAGNOSTIC address
@@ -72,7 +100,10 @@ func (t *Target) ModeGeometry() (cyls, heads int) {
 // resolve to their spare location, as on real drives.
 func (t *Target) TranslateLBN(lbn int64) (geom.PhysLoc, error) {
 	t.translations++
-	loc, err := t.disk.Lay.LBNToPhys(lbn)
+	if t.lay == nil {
+		return geom.PhysLoc{}, ErrNoTranslation
+	}
+	loc, err := t.lay.LBNToPhys(lbn)
 	if err != nil {
 		return geom.PhysLoc{}, fmt.Errorf("scsi: translate LBN %d: %w", lbn, err)
 	}
@@ -85,14 +116,17 @@ func (t *Target) TranslateLBN(lbn int64) (geom.PhysLoc, error) {
 // DIXtrac uses to discover the physical sectors-per-track.
 func (t *Target) TranslatePhys(loc geom.PhysLoc) (lbn int64, ok bool, err error) {
 	t.translations++
-	g := t.disk.Lay.G
+	if t.lay == nil {
+		return 0, false, ErrNoTranslation
+	}
+	g := t.lay.G
 	if loc.Cyl < 0 || int(loc.Cyl) >= g.Cyls || loc.Head < 0 || int(loc.Head) >= g.Surfaces {
 		return 0, false, fmt.Errorf("scsi: invalid physical address %v", loc)
 	}
 	if loc.Slot < 0 || int(loc.Slot) >= g.SPTOf(int(loc.Cyl)) {
 		return 0, false, fmt.Errorf("scsi: invalid physical address %v", loc)
 	}
-	lbn, ok = t.disk.Lay.PhysToLBN(loc)
+	lbn, ok = t.lay.PhysToLBN(loc)
 	return lbn, ok, nil
 }
 
@@ -103,10 +137,13 @@ type DefectEntry struct {
 }
 
 // ReadDefectList returns the requested defect lists (primary and/or
-// grown), in physical order.
+// grown), in physical order; nil on devices without a physical layout.
 func (t *Target) ReadDefectList(plist, glist bool) []DefectEntry {
+	if t.lay == nil {
+		return nil
+	}
 	var out []DefectEntry
-	for _, d := range t.disk.Lay.G.Defects {
+	for _, d := range t.lay.G.Defects {
 		if (d.Grown && glist) || (!d.Grown && plist) {
 			out = append(out, DefectEntry{Loc: d.Loc(), Grown: d.Grown})
 		}
@@ -116,13 +153,13 @@ func (t *Target) ReadDefectList(plist, glist bool) []DefectEntry {
 
 // Read issues a READ command at the given host time and returns the full
 // timing record.
-func (t *Target) Read(at float64, lbn int64, sectors int) (sim.Result, error) {
+func (t *Target) Read(at float64, lbn int64, sectors int) (device.Result, error) {
 	t.reads++
-	return t.disk.SubmitAt(at, sim.Request{LBN: lbn, Sectors: sectors})
+	return t.dev.Serve(at, device.Request{LBN: lbn, Sectors: sectors})
 }
 
 // Write issues a WRITE command.
-func (t *Target) Write(at float64, lbn int64, sectors int) (sim.Result, error) {
+func (t *Target) Write(at float64, lbn int64, sectors int) (device.Result, error) {
 	t.writes++
-	return t.disk.SubmitAt(at, sim.Request{LBN: lbn, Sectors: sectors, Write: true})
+	return t.dev.Serve(at, device.Request{LBN: lbn, Sectors: sectors, Write: true})
 }

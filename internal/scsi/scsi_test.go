@@ -40,7 +40,7 @@ func testTarget(t *testing.T) *Target {
 func TestReadCapacityAndInquiry(t *testing.T) {
 	tgt := testTarget(t)
 	maxLBN, bs := tgt.ReadCapacity()
-	if maxLBN != tgt.Disk().Lay.NumLBNs()-1 || bs != 512 {
+	if maxLBN != tgt.Device().Capacity()-1 || bs != 512 {
 		t.Fatalf("ReadCapacity = %d,%d", maxLBN, bs)
 	}
 	vendor, product := tgt.Inquiry()

@@ -14,9 +14,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"traxtents/internal/device"
 	"traxtents/internal/disk/model"
-	"traxtents/internal/disk/sim"
 	"traxtents/internal/stats"
+	"traxtents/internal/traxtent"
 )
 
 // Config describes the server.
@@ -27,6 +28,12 @@ type Config struct {
 	DeadlineQ   float64 // deadline-miss quantile (default 0.9999)
 	Rounds      int     // Monte-Carlo rounds per configuration (default 1000)
 	Seed        int64
+	// NewDevice overrides the storage backend: it is called once per
+	// Monte-Carlo measurement and must return a fresh device in a
+	// deterministic state. When nil, a simulated disk of the configured
+	// Model with its default firmware setup is used. HardRealTime is
+	// analytic and always uses the Model's mechanical parameters.
+	NewDevice func() (device.Device, error)
 }
 
 func (c *Config) fill() {
@@ -50,11 +57,27 @@ func (c *Config) fill() {
 // bytesPerMs returns the stream consumption rate in bytes per ms.
 func (c *Config) bytesPerMs() float64 { return c.BitRateMbps * 1e6 / 8 / 1000 }
 
-// Server evaluates admission for one disk of the array (streams are
+// Server evaluates admission for one device of the array (streams are
 // striped uniformly, so the array scales by Disks).
 type Server struct {
 	cfg Config
 	m   model.Model
+
+	table  *traxtent.Table // device boundary table; nil if unavailable
+	tracks int             // first-zone track size in sectors
+
+	// Content region, precomputed once from a probe device (NewDevice
+	// returns identical devices): the LBN range of the first (fastest)
+	// zone and the aligned track-start candidates within it. Video
+	// content lives in the first zone, whose track size matches the I/O
+	// size — the placement video servers use anyway (Tiger stores
+	// primary copies in the outer, faster zones; paper §6). Devices with
+	// a physical layout yield the exact first zone; devices that only
+	// expose track boundaries approximate it with the outermost eighth
+	// of the table; devices with neither cannot host the Monte Carlo
+	// (starts stays nil).
+	zFirst, zLast int64
+	starts        []int64
 }
 
 // New creates a server evaluator.
@@ -64,53 +87,111 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, m: m}, nil
+	s := &Server{cfg: cfg, m: m}
+	if s.cfg.NewDevice == nil {
+		s.cfg.NewDevice = func() (device.Device, error) {
+			return m.NewDisk(m.DefaultConfig())
+		}
+	}
+	// Probe one device for its boundary table, representative (largest,
+	// first-zone) track size, and content region.
+	d, err := s.cfg.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	if bp, ok := d.(device.BoundaryProvider); ok {
+		if b := bp.TrackBoundaries(); len(b) >= 2 {
+			if t, err := traxtent.New(b); err == nil {
+				s.table = t
+			}
+		}
+	}
+	if s.table != nil {
+		for i := 0; i < s.table.NumTracks(); i++ {
+			if l := int(s.table.Index(i).Len); l > s.tracks {
+				s.tracks = l
+			}
+		}
+	}
+	s.findRegion(d)
+	return s, nil
 }
 
 // Config returns the filled configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// RoundTimeQ measures, by Monte Carlo on the disk simulator, the
+// findRegion fills the content-region fields from the probe device.
+func (s *Server) findRegion(d device.Device) {
+	if m, ok := d.(device.Mapped); ok {
+		if lay := m.Layout(); lay != nil {
+			s.zFirst, s.zLast, _ = lay.ZoneLBNRange(0)
+			lastTrack := lay.G.TrackIndex(lay.G.Zones[0].LastCyl, lay.G.Surfaces-1)
+			for ti := 0; ti <= lastTrack; ti++ {
+				if first, count := lay.TrackRange(ti); count > 0 {
+					s.starts = append(s.starts, first)
+				}
+			}
+			return
+		}
+	}
+	if s.table != nil {
+		n := s.table.NumTracks() / 8
+		if n < 1 {
+			n = s.table.NumTracks()
+		}
+		for i := 0; i < n; i++ {
+			s.starts = append(s.starts, s.table.Index(i).Start)
+		}
+		s.zFirst = s.table.Index(0).Start
+		s.zLast = s.table.Index(n-1).End() - 1
+	}
+}
+
+// RoundTimeQ measures, by Monte Carlo on the configured device, the
 // DeadlineQ quantile of the time to complete v simultaneous requests of
 // ioSectors each (aligned: whole-track reads of that many sectors;
 // unaligned: same size at uncorrelated offsets). Requests in a round are
 // issued together and sorted by LBN — the per-round elevator schedule of
 // RIO/Tiger.
 func (s *Server) RoundTimeQ(v int, ioSectors int, aligned bool) (float64, error) {
-	d, err := s.m.NewDisk(s.m.DefaultConfig())
+	d, err := s.cfg.NewDevice()
 	if err != nil {
 		return 0, err
 	}
+	zFirst, zLast, starts := s.zFirst, s.zLast, s.starts
+	if len(starts) == 0 {
+		return 0, fmt.Errorf("video: device exposes neither a physical layout nor track boundaries")
+	}
+	span := zLast - zFirst + 1 - int64(ioSectors)
+	if aligned {
+		if len(starts) == 0 || starts[0]+int64(ioSectors) > zLast+1 {
+			return 0, fmt.Errorf("video: no aligned placement for %d-sector I/Os", ioSectors)
+		}
+	} else if span <= 0 {
+		return 0, fmt.Errorf("video: %d-sector I/Os exceed the content region", ioSectors)
+	}
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(v)*7 + int64(ioSectors)))
 	times := make([]float64, 0, s.cfg.Rounds)
-	// Video content lives in the first zone, whose track size matches the
-	// I/O size — the placement video servers use anyway (Tiger stores
-	// primary copies in the outer, faster zones; paper §6).
-	zFirst, zLast, _ := d.Lay.ZoneLBNRange(0)
-	zc := d.Lay.G.Zones[0]
-	firstTrack := 0
-	lastTrack := d.Lay.G.TrackIndex(zc.LastCyl, d.Lay.G.Surfaces-1)
 	for r := 0; r < s.cfg.Rounds; r++ {
 		lbns := make([]int64, 0, v)
 		for i := 0; i < v; i++ {
 			if aligned {
 				// A whole number of tracks starting at a track boundary.
-				ti := firstTrack + rng.Intn(lastTrack-firstTrack+1)
-				first, count := d.Lay.TrackRange(ti)
-				if count == 0 || first+int64(ioSectors) > zLast+1 {
+				lbn := starts[rng.Intn(len(starts))]
+				if lbn+int64(ioSectors) > zLast+1 {
 					i--
 					continue
 				}
-				lbns = append(lbns, first)
+				lbns = append(lbns, lbn)
 			} else {
-				lbns = append(lbns, zFirst+rng.Int63n(zLast-zFirst+1-int64(ioSectors)))
+				lbns = append(lbns, zFirst+rng.Int63n(span))
 			}
 		}
 		sortInt64(lbns)
 		start := d.Now()
 		var last float64
 		for _, lbn := range lbns {
-			res, err := d.SubmitAt(start, sim.Request{LBN: lbn, Sectors: ioSectors})
+			res, err := d.Serve(start, device.Request{LBN: lbn, Sectors: ioSectors})
 			if err != nil {
 				return 0, err
 			}
@@ -173,15 +254,9 @@ func (s *Server) StartupLatency(v int, aligned bool, maxIOSectors int) (latencyM
 	return 0, 0, false, nil
 }
 
-// trackSectors returns the first-zone track size in sectors.
-func (s *Server) trackSectors() int {
-	l, err := s.m.Layout()
-	if err != nil {
-		return 0
-	}
-	_, count := l.TrackRange(0)
-	return count
-}
+// trackSectors returns the device's first-zone (largest) track size in
+// sectors, from its boundary table.
+func (s *Server) trackSectors() int { return s.tracks }
 
 // TrackSectors exposes the first-zone track size (the paper's 264 KB on
 // the Atlas 10K II).

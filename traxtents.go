@@ -4,10 +4,13 @@
 //
 // The library provides, built entirely on the standard library:
 //
-//   - A calibrated disk drive simulator (zoned recording, skews, spare
+//   - A Device abstraction: everything above the storage layer speaks to
+//     a small request-service interface, with three backends — a
+//     calibrated disk drive simulator (zoned recording, skews, spare
 //     sectors, defect slipping/remapping, seek curves, zero-latency
 //     firmware, in-order SCSI bus, firmware cache) with models of the
-//     paper's Table 1 disks.
+//     paper's Table 1 disks, a traxtent-striped multi-disk array, and a
+//     trace-replay device for captured workloads.
 //   - Two track-boundary extraction methods: the general timing-based
 //     algorithm and the DIXtrac-style five-step SCSI characterization,
 //     both validated against the simulator's ground truth.
@@ -19,17 +22,22 @@
 //
 // Quick start:
 //
-//	m := traxtents.DiskModel("Quantum-Atlas10KII")
-//	d, _ := m.NewDisk(m.DefaultConfig())
+//	m, _ := traxtents.DiskModel("Quantum-Atlas10KII")
+//	d, _ := traxtents.NewDisk(m)
 //	rep, _ := traxtents.ExtractGeneral(d, traxtents.ExtractOptions{})
 //	ext, _ := rep.Table.Find(123456)     // the traxtent holding LBN 123456
 //	n, _ := rep.Table.Clip(123456, 1024) // clip a request at the boundary
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every figure and table.
+// See DESIGN.md for the layered architecture and the device-interface
+// contract.
 package traxtents
 
 import (
+	"fmt"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/striped"
+	"traxtents/internal/device/trace"
 	"traxtents/internal/disk/geom"
 	"traxtents/internal/disk/mech"
 	"traxtents/internal/disk/model"
@@ -45,7 +53,7 @@ import (
 
 // Core traxtent types.
 type (
-	// Table is a track-boundary table — the traxtent map of a disk.
+	// Table is a track-boundary table — the traxtent map of a device.
 	Table = traxtent.Table
 	// Extent is a contiguous LBN range.
 	Extent = traxtent.Extent
@@ -53,16 +61,34 @@ type (
 	Allocator = traxtent.Allocator
 )
 
-// Disk simulation types.
+// Device-layer types. Device is the storage interface every consumer
+// (extraction, SCSI target, FFS, LFS, video server) is written against;
+// *Disk, *StripedDevice, and *TraceDevice all implement it.
 type (
+	// Device is a storage device servicing timed requests.
+	Device = device.Device
+	// Request is one device command.
+	Request = device.Request
+	// Result is a serviced request's timing record.
+	Result = device.Result
 	// Disk is a simulated disk drive.
 	Disk = sim.Disk
-	// DiskConfig controls bus, cache, and firmware behaviour.
+	// DiskConfig controls a simulated disk's bus, cache, and firmware.
 	DiskConfig = sim.Config
-	// Request is one disk command.
-	Request = sim.Request
-	// Result is a serviced request's timing record.
-	Result = sim.Result
+	// StripedDevice is a traxtent-striped multi-device array.
+	StripedDevice = striped.Array
+	// StripedOption configures a striped array.
+	StripedOption = striped.Option
+	// TraceDevice replays a recorded request/latency trace.
+	TraceDevice = trace.Player
+	// TraceOption configures a trace-replay device.
+	TraceOption = trace.Option
+	// Trace is a captured workload with its device identity.
+	Trace = trace.Trace
+	// TraceRecord is one traced request.
+	TraceRecord = trace.Record
+	// Recorder wraps a Device and captures a Trace of its requests.
+	Recorder = trace.Recorder
 	// Model is a named, calibrated drive model.
 	Model = model.Model
 	// Geometry is the physical description of a drive.
@@ -104,6 +130,8 @@ const (
 	FFSTraxtent   = ffs.Traxtent
 )
 
+// ---- Traxtent tables ----
+
 // NewTable validates and adopts a boundary list.
 func NewTable(bounds []int64) (*Table, error) { return traxtent.New(bounds) }
 
@@ -113,23 +141,128 @@ func DecodeTable(data []byte) (*Table, error) { return traxtent.UnmarshalBinary(
 // NewAllocator creates a whole-traxtent allocator.
 func NewAllocator(t *Table) *Allocator { return traxtent.NewAllocator(t) }
 
+// GroundTruthTable returns the boundary table straight from a device
+// that knows its own layout (every simulated disk, striped arrays, and
+// trace devices recorded from one) — what extraction is validated
+// against. Devices without boundary knowledge return an error; run
+// ExtractGeneral or Characterize on them instead.
+func GroundTruthTable(d Device) (*Table, error) {
+	bp, ok := d.(device.BoundaryProvider)
+	if !ok {
+		return nil, fmt.Errorf("traxtents: device %T exposes no track boundaries", d)
+	}
+	b := bp.TrackBoundaries()
+	if len(b) < 2 {
+		return nil, fmt.Errorf("traxtents: device %T exposes no track boundaries", d)
+	}
+	return traxtent.New(b)
+}
+
+// ---- Disk models and the simulator backend ----
+
 // DiskModels lists the Table 1 drive models.
 func DiskModels() []string { return model.Names() }
 
-// DiskModel returns a named drive model; it panics on unknown names
-// (use LookupDiskModel for error handling).
-func DiskModel(name string) Model { return model.MustGet(name) }
+// DiskModel returns a named drive model.
+func DiskModel(name string) (Model, error) { return model.Get(name) }
 
-// LookupDiskModel returns a named drive model.
-func LookupDiskModel(name string) (Model, error) { return model.Get(name) }
+// MustDiskModel is DiskModel for static names in tests and examples; it
+// panics on unknown names.
+func MustDiskModel(name string) Model { return model.MustGet(name) }
 
-// ExtractGeneral runs the timing-based boundary extraction (§4.1.1).
-func ExtractGeneral(d *Disk, opts ExtractOptions) (*ExtractReport, error) {
+// DiskOption adjusts a simulated disk's configuration.
+type DiskOption func(*DiskConfig)
+
+// WithConfig replaces the whole configuration (a zero DiskConfig is a
+// bare drive on an infinitely fast bus, no cache).
+func WithConfig(cfg DiskConfig) DiskOption { return func(c *DiskConfig) { *c = cfg } }
+
+// WithCache sets the firmware read cache geometry; zero segments
+// disables caching.
+func WithCache(segments, segSectors int) DiskOption {
+	return func(c *DiskConfig) { c.CacheSegments, c.CacheSegSectors = segments, segSectors }
+}
+
+// WithReadAhead enables or disables firmware prefetch.
+func WithReadAhead(on bool) DiskOption { return func(c *DiskConfig) { c.ReadAhead = on } }
+
+// WithSeed fixes the seed of the disk's noise processes.
+func WithSeed(seed int64) DiskOption { return func(c *DiskConfig) { c.Seed = seed } }
+
+// WithBusMBps sets the bus bandwidth; 0 simulates an infinitely fast bus.
+func WithBusMBps(mbps float64) DiskOption { return func(c *DiskConfig) { c.BusMBps = mbps } }
+
+// WithCmdOverhead sets the per-command controller time in ms.
+func WithCmdOverhead(ms float64) DiskOption { return func(c *DiskConfig) { c.CmdOverhead = ms } }
+
+// WithSeekNoise adds |N(0,sd)| ms of positioning noise per access.
+func WithSeekNoise(sd float64) DiskOption { return func(c *DiskConfig) { c.SeekNoiseSD = sd } }
+
+// WithHostNoise adds |N(0,sd)| ms of host-observed completion jitter —
+// the noise timing-based extraction must tolerate.
+func WithHostNoise(sd float64) DiskOption { return func(c *DiskConfig) { c.HostNoiseSD = sd } }
+
+// WithOutOfOrderBus allows data delivery in media order (Figure 7).
+func WithOutOfOrderBus(on bool) DiskOption { return func(c *DiskConfig) { c.OutOfOrderBus = on } }
+
+// NewDisk builds a simulated disk of the given model. It starts from
+// the model's default configuration (the paper's experimental setup:
+// segmented firmware cache, read-ahead, the adapter's bus) and applies
+// the options in order.
+func NewDisk(m Model, opts ...DiskOption) (*Disk, error) {
+	cfg := m.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return m.NewDisk(cfg)
+}
+
+// ---- Multi-disk and trace-driven backends ----
+
+// WithChunkSectors switches a striped array to fixed chunks (ordinary
+// RAID-0) instead of traxtent-matched stripe units.
+func WithChunkSectors(n int64) StripedOption { return striped.WithChunkSectors(n) }
+
+// NewStripedDevice stripes the children into one device, round-robin in
+// stripe units that are by default the children's own traxtents: array
+// track j is child (j mod N)'s track (j div N), whatever its length, so
+// an aligned stripe-unit read costs exactly one zero-latency whole-track
+// access on one child, and full-stripe requests drive all children in
+// parallel. The array's GroundTruthTable is its stripe-unit map.
+func NewStripedDevice(children []Device, opts ...StripedOption) (*StripedDevice, error) {
+	return striped.New(children, opts...)
+}
+
+// NewRecorder wraps a device, capturing a Trace of every request served
+// through it.
+func NewRecorder(d Device) *Recorder { return trace.NewRecorder(d) }
+
+// NewTraceDevice builds a replay device from a captured trace: requests
+// are matched to trace records by (LBN, length, direction) and served
+// with the recorded service times, no simulator required.
+func NewTraceDevice(tr Trace, opts ...TraceOption) (*TraceDevice, error) {
+	return trace.NewPlayer(tr, opts...)
+}
+
+// StrictReplay makes a trace device fail requests with no matching
+// record instead of serving them at the trace's mean service time.
+func StrictReplay() TraceOption { return trace.Strict() }
+
+// DecodeTrace parses a JSON-encoded trace (see Trace.Encode).
+func DecodeTrace(data []byte) (Trace, error) { return trace.Decode(data) }
+
+// ---- Boundary extraction ----
+
+// ExtractGeneral runs the timing-based boundary extraction (§4.1.1) on
+// any rotational device.
+func ExtractGeneral(d Device, opts ExtractOptions) (*ExtractReport, error) {
 	return extract.General(d, opts)
 }
 
-// NewSCSITarget attaches a SCSI target to a simulated disk.
-func NewSCSITarget(d *Disk) *SCSITarget { return scsi.NewTarget(d) }
+// NewSCSITarget attaches a SCSI target to a device. Data commands work
+// on every backend; the diagnostic translation pages that Characterize
+// needs require a device with a physical layout (a simulated disk).
+func NewSCSITarget(d Device) *SCSITarget { return scsi.NewTarget(d) }
 
 // Characterize runs the DIXtrac five-step SCSI extraction (§4.1.2).
 func Characterize(t *SCSITarget) (*DIXtracResult, error) { return dixtrac.Characterize(t) }
@@ -138,17 +271,17 @@ func Characterize(t *SCSITarget) (*DIXtracResult, error) { return dixtrac.Charac
 // translations per track).
 func CharacterizeFallback(t *SCSITarget) (*Table, error) { return dixtrac.Fallback(t) }
 
-// NewFFS formats a simulated file system.
-func NewFFS(d *Disk, p FFSParams) (*FFS, error) { return ffs.New(d, p) }
+// ---- Case studies ----
 
-// NewVideoServer creates a video-server admission evaluator.
+// NewFFS formats a simulated file system over a device.
+func NewFFS(d Device, p FFSParams) (*FFS, error) { return ffs.New(d, p) }
+
+// NewVideoServer creates a video-server admission evaluator; set
+// VideoConfig.NewDevice to evaluate a non-simulator backend.
 func NewVideoServer(cfg VideoConfig) (*VideoServer, error) { return video.New(cfg) }
 
-// NewLFS builds a log-structured store over the given segments.
-func NewLFS(d *Disk, segments []Extent, blockSectors int64) (*LFS, error) {
+// NewLFS builds a log-structured store over the given segments of a
+// device.
+func NewLFS(d Device, segments []Extent, blockSectors int64) (*LFS, error) {
 	return lfs.NewLFS(d, segments, blockSectors)
 }
-
-// GroundTruthTable returns the boundary table straight from a simulated
-// disk's layout — what extraction is validated against.
-func GroundTruthTable(d *Disk) (*Table, error) { return traxtent.New(d.Lay.Boundaries()) }

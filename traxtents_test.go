@@ -14,12 +14,15 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if len(names) != 7 {
 		t.Fatalf("DiskModels: %v", names)
 	}
-	if _, err := traxtents.LookupDiskModel("nope"); err == nil {
+	if _, err := traxtents.DiskModel("nope"); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 
-	m := traxtents.DiskModel("Quantum-Atlas10KII")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m, err := traxtents.DiskModel("Quantum-Atlas10KII")
+	if err != nil {
+		t.Fatalf("DiskModel: %v", err)
+	}
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		t.Fatalf("NewDisk: %v", err)
 	}
@@ -74,10 +77,212 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTableRoundTripThroughFacade drives the Table encode/decode cycle
+// purely through facade entry points, boundary by boundary.
+func TestTableRoundTripThroughFacade(t *testing.T) {
+	d, err := traxtents.NewDisk(traxtents.MustDiskModel("Quantum-Atlas10K"),
+		traxtents.WithConfig(traxtents.DiskConfig{}))
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	table, err := traxtents.GroundTruthTable(d)
+	if err != nil {
+		t.Fatalf("GroundTruthTable: %v", err)
+	}
+	data, err := table.MarshalBinary()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := traxtents.DecodeTable(data)
+	if err != nil {
+		t.Fatalf("DecodeTable: %v", err)
+	}
+	want, got := table.Boundaries(), back.Boundaries()
+	if len(want) != len(got) {
+		t.Fatalf("round trip lost boundaries: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("boundary %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiskOptions checks that functional options reach the simulator.
+func TestDiskOptions(t *testing.T) {
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	d, err := traxtents.NewDisk(m,
+		traxtents.WithCache(0, 0),
+		traxtents.WithReadAhead(false),
+		traxtents.WithBusMBps(0),
+		traxtents.WithSeed(42),
+	)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	if d.Cfg.CacheSegments != 0 || d.Cfg.ReadAhead || d.Cfg.BusMBps != 0 || d.Cfg.Seed != 42 {
+		t.Fatalf("options not applied: %+v", d.Cfg)
+	}
+	// Same read twice: with the cache disabled the second is not a hit.
+	r1, err := d.Serve(0, traxtents.Request{LBN: 1000, Sectors: 64})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	r2, err := d.Serve(r1.Done, traxtents.Request{LBN: 1000, Sectors: 64})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if r1.CacheHit || r2.CacheHit {
+		t.Fatal("cache hit on a cache-disabled disk")
+	}
+}
+
+// TestStripedDeviceFacade builds a traxtent-striped array of simulated
+// disks through the facade, checks its table, and runs the FFS case
+// study over it — the interface decoupling the tentpole is about.
+func TestStripedDeviceFacade(t *testing.T) {
+	m := traxtents.MustDiskModel("HP-C2247")
+	var children []traxtents.Device
+	for i := 0; i < 3; i++ {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(int64(i)))
+		if err != nil {
+			t.Fatalf("NewDisk: %v", err)
+		}
+		children = append(children, d)
+	}
+	arr, err := traxtents.NewStripedDevice(children)
+	if err != nil {
+		t.Fatalf("NewStripedDevice: %v", err)
+	}
+	if arr.Width() != 3 {
+		t.Fatalf("Width = %d", arr.Width())
+	}
+	if got, each := arr.Capacity(), children[0].Capacity(); got <= each {
+		t.Fatalf("array capacity %d not larger than one child's %d", got, each)
+	}
+
+	table, err := traxtents.GroundTruthTable(arr)
+	if err != nil {
+		t.Fatalf("GroundTruthTable(array): %v", err)
+	}
+	if table.NumTracks() <= 0 {
+		t.Fatal("empty array table")
+	}
+	// Stripe units are the children's own traxtents, interleaved.
+	childTable, err := traxtents.GroundTruthTable(children[0])
+	if err != nil {
+		t.Fatalf("GroundTruthTable(child): %v", err)
+	}
+	for i := 0; i < 3*arr.Width(); i++ {
+		want := childTable.Index(i / arr.Width()).Len
+		if got := table.Index(i).Len; got != want {
+			t.Fatalf("array traxtent %d has %d sectors, want child track length %d",
+				i, got, want)
+		}
+	}
+
+	fs, err := traxtents.NewFFS(arr, traxtents.FFSParams{
+		Variant: traxtents.FFSTraxtent, Table: table,
+	})
+	if err != nil {
+		t.Fatalf("NewFFS over array: %v", err)
+	}
+	f, err := fs.Create("striped")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if err := fs.Write(f, i); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	fs.Sync()
+	for i := int64(0); i < 64; i++ {
+		if err := fs.Read(f, i); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if fs.Now() <= 0 {
+		t.Fatal("no time elapsed on the array")
+	}
+}
+
+// TestTraceDeviceFacade records a workload from a simulated disk, then
+// replays it through a trace device with no simulator behind it.
+func TestTraceDeviceFacade(t *testing.T) {
+	d, err := traxtents.NewDisk(traxtents.MustDiskModel("HP-C2247"))
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	rec := traxtents.NewRecorder(d)
+	reqs := []traxtents.Request{
+		{LBN: 0, Sectors: 96}, {LBN: 4096, Sectors: 32},
+		{LBN: 96, Sectors: 96, Write: true}, {LBN: 4096, Sectors: 32},
+	}
+	var want []float64
+	at := 0.0
+	for _, r := range reqs {
+		res, err := rec.Serve(at, r)
+		if err != nil {
+			t.Fatalf("record Serve: %v", err)
+		}
+		want = append(want, res.Done-res.Start)
+		at = res.Done
+	}
+
+	// Persist the trace as JSON and bring it back.
+	data, err := rec.Trace().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	tr, err := traxtents.DecodeTrace(data)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	p, err := traxtents.NewTraceDevice(tr, traxtents.StrictReplay())
+	if err != nil {
+		t.Fatalf("NewTraceDevice: %v", err)
+	}
+	if p.Capacity() != d.Capacity() || p.SectorSize() != d.SectorSize() {
+		t.Fatalf("trace identity mismatch: %d/%d vs %d/%d",
+			p.Capacity(), p.SectorSize(), d.Capacity(), d.SectorSize())
+	}
+
+	// Replay reproduces the recorded service times.
+	at = 0.0
+	for i, r := range reqs {
+		res, err := p.Serve(at, r)
+		if err != nil {
+			t.Fatalf("replay Serve: %v", err)
+		}
+		if got := res.Done - res.Start; got != want[i] {
+			t.Fatalf("request %d: replayed service %g, recorded %g", i, got, want[i])
+		}
+		at = res.Done
+	}
+	// Strict replay refuses requests the trace never saw.
+	if _, err := p.Serve(at, traxtents.Request{LBN: 12345, Sectors: 8}); err == nil {
+		t.Fatal("strict replay served an untraced request")
+	}
+
+	// The trace carries boundaries, so a table still works without the
+	// simulator.
+	table, err := traxtents.GroundTruthTable(p)
+	if err != nil {
+		t.Fatalf("GroundTruthTable(trace): %v", err)
+	}
+	if table.NumTracks() <= 0 {
+		t.Fatal("empty trace table")
+	}
+}
+
 // TestFacadeFFS builds a traxtent-aware FS through the facade.
 func TestFacadeFFS(t *testing.T) {
-	m := traxtents.DiskModel("Quantum-Atlas10K")
-	d, err := m.NewDisk(m.DefaultConfig())
+	m, err := traxtents.DiskModel("Quantum-Atlas10K")
+	if err != nil {
+		t.Fatalf("DiskModel: %v", err)
+	}
+	d, err := traxtents.NewDisk(m)
 	if err != nil {
 		t.Fatalf("NewDisk: %v", err)
 	}
