@@ -1,0 +1,62 @@
+package striped
+
+import "traxtents/internal/device"
+
+// SpanForTest mirrors the unexported span for the external test package.
+type SpanForTest struct {
+	Child   int
+	LBN     int64
+	Sectors int
+}
+
+// SplitForTest exposes the request-splitting logic to the tests.
+func (a *Array) SplitForTest(req device.Request) []SpanForTest {
+	out := make([]SpanForTest, 0, len(a.children))
+	for _, s := range a.split(req) {
+		out = append(out, SpanForTest{Child: s.child, LBN: s.lbn, Sectors: s.sectors})
+	}
+	return out
+}
+
+// SplitReferenceForTest is the original per-call-allocating split (by-
+// child grouping, binary-search unitOf), retained verbatim as the
+// differential reference for the scratch-buffer fast path.
+func (a *Array) SplitReferenceForTest(req device.Request) []SpanForTest {
+	unitOf := func(lbn int64) int {
+		lo, hi := 0, len(a.bounds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if a.bounds[mid] > lbn {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo - 1
+	}
+	byChild := make([][]SpanForTest, len(a.children))
+	lbn := req.LBN
+	left := int64(req.Sectors)
+	j := unitOf(lbn)
+	for left > 0 {
+		n := a.bounds[j+1] - lbn
+		if n > left {
+			n = left
+		}
+		c := j % len(a.children)
+		cl := a.childLBN[j] + (lbn - a.bounds[j])
+		if ps := byChild[c]; len(ps) > 0 && ps[len(ps)-1].LBN+int64(ps[len(ps)-1].Sectors) == cl {
+			ps[len(ps)-1].Sectors += int(n)
+		} else {
+			byChild[c] = append(ps, SpanForTest{Child: c, LBN: cl, Sectors: int(n)})
+		}
+		lbn += n
+		left -= n
+		j++
+	}
+	var out []SpanForTest
+	for _, ps := range byChild {
+		out = append(out, ps...)
+	}
+	return out
+}

@@ -50,6 +50,15 @@ type Array struct {
 	sectorSize int
 	period     float64 // common child rotation period, 0 if mixed/unknown
 	lastDone   float64
+
+	// Per-Serve scratch, derived once at construction and reused on
+	// every request so the steady-state Serve path is allocation-free.
+	// lastUnit memoizes the most recent unitOf hit: real workloads are
+	// sequential or stripe-aligned, so the next request usually lands in
+	// the same or the following unit.
+	spanBuf  []span // reused per-child span list
+	spanOf   []int  // child index -> span index in spanBuf this Serve, -1 if none
+	lastUnit int
 }
 
 var (
@@ -137,6 +146,9 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 		a.bounds = append(a.bounds, at)
 	}
 
+	a.spanBuf = make([]span, 0, n)
+	a.spanOf = make([]int, n)
+
 	// A common child rotation period is the array's; mixed spindles (or
 	// non-rotational children) leave it unknown.
 	for i, c := range children {
@@ -198,9 +210,28 @@ func (a *Array) TrackBoundaries() []int64 {
 }
 
 // unitOf returns the stripe unit holding the array LBN.
+//
+// Fixed chunks resolve with one division; traxtent-matched units check
+// the memoized last hit and its successor (covering sequential and
+// stripe-aligned streams) before falling back to a binary search over
+// the boundary table.
 func (a *Array) unitOf(lbn int64) int {
+	if a.uniform > 0 {
+		return int(lbn / a.uniform)
+	}
+	if j := a.lastUnit; a.bounds[j] <= lbn {
+		if lbn < a.bounds[j+1] {
+			return j
+		}
+		if j+2 < len(a.bounds) && lbn < a.bounds[j+2] {
+			a.lastUnit = j + 1
+			return j + 1
+		}
+	}
 	// First boundary strictly greater than lbn, minus one.
-	return sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] > lbn }) - 1
+	j := sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] > lbn }) - 1
+	a.lastUnit = j
+	return j
 }
 
 // span is one contiguous piece of a request on one child.
@@ -210,11 +241,17 @@ type span struct {
 	sectors int
 }
 
-// split carves a request into per-child contiguous spans. Stripe units
-// landing on the same child (a request spanning at least a full stripe)
-// are contiguous on that child and are merged into one sub-request.
+// split carves a request into per-child contiguous spans, reusing the
+// array's scratch buffers. Stripe units landing on the same child (a
+// request spanning at least a full stripe) are contiguous on that child
+// and are merged into one sub-request, so the result holds at most one
+// span per child. The returned slice aliases a.spanBuf and is only
+// valid until the next split.
 func (a *Array) split(req device.Request) []span {
-	byChild := make([][]span, len(a.children))
+	out := a.spanBuf[:0]
+	for c := range a.spanOf {
+		a.spanOf[c] = -1
+	}
 	lbn := req.LBN
 	left := int64(req.Sectors)
 	j := a.unitOf(lbn)
@@ -225,19 +262,17 @@ func (a *Array) split(req device.Request) []span {
 		}
 		c := j % len(a.children)
 		cl := a.childLBN[j] + (lbn - a.bounds[j])
-		if ps := byChild[c]; len(ps) > 0 && ps[len(ps)-1].lbn+int64(ps[len(ps)-1].sectors) == cl {
-			ps[len(ps)-1].sectors += int(n)
+		if si := a.spanOf[c]; si >= 0 && out[si].lbn+int64(out[si].sectors) == cl {
+			out[si].sectors += int(n)
 		} else {
-			byChild[c] = append(ps, span{child: c, lbn: cl, sectors: int(n)})
+			a.spanOf[c] = len(out)
+			out = append(out, span{child: c, lbn: cl, sectors: int(n)})
 		}
 		lbn += n
 		left -= n
 		j++
 	}
-	var out []span
-	for _, ps := range byChild {
-		out = append(out, ps...)
-	}
+	a.spanBuf = out
 	return out
 }
 

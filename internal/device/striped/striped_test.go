@@ -1,6 +1,7 @@
 package striped_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"traxtents/internal/device"
@@ -220,5 +221,96 @@ func TestWriteReadMix(t *testing.T) {
 	}
 	if a.Now() <= 0 {
 		t.Fatal("clock did not advance")
+	}
+}
+
+// TestServeSteadyStateZeroAlloc: the array's Serve must not allocate in
+// steady state — spans are carved into reused scratch, and the children
+// (sim disks) are allocation-free themselves.
+func TestServeSteadyStateZeroAlloc(t *testing.T) {
+	devs, _ := disks(t, 4)
+	a, err := striped.New(devs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bounds := a.TrackBoundaries()
+	at := 0.0
+	serve := func(i int) {
+		u := (i * 13) % (len(bounds) - 1)
+		req := device.Request{LBN: bounds[u], Sectors: int(bounds[u+1] - bounds[u])}
+		if i%4 == 0 { // span several units to exercise the multi-child path
+			req.Sectors *= 3
+			if req.LBN+int64(req.Sectors) > a.Capacity() {
+				req.Sectors = int(bounds[u+1] - bounds[u])
+			}
+		}
+		res, err := a.Serve(at, req)
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		at = res.Done
+	}
+	for i := 0; i < 32; i++ { // warm up child and array scratch
+		serve(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(300, func() {
+		serve(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state striped Serve allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSplitMatchesReference: the scratch-buffer split (memoized unitOf,
+// reused span buffers) must carve every request into exactly the spans
+// the original per-call-allocating implementation produced — same
+// children, same child LBNs, same lengths — across unit-interior,
+// boundary-crossing, multi-stripe, and random requests. Span order may
+// differ (the reference groups by child), so both sides are compared
+// as child-keyed sets; one-span-per-child is asserted on the way.
+func TestSplitMatchesReference(t *testing.T) {
+	devs, _ := disks(t, 3)
+	a, err := striped.New(devs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bounds := a.TrackBoundaries()
+	cases := []device.Request{
+		{LBN: 0, Sectors: 1},
+		{LBN: bounds[1] - 1, Sectors: 2},                      // crosses a unit boundary
+		{LBN: bounds[2], Sectors: int(bounds[9] - bounds[2])}, // spans multiple stripes
+		{LBN: bounds[5] + 3, Sectors: int(bounds[11] - bounds[5])},
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(3000)
+		cases = append(cases, device.Request{LBN: rng.Int63n(a.Capacity() - int64(n)), Sectors: n})
+	}
+	byChild := func(spans []striped.SpanForTest) map[int]striped.SpanForTest {
+		m := map[int]striped.SpanForTest{}
+		for _, s := range spans {
+			if _, dup := m[s.Child]; dup {
+				t.Fatalf("child %d receives two spans: %+v", s.Child, spans)
+			}
+			if s.Sectors <= 0 {
+				t.Fatalf("empty span: %+v", spans)
+			}
+			m[s.Child] = s
+		}
+		return m
+	}
+	for _, req := range cases {
+		got := byChild(a.SplitForTest(req))
+		want := byChild(a.SplitReferenceForTest(req))
+		if len(got) != len(want) {
+			t.Fatalf("split(%+v): %d children vs reference %d", req, len(got), len(want))
+		}
+		for c, w := range want {
+			if got[c] != w {
+				t.Fatalf("split(%+v): child %d span %+v, reference %+v", req, c, got[c], w)
+			}
+		}
 	}
 }

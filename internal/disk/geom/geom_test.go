@@ -416,6 +416,125 @@ func TestZoneLBNRange(t *testing.T) {
 	}
 }
 
+// ---- Differential tests: arithmetic fast paths vs reference scans ----
+
+// slotOfReference is the original scanning implementation of SlotOf.
+func slotOfReference(l *Layout, ti, idx int) int {
+	slot := idx
+	for _, s := range l.Tracks[ti].Skips {
+		if int(s) <= slot {
+			slot++
+		} else {
+			break
+		}
+	}
+	return slot
+}
+
+// idxOfReference is the original scanning implementation of IdxOf.
+func idxOfReference(l *Layout, ti, slot int) (int, bool) {
+	t := &l.Tracks[ti]
+	skipped := 0
+	for _, s := range t.Skips {
+		switch {
+		case int(s) < slot:
+			skipped++
+		case int(s) == slot:
+			return 0, false
+		}
+	}
+	idx := slot - skipped
+	if idx < 0 || idx >= int(t.Count) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// differentialLayouts builds layouts that exercise every sparing scheme,
+// zone transitions, and both defect kinds — the hard cases for the
+// arithmetic fast paths.
+func differentialLayouts(t *testing.T) map[string]*Layout {
+	t.Helper()
+	out := map[string]*Layout{}
+	schemes := []struct {
+		s SpareScheme
+		k int
+	}{
+		{SpareNone, 0}, {SparePerTrack, 2}, {SparePerCylinder, 3},
+		{SpareTrackPerZone, 2}, {SpareCylAtEnd, 2},
+	}
+	for _, sc := range schemes {
+		g := simpleGeom(t, sc.s, sc.k)
+		g.Defects = RandomDefects(g, 15, 0.5, int64(sc.s)+3)
+		out[sc.s.String()] = mustBuild(t, g)
+	}
+	return out
+}
+
+// TestTrackOfFastPathDifferential: the interpolating fast path must
+// return exactly the track the reference binary search returns, for
+// every LBN, across defects, spares, and zone transitions.
+func TestTrackOfFastPathDifferential(t *testing.T) {
+	for name, l := range differentialLayouts(t) {
+		for lbn := int64(0); lbn < l.NumLBNs(); lbn++ {
+			got, err := l.TrackOf(lbn)
+			if err != nil {
+				t.Fatalf("%s: TrackOf(%d): %v", name, lbn, err)
+			}
+			if want := l.trackOfSearch(lbn); got != want {
+				t.Fatalf("%s: TrackOf(%d) = %d, reference = %d", name, lbn, got, want)
+			}
+		}
+	}
+}
+
+// TestSlotIdxFastPathDifferential: closed-form SlotOf/IdxOf must be
+// bit-identical to the scanning reference on every (track, index) and
+// every (track, slot).
+func TestSlotIdxFastPathDifferential(t *testing.T) {
+	for name, l := range differentialLayouts(t) {
+		for ti := range l.Tracks {
+			_, count := l.TrackRange(ti)
+			for idx := 0; idx < count; idx++ {
+				if got, want := l.SlotOf(ti, idx), slotOfReference(l, ti, idx); got != want {
+					t.Fatalf("%s: SlotOf(%d,%d) = %d, reference = %d", name, ti, idx, got, want)
+				}
+			}
+			cyl, _ := l.TrackCylHead(ti)
+			for slot := 0; slot < l.G.SPTOf(cyl); slot++ {
+				gi, gok := l.IdxOf(ti, slot)
+				wi, wok := idxOfReference(l, ti, slot)
+				if gi != wi || gok != wok {
+					t.Fatalf("%s: IdxOf(%d,%d) = (%d,%v), reference = (%d,%v)",
+						name, ti, slot, gi, gok, wi, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestTrackOfFastPathQuick fuzzes the fast path against the reference on
+// arbitrary geometries.
+func TestTrackOfFastPathQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := Build(quickGeom(rng))
+		if err != nil {
+			return false
+		}
+		for lbn := int64(0); lbn < l.NumLBNs(); lbn++ {
+			got, err := l.TrackOf(lbn)
+			if err != nil || got != l.trackOfSearch(lbn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRandomDefectsDeterministic(t *testing.T) {
 	g := simpleGeom(t, SpareNone, 0)
 	a := RandomDefects(g, 20, 0.5, 1)

@@ -16,6 +16,11 @@ type Track struct {
 	SkewOff int32   // angular offset (slots) of physical slot 0
 	Skips   []int32 // sorted physical slots holding no in-sequence LBN
 	Remaps  []int32 // sorted physical slots whose LBN is remapped away
+
+	// skipAdj[i] = Skips[i] - i, a non-decreasing table precomputed by
+	// Build so SlotOf/IdxOf resolve with a binary search instead of a
+	// scan: logical index idx skips exactly the slots with skipAdj <= idx.
+	skipAdj []int32
 }
 
 // Layout is the complete LBN-to-physical mapping of a Geometry: the
@@ -31,8 +36,24 @@ type Layout struct {
 
 	numLBNs int64
 
+	// zoneFast is the per-zone arithmetic fast path for TrackOf: defect-
+	// free zones resolve with one interpolation step; tracks perturbed by
+	// skips/spares are reached by a short verified walk (see TrackOf).
+	zoneFast []zoneSpan
+
 	remapByLBN     map[int64]PhysLoc // defective-home LBN -> spare location
 	remapTargetLBN map[PhysLoc]int64 // spare location -> LBN stored there
+}
+
+// zoneSpan summarizes the LBN extent of one zone for the TrackOf fast
+// path. loTrack..hiTrack bound the zone's data-bearing tracks, so zones
+// ending in spare tracks or spare cylinders interpolate over the tracks
+// that actually hold LBNs.
+type zoneSpan struct {
+	firstLBN int64 // first LBN homed in the zone
+	lastLBN  int64 // one past the last LBN homed in the zone
+	loTrack  int   // first track of the zone holding data
+	hiTrack  int   // last track of the zone holding data
 }
 
 // Build validates g and constructs its Layout.
@@ -130,6 +151,7 @@ func Build(g *Geometry) (*Layout, error) {
 	}
 	l.starts[len(l.Tracks)] = lbn
 	l.numLBNs = lbn
+	l.buildFastPath()
 
 	for src, tgt := range targetBySource {
 		srcLBN, ok := lbnBySource[src]
@@ -140,6 +162,46 @@ func Build(g *Geometry) (*Layout, error) {
 		l.remapTargetLBN[tgt] = srcLBN
 	}
 	return l, nil
+}
+
+// buildFastPath precomputes the per-zone interpolation spans for TrackOf
+// and the per-track skipAdj tables for SlotOf/IdxOf. Called once at the
+// end of Build; all tables are immutable afterwards, so queries stay
+// safe for concurrent readers.
+func (l *Layout) buildFastPath() {
+	g := l.G
+	l.zoneFast = make([]zoneSpan, 0, len(g.Zones))
+	for _, z := range g.Zones {
+		lo := g.TrackIndex(z.FirstCyl, 0)
+		hi := g.TrackIndex(z.LastCyl, g.Surfaces-1)
+		// Trim leading/trailing zero-count tracks (spare tracks, spare
+		// cylinders, fully defective tracks at the edges).
+		for lo <= hi && l.Tracks[lo].Count == 0 {
+			lo++
+		}
+		for hi >= lo && l.Tracks[hi].Count == 0 {
+			hi--
+		}
+		if lo > hi {
+			continue // zone homes no LBNs
+		}
+		l.zoneFast = append(l.zoneFast, zoneSpan{
+			firstLBN: l.starts[lo],
+			lastLBN:  l.starts[hi+1],
+			loTrack:  lo,
+			hiTrack:  hi,
+		})
+	}
+	for ti := range l.Tracks {
+		t := &l.Tracks[ti]
+		if len(t.Skips) == 0 {
+			continue
+		}
+		t.skipAdj = make([]int32, len(t.Skips))
+		for i, s := range t.Skips {
+			t.skipAdj[i] = s - int32(i)
+		}
+	}
 }
 
 // spareRange describes the spare slots of one track: if spareAll, the
@@ -257,14 +319,64 @@ func (l *Layout) NumLBNs() int64 { return l.numLBNs }
 func (l *Layout) CapacityBytes() int64 { return l.numLBNs * int64(l.G.SectorSize) }
 
 // TrackOf returns the index of the track whose LBN range contains lbn.
+//
+// Fast path: the zone holding lbn is found among the (dozen or so)
+// zone spans, the track is guessed by linear interpolation inside the
+// zone, and the guess is corrected by walking the starts table. On a
+// defect-free zone the guess is exact; skips, spares, and defects only
+// displace it by their cumulative slot count, a handful of tracks at
+// worst, so the walk terminates almost immediately. The walk verifies
+// against the ground-truth starts table, so the result is always exactly
+// the track a full binary search would return.
 func (l *Layout) TrackOf(lbn int64) (int, error) {
 	if lbn < 0 || lbn >= l.numLBNs {
 		return 0, fmt.Errorf("geom: LBN %d out of range [0,%d)", lbn, l.numLBNs)
 	}
-	// First track whose start exceeds lbn, minus one. Tracks with zero
+	// Locate the zone span: typically few enough that a binary search
+	// over the spans stays entirely in one cache line.
+	lo, hi := 0, len(l.zoneFast)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.zoneFast[mid].lastLBN <= lbn {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	z := &l.zoneFast[lo]
+
+	// Interpolated guess, clamped to the zone's data-bearing tracks.
+	span := int64(z.hiTrack - z.loTrack + 1)
+	ti := z.loTrack + int(span*(lbn-z.firstLBN)/(z.lastLBN-z.firstLBN))
+	if ti > z.hiTrack {
+		ti = z.hiTrack
+	}
+	// Correct the guess against the exact starts table. Tracks with zero
 	// LBNs share their start with the next track and can never win.
-	i := sort.Search(len(l.Tracks), func(i int) bool { return l.starts[i+1] > lbn })
-	return i, nil
+	for steps := 0; ; steps++ {
+		if steps > maxTrackWalk {
+			return l.trackOfSearch(lbn), nil
+		}
+		if l.starts[ti] > lbn {
+			ti--
+		} else if l.starts[ti+1] <= lbn {
+			ti++
+		} else {
+			return ti, nil
+		}
+	}
+}
+
+// maxTrackWalk bounds the fast-path correction walk; geometries are far
+// more regular than this, but the binary-search fallback keeps TrackOf
+// O(log tracks) even for adversarial layouts.
+const maxTrackWalk = 64
+
+// trackOfSearch is the reference O(log tracks) lookup: the first track
+// whose next start exceeds lbn. The fast path must agree with it exactly
+// (see TestTrackOfFastPathDifferential).
+func (l *Layout) trackOfSearch(lbn int64) int {
+	return sort.Search(len(l.Tracks), func(i int) bool { return l.starts[i+1] > lbn })
 }
 
 // TrackRange returns the first LBN on track ti and the number of LBNs
@@ -280,33 +392,45 @@ func (l *Layout) TrackCylHead(ti int) (cyl, head int) {
 
 // SlotOf maps logical sector index idx on track ti to its physical slot,
 // accounting for skipped slots. idx must be < Count.
+//
+// Logical index idx lands past exactly the skips whose skipAdj
+// (= Skips[i]-i) is <= idx; skipAdj is non-decreasing, so the count is
+// one upper-bound binary search on the precomputed table instead of a
+// scan of the skip list.
 func (l *Layout) SlotOf(ti, idx int) int {
-	t := &l.Tracks[ti]
-	slot := idx
-	for _, s := range t.Skips {
-		if int(s) <= slot {
-			slot++
+	adj := l.Tracks[ti].skipAdj
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(adj[mid]) <= idx {
+			lo = mid + 1
 		} else {
-			break
+			hi = mid
 		}
 	}
-	return slot
+	return idx + lo
 }
 
 // IdxOf is the inverse of SlotOf: the logical index of physical slot on
-// track ti, or ok=false if the slot holds no in-sequence LBN.
+// track ti, or ok=false if the slot holds no in-sequence LBN. The number
+// of skips below the slot is a lower-bound binary search on the sorted
+// skip list, which also answers the membership test.
 func (l *Layout) IdxOf(ti, slot int) (int, bool) {
 	t := &l.Tracks[ti]
-	skipped := 0
-	for _, s := range t.Skips {
-		switch {
-		case int(s) < slot:
-			skipped++
-		case int(s) == slot:
-			return 0, false
+	skips := t.Skips
+	lo, hi := 0, len(skips)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(skips[mid]) < slot {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	idx := slot - skipped
+	if lo < len(skips) && int(skips[lo]) == slot {
+		return 0, false
+	}
+	idx := slot - lo
 	if idx < 0 || idx >= int(t.Count) {
 		return 0, false
 	}
@@ -354,9 +478,11 @@ func (l *Layout) PhysToLBN(loc PhysLoc) (int64, bool) {
 		return 0, false
 	}
 	// A remapped-defect slot's LBN lives elsewhere; the physical sector
-	// itself is unreadable.
-	for _, r := range t.Remaps {
-		if int(r) == int(loc.Slot) {
+	// itself is unreadable. Remaps is sorted, so membership is a binary
+	// search.
+	if r := t.Remaps; len(r) > 0 {
+		i := sort.Search(len(r), func(i int) bool { return r[i] >= loc.Slot })
+		if i < len(r) && r[i] == loc.Slot {
 			return 0, false
 		}
 	}

@@ -121,20 +121,26 @@ func (t *Timing) HeadTime() float64 {
 
 // angleSlots returns the rotational position at absolute time t expressed
 // in slot units of a track with spt sectors.
+//
+// Floor-division instead of math.Mod: the quotient form needs one
+// hardware rounding instruction where Mod takes a softfloat path, and
+// this runs once per sweep. Unlike exact Mod, the division rounds, so
+// positions shift by ~q*eps slots — below 1e-6 slots (sub-nanosecond
+// rotational time) over any experiment's horizon; the differential
+// test TestAngleSlotsFloorVsMod bounds it.
 func (m *Mech) angleSlots(t float64, spt int) float64 {
-	frac := math.Mod(t, m.period) / m.period
-	if frac < 0 {
-		frac += 1
-	}
+	q := t / m.period
+	frac := q - math.Floor(q)
 	return frac * float64(spt)
 }
 
 // sweep computes the in-track service of logical sectors [idx, idx+n) on
 // track ti with the head settled at absolute time 'at'. It returns the
-// rotational wait (latency), the gap time spent passing unwanted slots,
-// and the availability chunks (absolute times). The media transfer itself
-// is n*slotTime.
-func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat bool) (latency float64, chunks []AvailChunk) {
+// rotational wait (latency) and the availability chunks (absolute
+// times) by value — a sweep yields at most two chunks, so returning
+// them in a fixed-size pair keeps the whole media path allocation-free.
+// The media transfer itself is n*slotTime.
+func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat bool) (latency float64, c0, c1 AvailChunk, nc int) {
 	cyl, _ := l.TrackCylHead(ti)
 	spt := l.G.SPTOf(cyl)
 	st := m.SlotTime(spt)
@@ -153,8 +159,15 @@ func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat boo
 	toBoundary := (float64(c) - pos) * st
 	c = c % spt
 
-	firstSlot := l.SlotOf(ti, idx)
-	lastSlot := l.SlotOf(ti, idx+n-1)
+	// On a skip-free track (the overwhelmingly common case) logical
+	// index j sits at physical slot j, so the translations collapse to
+	// identities and the wrap search below becomes arithmetic.
+	noSkips := len(tr.Skips) == 0
+	firstSlot, lastSlot := idx, idx+n-1
+	if !noSkips {
+		firstSlot = l.SlotOf(ti, idx)
+		lastSlot = l.SlotOf(ti, idx+n-1)
+	}
 	ring := func(s int) int { return ((s-c)%spt + spt) % spt }
 
 	if !zeroLat {
@@ -164,8 +177,7 @@ func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat boo
 		arc := lastSlot - firstSlot + 1 // monotone within a track
 		elapsed := wait + float64(arc)*st
 		latency = elapsed - float64(n)*st
-		chunks = []AvailChunk{{Sectors: n, At: at + wait + st, Per: st}}
-		return latency, chunks
+		return latency, AvailChunk{Sectors: n, At: at + wait + st, Per: st}, AvailChunk{}, 1
 	}
 
 	// Zero-latency: read wanted slots access-on-arrival. Completion is
@@ -176,41 +188,44 @@ func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat boo
 	}
 	// If the head lands inside the wanted arc, it reads the tail of the
 	// arc first and the beginning after the wrap; the last-completed slot
-	// is the wanted slot just before the landing point. Binary-search the
-	// wrap index using the monotone slot order.
+	// is the wanted slot just before the landing point. On a skip-free
+	// track the wrap index is direct arithmetic; otherwise binary-search
+	// it using the monotone slot order.
 	if firstSlot < c && c <= lastSlot {
-		lo, hi := idx, idx+n-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if l.SlotOf(ti, mid) >= c {
-				hi = mid
-			} else {
-				lo = mid + 1
+		var w int // first logical index read before the wrap
+		if noSkips {
+			w = idx + (c - firstSlot)
+		} else {
+			lo, hi := idx, idx+n-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if l.SlotOf(ti, mid) >= c {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
 			}
+			w = lo
 		}
-		w := lo // first logical index read before the wrap
 		// Sectors [w, idx+n) are read first; [idx, w) after the wrap.
 		// The overall completion is when slot of (w-1) is passed.
 		maxRing = ring(l.SlotOf(ti, w-1))
 		nEarly := idx + n - w
 		nLate := w - idx
-		lateStart := at + toBoundary + float64(ring(l.SlotOf(ti, idx)))*st + st
+		lateStart := at + toBoundary + float64(ring(firstSlot))*st + st
 		done := at + toBoundary + float64(maxRing+1)*st
-		chunks = []AvailChunk{
-			{Sectors: nLate, At: lateStart, Per: st},
-			{Sectors: nEarly, At: done, Per: 0},
-		}
 		elapsed := toBoundary + float64(maxRing+1)*st
 		latency = elapsed - float64(n)*st
-		return latency, chunks
+		return latency,
+			AvailChunk{Sectors: nLate, At: lateStart, Per: st},
+			AvailChunk{Sectors: nEarly, At: done, Per: 0}, 2
 	}
 
 	// Head lands outside the wanted arc: reading is in LBN order anyway.
 	wait := toBoundary + float64(ring(firstSlot))*st
 	elapsed := toBoundary + float64(maxRing+1)*st
 	latency = elapsed - float64(n)*st
-	chunks = []AvailChunk{{Sectors: n, At: at + wait + st, Per: st}}
-	return latency, chunks
+	return latency, AvailChunk{Sectors: n, At: at + wait + st, Per: st}, AvailChunk{}, 1
 }
 
 // Access computes the full media phase of a request for n sectors
@@ -218,18 +233,34 @@ func (m *Mech) sweep(l *geom.Layout, ti int, idx, n int, at float64, zeroLat boo
 // position 'from'. Writes assume the data is already buffered on the
 // drive (the caller models the host transfer); zero-latency applies to
 // writes as well, per the paper.
+//
+// Access allocates a fresh Timing per call; the simulator's hot path
+// uses AccessInto with a pooled Timing instead.
 func (m *Mech) Access(l *geom.Layout, at float64, from Pos, lbn int64, n int, write bool) (Timing, error) {
+	var tm Timing
+	if err := m.AccessInto(&tm, l, at, from, lbn, n, write); err != nil {
+		return Timing{}, err
+	}
+	return tm, nil
+}
+
+// AccessInto is Access writing its result into a caller-provided Timing.
+// *tm is reset, but the capacity of its Chunks slice is reused, so a
+// caller re-using one Timing across requests performs no allocation in
+// steady state. The computation is identical to Access.
+func (m *Mech) AccessInto(tm *Timing, l *geom.Layout, at float64, from Pos, lbn int64, n int, write bool) error {
+	chunks := tm.Chunks[:0]
+	*tm = Timing{}
 	if n <= 0 {
-		return Timing{}, fmt.Errorf("mech: request for %d sectors", n)
+		return fmt.Errorf("mech: request for %d sectors", n)
 	}
 	if lbn < 0 || lbn+int64(n) > l.NumLBNs() {
-		return Timing{}, fmt.Errorf("mech: request [%d,%d) outside [0,%d)", lbn, lbn+int64(n), l.NumLBNs())
+		return fmt.Errorf("mech: request [%d,%d) outside [0,%d)", lbn, lbn+int64(n), l.NumLBNs())
 	}
 	ti, idx, err := l.LBNHome(lbn)
 	if err != nil {
-		return Timing{}, err
+		return err
 	}
-	var tm Timing
 	cyl, head := l.TrackCylHead(ti)
 
 	// Initial positioning: seek concurrent with any head switch.
@@ -259,7 +290,7 @@ func (m *Mech) Access(l *geom.Layout, at float64, from Pos, lbn int64, n int, wr
 			// Skip empty tracks (spare tracks / fully defective).
 			nti, sw, err := m.advanceTrack(l, ti)
 			if err != nil {
-				return Timing{}, err
+				return err
 			}
 			tm.Switch += sw
 			if write {
@@ -276,13 +307,16 @@ func (m *Mech) Access(l *geom.Layout, at float64, from Pos, lbn int64, n int, wr
 		if seg > remaining {
 			seg = remaining
 		}
-		lat, chunks := m.sweep(l, ti, idx, seg, t, zl)
+		lat, c0, c1, nc := m.sweep(l, ti, idx, seg, t, zl)
 		cy, _ := l.TrackCylHead(ti)
 		st := m.SlotTime(l.G.SPTOf(cy))
 		tm.Latency += lat
 		tm.Transfer += float64(seg) * st
 		if !write {
-			tm.Chunks = append(tm.Chunks, chunks...)
+			chunks = append(chunks, c0)
+			if nc == 2 {
+				chunks = append(chunks, c1)
+			}
 		}
 		t += lat + float64(seg)*st
 
@@ -310,7 +344,7 @@ func (m *Mech) Access(l *geom.Layout, at float64, from Pos, lbn int64, n int, wr
 		if remaining > 0 {
 			nti, sw, err := m.advanceTrack(l, ti)
 			if err != nil {
-				return Timing{}, err
+				return err
 			}
 			tm.Switch += sw
 			t += sw
@@ -324,10 +358,13 @@ func (m *Mech) Access(l *geom.Layout, at float64, from Pos, lbn int64, n int, wr
 	tm.Excursion = remapPenalty
 	t += remapPenalty
 
+	// Writes appended nothing; handing the (empty) buffer back anyway
+	// preserves its capacity for the caller's next read.
+	tm.Chunks = chunks
 	ecyl, ehead := l.TrackCylHead(ti)
 	tm.EndPos = Pos{Cyl: ecyl, Head: ehead}
 	tm.EndTime = t
-	return tm, nil
+	return nil
 }
 
 // advanceTrack returns the next track index and the switch cost to reach

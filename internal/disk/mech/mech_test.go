@@ -393,3 +393,118 @@ func TestMeanSeekSubrange(t *testing.T) {
 		t.Fatal("single-cylinder range should have zero mean seek")
 	}
 }
+
+// TestAccessIntoBitIdentical: AccessInto with a pooled, repeatedly
+// reused Timing must produce bit-identical results to the allocating
+// Access across random requests, zero-latency and ordinary firmware,
+// reads and writes, including defective layouts.
+func TestAccessIntoBitIdentical(t *testing.T) {
+	g := &geom.Geometry{
+		Name:       "mech-diff",
+		Surfaces:   2,
+		Cyls:       100,
+		SectorSize: 512,
+		Zones: []geom.Zone{
+			{FirstCyl: 0, LastCyl: 49, SPT: 100, TrackSkew: 10, CylSkew: 15},
+			{FirstCyl: 50, LastCyl: 99, SPT: 80, TrackSkew: 8, CylSkew: 12},
+		},
+		Scheme: geom.SparePerCylinder,
+		SpareK: 2,
+	}
+	g.Defects = geom.RandomDefects(g, 12, 0.5, 5)
+	l, err := geom.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, zl := range []bool{false, true} {
+		m := testMech(t, zl)
+		rng := rand.New(rand.NewSource(17))
+		var pooled Timing
+		pos := Pos{}
+		at := 0.0
+		for i := 0; i < 500; i++ {
+			n := 1 + rng.Intn(300)
+			lbn := rng.Int63n(l.NumLBNs() - int64(n))
+			write := rng.Intn(4) == 0
+			want, err := m.Access(l, at, pos, lbn, n, write)
+			if err != nil {
+				t.Fatalf("Access: %v", err)
+			}
+			if err := m.AccessInto(&pooled, l, at, pos, lbn, n, write); err != nil {
+				t.Fatalf("AccessInto: %v", err)
+			}
+			if pooled.Seek != want.Seek || pooled.Settle != want.Settle ||
+				pooled.Latency != want.Latency || pooled.Transfer != want.Transfer ||
+				pooled.Switch != want.Switch || pooled.Excursion != want.Excursion ||
+				pooled.EndPos != want.EndPos || pooled.EndTime != want.EndTime {
+				t.Fatalf("zl=%v req %d: AccessInto %+v != Access %+v", zl, i, pooled, want)
+			}
+			if len(pooled.Chunks) != len(want.Chunks) {
+				t.Fatalf("zl=%v req %d: %d chunks vs %d", zl, i, len(pooled.Chunks), len(want.Chunks))
+			}
+			for j := range want.Chunks {
+				if pooled.Chunks[j] != want.Chunks[j] {
+					t.Fatalf("zl=%v req %d chunk %d: %+v != %+v", zl, i, j, pooled.Chunks[j], want.Chunks[j])
+				}
+			}
+			pos = want.EndPos
+			at = want.EndTime + rng.Float64()*3
+		}
+	}
+}
+
+// TestAccessIntoZeroAlloc: after warm-up, AccessInto with a reused
+// Timing must not allocate.
+func TestAccessIntoZeroAlloc(t *testing.T) {
+	l := testLayout(t)
+	m := testMech(t, true)
+	var tm Timing
+	lbns := []int64{0, 150, 5000, 9990, 320}
+	i := 0
+	if err := m.AccessInto(&tm, l, 0, Pos{}, 0, 250, false); err != nil { // warm the chunk buffer
+		t.Fatalf("AccessInto: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		lbn := lbns[i%len(lbns)]
+		i++
+		if err := m.AccessInto(&tm, l, float64(i), Pos{}, lbn, 120, false); err != nil {
+			t.Fatalf("AccessInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AccessInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestAngleSlotsFloorVsMod bounds the rounding difference between the
+// floor-division angleSlots and the exact math.Mod reference it
+// replaced: the drift grows like (t/period)*eps, so over any realistic
+// experiment horizon (here 10^7 ms, i.e. hours of simulated time) it
+// must stay below a micro-slot — sub-nanosecond rotational time.
+func TestAngleSlotsFloorVsMod(t *testing.T) {
+	m := testMech(t, true) // period 10 ms
+	ref := func(tm float64, spt int) float64 {
+		frac := math.Mod(tm, m.period) / m.period
+		if frac < 0 {
+			frac += 1
+		}
+		return frac * float64(spt)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, spt := range []int{56, 100, 528} {
+		for i := 0; i < 5000; i++ {
+			tm := rng.Float64() * 1e7
+			got, want := m.angleSlots(tm, spt), ref(tm, spt)
+			diff := math.Abs(got - want)
+			// The wrap point itself may fall on either side of a slot
+			// boundary; the positions are then congruent mod spt.
+			if d := math.Abs(diff - float64(spt)); d < diff {
+				diff = d
+			}
+			if diff > 1e-6 {
+				t.Fatalf("angleSlots(%g,%d) = %.12f, mod reference %.12f (diff %g slots)",
+					tm, spt, got, want, diff)
+			}
+		}
+	}
+}

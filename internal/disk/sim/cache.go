@@ -1,5 +1,7 @@
 package sim
 
+import "traxtents/internal/disk/mech"
+
 // readCache is a simple model of a segmented firmware read cache: a
 // handful of segments, each remembering one contiguous LBN range, with
 // LRU replacement. Only full hits are served from cache (partial hits
@@ -95,7 +97,9 @@ type streamCursor struct {
 
 // tryStream services a read as a prefetch continuation when possible.
 // It returns the number of sectors that were already in the buffer and
-// whether the continuation path was taken.
+// whether the continuation path was taken. The media-phase record,
+// including the availability chunks the bus model consumes, is built in
+// the pooled d.scratch; res.Timing receives the value fields only.
 func (d *Disk) tryStream(start float64, req Request, res *Result) (int, bool) {
 	cur := d.cursor
 	if !d.Cfg.ReadAhead || !cur.valid || req.LBN != cur.lbn {
@@ -134,20 +138,26 @@ func (d *Disk) tryStream(start float64, req Request, res *Result) (int, bool) {
 	res.MediaEnd = mediaEnd
 	// Availability for the bus: the prefetched part is buffered at start;
 	// the rest arrives at the streaming rate.
+	tm := &d.scratch
+	chunks := tm.Chunks[:0]
+	*tm = mech.Timing{}
 	if pre > 0 {
-		res.Timing.Chunks = append(res.Timing.Chunks, availChunk(pre, start, 0))
+		chunks = append(chunks, availChunk(pre, start, 0))
 	}
 	if remaining > 0 {
-		res.Timing.Chunks = append(res.Timing.Chunks, availChunk(remaining, start+st, st))
+		chunks = append(chunks, availChunk(remaining, start+st, st))
 	}
-	res.Timing.Transfer = float64(req.Sectors) * st
-	res.Timing.EndTime = mediaEnd
+	tm.Chunks = chunks
+	tm.Transfer = float64(req.Sectors) * st
+	tm.EndTime = mediaEnd
 	// Head position: home track of the last sector.
 	if ti, _, err := d.Lay.LBNHome(req.LBN + int64(req.Sectors) - 1); err == nil {
 		cyl, head := d.Lay.TrackCylHead(ti)
 		d.headPos.Cyl, d.headPos.Head = cyl, head
-		res.Timing.EndPos = d.headPos
+		tm.EndPos = d.headPos
 	}
+	res.Timing = *tm
+	res.Timing.Chunks = nil
 	d.headFree = mediaEnd
 	return pre, true
 }

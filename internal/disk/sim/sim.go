@@ -87,6 +87,18 @@ type Disk struct {
 	cache  *readCache
 	cursor streamCursor
 
+	// scratch is the pooled per-request media-phase record: AccessInto
+	// reuses its chunk buffer, so steady-state Serve performs no heap
+	// allocation. Results returned to callers carry a copy of the value
+	// fields only (Result.Timing.Chunks is nil); the chunks are consumed
+	// internally by the bus model before the next request overwrites
+	// them.
+	scratch mech.Timing
+
+	// drainLoop switches finishRead to the per-sector reference bus
+	// drain; the differential tests use it to verify the closed form.
+	drainLoop bool
+
 	stats Stats
 }
 
@@ -224,12 +236,13 @@ func (d *Disk) serviceRead(issue float64, req Request, res *Result) {
 	}
 
 	start += d.noise()
-	tm, err := d.M.Access(d.Lay, start, d.headPos, req.LBN, req.Sectors, false)
-	if err != nil {
+	if err := d.M.AccessInto(&d.scratch, d.Lay, start, d.headPos, req.LBN, req.Sectors, false); err != nil {
 		// Range-checked above; any failure here is a programming error.
 		panic(fmt.Sprintf("sim: access failed after validation: %v", err))
 	}
-	res.Timing = tm
+	tm := &d.scratch
+	res.Timing = *tm
+	res.Timing.Chunks = nil // the pooled chunk buffer stays internal
 	res.MediaEnd = tm.EndTime
 	d.headPos = tm.EndPos
 	d.headFree = tm.EndTime
@@ -239,6 +252,7 @@ func (d *Disk) serviceRead(issue float64, req Request, res *Result) {
 }
 
 // finishRead models the bus phase of a read and updates cache state.
+// The availability chunks are read from the pooled d.scratch record.
 func (d *Disk) finishRead(req Request, res *Result) {
 	sb := d.sectorBusTime()
 	switch {
@@ -257,7 +271,12 @@ func (d *Disk) finishRead(req Request, res *Result) {
 		d.stats.BusBusy += xfer
 	default:
 		// In-LBN-order delivery constrained by chunk availability.
-		done, busy := drainChunks(res.Timing.Chunks, d.busFree, sb)
+		var done, busy float64
+		if d.drainLoop {
+			done, busy = drainChunksLoop(d.scratch.Chunks, d.busFree, sb)
+		} else {
+			done, busy = drainChunks(d.scratch.Chunks, d.busFree, sb)
+		}
 		if done < res.MediaEnd { // e.g. prefetch-served requests
 			done = res.MediaEnd
 		}
@@ -296,20 +315,20 @@ func (d *Disk) serviceWrite(issue float64, req Request, res *Result) {
 	// cannot begin its sweep before the data is on board.
 	start := maxf(issue+d.Cfg.CmdOverhead, d.headFree) + d.noise()
 	res.Start = start
-	tm, err := d.M.Access(d.Lay, start, d.headPos, req.LBN, req.Sectors, true)
-	if err != nil {
+	tm := &d.scratch
+	if err := d.M.AccessInto(tm, d.Lay, start, d.headPos, req.LBN, req.Sectors, true); err != nil {
 		panic(fmt.Sprintf("sim: access failed after validation: %v", err))
 	}
 	if gate := busDone - (start + tm.Seek + tm.Settle); gate > 0 {
 		// Data arrived after the seek settled: re-run the sweep with the
 		// media phase gated on the bus completion. The seek length is
 		// unchanged, only the rotational phase shifts.
-		tm, err = d.M.Access(d.Lay, start+gate, d.headPos, req.LBN, req.Sectors, true)
-		if err != nil {
+		if err := d.M.AccessInto(tm, d.Lay, start+gate, d.headPos, req.LBN, req.Sectors, true); err != nil {
 			panic(fmt.Sprintf("sim: gated access failed: %v", err))
 		}
 	}
-	res.Timing = tm
+	res.Timing = *tm
+	res.Timing.Chunks = nil
 	res.MediaEnd = tm.EndTime
 	res.Done = tm.EndTime
 	d.headPos = tm.EndPos
@@ -337,8 +356,53 @@ func (d *Disk) noise() float64 {
 // drainChunks computes the completion of an in-order bus transfer over
 // availability chunks, starting no earlier than busFree, sending each
 // sector in sb ms once available. Returns completion time and the bus
-// occupancy.
+// occupancy (first send to last completion, media stalls included).
+// An empty chunk list (nothing to send) is zero occupancy.
+//
+// The per-chunk completion is closed form. Sector j of a chunk (0-based,
+// k sectors) is available at At+j*Per, and the recurrence
+//
+//	t_j = max(t_{j-1}, At+j*Per) + sb
+//
+// unrolls to t_{k-1} = max_j( max(t_in, At+j*Per) + (k-j)*sb ); because
+// j*(Per-sb) is linear in j the inner max is attained at j=0 or j=k-1,
+// leaving three candidates: the bus busy with earlier data (t_in + k*sb),
+// the bus gated on the chunk's arrival (At + k*sb), and the bus trailing
+// the availability ramp (At + (k-1)*Per + sb). This makes the drain
+// O(chunks) instead of O(sectors), and is exact where the old per-sector
+// loop accumulated one float rounding per sector (the differential test
+// bounds the divergence below a nanosecond of virtual time).
 func drainChunks(chunks []mech.AvailChunk, busFree, sb float64) (done, busy float64) {
+	t := busFree
+	first := true
+	var busStart float64
+	for _, c := range chunks {
+		if c.Sectors <= 0 {
+			continue
+		}
+		if first {
+			busStart = maxf(t, c.At)
+			first = false
+		}
+		k := float64(c.Sectors)
+		ct := t + k*sb
+		if v := c.At + k*sb; v > ct {
+			ct = v
+		}
+		if v := c.At + float64(c.Sectors-1)*c.Per + sb; v > ct {
+			ct = v
+		}
+		t = ct
+	}
+	if first {
+		return busFree, 0
+	}
+	return t, t - busStart
+}
+
+// drainChunksLoop is the original per-sector reference drain, retained
+// for the differential tests that pin the closed form to it.
+func drainChunksLoop(chunks []mech.AvailChunk, busFree, sb float64) (done, busy float64) {
 	t := busFree
 	first := true
 	var busStart float64
@@ -354,6 +418,9 @@ func drainChunks(chunks []mech.AvailChunk, busFree, sb float64) (done, busy floa
 			}
 			t += sb
 		}
+	}
+	if first {
+		return busFree, 0
 	}
 	return t, t - busStart
 }

@@ -349,3 +349,194 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("ResetStats did not clear")
 	}
 }
+
+// randomChunkLists generates availability-chunk lists covering the
+// shapes mech produces: single media-limited ramps, zero-latency wrap
+// pairs (ramp + all-at-once), prefetch chunks, and multi-track chains.
+func randomChunkLists(rng *rand.Rand, n int) [][]mech.AvailChunk {
+	out := make([][]mech.AvailChunk, 0, n)
+	for i := 0; i < n; i++ {
+		nc := 1 + rng.Intn(4)
+		chunks := make([]mech.AvailChunk, 0, nc)
+		at := rng.Float64() * 20
+		for j := 0; j < nc; j++ {
+			per := 0.0
+			switch rng.Intn(3) {
+			case 0: // all-at-once (wrap tail, prefetched data)
+			case 1: // media ramp slower than the bus
+				per = 0.05 + rng.Float64()*0.2
+			case 2: // ramp slower than a (slow) bus
+				per = rng.Float64() * 0.02
+			}
+			c := mech.AvailChunk{Sectors: 1 + rng.Intn(600), At: at, Per: per}
+			chunks = append(chunks, c)
+			at += float64(c.Sectors)*per + rng.Float64()*2
+		}
+		out = append(out, chunks)
+	}
+	return out
+}
+
+// TestDrainChunksClosedFormDifferential pins the O(chunks) closed-form
+// drain to the per-sector reference loop: completion and occupancy must
+// agree to within a nanosecond of virtual time (the closed form is
+// exact; the loop accumulates one float rounding per sector), and in the
+// media-limited regime — a ramp starting at or after bus-free, slower
+// than the bus, the common case for every figure — the two must be
+// bit-identical.
+func TestDrainChunksClosedFormDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const tol = 1e-6 // ms, i.e. one nanosecond of virtual time
+	for _, sb := range []float64{0.0032, 0.0064, 0.01, 0.03} {
+		for _, chunks := range randomChunkLists(rng, 400) {
+			busFree := rng.Float64() * 25
+			gd, gb := drainChunks(chunks, busFree, sb)
+			wd, wb := drainChunksLoop(chunks, busFree, sb)
+			if math.Abs(gd-wd) > tol || math.Abs(gb-wb) > tol {
+				t.Fatalf("sb=%g busFree=%g chunks=%+v: closed (%g,%g) vs loop (%g,%g)",
+					sb, busFree, chunks, gd, gb, wd, wb)
+			}
+		}
+	}
+	// Media-limited single ramp: bit-identical by construction.
+	for i := 0; i < 200; i++ {
+		c := mech.AvailChunk{Sectors: 1 + rng.Intn(600), At: rng.Float64() * 10, Per: 0.01 + rng.Float64()*0.1}
+		sb := 0.001 + rng.Float64()*0.009 // always below Per
+		busFree := c.At * rng.Float64()   // bus free before the ramp starts
+		gd, gb := drainChunks([]mech.AvailChunk{c}, busFree, sb)
+		wd, wb := drainChunksLoop([]mech.AvailChunk{c}, busFree, sb)
+		if gd != wd || gb != wb {
+			t.Fatalf("media-limited drain not bit-identical: (%g,%g) vs (%g,%g)", gd, gb, wd, wb)
+		}
+	}
+}
+
+// TestDrainChunksEmpty: an empty chunk list (nothing delivered over the
+// bus) must report zero occupancy, not busFree-sized garbage.
+func TestDrainChunksEmpty(t *testing.T) {
+	for _, f := range []func([]mech.AvailChunk, float64, float64) (float64, float64){drainChunks, drainChunksLoop} {
+		done, busy := f(nil, 42.5, 0.01)
+		if done != 42.5 || busy != 0 {
+			t.Fatalf("empty drain = (%g,%g), want (42.5,0)", done, busy)
+		}
+	}
+}
+
+// TestServeDifferentialClosedVsLoopDrain runs full mixed workloads
+// through two identical disks, one using the closed-form drain and one
+// the per-sector reference, and requires service and response times to
+// agree within a nanosecond of virtual time per request.
+//
+// The schedule is fixed (pairs of queued requests at arithmetic issue
+// times, idle gaps between pairs) rather than completion-driven: both
+// disks then see bit-identical media phases every round, so each
+// request's comparison isolates exactly the drain difference. A
+// free-running schedule would feed the drains' sub-ulp rounding
+// differences back into issue times, where a rotational slot boundary
+// can amplify them into a full slot-time divergence — a knife edge of
+// the spindle model, not a drain bug. The second request of each pair
+// lands while the first's bus transfer is still draining, covering the
+// busFree > availability regime.
+func TestServeDifferentialClosedVsLoopDrain(t *testing.T) {
+	cfg := Config{BusMBps: 40, CmdOverhead: 0.1, CacheSegments: 4, CacheSegSectors: 400, ReadAhead: true}
+	for _, zl := range []bool{false, true} {
+		a := testDisk(t, cfg, zl)
+		b := testDisk(t, cfg, zl)
+		b.drainLoop = true
+		rng := rand.New(rand.NewSource(31))
+		check := func(i int, issue float64, req Request) {
+			ra, err := a.SubmitAt(issue, req)
+			if err != nil {
+				t.Fatalf("closed: %v", err)
+			}
+			rb, err := b.SubmitAt(issue, req)
+			if err != nil {
+				t.Fatalf("loop: %v", err)
+			}
+			const tol = 1e-6
+			if math.Abs(ra.Done-rb.Done) > tol || math.Abs(ra.Response()-rb.Response()) > tol ||
+				math.Abs(ra.Start-rb.Start) > tol || math.Abs(ra.MediaEnd-rb.MediaEnd) > tol ||
+				math.Abs(ra.BusTime-rb.BusTime) > tol {
+				t.Fatalf("zl=%v req %d %+v: closed %+v vs loop %+v", zl, i, req, ra, rb)
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			issue := float64(i) * 120 // past every earlier completion: both disks start idle
+			n := 1 + rng.Intn(200)
+			first := Request{
+				LBN:     rng.Int63n(a.Lay.NumLBNs() - int64(n)),
+				Sectors: n,
+				Write:   rng.Intn(5) == 0,
+				FUA:     rng.Intn(10) == 0,
+			}
+			check(2*i, issue, first)
+			// A queued read behind the first request: its drain starts
+			// while the bus is still busy with the first one's data.
+			n = 1 + rng.Intn(200)
+			check(2*i+1, issue, Request{LBN: rng.Int63n(a.Lay.NumLBNs() - int64(n)), Sectors: n})
+		}
+	}
+}
+
+// TestServePoolingBitIdentical: the pooled-scratch Serve must be
+// bit-identical run to run — the pooled buffers carry no state between
+// requests.
+func TestServePoolingBitIdentical(t *testing.T) {
+	run := func() []float64 {
+		d := testDisk(t, Config{BusMBps: 40, CmdOverhead: 0.1, CacheSegments: 4, CacheSegSectors: 400, ReadAhead: true}, true)
+		rng := rand.New(rand.NewSource(7))
+		var out []float64
+		issue := 0.0
+		for i := 0; i < 1000; i++ {
+			n := 1 + rng.Intn(200)
+			req := Request{LBN: rng.Int63n(d.Lay.NumLBNs() - int64(n)), Sectors: n, Write: rng.Intn(5) == 0}
+			r, err := d.SubmitAt(issue, req)
+			if err != nil {
+				t.Fatalf("SubmitAt: %v", err)
+			}
+			out = append(out, r.Done, r.Response(), r.BusTime)
+			issue = r.Done
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestServeZeroAllocSteadyState is the allocation guard of the hot
+// path: after warm-up, Serve must not allocate for reads (aligned and
+// unaligned, cached and uncached) or writes.
+func TestServeZeroAllocSteadyState(t *testing.T) {
+	d := testDisk(t, Config{BusMBps: 40, CmdOverhead: 0.1, CacheSegments: 4, CacheSegSectors: 400, ReadAhead: true}, true)
+	reqs := randomTrackReads(d, 64, 13, false, 80)
+	for i := range reqs {
+		if i%3 == 0 {
+			reqs[i].Write = true
+		}
+	}
+	at := 0.0
+	for _, r := range reqs { // warm the pooled buffers
+		res, err := d.Serve(at, r)
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		at = res.Done
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		r := reqs[i%len(reqs)]
+		i++
+		res, err := d.Serve(at, r)
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		at = res.Done
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Serve allocates %.1f per op, want 0", allocs)
+	}
+}

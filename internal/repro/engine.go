@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Cell is one independent unit of reproduction work: a (disk, pattern,
+// seed) experiment cell that builds its own simulator state and writes
+// its result into a slot owned by the caller. Cells must not share
+// mutable state; the engine gives no ordering guarantees between them.
+type Cell struct {
+	Name string
+	Run  func() error
+}
+
+// Workers returns the engine's worker-pool width: GOMAXPROCS, bounded
+// by the cell count.
+func Workers(cells int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunCells executes the cells on a GOMAXPROCS-wide worker pool and
+// waits for all of them. Determinism comes from the cells, not the
+// schedule: every cell derives its randomness from its own fixed seed
+// and owns its result slot, so a parallel run is bit-identical to a
+// sequential one. The first error (in cell order) is returned; later
+// cells still run, keeping partial results usable.
+func RunCells(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	errs := make([]error, len(cells))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < Workers(len(cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := cells[i].Run(); err != nil {
+					errs[i] = fmt.Errorf("repro: cell %q: %w", cells[i].Name, err)
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"traxtents/internal/ffs"
+)
+
+// TestRunCellsRunsEverything: every cell runs exactly once.
+func TestRunCellsRunsEverything(t *testing.T) {
+	out := make([]int, 64)
+	var cells []Cell
+	for i := range out {
+		i := i
+		cells = append(cells, Cell{Name: fmt.Sprintf("c%d", i), Run: func() error {
+			out[i]++
+			return nil
+		}})
+	}
+	if err := RunCells(cells); err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	for i, n := range out {
+		if n != 1 {
+			t.Fatalf("cell %d ran %d times", i, n)
+		}
+	}
+	if err := RunCells(nil); err != nil {
+		t.Fatalf("RunCells(nil): %v", err)
+	}
+}
+
+// TestRunCellsFirstErrorWins: the error of the earliest failing cell is
+// reported, and later cells still run.
+func TestRunCellsFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	ran := make([]bool, 8)
+	var cells []Cell
+	for i := range ran {
+		i := i
+		cells = append(cells, Cell{Name: fmt.Sprintf("c%d", i), Run: func() error {
+			ran[i] = true
+			if i == 2 || i == 5 {
+				return fmt.Errorf("cell %d: %w", i, sentinel)
+			}
+			return nil
+		}})
+	}
+	err := RunCells(cells)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunCells error = %v, want wrapped sentinel", err)
+	}
+	if got := err.Error(); got != `repro: cell "c2": cell 2: boom` {
+		t.Fatalf("first error in cell order, got %q", got)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("cell %d skipped after error", i)
+		}
+	}
+}
+
+// TestParallelFiguresDeterministic: a figure regenerated on one worker
+// must be bit-identical to the same figure on all cores — cells own
+// their seeds and result slots.
+func TestParallelFiguresDeterministic(t *testing.T) {
+	run := func() []Point {
+		pts, err := Fig1Efficiency(60, 1)
+		if err != nil {
+			t.Fatalf("Fig1Efficiency: %v", err)
+		}
+		return pts
+	}
+	wide := run()
+	old := runtime.GOMAXPROCS(1)
+	narrow := run()
+	runtime.GOMAXPROCS(old)
+	if len(wide) != len(narrow) {
+		t.Fatalf("point counts differ: %d vs %d", len(wide), len(narrow))
+	}
+	for i := range wide {
+		if wide[i].X != narrow[i].X {
+			t.Fatalf("point %d X differs", i)
+		}
+		for k, v := range wide[i].Values {
+			if narrow[i].Values[k] != v {
+				t.Fatalf("point %d %q: %g (parallel) vs %g (serial)", i, k, v, narrow[i].Values[k])
+			}
+		}
+	}
+}
+
+// TestTable2VariantsParallel: the cross-variant runner must agree with
+// per-variant runs (same cells, same seeds).
+func TestTable2VariantsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 regeneration skipped in -short mode")
+	}
+	sz := Table2Sizes{
+		ScanBlocks:  2048,
+		DiffBlocks:  512,
+		CopyBlocks:  1024,
+		HeadFiles:   40,
+		HeadBlocks:  10,
+		PostmarkTxs: 200,
+	}
+	rows, err := RunTable2Variants([]ffs.Variant{ffs.Unmodified, ffs.Traxtent}, sz)
+	if err != nil {
+		t.Fatalf("RunTable2Variants: %v", err)
+	}
+	single, err := RunTable2(ffs.Traxtent, sz)
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	if rows[1] != single {
+		t.Fatalf("parallel row %+v != single-variant row %+v", rows[1], single)
+	}
+	for _, r := range rows {
+		if r.ScanS <= 0 || r.DiffS <= 0 || r.CopyS <= 0 || r.Postmark <= 0 || r.SSHS <= 0 || r.HeadS <= 0 {
+			t.Fatalf("row has empty cells: %+v", r)
+		}
+	}
+}

@@ -2,6 +2,12 @@
 // evaluation from the simulator: each function returns the data series
 // the paper plots, and the cmd/ tools and root benchmarks print them.
 // EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Regeneration is parallel: every figure decomposes into independent
+// (disk, pattern, seed) cells — each cell builds its own simulator and
+// owns its result slot — and the engine (engine.go) fans the cells
+// across a GOMAXPROCS-wide worker pool. Cell seeds are fixed per cell,
+// so the regenerated numbers are bit-identical at any parallelism.
 package repro
 
 import (
@@ -98,7 +104,10 @@ func headTime(m model.Model, n, ioSectors int, aligned, write, twoReq bool, cfg 
 
 // Fig1Efficiency computes disk efficiency versus I/O size for
 // track-aligned and unaligned access on the Atlas 10K II's first zone
-// (tworeq pattern), plus the maximum streaming efficiency line.
+// (tworeq pattern), plus the maximum streaming efficiency line. The
+// (size, alignment) cells are independent simulations and fan out
+// across the engine's worker pool; each cell keeps the same seed it had
+// sequentially, so the figure is bit-identical at any GOMAXPROCS.
 func Fig1Efficiency(n int, seed int64) ([]Point, error) {
 	m := model.MustGet("Quantum-Atlas10KII")
 	l, err := m.Layout()
@@ -114,7 +123,7 @@ func Fig1Efficiency(n int, seed int64) ([]Point, error) {
 	skew := float64(l.G.Zones[0].TrackSkew) * st
 	maxStream := (float64(trackSec) * st) / (float64(trackSec)*st + skew)
 
-	var out []Point
+	var ios []int
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 6, 8} {
 		io := int(frac * float64(trackSec))
 		if io < 1 {
@@ -123,19 +132,36 @@ func Fig1Efficiency(n int, seed int64) ([]Point, error) {
 		if frac >= 1 {
 			io = int(frac) * trackSec // whole tracks for the aligned peaks
 		}
-		p := Point{X: float64(io) * 512 / 1024, Values: map[string]float64{"maxstream": maxStream}}
-		for _, aligned := range []bool{true, false} {
-			ht, actualXfer, err := headTime(m, n, io, aligned, false, true, m.DefaultConfig(), seed)
-			if err != nil {
-				return nil, err
-			}
-			key := "unaligned"
-			if aligned {
-				key = "aligned"
-			}
-			p.Values[key] = actualXfer / ht
+		ios = append(ios, io)
+	}
+	eff := make([][2]float64, len(ios)) // [aligned, unaligned] per size
+	var cells []Cell
+	for i, io := range ios {
+		for a, aligned := range []bool{true, false} {
+			i, io, a, aligned := i, io, a, aligned
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("fig1/io=%d/aligned=%v", io, aligned),
+				Run: func() error {
+					ht, actualXfer, err := headTime(m, n, io, aligned, false, true, m.DefaultConfig(), seed)
+					if err != nil {
+						return err
+					}
+					eff[i][a] = actualXfer / ht
+					return nil
+				},
+			})
 		}
-		out = append(out, p)
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(ios))
+	for i, io := range ios {
+		out[i] = Point{X: float64(io) * 512 / 1024, Values: map[string]float64{
+			"maxstream": maxStream,
+			"aligned":   eff[i][0],
+			"unaligned": eff[i][1],
+		}}
 	}
 	return out, nil
 }
@@ -200,23 +226,38 @@ func Fig6HeadTime(n int, seed int64) ([]Fig6Series, error) {
 		{"tworeq aligned", true, true, false},
 		{"zero-bus aligned", true, false, true},
 	}
-	var out []Fig6Series
-	for _, c := range combos {
+	// One cell per (combo, size): 30 independent simulations across the
+	// worker pool, writing into preallocated slots.
+	out := make([]Fig6Series, len(combos))
+	var cells []Cell
+	for i, c := range combos {
+		out[i] = Fig6Series{
+			Label: c.label,
+			Fracs: append([]float64(nil), fracs...),
+			Times: make([]float64, len(fracs)),
+		}
 		cfg := m.DefaultConfig()
 		if c.zeroBusVariant {
 			cfg.BusMBps = 0 // infinitely fast bus
 		}
-		s := Fig6Series{Label: c.label}
-		for _, f := range fracs {
-			io := int(f * float64(trackSec))
-			ht, _, err := headTime(m, n, io, c.aligned, false, c.two, cfg, seed)
-			if err != nil {
-				return nil, err
-			}
-			s.Fracs = append(s.Fracs, f)
-			s.Times = append(s.Times, ht)
+		for k, f := range fracs {
+			i, k, c, cfg, f := i, k, c, cfg, f
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("fig6/%s/frac=%.1f", c.label, f),
+				Run: func() error {
+					io := int(f * float64(trackSec))
+					ht, _, err := headTime(m, n, io, c.aligned, false, c.two, cfg, seed)
+					if err != nil {
+						return err
+					}
+					out[i].Times[k] = ht
+					return nil
+				},
+			})
 		}
-		out = append(out, s)
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -231,13 +272,11 @@ func WriteHeadTimes(n int, seed int64) (map[string]float64, error) {
 		return nil, err
 	}
 	_, trackSec := l.TrackRange(0)
-	out := map[string]float64{}
+	var times [4]float64
+	var cells []Cell
+	keys := make([]string, 0, 4)
 	for _, two := range []bool{false, true} {
 		for _, aligned := range []bool{false, true} {
-			ht, _, err := headTime(m, n, trackSec, aligned, true, two, m.DefaultConfig(), seed)
-			if err != nil {
-				return nil, err
-			}
 			key := "onereq"
 			if two {
 				key = "tworeq"
@@ -247,8 +286,28 @@ func WriteHeadTimes(n int, seed int64) (map[string]float64, error) {
 			} else {
 				key += " unaligned"
 			}
-			out[key] = ht
+			slot := len(keys)
+			keys = append(keys, key)
+			two, aligned := two, aligned
+			cells = append(cells, Cell{
+				Name: "writes/" + key,
+				Run: func() error {
+					ht, _, err := headTime(m, n, trackSec, aligned, true, two, m.DefaultConfig(), seed)
+					if err != nil {
+						return err
+					}
+					times[slot] = ht
+					return nil
+				},
+			})
 		}
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, key := range keys {
+		out[key] = times[i]
 	}
 	return out, nil
 }
@@ -257,30 +316,46 @@ func WriteHeadTimes(n int, seed int64) (map[string]float64, error) {
 // track-aligned head-time reduction for track-sized reads on each
 // evaluation disk (zero-latency disks improve by far more).
 func OtherDisksReadReduction(n int, seed int64) (map[string][2]float64, error) {
-	out := map[string][2]float64{}
-	for _, name := range []string{
+	names := []string{
 		"Quantum-Atlas10KII", "Quantum-Atlas10K",
 		"IBM-Ultrastar18ES", "Seagate-CheetahX15",
-	} {
+	}
+	// One cell per (disk, pattern, alignment): 16 simulations in flight.
+	times := make([][2][2]float64, len(names)) // [onereq|tworeq][aligned|unaligned]
+	var cells []Cell
+	for d, name := range names {
 		m := model.MustGet(name)
 		l, err := m.Layout()
 		if err != nil {
 			return nil, err
 		}
 		_, trackSec := l.TrackRange(0)
-		var red [2]float64
 		for i, two := range []bool{false, true} {
-			al, _, err := headTime(m, n, trackSec, true, false, two, m.DefaultConfig(), seed)
-			if err != nil {
-				return nil, err
+			for a, aligned := range []bool{true, false} {
+				d, i, a, two, aligned, m, trackSec := d, i, a, two, aligned, m, trackSec
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("otherdisks/%s/two=%v/aligned=%v", name, two, aligned),
+					Run: func() error {
+						ht, _, err := headTime(m, n, trackSec, aligned, false, two, m.DefaultConfig(), seed)
+						if err != nil {
+							return err
+						}
+						times[d][i][a] = ht
+						return nil
+					},
+				})
 			}
-			un, _, err := headTime(m, n, trackSec, false, false, two, m.DefaultConfig(), seed)
-			if err != nil {
-				return nil, err
-			}
-			red[i] = 1 - al/un
 		}
-		out[name] = red
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := map[string][2]float64{}
+	for d, name := range names {
+		out[name] = [2]float64{
+			1 - times[d][0][0]/times[d][0][1],
+			1 - times[d][1][0]/times[d][1][1],
+		}
 	}
 	return out, nil
 }
@@ -297,28 +372,43 @@ func Fig8Variance(n int, seed int64) ([]Point, error) {
 	_, trackSec := l.TrackRange(0)
 	cfg := m.DefaultConfig()
 	cfg.BusMBps = 0
-	var out []Point
-	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
-		io := int(f * float64(trackSec))
-		p := Point{X: f * 100, Values: map[string]float64{}}
-		for _, aligned := range []bool{true, false} {
-			d, err := m.NewDisk(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := d.OneReq(zone0Requests(d, n, io, aligned, false, seed))
-			if err != nil {
-				return nil, err
-			}
-			resp := sim.Responses(rs)
-			key := "unaligned"
-			if aligned {
-				key = "aligned"
-			}
-			p.Values[key+" mean"] = stats.Mean(resp)
-			p.Values[key+" sd"] = stats.StdDev(resp)
+	fracs := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	type cellOut struct{ mean, sd float64 }
+	res := make([][2]cellOut, len(fracs)) // [aligned, unaligned]
+	var cells []Cell
+	for i, f := range fracs {
+		for a, aligned := range []bool{true, false} {
+			i, a, f, aligned := i, a, f, aligned
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("fig8/frac=%.2f/aligned=%v", f, aligned),
+				Run: func() error {
+					d, err := m.NewDisk(cfg)
+					if err != nil {
+						return err
+					}
+					io := int(f * float64(trackSec))
+					rs, err := d.OneReq(zone0Requests(d, n, io, aligned, false, seed))
+					if err != nil {
+						return err
+					}
+					resp := sim.Responses(rs)
+					res[i][a] = cellOut{mean: stats.Mean(resp), sd: stats.StdDev(resp)}
+					return nil
+				},
+			})
 		}
-		out = append(out, p)
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(fracs))
+	for i, f := range fracs {
+		out[i] = Point{X: f * 100, Values: map[string]float64{
+			"aligned mean":   res[i][0].mean,
+			"aligned sd":     res[i][0].sd,
+			"unaligned mean": res[i][1].mean,
+			"unaligned sd":   res[i][1].sd,
+		}}
 	}
 	return out, nil
 }
@@ -334,7 +424,6 @@ func Fig7Breakdown(n int, seed int64) (map[string]map[string]float64, error) {
 		return nil, err
 	}
 	_, trackSec := l.TrackRange(0)
-	out := map[string]map[string]float64{}
 	cases := []struct {
 		label   string
 		aligned bool
@@ -344,29 +433,45 @@ func Fig7Breakdown(n int, seed int64) (map[string]map[string]float64, error) {
 		{"track-aligned", true, false},
 		{"track-aligned out-of-order", true, true},
 	}
-	for _, c := range cases {
-		cfg := m.DefaultConfig()
-		cfg.OutOfOrderBus = c.ooo
-		d, err := m.NewDisk(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := d.OneReq(zone0Requests(d, n, trackSec, c.aligned, false, seed))
-		if err != nil {
-			return nil, err
-		}
-		comp := map[string]float64{}
-		for _, r := range rs {
-			comp["seek"] += r.Timing.Seek
-			comp["rotational+switch"] += r.Timing.Latency + r.Timing.Switch
-			comp["media transfer"] += r.Timing.Transfer
-			comp["bus tail"] += r.Done - r.MediaEnd
-			comp["response"] += r.Response()
-		}
-		for k := range comp {
-			comp[k] /= float64(len(rs))
-		}
-		out[c.label] = comp
+	comps := make([]map[string]float64, len(cases))
+	cells := make([]Cell, 0, len(cases))
+	for i, c := range cases {
+		i, c := i, c
+		cells = append(cells, Cell{
+			Name: "fig7/" + c.label,
+			Run: func() error {
+				cfg := m.DefaultConfig()
+				cfg.OutOfOrderBus = c.ooo
+				d, err := m.NewDisk(cfg)
+				if err != nil {
+					return err
+				}
+				rs, err := d.OneReq(zone0Requests(d, n, trackSec, c.aligned, false, seed))
+				if err != nil {
+					return err
+				}
+				comp := map[string]float64{}
+				for _, r := range rs {
+					comp["seek"] += r.Timing.Seek
+					comp["rotational+switch"] += r.Timing.Latency + r.Timing.Switch
+					comp["media transfer"] += r.Timing.Transfer
+					comp["bus tail"] += r.Done - r.MediaEnd
+					comp["response"] += r.Response()
+				}
+				for k := range comp {
+					comp[k] /= float64(len(rs))
+				}
+				comps[i] = comp
+				return nil
+			},
+		})
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]float64{}
+	for i, c := range cases {
+		out[c.label] = comps[i]
 	}
 	return out, nil
 }

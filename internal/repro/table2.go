@@ -57,10 +57,11 @@ func QuickTable2Sizes() Table2Sizes {
 	}
 }
 
-// RunTable2 runs the Table 2 benchmarks for one FFS variant on a fresh
-// Atlas 10K (the paper's FFS disk).
-func RunTable2(v ffs.Variant, sz Table2Sizes) (Table2Row, error) {
-	row := Table2Row{Variant: v.String()}
+// table2Cells returns the six independent benchmark cells of one FFS
+// variant, each building its own fresh Atlas 10K (the paper's FFS disk)
+// and writing one field of row. The cells share nothing, so a worker
+// pool can run variants × benchmarks fully in parallel.
+func table2Cells(v ffs.Variant, sz Table2Sizes, row *Table2Row) []Cell {
 	mk := func() (*ffs.FS, error) {
 		m := model.MustGet("Quantum-Atlas10K")
 		d, err := m.NewDisk(m.DefaultConfig())
@@ -73,79 +74,123 @@ func RunTable2(v ffs.Variant, sz Table2Sizes) (Table2Row, error) {
 		}
 		return ffs.New(d, ffs.Params{Variant: v, Table: table})
 	}
+	prefix := "table2/" + v.String() + "/"
+	return []Cell{
+		{Name: prefix + "scan", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			if _, err := workload.MakeFile(fs, "scan", sz.ScanBlocks); err != nil {
+				return err
+			}
+			fs.Sync()
+			e, err := workload.Scan(fs, "scan")
+			if err != nil {
+				return err
+			}
+			row.ScanS = e / 1000
+			return nil
+		}},
+		{Name: prefix + "diff", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			if _, err := workload.MakeFile(fs, "a", sz.DiffBlocks); err != nil {
+				return err
+			}
+			if _, err := workload.MakeFile(fs, "b", sz.DiffBlocks); err != nil {
+				return err
+			}
+			fs.Sync()
+			e, err := workload.Diff(fs, "a", "b")
+			if err != nil {
+				return err
+			}
+			row.DiffS = e / 1000
+			return nil
+		}},
+		{Name: prefix + "copy", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			if _, err := workload.MakeFile(fs, "src", sz.CopyBlocks); err != nil {
+				return err
+			}
+			fs.Sync()
+			e, err := workload.Copy(fs, "src", "dst")
+			if err != nil {
+				return err
+			}
+			row.CopyS = e / 1000
+			return nil
+		}},
+		{Name: prefix + "postmark", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			tps, _, err := workload.Postmark(fs, workload.PostmarkConfig{Transactions: sz.PostmarkTxs, Seed: 42})
+			if err != nil {
+				return err
+			}
+			row.Postmark = tps
+			return nil
+		}},
+		{Name: prefix + "ssh", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			e, err := workload.SSHBuild(fs, 42)
+			if err != nil {
+				return err
+			}
+			row.SSHS = e / 1000
+			return nil
+		}},
+		{Name: prefix + "head*", Run: func() error {
+			fs, err := mk()
+			if err != nil {
+				return err
+			}
+			e, err := workload.HeadStar(fs, sz.HeadFiles, sz.HeadBlocks)
+			if err != nil {
+				return err
+			}
+			row.HeadS = e / 1000
+			return nil
+		}},
+	}
+}
 
-	// Scan.
-	fs, err := mk()
+// RunTable2 runs the Table 2 benchmarks for one FFS variant, fanning
+// the six benchmarks across the worker pool.
+func RunTable2(v ffs.Variant, sz Table2Sizes) (Table2Row, error) {
+	rows, err := RunTable2Variants([]ffs.Variant{v}, sz)
 	if err != nil {
-		return row, err
+		return Table2Row{Variant: v.String()}, err
 	}
-	if _, err := workload.MakeFile(fs, "scan", sz.ScanBlocks); err != nil {
-		return row, err
-	}
-	fs.Sync()
-	e, err := workload.Scan(fs, "scan")
-	if err != nil {
-		return row, err
-	}
-	row.ScanS = e / 1000
+	return rows[0], nil
+}
 
-	// Diff.
-	if fs, err = mk(); err != nil {
-		return row, err
+// RunTable2Variants reproduces Table 2 for several FFS variants at
+// once: all variants × benchmarks cells (each with its own disk and
+// file system) run on one GOMAXPROCS-wide pool, so whole-table
+// regeneration scales with cores.
+func RunTable2Variants(vs []ffs.Variant, sz Table2Sizes) ([]Table2Row, error) {
+	rows := make([]Table2Row, len(vs))
+	var cells []Cell
+	for i, v := range vs {
+		rows[i] = Table2Row{Variant: v.String()}
+		cells = append(cells, table2Cells(v, sz, &rows[i])...)
 	}
-	if _, err := workload.MakeFile(fs, "a", sz.DiffBlocks); err != nil {
-		return row, err
+	if err := RunCells(cells); err != nil {
+		return nil, err
 	}
-	if _, err := workload.MakeFile(fs, "b", sz.DiffBlocks); err != nil {
-		return row, err
-	}
-	fs.Sync()
-	if e, err = workload.Diff(fs, "a", "b"); err != nil {
-		return row, err
-	}
-	row.DiffS = e / 1000
-
-	// Copy.
-	if fs, err = mk(); err != nil {
-		return row, err
-	}
-	if _, err := workload.MakeFile(fs, "src", sz.CopyBlocks); err != nil {
-		return row, err
-	}
-	fs.Sync()
-	if e, err = workload.Copy(fs, "src", "dst"); err != nil {
-		return row, err
-	}
-	row.CopyS = e / 1000
-
-	// Postmark.
-	if fs, err = mk(); err != nil {
-		return row, err
-	}
-	tps, _, err := workload.Postmark(fs, workload.PostmarkConfig{Transactions: sz.PostmarkTxs, Seed: 42})
-	if err != nil {
-		return row, err
-	}
-	row.Postmark = tps
-
-	// SSH-build.
-	if fs, err = mk(); err != nil {
-		return row, err
-	}
-	if e, err = workload.SSHBuild(fs, 42); err != nil {
-		return row, err
-	}
-	row.SSHS = e / 1000
-
-	// head*.
-	if fs, err = mk(); err != nil {
-		return row, err
-	}
-	if e, err = workload.HeadStar(fs, sz.HeadFiles, sz.HeadBlocks); err != nil {
-		return row, err
-	}
-	row.HeadS = e / 1000
-	return row, nil
+	return rows, nil
 }
 
 // FormatTable2 renders rows like the paper's Table 2.

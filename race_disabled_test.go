@@ -1,0 +1,5 @@
+//go:build !race
+
+package traxtents_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package traxtents_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation slows the hot path ~10x; wall-clock
+// speedup gates are skipped under it.
+const raceEnabled = true
