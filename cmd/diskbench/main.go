@@ -2,7 +2,10 @@
 // I/O size (Figure 1), expected rotational latency (Figure 3), the disk
 // characteristics table (Table 1), head times (Figure 6 and the §5.2
 // write/cross-disk results), the response-time breakdown (Figure 7),
-// and response-time variance (Figure 8).
+// and response-time variance (Figure 8) — plus the queued-device
+// studies that push track alignment beyond the paper's one-request-at-
+// a-time methodology: response time vs queue depth, and response time/
+// throughput vs offered load, aligned vs unaligned.
 //
 // Usage:
 //
@@ -10,8 +13,16 @@
 //	diskbench -table 1              Table 1
 //	diskbench -writes               §5.2 write head times
 //	diskbench -disks                §5.2 cross-disk comparison
+//	diskbench -queue                response time vs queue depth
+//	diskbench -load                 response/throughput vs offered load
 //	diskbench -all                  everything
 //	diskbench -n 5000               requests per measurement
+//
+// The queued-device studies take:
+//
+//	-sched fcfs|sstf|clook|traxtent  scheduler (default clook)
+//	-qdepth N                        queue depth for -load (default 8)
+//	-arrival open|closed             arrival process for -load
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"sort"
 
 	"traxtents/internal/repro"
+	"traxtents/internal/workload/driver"
 )
 
 func main() {
@@ -28,6 +40,11 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (1)")
 	writes := flag.Bool("writes", false, "§5.2 write head times")
 	disks := flag.Bool("disks", false, "§5.2 cross-disk read comparison")
+	queue := flag.Bool("queue", false, "response time vs queue depth, aligned vs unaligned")
+	load := flag.Bool("load", false, "response/throughput vs offered load, aligned vs unaligned")
+	schedName := flag.String("sched", "clook", "scheduler for -queue/-load: fcfs|sstf|clook|traxtent")
+	qdepth := flag.Int("qdepth", 8, "queue depth for -load")
+	arrival := flag.String("arrival", "open", "arrival process for -load: open (Poisson) | closed (think time)")
 	all := flag.Bool("all", false, "regenerate everything")
 	n := flag.Int("n", 5000, "requests per measurement (the paper uses 5000)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -150,6 +167,46 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			fmt.Printf("%-22s %5.1f%% / %5.1f%%\n", name, red[name][0]*100, red[name][1]*100)
+		}
+		fmt.Println()
+	}
+	if *all || *queue {
+		any = true
+		fmt.Printf("== Queued device: response time vs queue depth (%s, closed loop, think 0) ==\n", *schedName)
+		pts, err := repro.QueueDepthStudy(*n, *seed, *schedName)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%8s %14s %14s %14s %14s\n", "depth", "aligned ms", "unaligned ms", "aligned IOPS", "unalign IOPS")
+		for _, p := range pts {
+			fmt.Printf("%8.0f %12.2fms %12.2fms %14.1f %14.1f\n", p.X,
+				p.Values["aligned mean"], p.Values["unaligned mean"],
+				p.Values["aligned iops"], p.Values["unaligned iops"])
+		}
+		fmt.Println()
+	}
+	if *all || *load {
+		any = true
+		arr := driver.Open
+		xLabel := "req/s"
+		switch *arrival {
+		case "open":
+		case "closed":
+			arr, xLabel = driver.Closed, "clients"
+		default:
+			die(fmt.Errorf("unknown arrival process %q (open|closed)", *arrival))
+		}
+		fmt.Printf("== Queued device: response/throughput vs offered load (%s, depth %d, %s arrivals) ==\n",
+			*schedName, *qdepth, arr)
+		pts, err := repro.LoadCurve(*n, *seed, *schedName, *qdepth, arr)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%8s %14s %14s %14s %14s\n", xLabel, "aligned ms", "unaligned ms", "aligned IOPS", "unalign IOPS")
+		for _, p := range pts {
+			fmt.Printf("%8.0f %12.2fms %12.2fms %14.1f %14.1f\n", p.X,
+				p.Values["aligned mean"], p.Values["unaligned mean"],
+				p.Values["aligned iops"], p.Values["unaligned iops"])
 		}
 		fmt.Println()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"traxtents/internal/device"
 	"traxtents/internal/device/devtest"
+	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
 	"traxtents/internal/disk/model"
@@ -60,14 +61,51 @@ func newPlayer(t testing.TB) device.Device {
 	return p
 }
 
-// TestConformance runs the shared device suite against all three
-// backends — the calibrated simulator, the traxtent-striped array, and
-// the trace-replay device — plus the recorder wrapper.
+// newQueued wraps a fresh simulated disk in a scheduling queue.
+func newQueued(t testing.TB, depth int, s sched.Scheduler) device.Device {
+	t.Helper()
+	q, err := sched.New(newSim(t, 5), sched.WithDepth(depth), sched.WithScheduler(s))
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	return q
+}
+
+// TestConformance runs the shared device suite against all four
+// backends — the calibrated simulator, the traxtent-striped array, the
+// trace-replay device, and the scheduling queue — plus the recorder
+// wrapper.
 func TestConformance(t *testing.T) {
 	devtest.Run(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) })
 	devtest.Run(t, "striped", func(t *testing.T) device.Device { return newStriped(t) })
 	devtest.Run(t, "trace", func(t *testing.T) device.Device { return newPlayer(t) })
 	devtest.Run(t, "recorder", func(t *testing.T) device.Device { return trace.NewRecorder(newSim(t, 8)) })
+	devtest.Run(t, "sched-fcfs", func(t *testing.T) device.Device { return newQueued(t, 1, sched.FCFS()) })
+	devtest.Run(t, "sched-sstf", func(t *testing.T) device.Device { return newQueued(t, 8, sched.SSTF()) })
+	devtest.Run(t, "sched-clook", func(t *testing.T) device.Device { return newQueued(t, 8, sched.CLOOK()) })
+}
+
+// TestConformanceFuzz runs the seeded property/fuzz suite over the four
+// backends: randomized valid and boundary-invalid requests, with the
+// Check invariants (CheckRequest agreement, untouched clock on
+// rejection, coherent times, monotonic Now) asserted on every call.
+func TestConformanceFuzz(t *testing.T) {
+	const n, seed = 600, 11
+	devtest.Fuzz(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) }, n, seed)
+	devtest.Fuzz(t, "striped", func(t *testing.T) device.Device { return newStriped(t) }, n, seed)
+	devtest.Fuzz(t, "trace", func(t *testing.T) device.Device { return newPlayer(t) }, n, seed)
+	devtest.Fuzz(t, "sched", func(t *testing.T) device.Device {
+		d := newSim(t, 5)
+		s, err := sched.TraxtentCLOOKFor(d)
+		if err != nil {
+			t.Fatalf("TraxtentCLOOKFor: %v", err)
+		}
+		q, err := sched.New(d, sched.WithDepth(8), sched.WithScheduler(s))
+		if err != nil {
+			t.Fatalf("sched.New: %v", err)
+		}
+		return q
+	}, n, seed)
 }
 
 // TestRecorderForwardsCapabilities: a recorder stands in for the

@@ -109,15 +109,24 @@ type Named interface {
 	Name() string
 }
 
+// CheckBounds validates an (LBN, sector-count) range against a
+// capacity. The test is overflow-safe: LBN + Sectors near MaxInt64 must
+// not wrap negative and slip past the capacity comparison. It is shared
+// by the request gate below and by loaders validating externally
+// supplied ranges (trace records).
+func CheckBounds(lbn int64, sectors int, capacity int64) error {
+	if sectors <= 0 {
+		return fmt.Errorf("device: request for %d sectors", sectors)
+	}
+	if lbn < 0 || lbn >= capacity || int64(sectors) > capacity-lbn {
+		return fmt.Errorf("device: request [%d,+%d) outside device of %d LBNs",
+			lbn, sectors, capacity)
+	}
+	return nil
+}
+
 // CheckRequest validates a request against a device's address space; it
 // is the shared gate every backend applies before servicing.
 func CheckRequest(d Device, req Request) error {
-	if req.Sectors <= 0 {
-		return fmt.Errorf("device: request for %d sectors", req.Sectors)
-	}
-	if req.LBN < 0 || req.LBN+int64(req.Sectors) > d.Capacity() {
-		return fmt.Errorf("device: request [%d,%d) outside device of %d LBNs",
-			req.LBN, req.LBN+int64(req.Sectors), d.Capacity())
-	}
-	return nil
+	return CheckBounds(req.LBN, req.Sectors, d.Capacity())
 }

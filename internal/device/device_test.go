@@ -1,0 +1,79 @@
+package device_test
+
+import (
+	"math"
+	"testing"
+
+	"traxtents/internal/device"
+)
+
+// fixedDevice is a minimal Device for exercising CheckRequest in
+// isolation: only Capacity matters.
+type fixedDevice struct{ cap int64 }
+
+func (f fixedDevice) Serve(at float64, req device.Request) (device.Result, error) {
+	return device.Result{Req: req, Issue: at}, nil
+}
+func (f fixedDevice) Now() float64    { return 0 }
+func (f fixedDevice) Capacity() int64 { return f.cap }
+func (f fixedDevice) SectorSize() int { return 512 }
+
+// TestCheckRequestBounds covers the validation gate's edges: zero and
+// negative fields, exact-fit requests, one-past overruns, and the
+// int64-overflow corners where LBN + Sectors wraps negative — the bug
+// class the overflow-safe comparison exists to reject.
+func TestCheckRequestBounds(t *testing.T) {
+	const cap = int64(10_000)
+	d := fixedDevice{cap: cap}
+	cases := []struct {
+		name string
+		req  device.Request
+		ok   bool
+	}{
+		{"first-sector", device.Request{LBN: 0, Sectors: 1}, true},
+		{"last-sector", device.Request{LBN: cap - 1, Sectors: 1}, true},
+		{"whole-device", device.Request{LBN: 0, Sectors: int(cap)}, true},
+		{"tail-exact-fit", device.Request{LBN: cap - 64, Sectors: 64}, true},
+
+		{"zero-sectors", device.Request{LBN: 0, Sectors: 0}, false},
+		{"negative-sectors", device.Request{LBN: 0, Sectors: -8}, false},
+		{"zero-sectors-at-end", device.Request{LBN: cap, Sectors: 0}, false},
+		{"negative-lbn", device.Request{LBN: -1, Sectors: 1}, false},
+		{"min-int64-lbn", device.Request{LBN: math.MinInt64, Sectors: 1}, false},
+		{"lbn-at-capacity", device.Request{LBN: cap, Sectors: 1}, false},
+		{"lbn-past-capacity", device.Request{LBN: cap + 1, Sectors: 1}, false},
+		{"tail-overrun", device.Request{LBN: cap - 4, Sectors: 8}, false},
+		{"one-past", device.Request{LBN: cap - 64, Sectors: 65}, false},
+		{"sectors-exceed-capacity", device.Request{LBN: 0, Sectors: int(cap) + 1}, false},
+
+		// LBN + Sectors overflows int64 and wraps negative: the pre-fix
+		// comparison (LBN+Sectors > Capacity) accepted these.
+		{"overflow-max-lbn", device.Request{LBN: math.MaxInt64, Sectors: 1}, false},
+		{"overflow-near-max-lbn", device.Request{LBN: math.MaxInt64 - 4, Sectors: 8}, false},
+		{"overflow-large-both", device.Request{LBN: math.MaxInt64 - 100, Sectors: math.MaxInt32}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := device.CheckRequest(d, tc.req)
+			if tc.ok && err != nil {
+				t.Fatalf("CheckRequest(%+v) = %v, want accept", tc.req, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("CheckRequest(%+v) accepted, want reject", tc.req)
+			}
+		})
+	}
+}
+
+// TestCheckRequestUsesLiveCapacity: the gate consults the device, not a
+// snapshot — a request valid on a large device is rejected on a small
+// one.
+func TestCheckRequestUsesLiveCapacity(t *testing.T) {
+	req := device.Request{LBN: 500, Sectors: 100}
+	if err := device.CheckRequest(fixedDevice{cap: 1000}, req); err != nil {
+		t.Fatalf("rejected on 1000-LBN device: %v", err)
+	}
+	if err := device.CheckRequest(fixedDevice{cap: 550}, req); err == nil {
+		t.Fatalf("accepted past the 550-LBN capacity")
+	}
+}

@@ -5,6 +5,8 @@
 package devtest
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"traxtents/internal/device"
@@ -34,6 +36,10 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 			{LBN: -1, Sectors: 1},
 			{LBN: d.Capacity(), Sectors: 1},
 			{LBN: d.Capacity() - 4, Sectors: 8},
+			// LBN + Sectors wraps negative: must not slip past an
+			// overflow-unsafe capacity comparison.
+			{LBN: math.MaxInt64 - 4, Sectors: 8},
+			{LBN: math.MaxInt64, Sectors: 1},
 		}
 		for _, req := range bad {
 			if _, err := d.Serve(0, req); err == nil {
@@ -120,6 +126,131 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 			if r.RotationPeriod() < 0 {
 				t.Fatalf("negative rotation period %g", r.RotationPeriod())
 			}
+		}
+	})
+}
+
+// Check serves one (possibly invalid) request and asserts the
+// cross-backend invariants every Device must hold:
+//
+//   - acceptance agrees exactly with device.CheckRequest;
+//   - a rejected request leaves the clock untouched;
+//   - an accepted request echoes itself, is issued when asked, and its
+//     times are coherent (Issue ≤ Start ≤ MediaEnd ≤ Done);
+//   - Now() never goes backwards and is never behind a completion.
+//
+// It returns the result and whether the request was accepted. It is the
+// shared body of the seeded Fuzz suite and the native go-fuzz targets.
+func Check(t testing.TB, d device.Device, at float64, req device.Request) (device.Result, bool) {
+	t.Helper()
+	prevNow := d.Now()
+	res, err := d.Serve(at, req)
+	valid := device.CheckRequest(d, req) == nil
+	if valid && err != nil {
+		t.Fatalf("Serve(%g, %+v) = %v, but CheckRequest accepts it", at, req, err)
+	}
+	if !valid && err == nil {
+		t.Fatalf("Serve(%g, %+v) accepted, but CheckRequest rejects it", at, req)
+	}
+	if err != nil {
+		if d.Now() != prevNow {
+			t.Fatalf("rejected request %+v moved the clock %g -> %g", req, prevNow, d.Now())
+		}
+		return res, false
+	}
+	if res.Req != req {
+		t.Fatalf("Serve(%g, %+v) echoes %+v", at, req, res.Req)
+	}
+	if res.Issue != at {
+		t.Fatalf("Serve(%g, %+v): Issue = %g", at, req, res.Issue)
+	}
+	if res.Start < res.Issue || res.MediaEnd < res.Start || res.Done < res.MediaEnd {
+		t.Fatalf("Serve(%g, %+v): incoherent times %+v", at, req, res)
+	}
+	if d.Now() < prevNow {
+		t.Fatalf("Serve(%g, %+v): Now went backwards (%g -> %g)", at, req, prevNow, d.Now())
+	}
+	if d.Now() < res.Done {
+		t.Fatalf("Serve(%g, %+v): Now %g behind completion %g", at, req, d.Now(), res.Done)
+	}
+	return res, true
+}
+
+// FuzzRequest derives a request from raw fuzz inputs, steering roughly
+// half the space at the validity boundaries of a device with the given
+// capacity: exact fits, one-past overruns, negative fields, and
+// LBN+Sectors int64 overflows. The mapping is pure, so both the seeded
+// suite and the native fuzz targets share one request distribution.
+func FuzzRequest(capacity, lbn int64, sectors int, shape uint8, write, fua bool) device.Request {
+	req := device.Request{LBN: lbn, Sectors: sectors, Write: write, FUA: fua}
+	mod := func(v int64, n int64) int64 { // non-negative remainder
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	switch shape % 8 {
+	case 0: // raw: whatever the fuzzer invented
+	case 1: // valid: in-bounds request
+		req.Sectors = int(mod(int64(sectors), 2048)) + 1
+		if int64(req.Sectors) > capacity {
+			req.Sectors = 1
+		}
+		req.LBN = mod(lbn, capacity-int64(req.Sectors)+1)
+	case 2: // exact tail fit (valid)
+		req.Sectors = int(mod(int64(sectors), 64)) + 1
+		req.LBN = capacity - int64(req.Sectors)
+	case 3: // one past the end
+		req.Sectors = int(mod(int64(sectors), 64)) + 1
+		req.LBN = capacity - int64(req.Sectors) + 1
+	case 4: // zero or negative sectors
+		req.Sectors = -int(mod(int64(sectors), 4))
+	case 5: // negative LBN
+		req.LBN = -1 - mod(lbn, 1<<20)
+	case 6: // LBN at or past capacity
+		req.LBN = capacity + mod(lbn, 1<<20)
+	case 7: // int64 overflow: LBN + Sectors wraps negative
+		req.LBN = math.MaxInt64 - mod(lbn, 16)
+		req.Sectors = int(mod(int64(sectors), 1<<20)) + 1
+	}
+	return req
+}
+
+// Fuzz is the seeded property suite: it hurls n randomized requests —
+// valid ones interleaved with every boundary-invalid shape FuzzRequest
+// knows — at a fresh device and checks the Check invariants on each.
+// The stream is deterministic for a fixed seed.
+func Fuzz(t *testing.T, name string, mk func(t *testing.T) device.Device, n int, seed int64) {
+	t.Run(name+"/fuzz", func(t *testing.T) {
+		d := mk(t)
+		capacity := d.Capacity()
+		rng := rand.New(rand.NewSource(seed))
+		at := 0.0
+		accepted := 0
+		for i := 0; i < n; i++ {
+			req := FuzzRequest(capacity, rng.Int63(), int(rng.Int31()), uint8(rng.Intn(8)), rng.Intn(4) == 0, rng.Intn(16) == 0)
+			res, ok := Check(t, d, at, req)
+			if ok {
+				accepted++
+				// Walk issue time forward deterministically: sometimes
+				// ride the completion, sometimes lag behind it (queued),
+				// sometimes idle past it.
+				switch rng.Intn(3) {
+				case 0:
+					at = res.Done
+				case 1:
+					at += rng.Float64() * (res.Done - at) // still queued
+				case 2:
+					at = res.Done + rng.Float64()*5 // idle gap
+				}
+			}
+		}
+		if accepted == 0 {
+			t.Fatalf("fuzz stream of %d requests accepted none", n)
+		}
+		if now := d.Now(); now <= 0 {
+			t.Fatalf("accepted %d requests but Now = %g", accepted, now)
 		}
 	})
 }

@@ -1,0 +1,53 @@
+package device_test
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/devtest"
+	"traxtents/internal/device/sched"
+)
+
+// FuzzDevice is the native conformance fuzzer: the engine mutates a raw
+// (lbn, sectors, shape, write, fua) tuple, devtest.FuzzRequest steers it
+// at the validity boundaries, and the request — sandwiched between known
+// valid ones so the device is mid-flight, not fresh — must uphold the
+// devtest.Check invariants on both the simulator and a reordering
+// scheduling queue over it. CI runs a short -fuzz smoke on this target;
+// the seeded corpus below always runs as regression tests.
+func FuzzDevice(f *testing.F) {
+	f.Add(int64(0), 8, uint8(1), false, false)
+	f.Add(int64(-1), 1, uint8(0), false, false)
+	f.Add(int64(1<<62), 1<<20, uint8(7), true, false)
+	f.Add(int64(4_000_000), -3, uint8(4), false, true)
+	f.Add(int64(123456), 64, uint8(2), true, true)
+	f.Fuzz(func(t *testing.T, lbn int64, sectors int, shape uint8, write, fua bool) {
+		backends := []struct {
+			name string
+			mk   func() device.Device
+		}{
+			{"sim", func() device.Device { return newSim(t, 3) }},
+			{"sched", func() device.Device {
+				q, err := sched.New(newSim(t, 3), sched.WithDepth(4), sched.WithScheduler(sched.SSTF()))
+				if err != nil {
+					t.Fatalf("sched.New: %v", err)
+				}
+				return q
+			}},
+		}
+		for _, b := range backends {
+			d := b.mk()
+			fuzzed := devtest.FuzzRequest(d.Capacity(), lbn, sectors, shape, write, fua)
+			at := 0.0
+			for _, req := range []device.Request{
+				{LBN: 100, Sectors: 16},
+				fuzzed,
+				{LBN: d.Capacity() - 32, Sectors: 32, Write: true},
+			} {
+				if res, ok := devtest.Check(t, d, at, req); ok {
+					at = res.Done
+				}
+			}
+		}
+	})
+}

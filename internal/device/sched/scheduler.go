@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"traxtents/internal/device"
+)
+
+// Pending is one queued request visible to a scheduler: the host command
+// plus its issue time and submission sequence number. Candidate slices
+// are always presented in arrival (sequence) order.
+type Pending struct {
+	Req   device.Request
+	Issue float64
+	Seq   int
+}
+
+// A Scheduler picks which queued request a device services next. Pick is
+// handed the candidate set — the requests inside the queue-depth window
+// that have arrived by the decision instant, in arrival order — and the
+// LBN where the previous dispatch left the head; it returns the index of
+// its choice. Implementations must be deterministic: the same candidate
+// slice and head position always yield the same pick, with ties broken
+// by arrival order, so that workload runs are reproducible bit for bit.
+type Scheduler interface {
+	Name() string
+	Pick(cands []Pending, head int64) int
+}
+
+// ---- FCFS ----
+
+type fcfs struct{}
+
+// FCFS returns the first-come-first-served scheduler. A Queue recognizes
+// it and degenerates to a transparent passthrough: the wrapped device's
+// own FCFS resource queueing *is* arrival-order service, so timing is
+// bit-identical to the bare device at any depth.
+func FCFS() Scheduler { return fcfs{} }
+
+func (fcfs) Name() string { return "fcfs" }
+
+func (fcfs) Pick(cands []Pending, head int64) int { return 0 }
+
+// ---- SSTF ----
+
+type sstf struct{}
+
+// SSTF returns the shortest-seek-time-first scheduler: the candidate
+// whose start LBN is closest to the head position wins (LBN distance is
+// the portable seek proxy — the device interface exposes no cylinders).
+// Ties go to the earliest arrival.
+func SSTF() Scheduler { return sstf{} }
+
+func (sstf) Name() string { return "sstf" }
+
+func (sstf) Pick(cands []Pending, head int64) int {
+	best, bestDist := 0, absDist(cands[0].Req.LBN, head)
+	for i := 1; i < len(cands); i++ {
+		if d := absDist(cands[i].Req.LBN, head); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func absDist(a, b int64) int64 {
+	if a < b {
+		return b - a
+	}
+	return a - b
+}
+
+// ---- C-LOOK ----
+
+type clook struct{}
+
+// CLOOK returns the circular-LOOK elevator: the sweep services queued
+// requests in ascending start-LBN order from the head position; when
+// nothing remains ahead of the head it jumps back to the lowest pending
+// LBN and sweeps again. Ties (equal LBN) go to the earliest arrival.
+func CLOOK() Scheduler { return clook{} }
+
+func (clook) Name() string { return "clook" }
+
+func (clook) Pick(cands []Pending, head int64) int {
+	ahead, aheadLBN := -1, int64(0)
+	low, lowLBN := 0, cands[0].Req.LBN
+	for i, c := range cands {
+		lbn := c.Req.LBN
+		if lbn < lowLBN {
+			low, lowLBN = i, lbn
+		}
+		if lbn >= head && (ahead < 0 || lbn < aheadLBN) {
+			ahead, aheadLBN = i, lbn
+		}
+	}
+	if ahead >= 0 {
+		return ahead
+	}
+	return low
+}
+
+// ---- Traxtent-aware C-LOOK ----
+
+type traxtentCLOOK struct {
+	bounds []int64
+	last   int // memoized trackOf hit
+}
+
+// TraxtentCLOOK returns a track-aware C-LOOK: the sweep is ordered by
+// *track* (traxtent) index rather than raw LBN, with the head position
+// quantized to the track it last touched. The sweep boundary therefore
+// never lands inside a track: a track-aligned request whose track the
+// head is currently on — or partway through — stays eligible on the
+// current sweep instead of being split off to the next one, which is
+// exactly the alignment property that zero-latency firmware rewards
+// (within a track, service order is rotation-free, so arrival order
+// breaks ties). bounds are ascending track boundaries starting at 0, as
+// returned by device.BoundaryProvider.
+func TraxtentCLOOK(bounds []int64) (Scheduler, error) {
+	if len(bounds) < 2 || bounds[0] != 0 {
+		return nil, fmt.Errorf("sched: traxtent scheduler needs ascending boundaries starting at 0, got %d entries", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("sched: boundaries not ascending at %d: %d, %d", i, bounds[i-1], bounds[i])
+		}
+	}
+	return &traxtentCLOOK{bounds: bounds}, nil
+}
+
+// TraxtentCLOOKFor builds the traxtent-aware scheduler from a device's
+// own track boundaries; the device must be a BoundaryProvider.
+func TraxtentCLOOKFor(d device.Device) (Scheduler, error) {
+	bp, ok := d.(device.BoundaryProvider)
+	if !ok {
+		return nil, fmt.Errorf("sched: device %T exposes no track boundaries for the traxtent scheduler", d)
+	}
+	return TraxtentCLOOK(bp.TrackBoundaries())
+}
+
+func (s *traxtentCLOOK) Name() string { return "traxtent" }
+
+// trackOf returns the track index containing lbn (clamped to the table),
+// memoizing the last hit: sweeps visit neighbouring tracks.
+func (s *traxtentCLOOK) trackOf(lbn int64) int {
+	if lbn < 0 {
+		return 0
+	}
+	if lbn >= s.bounds[len(s.bounds)-1] {
+		return len(s.bounds) - 2
+	}
+	if j := s.last; s.bounds[j] <= lbn {
+		if lbn < s.bounds[j+1] {
+			return j
+		}
+		if j+2 < len(s.bounds) && lbn < s.bounds[j+2] {
+			s.last = j + 1
+			return j + 1
+		}
+	}
+	j := sort.Search(len(s.bounds), func(i int) bool { return s.bounds[i] > lbn }) - 1
+	s.last = j
+	return j
+}
+
+func (s *traxtentCLOOK) Pick(cands []Pending, head int64) int {
+	ht := s.trackOf(head)
+	ahead, aheadKey := -1, 0
+	low, lowKey := 0, s.trackOf(cands[0].Req.LBN)
+	for i, c := range cands {
+		k := s.trackOf(c.Req.LBN)
+		if k < lowKey {
+			low, lowKey = i, k
+		}
+		if k >= ht && (ahead < 0 || k < aheadKey) {
+			ahead, aheadKey = i, k
+		}
+	}
+	if ahead >= 0 {
+		return ahead
+	}
+	return low
+}
+
+// Names lists the built-in scheduler names accepted by ByName.
+func Names() []string { return []string{"fcfs", "sstf", "clook", "traxtent"} }
+
+// ByName builds a built-in scheduler from its name. The traxtent
+// scheduler derives its track table from d (which must be a
+// BoundaryProvider); the others ignore d.
+func ByName(name string, d device.Device) (Scheduler, error) {
+	switch name {
+	case "fcfs":
+		return FCFS(), nil
+	case "sstf":
+		return SSTF(), nil
+	case "clook":
+		return CLOOK(), nil
+	case "traxtent":
+		return TraxtentCLOOKFor(d)
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+}

@@ -19,15 +19,36 @@ import (
 	"sort"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
 )
 
 // config collects constructor options.
 type config struct {
 	chunkSectors int64
+	queueOpts    []sched.Option
+	queued       bool
 }
 
 // Option configures the array.
 type Option func(*config)
+
+// WithQueuedChildren wraps every child in its own scheduling queue
+// (sched.New with the given options) at construction: the array then
+// composes per-child queues — the multi-disk analogue of per-drive
+// command queueing. Per-spindle reordering needs concurrent array-level
+// requests, so it takes effect on the Submit/Drain path, where each
+// child's queue schedules its own span stream independently; the
+// synchronous Serve path is a barrier per request and leaves nothing
+// for a child scheduler to reorder. The queues forward the children's
+// track boundaries, so traxtent-matched striping still sees the real
+// geometry. Children that are already *sched.Queue values can of course
+// be passed to New directly instead.
+func WithQueuedChildren(opts ...sched.Option) Option {
+	return func(c *config) {
+		c.queueOpts = opts
+		c.queued = true
+	}
+}
 
 // WithChunkSectors switches the array from traxtent-matched (variable)
 // stripe units to fixed chunks of n sectors, as in an ordinary RAID-0.
@@ -59,6 +80,22 @@ type Array struct {
 	spanBuf  []span // reused per-child span list
 	spanOf   []int  // child index -> span index in spanBuf this Serve, -1 if none
 	lastUnit int
+
+	// Submit/Drain state: joins holds array requests whose per-child
+	// spans are in flight on queued children; routes maps each queued
+	// child's submission sequence numbers to the join they belong to,
+	// and childSeq mirrors each child queue's submission counter.
+	joins     []join
+	routes    []map[int]int
+	childSeq  []int
+	lastIssue float64
+}
+
+// join is one array-level request being assembled from child spans.
+type join struct {
+	res       device.Result
+	remaining int // spans still outstanding on queued children
+	started   bool
 }
 
 var (
@@ -81,6 +118,17 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.queued {
+		queued := make([]device.Device, len(children))
+		for i, c := range children {
+			q, err := sched.New(c, cfg.queueOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("striped: queueing child %d: %w", i, err)
+			}
+			queued[i] = q
+		}
+		children = queued
 	}
 
 	a := &Array{children: children, sectorSize: children[0].SectorSize()}
@@ -148,6 +196,16 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 
 	a.spanBuf = make([]span, 0, n)
 	a.spanOf = make([]int, n)
+	a.routes = make([]map[int]int, n)
+	a.childSeq = make([]int, n)
+	for i, c := range children {
+		// Mirror each queued child's submission counter so span
+		// completions can be routed back to their array request even
+		// when the queue was used before the array adopted it.
+		if q, ok := c.(*sched.Queue); ok {
+			a.childSeq[i] = q.Stats().Submitted
+		}
+	}
 
 	// A common child rotation period is the array's; mixed spindles (or
 	// non-rotational children) leave it unknown.
@@ -276,39 +334,145 @@ func (a *Array) split(req device.Request) []span {
 	return out
 }
 
-// Serve services one request: each per-child span is issued at the
-// request's issue time (the children position and transfer in
-// parallel), and the array's completion is the last child's. The
-// aggregate Result has no media-phase breakdown — per-child timing is
-// available from the children themselves.
+// accumulate folds one child span result into an array-level result:
+// the array starts when the first child starts and completes when the
+// last child completes; bus occupancy and prefetch sum; the aggregate
+// is a cache hit only if every span was.
+func accumulate(dst *device.Result, started *bool, r device.Result) {
+	if !*started || r.Start < dst.Start {
+		dst.Start = r.Start
+	}
+	if r.MediaEnd > dst.MediaEnd {
+		dst.MediaEnd = r.MediaEnd
+	}
+	if r.Done > dst.Done {
+		dst.Done = r.Done
+	}
+	dst.BusTime += r.BusTime
+	dst.Prefetched += r.Prefetched
+	dst.CacheHit = dst.CacheHit && r.CacheHit
+	*started = true
+}
+
+// Serve services one request synchronously: each per-child span is
+// issued at the request's issue time (the children position and
+// transfer in parallel), and the array's completion is the last
+// child's. The aggregate Result has no media-phase breakdown —
+// per-child timing is available from the children themselves. Serve is
+// a per-request barrier; it refuses to interleave with an in-flight
+// Submit batch (Drain first).
 func (a *Array) Serve(at float64, req device.Request) (device.Result, error) {
 	if err := device.CheckRequest(a, req); err != nil {
 		return device.Result{}, err
 	}
+	if len(a.joins) > 0 {
+		return device.Result{}, fmt.Errorf("striped: %d submitted requests outstanding; Drain before Serve", len(a.joins))
+	}
+	// Enforce the issue-order contract up front: a regressive time
+	// rejected by one child mid-fan-out would leave the children's
+	// clocks inconsistently advanced.
+	if at < a.lastIssue {
+		return device.Result{}, fmt.Errorf("striped: issue time %g before previous %g", at, a.lastIssue)
+	}
+	a.lastIssue = at
 	res := device.Result{Req: req, Issue: at, CacheHit: true}
-	first := true
+	started := false
 	for _, s := range a.split(req) {
 		sub := device.Request{LBN: s.lbn, Sectors: s.sectors, Write: req.Write, FUA: req.FUA}
 		r, err := a.children[s.child].Serve(at, sub)
 		if err != nil {
 			return device.Result{}, fmt.Errorf("striped: child %d: %w", s.child, err)
 		}
-		if first || r.Start < res.Start {
-			res.Start = r.Start
+		if _, ok := a.children[s.child].(*sched.Queue); ok {
+			a.childSeq[s.child]++ // the barrier Serve consumed one sequence number
 		}
-		if r.MediaEnd > res.MediaEnd {
-			res.MediaEnd = r.MediaEnd
-		}
-		if r.Done > res.Done {
-			res.Done = r.Done
-		}
-		res.BusTime += r.BusTime
-		res.Prefetched += r.Prefetched
-		res.CacheHit = res.CacheHit && r.CacheHit
-		first = false
+		accumulate(&res, &started, r)
 	}
 	if res.Done > a.lastDone {
 		a.lastDone = res.Done
 	}
 	return res, nil
+}
+
+// Submit enqueues one array request issued at the given host time on
+// the concurrent path: every per-child span is handed to its child —
+// lazily scheduled when the child is a *sched.Queue (per-spindle
+// reordering), served immediately otherwise — and the array-level
+// results are assembled by Drain. Issue times must be non-decreasing
+// across Submit/Serve calls. Children managed by the array must not be
+// driven directly while a batch is outstanding.
+func (a *Array) Submit(at float64, req device.Request) error {
+	if err := device.CheckRequest(a, req); err != nil {
+		return err
+	}
+	if at < a.lastIssue {
+		return fmt.Errorf("striped: issue time %g before previous %g", at, a.lastIssue)
+	}
+	a.lastIssue = at
+	a.joins = append(a.joins, join{res: device.Result{Req: req, Issue: at, CacheHit: true}})
+	ji := len(a.joins) - 1
+	for _, s := range a.split(req) {
+		sub := device.Request{LBN: s.lbn, Sectors: s.sectors, Write: req.Write, FUA: req.FUA}
+		if q, ok := a.children[s.child].(*sched.Queue); ok {
+			if err := q.Submit(at, sub); err != nil {
+				return fmt.Errorf("striped: child %d: %w", s.child, err)
+			}
+			if a.routes[s.child] == nil {
+				a.routes[s.child] = make(map[int]int)
+			}
+			a.routes[s.child][a.childSeq[s.child]] = ji
+			a.childSeq[s.child]++
+			a.joins[ji].remaining++
+		} else {
+			r, err := a.children[s.child].Serve(at, sub)
+			if err != nil {
+				return fmt.Errorf("striped: child %d: %w", s.child, err)
+			}
+			accumulate(&a.joins[ji].res, &a.joins[ji].started, r)
+		}
+	}
+	return nil
+}
+
+// Outstanding returns the number of submitted array requests awaiting
+// Drain.
+func (a *Array) Outstanding() int { return len(a.joins) }
+
+// Drain flushes every queued child, joins the span completions back
+// into their array requests, and returns the assembled results in
+// submission order.
+func (a *Array) Drain() ([]device.Result, error) {
+	for c, child := range a.children {
+		q, ok := child.(*sched.Queue)
+		if !ok {
+			continue
+		}
+		cs, err := q.Drain()
+		if err != nil {
+			return nil, fmt.Errorf("striped: child %d: %w", c, err)
+		}
+		for _, comp := range cs {
+			ji, ok := a.routes[c][comp.Seq]
+			if !ok {
+				return nil, fmt.Errorf("striped: child %d completion %d has no owner", c, comp.Seq)
+			}
+			delete(a.routes[c], comp.Seq)
+			j := &a.joins[ji]
+			accumulate(&j.res, &j.started, comp.Res)
+			j.remaining--
+		}
+	}
+	out := make([]device.Result, len(a.joins))
+	for i := range a.joins {
+		j := &a.joins[i]
+		if j.remaining != 0 {
+			return nil, fmt.Errorf("striped: request %d still missing %d spans after drain", i, j.remaining)
+		}
+		out[i] = j.res
+		if j.res.Done > a.lastDone {
+			a.lastDone = j.res.Done
+		}
+	}
+	a.joins = a.joins[:0]
+	return out, nil
 }

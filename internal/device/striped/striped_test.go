@@ -2,9 +2,11 @@ package striped_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/disk/sim"
@@ -311,6 +313,204 @@ func TestSplitMatchesReference(t *testing.T) {
 			if got[c] != w {
 				t.Fatalf("split(%+v): child %d span %+v, reference %+v", req, c, got[c], w)
 			}
+		}
+	}
+}
+
+// TestQueuedChildren: WithQueuedChildren composes a scheduling queue
+// around each child, preserving the traxtent stripe map (the queues
+// forward boundaries) and bare-child timing under the default FCFS
+// queue — and exposing per-child queue statistics.
+func TestQueuedChildren(t *testing.T) {
+	devs, _ := disks(t, 3)
+	bare, err := striped.New(devs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	qdevs, _ := disks(t, 3)
+	queued, err := striped.New(qdevs, striped.WithQueuedChildren(sched.WithDepth(4), sched.WithScheduler(sched.SSTF())))
+	if err != nil {
+		t.Fatalf("New(queued): %v", err)
+	}
+	bb, qb := bare.TrackBoundaries(), queued.TrackBoundaries()
+	if len(bb) != len(qb) {
+		t.Fatalf("stripe maps differ: %d vs %d units", len(bb)-1, len(qb)-1)
+	}
+	for i := range bb {
+		if bb[i] != qb[i] {
+			t.Fatalf("stripe unit %d differs: %d vs %d", i, bb[i], qb[i])
+		}
+	}
+	for i, c := range queued.Children() {
+		if _, ok := c.(*sched.Queue); !ok {
+			t.Fatalf("child %d is %T, not a queue", i, c)
+		}
+	}
+
+	// Under FCFS queues (the default), the array must stay bit-identical
+	// to bare children: the queue is a transparent passthrough.
+	fdevs, _ := disks(t, 3)
+	fcfs, err := striped.New(fdevs, striped.WithQueuedChildren())
+	if err != nil {
+		t.Fatalf("New(fcfs-queued): %v", err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	at := 0.0
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(500)
+		req := device.Request{
+			LBN:     rng.Int63n(bare.Capacity() - int64(n)),
+			Sectors: n,
+			Write:   rng.Intn(4) == 0,
+		}
+		rb, err := bare.Serve(at, req)
+		if err != nil {
+			t.Fatalf("bare serve %d: %v", i, err)
+		}
+		rq, err := fcfs.Serve(at, req)
+		if err != nil {
+			t.Fatalf("queued serve %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(rb, rq) {
+			t.Fatalf("request %d diverged:\nbare:   %+v\nqueued: %+v", i, rb, rq)
+		}
+		at = rb.Done + rng.Float64()
+	}
+	for i, c := range fcfs.Children() {
+		if st := c.(*sched.Queue).Stats(); st.Dispatched == 0 {
+			t.Fatalf("child %d queue never dispatched", i)
+		}
+	}
+}
+
+// TestSubmitDrainMatchesServe: on plain (unqueued) children the
+// concurrent path is the synchronous path — Submit serves spans
+// immediately, so a Submit burst drained at the end is bit-identical to
+// the same requests through Serve.
+func TestSubmitDrainMatchesServe(t *testing.T) {
+	devsA, _ := disks(t, 3)
+	devsB, _ := disks(t, 3)
+	serveArr, err := striped.New(devsA)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	submitArr, err := striped.New(devsB)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	var want []device.Result
+	at := 0.0
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(400)
+		req := device.Request{LBN: rng.Int63n(serveArr.Capacity() - int64(n)), Sectors: n, Write: i%5 == 0}
+		rs, err := serveArr.Serve(at, req)
+		if err != nil {
+			t.Fatalf("serve %d: %v", i, err)
+		}
+		want = append(want, rs)
+		if err := submitArr.Submit(at, req); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		at += rng.Float64() * 3
+	}
+	got, err := submitArr.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Submit/Drain diverged from Serve on plain children")
+	}
+}
+
+// TestPerChildReordering: with queued SSTF children, concurrent array
+// requests are genuinely reordered per spindle — a near span overtakes
+// a far one — which the synchronous Serve path can never produce.
+func TestPerChildReordering(t *testing.T) {
+	devs, _ := disks(t, 1) // width 1: array requests map 1:1 onto one child queue
+	arr, err := striped.New(devs, striped.WithQueuedChildren(
+		sched.WithDepth(8), sched.WithScheduler(sched.SSTF())))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	capacity := arr.Capacity()
+	reqs := []device.Request{
+		{LBN: capacity / 4, Sectors: 64},      // dispatched alone
+		{LBN: capacity - 2000, Sectors: 64},   // far from the head
+		{LBN: capacity/4 + 1000, Sectors: 64}, // near the head: overtakes
+	}
+	for i, req := range reqs {
+		if err := arr.Submit(float64(i)*0.01, req); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if arr.Outstanding() != 3 {
+		t.Fatalf("outstanding %d, want 3", arr.Outstanding())
+	}
+	rs, err := arr.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if len(rs) != 3 || arr.Outstanding() != 0 {
+		t.Fatalf("drained %d, outstanding %d", len(rs), arr.Outstanding())
+	}
+	if !(rs[2].Done < rs[1].Done) {
+		t.Fatalf("near request (done %g) did not overtake far request (done %g)", rs[2].Done, rs[1].Done)
+	}
+	q := arr.Children()[0].(*sched.Queue)
+	if st := q.Stats(); st.MaxPending < 2 {
+		t.Fatalf("child queue never held concurrent spans: %+v", st)
+	}
+
+	// Serve while a batch is outstanding is refused.
+	if err := arr.Submit(1, reqs[0]); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := arr.Serve(2, reqs[0]); err == nil {
+		t.Fatal("Serve interleaved with an outstanding batch")
+	}
+	if _, err := arr.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := arr.Serve(3, reqs[0]); err != nil {
+		t.Fatalf("Serve after drain: %v", err)
+	}
+}
+
+// TestSubmitDrainQueuedDeterministic: a concurrent burst over a queued
+// 3-wide array is deterministic run to run, and full-stripe requests
+// still fan spans across every child.
+func TestSubmitDrainQueuedDeterministic(t *testing.T) {
+	run := func() []device.Result {
+		devs, _ := disks(t, 3)
+		arr, err := striped.New(devs, striped.WithQueuedChildren(
+			sched.WithDepth(8), sched.WithScheduler(sched.CLOOK())))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		at := 0.0
+		for i := 0; i < 150; i++ {
+			n := 1 + rng.Intn(600)
+			req := device.Request{LBN: rng.Int63n(arr.Capacity() - int64(n)), Sectors: n, Write: i%6 == 0}
+			if err := arr.Submit(at, req); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			at += rng.Float64()
+		}
+		rs, err := arr.Drain()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		return rs
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical queued bursts diverged")
+	}
+	for i, r := range a {
+		if r.Done < r.Issue || r.MediaEnd > r.Done || r.Start < r.Issue {
+			t.Fatalf("request %d has incoherent times: %+v", i, r)
 		}
 	}
 }

@@ -195,8 +195,10 @@ func NewPlayer(tr Trace, opts ...Option) (*Player, error) {
 	p := &Player{tr: tr, byKey: make(map[key][]int, len(tr.Records))}
 	var sum float64
 	for i, rec := range tr.Records {
-		if rec.Sectors <= 0 || rec.LBN < 0 || rec.LBN+int64(rec.Sectors) > tr.Capacity {
-			return nil, fmt.Errorf("trace: record %d (%+v) outside device", i, rec)
+		// Traces arrive as JSON: hostile ranges go through the same
+		// overflow-safe gate as live requests.
+		if err := device.CheckBounds(rec.LBN, rec.Sectors, tr.Capacity); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		if rec.Service < 0 {
 			return nil, fmt.Errorf("trace: record %d has negative service time", i)

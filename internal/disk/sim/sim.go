@@ -167,11 +167,10 @@ func (d *Disk) sectorBusTime() float64 {
 // be submitted in non-decreasing issue order; the disk queues them FCFS.
 // The returned Result contains the complete timing breakdown.
 func (d *Disk) SubmitAt(issue float64, req Request) (Result, error) {
-	if req.Sectors <= 0 {
-		return Result{}, fmt.Errorf("sim: request for %d sectors", req.Sectors)
-	}
-	if req.LBN < 0 || req.LBN+int64(req.Sectors) > d.Lay.NumLBNs() {
-		return Result{}, fmt.Errorf("sim: request [%d,%d) outside disk", req.LBN, req.LBN+int64(req.Sectors))
+	// The shared overflow-safe gate: accepting exactly what CheckRequest
+	// accepts is a conformance invariant (devtest.Fuzz checks agreement).
+	if err := device.CheckRequest(d, req); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 	res := Result{Req: req, Issue: issue}
 	d.stats.Requests++

@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the committed snapshots:
+//
+//	go test ./internal/repro -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure snapshots")
+
+// goldenN and goldenSeed size the snapshot runs: small enough to stay
+// fast in every CI run, large enough that any change to geometry,
+// mechanics, caching, the bus model, or the engine moves at least one
+// cell.
+const (
+	goldenN    = 50
+	goldenSeed = 1
+)
+
+// checkGolden compares got (JSON-marshalled with sorted keys, so the
+// encoding is canonical) against the committed snapshot, or rewrites the
+// snapshot under -update. Any drift not accompanied by a golden update
+// is a failure: simulator outputs are part of the repo's contract.
+func checkGolden(t *testing.T, name string, got interface{}) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden", name+".json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("%s drifted from its golden snapshot.\nIf the change is intended, regenerate with:\n  go test ./internal/repro -run TestGolden -update\ngot:\n%s\nwant:\n%s",
+			name, data, want)
+	}
+}
+
+// TestGoldenFig1 pins the efficiency-vs-I/O-size cells.
+func TestGoldenFig1(t *testing.T) {
+	pts, err := Fig1Efficiency(goldenN, goldenSeed)
+	if err != nil {
+		t.Fatalf("Fig1Efficiency: %v", err)
+	}
+	checkGolden(t, "fig1", pts)
+}
+
+// TestGoldenFig6 pins the head-time-vs-I/O-size curves.
+func TestGoldenFig6(t *testing.T) {
+	series, err := Fig6HeadTime(goldenN, goldenSeed)
+	if err != nil {
+		t.Fatalf("Fig6HeadTime: %v", err)
+	}
+	checkGolden(t, "fig6", series)
+}
+
+// TestGoldenFig7 pins the response-time breakdown cells.
+func TestGoldenFig7(t *testing.T) {
+	bk, err := Fig7Breakdown(goldenN, goldenSeed)
+	if err != nil {
+		t.Fatalf("Fig7Breakdown: %v", err)
+	}
+	checkGolden(t, "fig7", bk)
+}
+
+// TestGoldenFig8 pins the response-time variance cells.
+func TestGoldenFig8(t *testing.T) {
+	pts, err := Fig8Variance(goldenN, goldenSeed)
+	if err != nil {
+		t.Fatalf("Fig8Variance: %v", err)
+	}
+	checkGolden(t, "fig8", pts)
+}
+
+// TestGoldenQueueStudy pins the new queued-device study the same way:
+// scheduler, queue, driver, and engine all feed these numbers.
+func TestGoldenQueueStudy(t *testing.T) {
+	pts, err := QueueDepthStudy(goldenN, goldenSeed, "sstf")
+	if err != nil {
+		t.Fatalf("QueueDepthStudy: %v", err)
+	}
+	checkGolden(t, "queue_depth", pts)
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"fmt"
+
+	"traxtents/internal/device/sched"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/workload/driver"
+)
+
+// queueCell runs one (depth/load, alignment) cell of a queued-device
+// study: a fresh Atlas 10K II behind a scheduling queue, driven by the
+// workload driver. Each cell owns its seed, so studies are bit-identical
+// at any GOMAXPROCS — the same discipline as the figure cells.
+func queueCell(n int, seed int64, schedName string, depth int, aligned bool, io int, ld driver.Load) (driver.Metrics, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	cfg := m.DefaultConfig()
+	cfg.Seed = seed
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		return driver.Metrics{}, err
+	}
+	s, err := sched.ByName(schedName, d)
+	if err != nil {
+		return driver.Metrics{}, err
+	}
+	q, err := sched.New(d, sched.WithDepth(depth), sched.WithScheduler(s))
+	if err != nil {
+		return driver.Metrics{}, err
+	}
+	wl := driver.Workload{Requests: n, IOSectors: io, Aligned: aligned, Seed: seed}
+	return driver.Run(q, wl, ld)
+}
+
+// meanTrackSectors returns the device-wide mean track length of the
+// Atlas 10K II. Unaligned study cells use it as their request size so
+// both sides of an aligned-vs-unaligned comparison transfer the same
+// mean number of sectors — aligned requests cover one whole (randomly
+// chosen) track each, whose expected length is exactly this mean, so
+// any measured gap is alignment, not transfer size.
+func meanTrackSectors() (int, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	l, err := m.Layout()
+	if err != nil {
+		return 0, err
+	}
+	tracks := len(l.Boundaries()) - 1
+	if tracks < 1 {
+		return 0, fmt.Errorf("repro: layout has no tracks")
+	}
+	return int(l.NumLBNs() / int64(tracks)), nil
+}
+
+// QueueDepthStudy measures mean response time and throughput versus
+// queue depth for track-aligned (whole-track) and unaligned track-sized
+// requests on the Atlas 10K II: a saturated closed loop (think time 0)
+// whose population equals the queue depth, serviced under the named
+// scheduler. This is the load-bearing extension of the paper's onereq
+// results: it shows how much of the track-alignment win survives real
+// queueing and scheduler reordering. The (depth, alignment) cells are
+// independent simulations fanned across the engine's worker pool; each
+// keeps a fixed per-cell seed, so the curves are bit-identical at any
+// GOMAXPROCS.
+func QueueDepthStudy(n int, seed int64, schedName string) ([]Point, error) {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	trackSec, err := meanTrackSectors()
+	if err != nil {
+		return nil, err
+	}
+
+	res := make([][2]driver.Metrics, len(depths)) // [aligned, unaligned]
+	var cells []Cell
+	for i, depth := range depths {
+		for a, aligned := range []bool{true, false} {
+			i, a, depth, aligned := i, a, depth, aligned
+			cellSeed := seed + int64(1000*i+a)
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("queue/%s/depth=%d/aligned=%v", schedName, depth, aligned),
+				Run: func() error {
+					met, err := queueCell(n, cellSeed, schedName, depth, aligned, trackSec,
+						driver.Load{Arrival: driver.Closed, Clients: depth, ThinkMs: 0})
+					if err != nil {
+						return err
+					}
+					res[i][a] = met
+					return nil
+				},
+			})
+		}
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(depths))
+	for i, depth := range depths {
+		out[i] = Point{X: float64(depth), Values: map[string]float64{
+			"aligned mean":   res[i][0].MeanResponseMs,
+			"aligned iops":   res[i][0].ThroughputIOPS,
+			"unaligned mean": res[i][1].MeanResponseMs,
+			"unaligned iops": res[i][1].ThroughputIOPS,
+		}}
+	}
+	return out, nil
+}
+
+// LoadCurve measures response time and throughput versus offered load
+// for aligned vs unaligned track-sized requests at a fixed queue depth
+// and scheduler. Open arrivals sweep a Poisson rate (X axis:
+// requests/second); closed arrivals sweep the client population with a
+// 10 ms think time (X axis: clients). Cells follow the engine's
+// per-cell-seed discipline.
+func LoadCurve(n int, seed int64, schedName string, depth int, arrival driver.Arrival) ([]Point, error) {
+	trackSec, err := meanTrackSectors()
+	if err != nil {
+		return nil, err
+	}
+
+	type pointLoad struct {
+		x  float64
+		ld driver.Load
+	}
+	var loads []pointLoad
+	switch arrival {
+	case driver.Open:
+		for _, rate := range []float64{20, 40, 60, 80, 100, 120} {
+			loads = append(loads, pointLoad{x: rate,
+				ld: driver.Load{Arrival: driver.Open, RatePerSec: rate}})
+		}
+	case driver.Closed:
+		for _, clients := range []int{1, 2, 4, 8, 16, 32} {
+			loads = append(loads, pointLoad{x: float64(clients),
+				ld: driver.Load{Arrival: driver.Closed, Clients: clients, ThinkMs: 10}})
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown arrival process %d", arrival)
+	}
+
+	res := make([][2]driver.Metrics, len(loads))
+	var cells []Cell
+	for i, pl := range loads {
+		for a, aligned := range []bool{true, false} {
+			i, a, pl, aligned := i, a, pl, aligned
+			cellSeed := seed + int64(1000*i+a)
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("load/%s/%s/x=%g/aligned=%v", schedName, arrival, pl.x, aligned),
+				Run: func() error {
+					met, err := queueCell(n, cellSeed, schedName, depth, aligned, trackSec, pl.ld)
+					if err != nil {
+						return err
+					}
+					res[i][a] = met
+					return nil
+				},
+			})
+		}
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(loads))
+	for i, pl := range loads {
+		out[i] = Point{X: pl.x, Values: map[string]float64{
+			"aligned mean":   res[i][0].MeanResponseMs,
+			"aligned iops":   res[i][0].ThroughputIOPS,
+			"unaligned mean": res[i][1].MeanResponseMs,
+			"unaligned iops": res[i][1].ThroughputIOPS,
+		}}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"traxtents/internal/workload/driver"
+)
+
+// samePoints fails unless the two point slices are bit-identical.
+func samePoints(t *testing.T, a, b []Point, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: point counts differ: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].X != b[i].X {
+			t.Fatalf("%s: point %d X differs", what, i)
+		}
+		if len(a[i].Values) != len(b[i].Values) {
+			t.Fatalf("%s: point %d value sets differ", what, i)
+		}
+		for k, v := range a[i].Values {
+			if b[i].Values[k] != v {
+				t.Fatalf("%s: point %d %q: %g vs %g", what, i, k, v, b[i].Values[k])
+			}
+		}
+	}
+}
+
+// TestQueueDepthStudyDeterministic: the queued-device study must be
+// bit-identical on one worker and on all cores — the same per-cell-seed
+// discipline as the figure cells — and behave sanely: deeper queues
+// never hurt throughput on a saturated closed loop, and aligned access
+// beats unaligned at every depth.
+func TestQueueDepthStudyDeterministic(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 120
+	}
+	run := func() []Point {
+		pts, err := QueueDepthStudy(n, 1, "sstf")
+		if err != nil {
+			t.Fatalf("QueueDepthStudy: %v", err)
+		}
+		return pts
+	}
+	wide := run()
+	old := runtime.GOMAXPROCS(1)
+	narrow := run()
+	runtime.GOMAXPROCS(old)
+	samePoints(t, wide, narrow, "queue study")
+
+	for _, p := range wide {
+		am, um := p.Values["aligned mean"], p.Values["unaligned mean"]
+		if am <= 0 || um <= 0 {
+			t.Fatalf("depth %g has empty cells: %+v", p.X, p.Values)
+		}
+		if !(am < um) {
+			t.Fatalf("depth %g: aligned mean %.3f not better than unaligned %.3f", p.X, am, um)
+		}
+	}
+}
+
+// TestLoadCurveShortGated is the load-curve study: Short()-gated because
+// it sweeps six offered loads twice; the full run pins GOMAXPROCS
+// determinism and the monotone queueing trend (mean response does not
+// fall as offered load rises).
+func TestLoadCurveShortGated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-curve study skipped in -short mode")
+	}
+	run := func() []Point {
+		pts, err := LoadCurve(300, 1, "clook", 8, driver.Open)
+		if err != nil {
+			t.Fatalf("LoadCurve: %v", err)
+		}
+		return pts
+	}
+	wide := run()
+	old := runtime.GOMAXPROCS(1)
+	narrow := run()
+	runtime.GOMAXPROCS(old)
+	samePoints(t, wide, narrow, "load curve")
+
+	for i := 1; i < len(wide); i++ {
+		for _, k := range []string{"aligned mean", "unaligned mean"} {
+			if wide[i].Values[k] < wide[i-1].Values[k]*0.5 {
+				t.Fatalf("%s collapsed from %.3f to %.3f between %g and %g req/s",
+					k, wide[i-1].Values[k], wide[i].Values[k], wide[i-1].X, wide[i].X)
+			}
+		}
+	}
+
+	closed, err := LoadCurve(200, 1, "clook", 8, driver.Closed)
+	if err != nil {
+		t.Fatalf("LoadCurve(closed): %v", err)
+	}
+	if len(closed) == 0 {
+		t.Fatal("closed curve empty")
+	}
+}
+
+// TestQueueStudyRejectsUnknownScheduler: study errors surface, they do
+// not vanish into cells.
+func TestQueueStudyRejectsUnknownScheduler(t *testing.T) {
+	if _, err := QueueDepthStudy(10, 1, "elevator"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := LoadCurve(10, 1, "elevator", 4, driver.Open); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

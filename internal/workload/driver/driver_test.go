@@ -1,0 +1,257 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+)
+
+// newDisk builds a fresh Atlas 10K II — the paper's primary evaluation
+// disk — with a fixed seed.
+func newDisk(t testing.TB) *sim.Disk {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10KII")
+	cfg := m.DefaultConfig()
+	cfg.Seed = 1
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	return d
+}
+
+func newQueue(t testing.TB, d device.Device, depth int, s sched.Scheduler) *sched.Queue {
+	t.Helper()
+	q, err := sched.New(d, sched.WithDepth(depth), sched.WithScheduler(s))
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	return q
+}
+
+// trackSectors returns the size of the disk's first-zone track.
+func trackSectors(t testing.TB, d *sim.Disk) int {
+	t.Helper()
+	_, n := d.Lay.TrackRange(0)
+	if n <= 0 {
+		t.Fatal("empty first track")
+	}
+	return n
+}
+
+// TestOpenArrivalBasics: an open run completes every request, issues
+// them at Poisson instants, and reports coherent metrics.
+func TestOpenArrivalBasics(t *testing.T) {
+	d := newDisk(t)
+	q := newQueue(t, d, 8, sched.SSTF())
+	m, err := Run(q, Workload{Requests: 300, IOSectors: 128, Seed: 42},
+		Load{Arrival: Open, RatePerSec: 60})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Requests != 300 {
+		t.Fatalf("completed %d of 300", m.Requests)
+	}
+	if m.MeanResponseMs <= 0 || m.MakespanMs <= 0 || m.ThroughputIOPS <= 0 {
+		t.Fatalf("degenerate metrics %+v", m)
+	}
+	if m.P95ResponseMs < m.MeanResponseMs/4 || m.MaxResponseMs < m.P95ResponseMs {
+		t.Fatalf("incoherent percentiles %+v", m)
+	}
+	if m.MeanOutstanding <= 0 {
+		t.Fatalf("no concurrency measured: %+v", m)
+	}
+}
+
+// TestClosedLoopBasics: a closed run keeps at most Clients outstanding
+// and completes everything.
+func TestClosedLoopBasics(t *testing.T) {
+	d := newDisk(t)
+	q := newQueue(t, d, 4, sched.CLOOK())
+	m, err := Run(q, Workload{Requests: 200, IOSectors: 256, Seed: 7},
+		Load{Arrival: Closed, Clients: 4, ThinkMs: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Requests != 200 {
+		t.Fatalf("completed %d of 200", m.Requests)
+	}
+	// A 4-client closed loop can never hold more than 4 in flight.
+	if m.MeanOutstanding > 4+1e-9 {
+		t.Fatalf("closed loop exceeded its population: %+v", m)
+	}
+	if st := q.Stats(); st.MaxPending > 4 {
+		t.Fatalf("queue saw %d pending with 4 clients", st.MaxPending)
+	}
+}
+
+// TestClosedLoopZeroThink: think time 0 (fully saturated) must still
+// terminate and stay within the population bound.
+func TestClosedLoopZeroThink(t *testing.T) {
+	d := newDisk(t)
+	q := newQueue(t, d, 8, sched.SSTF())
+	m, err := Run(q, Workload{Requests: 150, IOSectors: 64, Seed: 3},
+		Load{Arrival: Closed, Clients: 8, ThinkMs: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Requests != 150 || m.MeanOutstanding > 8+1e-9 {
+		t.Fatalf("bad saturated run: %+v", m)
+	}
+}
+
+// TestAlignedWorkload: aligned mode issues whole-track requests
+// straight from the device's boundary table — through the queue's
+// capability forwarding.
+func TestAlignedWorkload(t *testing.T) {
+	d := newDisk(t)
+	q := newQueue(t, d, 4, sched.SSTF())
+	bounds := d.TrackBoundaries()
+	starts := map[int64]int64{}
+	for i := 0; i+1 < len(bounds); i++ {
+		starts[bounds[i]] = bounds[i+1] - bounds[i]
+	}
+	g, err := newGen(q, Workload{Requests: 50, Aligned: true, Seed: 9})
+	if err != nil {
+		t.Fatalf("newGen: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		req := g.next()
+		n, ok := starts[req.LBN]
+		if !ok {
+			t.Fatalf("request %d starts off-boundary at %d", i, req.LBN)
+		}
+		if int64(req.Sectors) != n {
+			t.Fatalf("request %d covers %d of a %d-sector track", i, req.Sectors, n)
+		}
+	}
+	// End-to-end: the run works and every response is positive.
+	m, err := Run(q, Workload{Requests: 100, Aligned: true, Seed: 9},
+		Load{Arrival: Closed, Clients: 4, ThinkMs: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Requests != 100 {
+		t.Fatalf("completed %d of 100", m.Requests)
+	}
+}
+
+// TestRunDeterministic: identical configurations produce bit-identical
+// metrics run to run — the driver's hard requirement.
+func TestRunDeterministic(t *testing.T) {
+	for _, ld := range []Load{
+		{Arrival: Open, RatePerSec: 80},
+		{Arrival: Closed, Clients: 6, ThinkMs: 3},
+	} {
+		run := func() Metrics {
+			q := newQueue(t, newDisk(t), 8, sched.CLOOK())
+			m, err := Run(q, Workload{Requests: 250, IOSectors: 128, WriteEvery: 5, Seed: 21}, ld)
+			if err != nil {
+				t.Fatalf("Run(%v): %v", ld.Arrival, err)
+			}
+			return m
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v arrivals diverged:\n%+v\n%+v", ld.Arrival, a, b)
+		}
+	}
+}
+
+// TestReorderingDominatesFCFS is the acceptance pin: at queue depth > 1
+// on the unaligned random workload, SSTF and C-LOOK must strictly beat
+// FCFS mean response time — reordering is what the queued-device layer
+// exists to buy.
+func TestReorderingDominatesFCFS(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 400
+	}
+	d := newDisk(t)
+	io := trackSectors(t, d)
+	mean := func(s sched.Scheduler) float64 {
+		q := newQueue(t, newDisk(t), 16, s)
+		m, err := Run(q, Workload{Requests: n, IOSectors: io, Seed: 77},
+			Load{Arrival: Open, RatePerSec: 95})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", s.Name(), err)
+		}
+		return m.MeanResponseMs
+	}
+	fcfs := mean(sched.FCFS())
+	sstf := mean(sched.SSTF())
+	clook := mean(sched.CLOOK())
+	t.Logf("mean response: fcfs %.2f ms, sstf %.2f ms, clook %.2f ms", fcfs, sstf, clook)
+	if !(sstf < fcfs) {
+		t.Fatalf("SSTF (%.3f ms) does not beat FCFS (%.3f ms)", sstf, fcfs)
+	}
+	if !(clook < fcfs) {
+		t.Fatalf("C-LOOK (%.3f ms) does not beat FCFS (%.3f ms)", clook, fcfs)
+	}
+}
+
+// TestAlignedBeatsUnalignedUnderLoad: the paper's single-request head
+// time win must survive queueing — track-aligned whole-track requests
+// beat unaligned ones of the same mean size (the device-wide mean track
+// length, so the comparison isolates alignment from transfer size) on
+// mean response under the same closed load.
+func TestAlignedBeatsUnalignedUnderLoad(t *testing.T) {
+	n := 800
+	if testing.Short() {
+		n = 250
+	}
+	d := newDisk(t)
+	io := int(d.Capacity() / int64(len(d.TrackBoundaries())-1))
+	run := func(aligned bool) float64 {
+		q := newQueue(t, newDisk(t), 8, sched.CLOOK())
+		m, err := Run(q, Workload{Requests: n, IOSectors: io, Aligned: aligned, Seed: 13},
+			Load{Arrival: Closed, Clients: 8, ThinkMs: 0})
+		if err != nil {
+			t.Fatalf("Run(aligned=%v): %v", aligned, err)
+		}
+		return m.MeanResponseMs
+	}
+	unaligned, aligned := run(false), run(true)
+	t.Logf("mean response: aligned %.2f ms, unaligned %.2f ms", aligned, unaligned)
+	if !(aligned < unaligned) {
+		t.Fatalf("aligned (%.3f ms) does not beat unaligned (%.3f ms) under load", aligned, unaligned)
+	}
+}
+
+// TestRunValidation: bad configurations fail fast.
+func TestRunValidation(t *testing.T) {
+	d := newDisk(t)
+	fresh := func() *sched.Queue { return newQueue(t, newDisk(t), 4, sched.SSTF()) }
+	cases := []struct {
+		name string
+		wl   Workload
+		ld   Load
+	}{
+		{"no-requests", Workload{Requests: 0, IOSectors: 8}, Load{Arrival: Open, RatePerSec: 10}},
+		{"no-io-size", Workload{Requests: 10}, Load{Arrival: Open, RatePerSec: 10}},
+		{"io-too-big", Workload{Requests: 10, IOSectors: int(d.Capacity()) + 1}, Load{Arrival: Open, RatePerSec: 10}},
+		{"no-rate", Workload{Requests: 10, IOSectors: 8}, Load{Arrival: Open}},
+		{"no-clients", Workload{Requests: 10, IOSectors: 8}, Load{Arrival: Closed}},
+		{"negative-think", Workload{Requests: 10, IOSectors: 8}, Load{Arrival: Closed, Clients: 2, ThinkMs: -1}},
+		{"bad-arrival", Workload{Requests: 10, IOSectors: 8}, Load{Arrival: Arrival(9)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(fresh(), tc.wl, tc.ld); err == nil {
+				t.Fatalf("accepted %+v / %+v", tc.wl, tc.ld)
+			}
+		})
+	}
+	// A stale queue is refused: completions could not be routed.
+	q := fresh()
+	if _, err := q.Serve(0, device.Request{LBN: 0, Sectors: 8}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if _, err := Run(q, Workload{Requests: 10, IOSectors: 8, Seed: 1},
+		Load{Arrival: Open, RatePerSec: 10}); err == nil {
+		t.Fatal("stale queue accepted")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
 	"traxtents/internal/disk/geom"
@@ -89,6 +90,15 @@ type (
 	TraceRecord = trace.Record
 	// Recorder wraps a Device and captures a Trace of its requests.
 	Recorder = trace.Recorder
+	// QueuedDevice turns any Device into a queue-depth-N device with a
+	// pluggable scheduler.
+	QueuedDevice = sched.Queue
+	// QueueOption configures a queued device.
+	QueueOption = sched.Option
+	// Scheduler is a queued device's dispatch policy.
+	Scheduler = sched.Scheduler
+	// Completion pairs a finished request with its submission index.
+	Completion = sched.Completion
 	// Model is a named, calibrated drive model.
 	Model = model.Model
 	// Geometry is the physical description of a drive.
@@ -231,6 +241,50 @@ func WithChunkSectors(n int64) StripedOption { return striped.WithChunkSectors(n
 // parallel. The array's GroundTruthTable is its stripe-unit map.
 func NewStripedDevice(children []Device, opts ...StripedOption) (*StripedDevice, error) {
 	return striped.New(children, opts...)
+}
+
+// ---- Queueing and scheduling ----
+
+// NewQueuedDevice wraps a device in a scheduling queue: up to
+// WithQueueDepth requests are outstanding at once and WithScheduler
+// picks the service order. The queue is itself a Device (Serve is a
+// submit-and-flush barrier) and forwards the wrapped device's
+// capabilities; concurrent workloads use Submit/Drain. Defaults: depth
+// 1, FCFS — a transparent, bit-identical passthrough.
+func NewQueuedDevice(d Device, opts ...QueueOption) (*QueuedDevice, error) {
+	return sched.New(d, opts...)
+}
+
+// WithQueueDepth sets the number of requests outstanding at the device
+// at once — the scheduler's reordering window.
+func WithQueueDepth(n int) QueueOption { return sched.WithDepth(n) }
+
+// WithScheduler sets the dispatch policy of a queued device.
+func WithScheduler(s Scheduler) QueueOption { return sched.WithScheduler(s) }
+
+// SchedulerFCFS is first-come-first-served: arrival order, bit-identical
+// to the bare device.
+func SchedulerFCFS() Scheduler { return sched.FCFS() }
+
+// SchedulerSSTF is shortest-seek-time-first over LBN distance.
+func SchedulerSSTF() Scheduler { return sched.SSTF() }
+
+// SchedulerCLOOK is the circular-LOOK elevator over start LBNs.
+func SchedulerCLOOK() Scheduler { return sched.CLOOK() }
+
+// SchedulerTraxtent is the traxtent-aware C-LOOK: the sweep is keyed by
+// track, so a track-aligned request is never split across a sweep
+// boundary. The device must expose track boundaries.
+func SchedulerTraxtent(d Device) (Scheduler, error) { return sched.TraxtentCLOOKFor(d) }
+
+// SchedulerByName resolves "fcfs", "sstf", "clook", or "traxtent" (the
+// latter derives its track table from d).
+func SchedulerByName(name string, d Device) (Scheduler, error) { return sched.ByName(name, d) }
+
+// WithQueuedChildren makes a striped array wrap every child in its own
+// scheduling queue — per-spindle command queueing.
+func WithQueuedChildren(opts ...QueueOption) StripedOption {
+	return striped.WithQueuedChildren(opts...)
 }
 
 // NewRecorder wraps a device, capturing a Trace of every request served

@@ -315,3 +315,88 @@ func TestFacadeFFS(t *testing.T) {
 		t.Fatal("no time elapsed")
 	}
 }
+
+// TestQueuedDeviceFacade drives the queueing layer the way a downstream
+// user would: wrap a disk in a scheduling queue, build a traxtent table
+// straight through it (capability forwarding), serve aligned requests,
+// and run a concurrent burst through Submit/Drain.
+func TestQueuedDeviceFacade(t *testing.T) {
+	d, err := traxtents.NewDisk(traxtents.MustDiskModel("Quantum-Atlas10KII"), traxtents.WithSeed(3))
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	s, err := traxtents.SchedulerTraxtent(d)
+	if err != nil {
+		t.Fatalf("SchedulerTraxtent: %v", err)
+	}
+	q, err := traxtents.NewQueuedDevice(d, traxtents.WithQueueDepth(8), traxtents.WithScheduler(s))
+	if err != nil {
+		t.Fatalf("NewQueuedDevice: %v", err)
+	}
+
+	// The queue forwards boundaries: tables build through it.
+	table, err := traxtents.GroundTruthTable(q)
+	if err != nil {
+		t.Fatalf("GroundTruthTable through queue: %v", err)
+	}
+	ext, err := table.Find(123456)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+
+	// Sequential use: the queue is a Device.
+	res, err := q.Serve(0, traxtents.Request{LBN: ext.Start, Sectors: int(ext.Len)})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if res.Done <= 0 {
+		t.Fatalf("no time elapsed: %+v", res)
+	}
+
+	// Concurrent use: a queued burst drains completely, in scheduler
+	// order, with every response accounting its queue wait.
+	at := q.Now()
+	for i := 0; i < 32; i++ {
+		req := traxtents.Request{LBN: int64(i%7) * 1_000_000, Sectors: 128}
+		if err := q.Submit(at, req); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	cs, err := q.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(cs) != 32 {
+		t.Fatalf("drained %d of 32", len(cs))
+	}
+	for _, c := range cs {
+		if c.Res.Response() <= 0 {
+			t.Fatalf("completion %d: response %g", c.Seq, c.Res.Response())
+		}
+	}
+
+	// SchedulerByName resolves every built-in policy.
+	for _, name := range []string{"fcfs", "sstf", "clook", "traxtent"} {
+		if _, err := traxtents.SchedulerByName(name, d); err != nil {
+			t.Fatalf("SchedulerByName(%q): %v", name, err)
+		}
+	}
+
+	// Striped arrays compose per-child queues through the facade.
+	var children []traxtents.Device
+	for i := 0; i < 2; i++ {
+		c, err := traxtents.NewDisk(traxtents.MustDiskModel("HP-C2247"), traxtents.WithSeed(int64(i)))
+		if err != nil {
+			t.Fatalf("NewDisk child: %v", err)
+		}
+		children = append(children, c)
+	}
+	arr, err := traxtents.NewStripedDevice(children,
+		traxtents.WithQueuedChildren(traxtents.WithQueueDepth(4), traxtents.WithScheduler(traxtents.SchedulerSSTF())))
+	if err != nil {
+		t.Fatalf("NewStripedDevice: %v", err)
+	}
+	if _, err := arr.Serve(0, traxtents.Request{LBN: 0, Sectors: 64}); err != nil {
+		t.Fatalf("striped serve: %v", err)
+	}
+}
