@@ -15,6 +15,7 @@
 //	diskbench -disks                §5.2 cross-disk comparison
 //	diskbench -queue                response time vs queue depth
 //	diskbench -load                 response/throughput vs offered load
+//	diskbench -cache                hit rate & response vs host-cache size
 //	diskbench -all                  everything
 //	diskbench -n 5000               requests per measurement
 //
@@ -23,6 +24,13 @@
 //	-sched fcfs|sstf|clook|traxtent  scheduler (default clook)
 //	-qdepth N                        queue depth for -load (default 8)
 //	-arrival open|closed             arrival process for -load
+//
+// The cache study takes:
+//
+//	-cachemb N     largest cache size in MB (0: the default sweep)
+//	-readahead     whole-track readahead (default true)
+//	-writeback     write-back with a 1-in-4 write mix (default
+//	               write-through, reads only)
 package main
 
 import (
@@ -42,6 +50,10 @@ func main() {
 	disks := flag.Bool("disks", false, "§5.2 cross-disk read comparison")
 	queue := flag.Bool("queue", false, "response time vs queue depth, aligned vs unaligned")
 	load := flag.Bool("load", false, "response/throughput vs offered load, aligned vs unaligned")
+	cacheStudy := flag.Bool("cache", false, "hit rate & response vs host-cache size, aligned vs unaligned")
+	cacheMB := flag.Float64("cachemb", 0, "largest host-cache size in MB for -cache (0: default sweep)")
+	readahead := flag.Bool("readahead", true, "whole-track readahead in the host cache for -cache")
+	writeback := flag.Bool("writeback", false, "write-back host cache with a 1-in-4 write mix for -cache")
 	schedName := flag.String("sched", "clook", "scheduler for -queue/-load: fcfs|sstf|clook|traxtent")
 	qdepth := flag.Int("qdepth", 8, "queue depth for -load")
 	arrival := flag.String("arrival", "open", "arrival process for -load: open (Poisson) | closed (think time)")
@@ -205,6 +217,32 @@ func main() {
 		fmt.Printf("%8s %14s %14s %14s %14s\n", xLabel, "aligned ms", "unaligned ms", "aligned IOPS", "unalign IOPS")
 		for _, p := range pts {
 			fmt.Printf("%8.0f %12.2fms %12.2fms %14.1f %14.1f\n", p.X,
+				p.Values["aligned mean"], p.Values["unaligned mean"],
+				p.Values["aligned iops"], p.Values["unaligned iops"])
+		}
+		fmt.Println()
+	}
+	if *all || *cacheStudy {
+		any = true
+		var sizes []float64
+		if *cacheMB > 0 {
+			sizes = []float64{0, *cacheMB / 4, *cacheMB / 2, *cacheMB}
+		}
+		mode := "write-through, reads"
+		if *writeback {
+			mode = "write-back, 1-in-4 writes"
+		}
+		fmt.Printf("== Host cache: hit rate & response vs cache size (readahead=%v, %s, C-LOOK depth 4) ==\n",
+			*readahead, mode)
+		pts, err := repro.CacheStudy(*n, *seed, sizes, *readahead, *writeback)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%8s %12s %12s %14s %14s %14s %14s\n",
+			"MB", "aligned hit", "unalign hit", "aligned ms", "unaligned ms", "aligned IOPS", "unalign IOPS")
+		for _, p := range pts {
+			fmt.Printf("%8.1f %11.1f%% %11.1f%% %12.2fms %12.2fms %14.1f %14.1f\n", p.X,
+				p.Values["aligned hit"]*100, p.Values["unaligned hit"]*100,
 				p.Values["aligned mean"], p.Values["unaligned mean"],
 				p.Values["aligned iops"], p.Values["unaligned iops"])
 		}

@@ -1,0 +1,159 @@
+package cache_test
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
+	"traxtents/internal/disk/sim"
+)
+
+// step is one request of a double-caching scenario with the expected
+// behaviour of both cache layers: the host cache (hit counted in
+// cache.Stats) and the simulator's firmware segment cache
+// (internal/disk/sim/cache.go, hit counted in sim.Stats). A host hit
+// never reaches the device, so wantFirmware is meaningful only on host
+// misses.
+type step struct {
+	req          device.Request
+	wantHost     bool
+	wantFirmware bool
+}
+
+// TestDoubleCaching pins the interaction between the host cache and
+// the firmware segment cache under it: fills populate both layers,
+// host evictions fall back to firmware hits, writes invalidate the
+// firmware layer while write-allocating the host layer, readahead
+// fills straddling a track boundary land in both caches, and lines at
+// the exact budget boundary survive. The HP-C2247's first tracks are
+// 96 sectors; its default firmware cache is 10 segments of 2048
+// sectors, so contiguous track fills coalesce into one growing
+// firmware segment.
+func TestDoubleCaching(t *testing.T) {
+	track := func(d *sim.Disk, ti int) (int64, int) {
+		b := d.TrackBoundaries()
+		return b[ti], int(b[ti+1] - b[ti])
+	}
+	cases := []struct {
+		name      string
+		capTracks int // host budget in first-zone tracks
+		readahead bool
+		steps     func(d *sim.Disk) []step
+	}{
+		{
+			name: "cold miss fills both layers", capTracks: 8, readahead: true,
+			steps: func(d *sim.Disk) []step {
+				s0, _ := track(d, 0)
+				return []step{
+					{req: device.Request{LBN: s0, Sectors: 8}},
+					// Host hit: the firmware layer is not consulted.
+					{req: device.Request{LBN: s0 + 32, Sectors: 8}, wantHost: true},
+				}
+			},
+		},
+		{
+			name: "host eviction falls back to a firmware hit", capTracks: 2, readahead: true,
+			steps: func(d *sim.Disk) []step {
+				s0, n0 := track(d, 0)
+				s1, n1 := track(d, 1)
+				s2, n2 := track(d, 2)
+				return []step{
+					{req: device.Request{LBN: s0, Sectors: n0}},
+					{req: device.Request{LBN: s1, Sectors: n1}},
+					// Third track: the host evicts track 0, but the
+					// firmware segment grew over all three fills.
+					{req: device.Request{LBN: s2, Sectors: n2}},
+					{req: device.Request{LBN: s0, Sectors: n0}, wantFirmware: true},
+				}
+			},
+		},
+		{
+			name: "write invalidates firmware, write-allocates host", capTracks: 2, readahead: true,
+			steps: func(d *sim.Disk) []step {
+				s0, n0 := track(d, 0)
+				s1, n1 := track(d, 1)
+				s2, n2 := track(d, 2)
+				return []step{
+					{req: device.Request{LBN: s0, Sectors: n0}},
+					// The write reaches the device (write-through) and
+					// drops the firmware segment; the host line merges
+					// the written range and still hits.
+					{req: device.Request{LBN: s0, Sectors: 16, Write: true}},
+					{req: device.Request{LBN: s0, Sectors: 16}, wantHost: true},
+					// Scan two tracks to evict the host's track-0 line;
+					// the re-read then misses both layers.
+					{req: device.Request{LBN: s1, Sectors: n1}},
+					{req: device.Request{LBN: s2, Sectors: n2}},
+					{req: device.Request{LBN: s0, Sectors: n0}},
+				}
+			},
+		},
+		{
+			name: "straddling readahead fills both tracks", capTracks: 8, readahead: true,
+			steps: func(d *sim.Disk) []step {
+				s0, n0 := track(d, 0)
+				s1, n1 := track(d, 1)
+				return []step{
+					// The miss spans the track boundary: readahead
+					// promotes it to a two-track fill.
+					{req: device.Request{LBN: s0 + int64(n0) - 8, Sectors: 16}},
+					{req: device.Request{LBN: s0, Sectors: 8}, wantHost: true},
+					{req: device.Request{LBN: s1 + int64(n1) - 8, Sectors: 8}, wantHost: true},
+				}
+			},
+		},
+		{
+			name: "exact budget boundary evicts nothing", capTracks: 2, readahead: true,
+			steps: func(d *sim.Disk) []step {
+				s0, n0 := track(d, 0)
+				s1, n1 := track(d, 1)
+				return []step{
+					{req: device.Request{LBN: s0, Sectors: n0}},
+					{req: device.Request{LBN: s1, Sectors: n1}},
+					{req: device.Request{LBN: s0, Sectors: n0}, wantHost: true},
+					{req: device.Request{LBN: s1, Sectors: n1}, wantHost: true},
+				}
+			},
+		},
+		{
+			name: "no readahead leaves the tail to the firmware", capTracks: 8, readahead: false,
+			steps: func(d *sim.Disk) []step {
+				s0, n0 := track(d, 0)
+				return []step{
+					{req: device.Request{LBN: s0, Sectors: n0}},
+					// Exact re-read: host hit even without readahead.
+					{req: device.Request{LBN: s0, Sectors: n0}, wantHost: true},
+					// A sub-range is inside the host line too.
+					{req: device.Request{LBN: s0 + 16, Sectors: 8}, wantHost: true},
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newSim(t, 1)
+			b := d.TrackBoundaries()
+			c := newCached(t, d,
+				cache.WithCapacitySectors(b[tc.capTracks]),
+				cache.WithReadahead(tc.readahead))
+			at := 0.0
+			for i, st := range tc.steps(d) {
+				hostBefore := c.Stats().Hits
+				fwBefore := d.Stats().CacheHits
+				res := serve(t, c, &at, st.req)
+				hostHit := c.Stats().Hits > hostBefore
+				fwHit := d.Stats().CacheHits > fwBefore
+				if hostHit != st.wantHost {
+					t.Fatalf("step %d (%+v): host hit = %v, want %v", i, st.req, hostHit, st.wantHost)
+				}
+				if fwHit != st.wantFirmware {
+					t.Fatalf("step %d (%+v): firmware hit = %v, want %v", i, st.req, fwHit, st.wantFirmware)
+				}
+				// A hit in either layer surfaces in the result record.
+				if (hostHit || fwHit) && !res.CacheHit {
+					t.Fatalf("step %d (%+v): hit not reported in %+v", i, st.req, res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,309 @@
+// Submit/Drain: the cache's concurrent-composition path. When the
+// wrapped device is itself lazy — a sched.Queue whose scheduler must
+// see a batch of arrivals before dispatching, or a striped array whose
+// queued children reorder their own span streams — the synchronous
+// Serve barrier would destroy exactly the concurrency those layers
+// exist to express. Submit applies the full line-state machine (hit
+// detection, fills, allocation, eviction, writeback) at submission
+// time, serves hits from the host port, and forwards misses, fills,
+// and writebacks to the wrapped device's own Submit; Drain resolves
+// the inner completions and returns every result in submission order.
+//
+// Line state therefore never depends on inner timing — only the
+// *timing* of fills and forwards resolves at Drain. That is what makes
+// the policy deterministic, and it pins the lazy path bit-identical to
+// the synchronous Serve path over a passthrough inner device (the
+// differential test mirrors the striped array's equivalent pin). The
+// cost is virtual-time optimism: a read that hits a just-filled line
+// completes at port speed even though the fill's media access may be
+// scheduled later by the inner queue. Everything runs on the caller's
+// goroutine, so a batch is bit-identical at any GOMAXPROCS.
+package cache
+
+import (
+	"fmt"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
+	"traxtents/internal/device/striped"
+)
+
+// submitter is a wrapped device with a lazy submission path.
+type submitter interface {
+	Submit(at float64, req device.Request) error
+}
+
+// isLazyInner reports whether the cache knows how to route the
+// device's Drain results back to its own submissions. Only the two
+// types below qualify; everything else — other submitters included —
+// is served synchronously.
+func isLazyInner(d device.Device) bool {
+	switch d.(type) {
+	case *sched.Queue, *striped.Array:
+		return true
+	}
+	return false
+}
+
+// slot is one submitted request's result, filled either immediately
+// (hits, absorbs, plain-device forwards) or at Drain.
+type slot struct {
+	filled bool
+	res    device.Result
+}
+
+type routeKind int
+
+const (
+	routeForward routeKind = iota // bypass / FUA / unexpanded miss
+	routeFill                     // line fill: settle lines at Drain
+	routeFlush                    // dirty writeback: timing only
+)
+
+// route maps one inner submission back to its cache-level meaning.
+type route struct {
+	kind routeKind
+	pos  int // pend slot; -1 for flushes
+	req  device.Request
+}
+
+// Submit enqueues a request issued at the given host time on the
+// concurrent path. Hit/miss is decided against the current line state;
+// inner traffic (fills, forwards, writebacks) goes through the wrapped
+// device's Submit when it has one (sched.Queue, striped.Array) and is
+// served synchronously otherwise. Issue times must be non-decreasing
+// across Submit/Serve calls. The wrapped device must not be driven
+// directly while a batch is outstanding.
+func (c *Cache) Submit(at float64, req device.Request) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := device.CheckRequest(c, req); err != nil {
+		return err
+	}
+	if at < c.lastIssue {
+		return fmt.Errorf("cache: issue time %g before previous %g", at, c.lastIssue)
+	}
+	c.lastIssue = at
+	c.op++
+	if req.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	// Restore the budget before anything is shielded (see Serve).
+	if err := c.evict(at); err != nil {
+		return err
+	}
+	pos := len(c.pend)
+	c.pend = append(c.pend, slot{})
+
+	if c.bypass || req.FUA {
+		if req.FUA && !c.bypass {
+			end := req.LBN + int64(req.Sectors)
+			if req.Write {
+				if err := c.invalidateRange(at, req.LBN, end); err != nil {
+					return err
+				}
+			} else if err := c.flushRange(at, req.LBN, end); err != nil {
+				return err
+			}
+		}
+		c.stats.Bypassed++
+		return c.forward(at, req, pos)
+	}
+	if req.Write {
+		return c.submitWrite(at, req, pos)
+	}
+	return c.submitRead(at, req, pos)
+}
+
+func (c *Cache) submitRead(at float64, req device.Request, pos int) error {
+	end := req.LBN + int64(req.Sectors)
+	first, last := c.lineOf(req.LBN), c.lineOf(end-1)
+	if c.covered(first, last, req.LBN, end) {
+		c.touchLines(first, last)
+		c.stats.Hits++
+		c.pend[pos] = slot{filled: true, res: c.portResult(at, req)}
+		return nil
+	}
+	fillLBN, fillEnd := req.LBN, end
+	if c.readahead {
+		fillLBN, fillEnd = c.lineStart(first), c.lineEnd(last)
+	}
+	if fillEnd-fillLBN > c.capSectors {
+		c.stats.Bypassed++
+		return c.forward(at, req, pos)
+	}
+	c.stats.Misses++
+	if err := c.admitRange(at, fillLBN, fillEnd, false); err != nil {
+		return err
+	}
+	c.stats.FillReads++
+	c.stats.FillSectors += fillEnd - fillLBN
+	c.stats.ReadaheadSectors += (fillEnd - fillLBN) - int64(req.Sectors)
+	fill := device.Request{LBN: fillLBN, Sectors: int(fillEnd - fillLBN)}
+	return c.forwardAs(at, fill, route{kind: routeFill, pos: pos, req: req})
+}
+
+func (c *Cache) submitWrite(at float64, req device.Request, pos int) error {
+	end := req.LBN + int64(req.Sectors)
+	if int64(req.Sectors) > c.capSectors {
+		c.stats.Bypassed++
+		if err := c.invalidateRange(at, req.LBN, end); err != nil {
+			return err
+		}
+		return c.forward(at, req, pos)
+	}
+	if c.writeBack {
+		if err := c.admitRange(at, req.LBN, end, true); err != nil {
+			return err
+		}
+		c.stats.Absorbed++
+		c.pend[pos] = slot{filled: true, res: c.portResult(at, req)}
+		return nil
+	}
+	if err := c.forward(at, req, pos); err != nil {
+		return err
+	}
+	return c.admitRange(at, req.LBN, end, false)
+}
+
+// forward hands the request itself to the wrapped device.
+func (c *Cache) forward(at float64, req device.Request, pos int) error {
+	return c.forwardAs(at, req, route{kind: routeForward, pos: pos, req: req})
+}
+
+// forwardAs hands an inner request (the caller's own, or an expanded
+// fill) to the wrapped device — lazily when its Submit/Drain path is
+// known (sched.Queue, striped.Array), serving synchronously otherwise
+// — and records how to resolve the completion.
+func (c *Cache) forwardAs(at float64, inner device.Request, rt route) error {
+	if c.lazyInner {
+		s := c.inner.(submitter)
+		key := c.innerKeyNext()
+		if err := s.Submit(at, inner); err != nil {
+			c.err = fmt.Errorf("cache: submit %+v: %w", inner, err)
+			return c.err
+		}
+		if c.routes == nil {
+			c.routes = make(map[int]route)
+		}
+		c.routes[key] = rt
+		return nil
+	}
+	res, err := c.inner.Serve(at, inner)
+	if err != nil {
+		c.err = fmt.Errorf("cache: dispatch %+v: %w", inner, err)
+		return c.err
+	}
+	c.resolve(rt, res)
+	return nil
+}
+
+// innerFlush issues one dirty writeback: lazily inside a batch when
+// the wrapped device can Submit, synchronously otherwise.
+func (c *Cache) innerFlush(at float64, req device.Request) error {
+	if len(c.pend) > 0 && c.lazyInner {
+		s := c.inner.(submitter)
+		key := c.innerKeyNext()
+		if err := s.Submit(at, req); err != nil {
+			return err
+		}
+		if c.routes == nil {
+			c.routes = make(map[int]route)
+		}
+		c.routes[key] = route{kind: routeFlush, pos: -1}
+		return nil
+	}
+	res, err := c.inner.Serve(at, req)
+	if err != nil {
+		return err
+	}
+	c.noteDone(res.Done)
+	return nil
+}
+
+// innerKeyNext returns the key under which the wrapped device will
+// report the next submission: a sched.Queue names completions by its
+// global submission sequence, a striped array by ordinal within the
+// outstanding batch. Read live (not mirrored), so the cache's own
+// synchronous traffic through the same device stays consistent.
+func (c *Cache) innerKeyNext() int {
+	switch d := c.inner.(type) {
+	case *sched.Queue:
+		return d.Stats().Submitted
+	case *striped.Array:
+		return d.Outstanding()
+	}
+	return 0
+}
+
+// Outstanding returns the number of submitted requests awaiting Drain.
+func (c *Cache) Outstanding() int { return len(c.pend) }
+
+// resolve settles one inner completion against its route.
+func (c *Cache) resolve(rt route, res device.Result) {
+	c.noteDone(res.Done)
+	switch rt.kind {
+	case routeFlush:
+		return
+	case routeFill:
+		res.Req = rt.req
+	}
+	c.pend[rt.pos] = slot{filled: true, res: res}
+}
+
+// Drain drains the wrapped device, settles in-flight fills, and
+// returns every submitted request's result in submission order.
+func (c *Cache) Drain() ([]device.Result, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	switch d := c.inner.(type) {
+	case *sched.Queue:
+		cs, err := d.Drain()
+		if err != nil {
+			c.err = fmt.Errorf("cache: drain: %w", err)
+			return nil, c.err
+		}
+		for _, comp := range cs {
+			rt, ok := c.routes[comp.Seq]
+			if !ok {
+				c.err = fmt.Errorf("cache: inner completion %d has no owner", comp.Seq)
+				return nil, c.err
+			}
+			delete(c.routes, comp.Seq)
+			c.resolve(rt, comp.Res)
+		}
+	case *striped.Array:
+		rs, err := d.Drain()
+		if err != nil {
+			c.err = fmt.Errorf("cache: drain: %w", err)
+			return nil, c.err
+		}
+		for i, res := range rs {
+			rt, ok := c.routes[i]
+			if !ok {
+				c.err = fmt.Errorf("cache: inner completion %d has no owner", i)
+				return nil, c.err
+			}
+			delete(c.routes, i)
+			c.resolve(rt, res)
+		}
+	}
+	if len(c.routes) > 0 {
+		c.err = fmt.Errorf("cache: %d inner submissions unresolved after drain", len(c.routes))
+		return nil, c.err
+	}
+	out := make([]device.Result, len(c.pend))
+	for i, s := range c.pend {
+		if !s.filled {
+			c.err = fmt.Errorf("cache: submitted request %d has no completion", i)
+			return nil, c.err
+		}
+		out[i] = s.res
+	}
+	c.pend = c.pend[:0]
+	return out, nil
+}

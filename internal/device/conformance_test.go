@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
@@ -71,10 +72,21 @@ func newQueued(t testing.TB, depth int, s sched.Scheduler) device.Device {
 	return q
 }
 
+// newHostCached wraps a backend in the host cache layer (4 MB,
+// readahead on, the given write mode).
+func newHostCached(t testing.TB, inner device.Device, writeBack bool) device.Device {
+	t.Helper()
+	c, err := cache.New(inner, cache.WithCapacityMB(4), cache.WithWriteBack(writeBack))
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	return c
+}
+
 // TestConformance runs the shared device suite against all four
 // backends — the calibrated simulator, the traxtent-striped array, the
 // trace-replay device, and the scheduling queue — plus the recorder
-// wrapper.
+// wrapper and host-cache-wrapped variants of all four.
 func TestConformance(t *testing.T) {
 	devtest.Run(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) })
 	devtest.Run(t, "striped", func(t *testing.T) device.Device { return newStriped(t) })
@@ -83,12 +95,20 @@ func TestConformance(t *testing.T) {
 	devtest.Run(t, "sched-fcfs", func(t *testing.T) device.Device { return newQueued(t, 1, sched.FCFS()) })
 	devtest.Run(t, "sched-sstf", func(t *testing.T) device.Device { return newQueued(t, 8, sched.SSTF()) })
 	devtest.Run(t, "sched-clook", func(t *testing.T) device.Device { return newQueued(t, 8, sched.CLOOK()) })
+	devtest.Run(t, "cache-sim", func(t *testing.T) device.Device { return newHostCached(t, newSim(t, 7), false) })
+	devtest.Run(t, "cache-striped", func(t *testing.T) device.Device { return newHostCached(t, newStriped(t), false) })
+	devtest.Run(t, "cache-trace", func(t *testing.T) device.Device { return newHostCached(t, newPlayer(t), true) })
+	devtest.Run(t, "cache-sched", func(t *testing.T) device.Device {
+		return newHostCached(t, newQueued(t, 8, sched.SSTF()), true)
+	})
 }
 
 // TestConformanceFuzz runs the seeded property/fuzz suite over the four
 // backends: randomized valid and boundary-invalid requests, with the
 // Check invariants (CheckRequest agreement, untouched clock on
 // rejection, coherent times, monotonic Now) asserted on every call.
+// Cache-wrapped variants of all four run the extended suite, which
+// additionally asserts read-your-writes through the cache.
 func TestConformanceFuzz(t *testing.T) {
 	const n, seed = 600, 11
 	devtest.Fuzz(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) }, n, seed)
@@ -106,6 +126,26 @@ func TestConformanceFuzz(t *testing.T) {
 		}
 		return q
 	}, n, seed)
+
+	// The cache allocates writes of at most its budget, so the
+	// read-your-writes bound is the configured budget itself.
+	probe, err := cache.New(newSim(t, 7), cache.WithCapacityMB(4))
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	allocCap := int(probe.CapacitySectors())
+	devtest.FuzzCached(t, "cache-sim", func(t *testing.T) device.Device {
+		return newHostCached(t, newSim(t, 7), false)
+	}, n, seed, allocCap)
+	devtest.FuzzCached(t, "cache-striped", func(t *testing.T) device.Device {
+		return newHostCached(t, newStriped(t), true)
+	}, n, seed, allocCap)
+	devtest.FuzzCached(t, "cache-trace", func(t *testing.T) device.Device {
+		return newHostCached(t, newPlayer(t), false)
+	}, n, seed, allocCap)
+	devtest.FuzzCached(t, "cache-sched", func(t *testing.T) device.Device {
+		return newHostCached(t, newQueued(t, 8, sched.CLOOK()), true)
+	}, n, seed, allocCap)
 }
 
 // TestRecorderForwardsCapabilities: a recorder stands in for the

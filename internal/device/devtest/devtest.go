@@ -222,17 +222,49 @@ func FuzzRequest(capacity, lbn int64, sectors int, shape uint8, write, fua bool)
 // knows — at a fresh device and checks the Check invariants on each.
 // The stream is deterministic for a fixed seed.
 func Fuzz(t *testing.T, name string, mk func(t *testing.T) device.Device, n int, seed int64) {
+	fuzz(t, name, mk, n, seed, 0)
+}
+
+// FuzzCached is the seeded property suite for write-allocating cached
+// devices: the same stream and Check invariants as Fuzz, plus
+// read-your-writes — after every accepted ordinary write of at most
+// allocCap sectors (the cache's budget; larger writes may legitimately
+// bypass allocation), the written range is immediately re-read and
+// must be served from a cache (Result.CacheHit).
+func FuzzCached(t *testing.T, name string, mk func(t *testing.T) device.Device, n int, seed int64, allocCap int) {
+	if allocCap <= 0 {
+		t.Fatalf("FuzzCached needs a positive allocation bound, got %d", allocCap)
+	}
+	fuzz(t, name, mk, n, seed, allocCap)
+}
+
+func fuzz(t *testing.T, name string, mk func(t *testing.T) device.Device, n int, seed int64, allocCap int) {
 	t.Run(name+"/fuzz", func(t *testing.T) {
 		d := mk(t)
 		capacity := d.Capacity()
 		rng := rand.New(rand.NewSource(seed))
 		at := 0.0
-		accepted := 0
+		accepted, readBacks := 0, 0
 		for i := 0; i < n; i++ {
 			req := FuzzRequest(capacity, rng.Int63(), int(rng.Int31()), uint8(rng.Intn(8)), rng.Intn(4) == 0, rng.Intn(16) == 0)
 			res, ok := Check(t, d, at, req)
 			if ok {
 				accepted++
+				if allocCap > 0 && req.Write && !req.FUA && req.Sectors <= allocCap {
+					// Read-your-writes: the just-written range must be
+					// resident in the cache, whichever write mode.
+					rb, rbOK := Check(t, d, res.Done, device.Request{LBN: req.LBN, Sectors: req.Sectors})
+					if !rbOK {
+						t.Fatalf("read-back of accepted write %+v rejected", req)
+					}
+					if !rb.CacheHit {
+						t.Fatalf("read-your-writes miss: write %+v, read-back %+v", req, rb)
+					}
+					readBacks++
+					// The read-back advanced the device's issue clock:
+					// rebase the walk so times stay non-decreasing.
+					at, res = res.Done, rb
+				}
 				// Walk issue time forward deterministically: sometimes
 				// ride the completion, sometimes lag behind it (queued),
 				// sometimes idle past it.
@@ -248,6 +280,9 @@ func Fuzz(t *testing.T, name string, mk func(t *testing.T) device.Device, n int,
 		}
 		if accepted == 0 {
 			t.Fatalf("fuzz stream of %d requests accepted none", n)
+		}
+		if allocCap > 0 && readBacks == 0 {
+			t.Fatalf("fuzz stream of %d requests exercised no read-your-writes", n)
 		}
 		if now := d.Now(); now <= 0 {
 			t.Fatalf("accepted %d requests but Now = %g", accepted, now)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
 	"traxtents/internal/device/sched"
 )
@@ -33,6 +34,24 @@ func FuzzDevice(f *testing.F) {
 					t.Fatalf("sched.New: %v", err)
 				}
 				return q
+			}},
+			{"cache", func() device.Device {
+				c, err := cache.New(newSim(t, 3), cache.WithCapacityMB(1), cache.WithWriteBack(true), cache.WithSegmentedLRU(true))
+				if err != nil {
+					t.Fatalf("cache.New: %v", err)
+				}
+				return c
+			}},
+			{"cache-sched", func() device.Device {
+				q, err := sched.New(newSim(t, 3), sched.WithDepth(4), sched.WithScheduler(sched.CLOOK()))
+				if err != nil {
+					t.Fatalf("sched.New: %v", err)
+				}
+				c, err := cache.New(q, cache.WithCapacityMB(1))
+				if err != nil {
+					t.Fatalf("cache.New: %v", err)
+				}
+				return c
 			}},
 		}
 		for _, b := range backends {

@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCacheStudyDeterministicAcrossGOMAXPROCS: the cache study must be
+// bit-identical at GOMAXPROCS 1, 4, and 16 — the per-cell-seed
+// discipline every engine study holds, now including the cache layer's
+// line state, eviction order, and port clock.
+func TestCacheStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 50
+	}
+	run := func() []Point {
+		pts, err := CacheStudy(n, 1, nil, true, false)
+		if err != nil {
+			t.Fatalf("CacheStudy: %v", err)
+		}
+		return pts
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var ref []Point
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		pts := run()
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		samePoints(t, ref, pts, "cache study")
+	}
+}
+
+// TestCacheStudyAcceptance is the PR's acceptance pin: at equal cache
+// size, whole-track readahead raises the aligned stream's hit rate
+// above zero and cuts its mean response below the cache-off baseline;
+// in the full run the aligned stream also beats the unaligned one.
+func TestCacheStudyAcceptance(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 50
+	}
+	pts, err := CacheStudy(n, 1, nil, true, false)
+	if err != nil {
+		t.Fatalf("CacheStudy: %v", err)
+	}
+	if len(pts) < 2 || pts[0].X != 0 {
+		t.Fatalf("study must start at the cache-off baseline, got %+v", pts)
+	}
+	off := pts[0]
+	biggest := pts[len(pts)-1]
+	if off.Values["aligned hit"] != 0 || off.Values["unaligned hit"] != 0 {
+		t.Fatalf("cache-off baseline reports hits: %+v", off.Values)
+	}
+	if biggest.Values["aligned hit"] <= 0 {
+		t.Fatalf("readahead did not raise the aligned hit rate: %+v", biggest.Values)
+	}
+	if am, offm := biggest.Values["aligned mean"], off.Values["aligned mean"]; !(am < offm) {
+		t.Fatalf("caching did not cut aligned mean response: %.3f vs cache-off %.3f", am, offm)
+	}
+	if testing.Short() {
+		return
+	}
+	if am, um := biggest.Values["aligned mean"], biggest.Values["unaligned mean"]; !(am < um) {
+		t.Fatalf("aligned mean %.3f not better than unaligned %.3f at equal cache size", am, um)
+	}
+	if ah, uh := biggest.Values["aligned hit"], biggest.Values["unaligned hit"]; !(ah > uh) {
+		t.Fatalf("aligned hit rate %.3f not above unaligned %.3f", ah, uh)
+	}
+}
+
+// TestCacheStudyValidation: bad sweeps fail fast.
+func TestCacheStudyValidation(t *testing.T) {
+	if _, err := CacheStudy(10, 1, []float64{-1}, true, false); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+}

@@ -99,3 +99,15 @@ func TestGoldenQueueStudy(t *testing.T) {
 	}
 	checkGolden(t, "queue_depth", pts)
 }
+
+// TestGoldenCacheStudy pins the host-cache study: the cache layer's
+// hit/miss decisions, whole-track readahead, eviction order, and port
+// timing all feed these numbers, on top of everything the queue study
+// already pins.
+func TestGoldenCacheStudy(t *testing.T) {
+	pts, err := CacheStudy(goldenN, goldenSeed, nil, true, false)
+	if err != nil {
+		t.Fatalf("CacheStudy: %v", err)
+	}
+	checkGolden(t, "cache_study", pts)
+}

@@ -45,14 +45,27 @@ func (a Arrival) String() string {
 type Workload struct {
 	// Requests is the total number of requests to issue.
 	Requests int
-	// IOSectors sizes unaligned requests; ignored when Aligned.
+	// IOSectors sizes unaligned requests; ignored when Aligned unless
+	// SubTrack is set.
 	IOSectors int
 	// Aligned issues whole-track (traxtent) requests: each request
 	// covers exactly one randomly chosen track of the device, whatever
 	// its length. Requires the device to expose track boundaries.
 	Aligned bool
+	// SubTrack modifies Aligned: instead of whole tracks, each request
+	// reads IOSectors sectors at a random IOSectors-aligned offset
+	// inside a randomly chosen track, never crossing the track
+	// boundary (clipped at the tail) — the access pattern of a
+	// traxtent-aware application reading blocks within its extents.
+	// The unaligned counterpart is the plain IOSectors workload, whose
+	// requests land anywhere and straddle boundaries.
+	SubTrack bool
 	// WriteEvery makes every k-th request a write; 0 means reads only.
 	WriteEvery int
+	// WorkingSetTracks restricts the workload to the device's first K
+	// tracks (cache studies need a bounded working set); 0 means the
+	// whole device. Requires the device to expose track boundaries.
+	WorkingSetTracks int
 	// Seed fixes the workload's random source.
 	Seed int64
 }
@@ -84,38 +97,51 @@ type Metrics struct {
 
 // gen produces the seeded request stream.
 type gen struct {
-	rng     *rand.Rand
-	bounds  []int64 // aligned mode: device track boundaries
-	cap     int64
-	io      int
-	aligned bool
-	wEvery  int
-	n       int // requests produced
+	rng      *rand.Rand
+	bounds   []int64 // aligned/working-set modes: device track boundaries
+	cap      int64   // request span in LBNs (working set or whole device)
+	io       int
+	aligned  bool
+	subTrack bool
+	wEvery   int
+	n        int // requests produced
 }
 
 func newGen(d device.Device, wl Workload) (*gen, error) {
 	g := &gen{
-		rng:     rand.New(rand.NewSource(wl.Seed)),
-		cap:     d.Capacity(),
-		io:      wl.IOSectors,
-		aligned: wl.Aligned,
-		wEvery:  wl.WriteEvery,
+		rng:      rand.New(rand.NewSource(wl.Seed)),
+		cap:      d.Capacity(),
+		io:       wl.IOSectors,
+		aligned:  wl.Aligned,
+		subTrack: wl.Aligned && wl.SubTrack,
+		wEvery:   wl.WriteEvery,
 	}
-	if wl.Aligned {
+	if wl.SubTrack && !wl.Aligned {
+		return nil, fmt.Errorf("driver: SubTrack requires Aligned")
+	}
+	if wl.Aligned || wl.WorkingSetTracks > 0 {
 		bp, ok := d.(device.BoundaryProvider)
 		if !ok {
-			return nil, fmt.Errorf("driver: aligned workload needs a device with track boundaries, %T has none", d)
+			return nil, fmt.Errorf("driver: workload needs a device with track boundaries, %T has none", d)
 		}
 		g.bounds = bp.TrackBoundaries()
 		if len(g.bounds) < 2 {
-			return nil, fmt.Errorf("driver: aligned workload needs a device with track boundaries, %T has an empty table", d)
+			return nil, fmt.Errorf("driver: workload needs a device with track boundaries, %T has an empty table", d)
 		}
-	} else {
+	}
+	if k := wl.WorkingSetTracks; k > 0 {
+		if k > len(g.bounds)-1 {
+			return nil, fmt.Errorf("driver: working set of %d tracks exceeds the device's %d", k, len(g.bounds)-1)
+		}
+		g.bounds = g.bounds[:k+1]
+		g.cap = g.bounds[k]
+	}
+	if !wl.Aligned || wl.SubTrack {
 		if wl.IOSectors <= 0 {
-			return nil, fmt.Errorf("driver: unaligned workload needs IOSectors > 0, got %d", wl.IOSectors)
+			return nil, fmt.Errorf("driver: workload needs IOSectors > 0, got %d", wl.IOSectors)
 		}
 		if int64(wl.IOSectors) > g.cap {
-			return nil, fmt.Errorf("driver: IOSectors %d exceeds device capacity %d", wl.IOSectors, g.cap)
+			return nil, fmt.Errorf("driver: IOSectors %d exceeds request span %d", wl.IOSectors, g.cap)
 		}
 	}
 	return g, nil
@@ -123,10 +149,22 @@ func newGen(d device.Device, wl Workload) (*gen, error) {
 
 func (g *gen) next() device.Request {
 	var req device.Request
-	if g.aligned {
+	switch {
+	case g.subTrack:
+		// A block inside one track: IOSectors at a random
+		// IOSectors-aligned in-track offset, clipped at the tail.
+		t := g.rng.Intn(len(g.bounds) - 1)
+		first, n := g.bounds[t], int(g.bounds[t+1]-g.bounds[t])
+		if g.io >= n {
+			req = device.Request{LBN: first, Sectors: n}
+			break
+		}
+		off := g.rng.Intn(n/g.io) * g.io
+		req = device.Request{LBN: first + int64(off), Sectors: g.io}
+	case g.aligned:
 		t := g.rng.Intn(len(g.bounds) - 1)
 		req = device.Request{LBN: g.bounds[t], Sectors: int(g.bounds[t+1] - g.bounds[t])}
-	} else {
+	default:
 		req = device.Request{LBN: g.rng.Int63n(g.cap - int64(g.io) + 1), Sectors: g.io}
 	}
 	g.n++

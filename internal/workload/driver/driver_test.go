@@ -140,6 +140,73 @@ func TestAlignedWorkload(t *testing.T) {
 	}
 }
 
+// TestSubTrackWorkload: SubTrack issues IOSectors-sized reads at
+// block-aligned in-track offsets that never cross a track boundary.
+func TestSubTrackWorkload(t *testing.T) {
+	d := newDisk(t)
+	bounds := d.TrackBoundaries()
+	trackOf := func(lbn int64) int {
+		for i := 0; i+1 < len(bounds); i++ {
+			if lbn >= bounds[i] && lbn < bounds[i+1] {
+				return i
+			}
+		}
+		t.Fatalf("LBN %d outside the device", lbn)
+		return -1
+	}
+	g, err := newGen(d, Workload{Requests: 50, Aligned: true, SubTrack: true, IOSectors: 64, Seed: 4})
+	if err != nil {
+		t.Fatalf("newGen: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		req := g.next()
+		ti := trackOf(req.LBN)
+		if end := req.LBN + int64(req.Sectors); end > bounds[ti+1] {
+			t.Fatalf("request %d [%d,+%d) crosses the boundary of track %d", i, req.LBN, req.Sectors, ti)
+		}
+		if off := req.LBN - bounds[ti]; off%64 != 0 {
+			t.Fatalf("request %d at in-track offset %d, not block-aligned", i, off)
+		}
+		if req.Sectors > 64 {
+			t.Fatalf("request %d of %d sectors", i, req.Sectors)
+		}
+	}
+	if _, err := newGen(d, Workload{Requests: 10, SubTrack: true, IOSectors: 64}); err == nil {
+		t.Fatal("SubTrack without Aligned accepted")
+	}
+	if _, err := newGen(d, Workload{Requests: 10, Aligned: true, SubTrack: true}); err == nil {
+		t.Fatal("SubTrack without IOSectors accepted")
+	}
+}
+
+// TestWorkingSetTracks: the working set bounds every request, aligned
+// or not, and oversized working sets are refused.
+func TestWorkingSetTracks(t *testing.T) {
+	d := newDisk(t)
+	bounds := d.TrackBoundaries()
+	const k = 16
+	span := bounds[k]
+	for _, wl := range []Workload{
+		{Requests: 10, IOSectors: 64, WorkingSetTracks: k, Seed: 6},
+		{Requests: 10, Aligned: true, WorkingSetTracks: k, Seed: 6},
+		{Requests: 10, Aligned: true, SubTrack: true, IOSectors: 64, WorkingSetTracks: k, Seed: 6},
+	} {
+		g, err := newGen(d, wl)
+		if err != nil {
+			t.Fatalf("newGen(%+v): %v", wl, err)
+		}
+		for i := 0; i < 200; i++ {
+			req := g.next()
+			if req.LBN+int64(req.Sectors) > span {
+				t.Fatalf("%+v: request %d [%d,+%d) outside the %d-track working set", wl, i, req.LBN, req.Sectors, k)
+			}
+		}
+	}
+	if _, err := newGen(d, Workload{Requests: 10, IOSectors: 64, WorkingSetTracks: len(bounds)}); err == nil {
+		t.Fatal("working set larger than the device accepted")
+	}
+}
+
 // TestRunDeterministic: identical configurations produce bit-identical
 // metrics run to run — the driver's hard requirement.
 func TestRunDeterministic(t *testing.T) {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
@@ -99,6 +100,13 @@ type (
 	Scheduler = sched.Scheduler
 	// Completion pairs a finished request with its submission index.
 	Completion = sched.Completion
+	// CachedDevice is a host-side track-granular cache over any Device.
+	CachedDevice = cache.Cache
+	// CacheOption configures a cached device.
+	CacheOption = cache.Option
+	// CacheStats aggregates a cached device's hit/fill/eviction
+	// activity.
+	CacheStats = cache.Stats
 	// Model is a named, calibrated drive model.
 	Model = model.Model
 	// Geometry is the physical description of a drive.
@@ -286,6 +294,49 @@ func SchedulerByName(name string, d Device) (Scheduler, error) { return sched.By
 func WithQueuedChildren(opts ...QueueOption) StripedOption {
 	return striped.WithQueuedChildren(opts...)
 }
+
+// ---- Host caching and prefetching ----
+
+// NewCachedDevice wraps any device in a deterministic host-side cache:
+// track-granular lines (the device's own traxtents, or its stripe
+// units over an array; fixed lines when it has no boundaries), LRU or
+// segmented-LRU eviction, write-through or write-back, and whole-track
+// readahead. The cache is itself a Device forwarding the wrapped
+// device's capabilities, so it composes freely — the canonical stack
+// is NewQueuedDevice(NewCachedDevice(disk)). Defaults: 4 MB,
+// readahead on, write-through, plain LRU. A zero-size cache is a
+// transparent bypass, bit-identical to the bare device.
+//
+// This is the host layer above the device; a simulated disk's own
+// firmware cache is configured with the WithCache DiskOption.
+func NewCachedDevice(d Device, opts ...CacheOption) (*CachedDevice, error) {
+	return cache.New(d, opts...)
+}
+
+// WithCacheMB sets the host cache budget in megabytes (0 bypasses).
+func WithCacheMB(mb float64) CacheOption { return cache.WithCapacityMB(mb) }
+
+// WithCacheSectors sets the host cache budget in sectors (0 bypasses).
+func WithCacheSectors(n int64) CacheOption { return cache.WithCapacitySectors(n) }
+
+// WithReadahead enables whole-track readahead in the host cache: a
+// missing read is promoted to a full fill of every track it touches.
+// (Firmware prefetch inside a simulated disk is the WithReadAhead
+// DiskOption.)
+func WithReadahead(on bool) CacheOption { return cache.WithReadahead(on) }
+
+// WithWriteBack switches the host cache from write-through to
+// write-back: writes are absorbed into dirty lines and reach the
+// device coalesced, on eviction or CachedDevice.FlushDirty.
+func WithWriteBack(on bool) CacheOption { return cache.WithWriteBack(on) }
+
+// WithSegmentedLRU switches host-cache eviction from plain LRU to
+// scan-resistant segmented LRU.
+func WithSegmentedLRU(on bool) CacheOption { return cache.WithSegmentedLRU(on) }
+
+// WithCacheLineSectors sets the host cache's line size for devices
+// that expose no track boundaries.
+func WithCacheLineSectors(n int64) CacheOption { return cache.WithLineSectors(n) }
 
 // NewRecorder wraps a device, capturing a Trace of every request served
 // through it.

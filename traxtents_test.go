@@ -400,3 +400,96 @@ func TestQueuedDeviceFacade(t *testing.T) {
 		t.Fatalf("striped serve: %v", err)
 	}
 }
+
+// TestCachedDeviceFacade: the host cache builds through the facade,
+// forwards capabilities, prefetches whole tracks, and composes into
+// the canonical queue → cache → disk stack.
+func TestCachedDeviceFacade(t *testing.T) {
+	d, err := traxtents.NewDisk(traxtents.MustDiskModel("HP-C2247"), traxtents.WithSeed(4))
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	c, err := traxtents.NewCachedDevice(d,
+		traxtents.WithCacheMB(2),
+		traxtents.WithReadahead(true),
+		traxtents.WithWriteBack(true),
+		traxtents.WithSegmentedLRU(true))
+	if err != nil {
+		t.Fatalf("NewCachedDevice: %v", err)
+	}
+
+	// The cache forwards boundaries: tables build through it.
+	table, err := traxtents.GroundTruthTable(c)
+	if err != nil {
+		t.Fatalf("GroundTruthTable through cache: %v", err)
+	}
+	ext, err := table.Find(0)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+
+	// A sub-track read promotes to a whole-track fill; the rest of the
+	// track then hits.
+	res, err := c.Serve(0, traxtents.Request{LBN: ext.Start, Sectors: 8})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	hit, err := c.Serve(res.Done, traxtents.Request{LBN: ext.Start, Sectors: int(ext.Len)})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("whole-track re-read missed: %+v", hit)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.HitRate() != 0.5 {
+		t.Fatalf("cache stats %+v", st)
+	}
+
+	// Write-back absorbs, FlushDirty writes back.
+	w, err := c.Serve(hit.Done, traxtents.Request{LBN: ext.Start, Sectors: 8, Write: true})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !w.CacheHit {
+		t.Fatalf("write-back write not absorbed: %+v", w)
+	}
+	if err := c.FlushDirty(w.Done); err != nil {
+		t.Fatalf("FlushDirty: %v", err)
+	}
+	if got := c.Stats().FlushWrites; got != 1 {
+		t.Fatalf("%d flush writes, want 1", got)
+	}
+
+	// The canonical stack: queue over cache over disk.
+	inner, err := traxtents.NewDisk(traxtents.MustDiskModel("HP-C2247"), traxtents.WithSeed(5))
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	cached, err := traxtents.NewCachedDevice(inner, traxtents.WithCacheSectors(0))
+	if err != nil {
+		t.Fatalf("NewCachedDevice: %v", err)
+	}
+	if !cached.Bypass() {
+		t.Fatal("zero-size cache not in bypass mode")
+	}
+	q, err := traxtents.NewQueuedDevice(cached,
+		traxtents.WithQueueDepth(4), traxtents.WithScheduler(traxtents.SchedulerSSTF()))
+	if err != nil {
+		t.Fatalf("NewQueuedDevice: %v", err)
+	}
+	at := 0.0
+	for i := 0; i < 16; i++ {
+		if err := q.Submit(at, traxtents.Request{LBN: int64(i%5) * 50_000, Sectors: 64}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		at += 0.5
+	}
+	cs, err := q.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(cs) != 16 {
+		t.Fatalf("drained %d of 16", len(cs))
+	}
+}
