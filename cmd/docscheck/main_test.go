@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean: the gate this tool exists to enforce must hold on
+// the repository itself — every package documented, every relative
+// Markdown link resolving.
+func TestRepoIsClean(t *testing.T) {
+	root := repoRoot(t)
+	if n := checkPackageDocs(root); n != 0 {
+		t.Fatalf("%d package(s) without package-level godoc", n)
+	}
+	if n := checkMarkdownLinks(root); n != 0 {
+		t.Fatalf("%d broken markdown link(s)", n)
+	}
+}
+
+// TestMarkdownLinkChecker: broken relative links are caught; external
+// links, anchors, and images of existing files are not.
+func TestMarkdownLinkChecker(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# here"), 0o644))
+	must(os.Mkdir(filepath.Join(dir, "sub"), 0o755))
+	must(os.WriteFile(filepath.Join(dir, "sub", "deep.md"),
+		[]byte("[up](../exists.md) and [broken](nope.md)"), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "doc.md"), []byte(`
+[ok](exists.md) [anchor](exists.md#sec) [self](#local)
+[ext](https://example.com/x.md) [mail](mailto:a@b.c)
+![img](exists.md) [into](sub/deep.md)
+[gone](missing.md)
+`), 0o644))
+	if n := checkMarkdownLinks(dir); n != 2 {
+		t.Fatalf("want exactly the 2 broken links flagged, got %d", n)
+	}
+	// testdata and dotted directories are out of scope.
+	must(os.Mkdir(filepath.Join(dir, "testdata"), 0o755))
+	must(os.WriteFile(filepath.Join(dir, "testdata", "t.md"), []byte("[x](gone.md)"), 0o644))
+	must(os.Mkdir(filepath.Join(dir, ".hidden"), 0o755))
+	must(os.WriteFile(filepath.Join(dir, ".hidden", "h.md"), []byte("[x](gone.md)"), 0o644))
+	// PAPERS.md-style retrieval notes are excluded by name.
+	must(os.WriteFile(filepath.Join(dir, "PAPERS.md"), []byte("![p](page0.jpeg)"), 0o644))
+	if n := checkMarkdownLinks(dir); n != 2 {
+		t.Fatalf("skipped directories/files leaked into the count: got %d", n)
+	}
+}
+
+// TestPackageDocChecker: a module with an undocumented package fails.
+func TestPackageDocChecker(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpcheck\n\ngo 1.24\n"), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "main.go"), []byte("package main\n\nfunc main() {}\n"), 0o644))
+	if n := checkPackageDocs(dir); n != 1 {
+		t.Fatalf("undocumented package not flagged: got %d", n)
+	}
+	must(os.WriteFile(filepath.Join(dir, "main.go"),
+		[]byte("// Command tmpcheck does nothing.\npackage main\n\nfunc main() {}\n"), 0o644))
+	if n := checkPackageDocs(dir); n != 0 {
+		t.Fatalf("documented package flagged: got %d", n)
+	}
+}

@@ -7,6 +7,13 @@
 //	ffsbench            quick (scaled-down) sizes
 //	ffsbench -full      the paper's sizes (4 GB scan, 512 MB diff, ...)
 //	ffsbench -mkfs      excluded-block fractions only
+//	ffsbench -study     repro.FFSStudy: small-I/O response vs host-cache
+//	                    size over the composed host stack
+//
+// The committed golden snapshot internal/repro/testdata/golden/
+// ffs_study.json regenerates exactly with:
+//
+//	ffsbench -study -n 50 -seed 1
 package main
 
 import (
@@ -22,7 +29,27 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the paper's full sizes")
 	mkfs := flag.Bool("mkfs", false, "report excluded-block fractions only")
+	study := flag.Bool("study", false, "small-I/O response vs host-cache size (repro.FFSStudy)")
+	n := flag.Int("n", 400, "random block reads per study cell")
+	seed := flag.Int64("seed", 1, "study seed")
 	flag.Parse()
+
+	if *study {
+		pts, err := repro.FFSStudy(*n, *seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== FFSStudy: mean small-I/O response vs host-cache size (n=%d random 8 KB reads) ==\n", *n)
+		fmt.Printf("%8s %15s %15s %15s %15s\n", "cache MB", "unmodified ms", "traxtent ms", "unmodified hit", "traxtent hit")
+		for _, p := range pts {
+			fmt.Printf("%8g %15.2f %15.2f %14.1f%% %14.1f%%\n",
+				p.X, p.Values["unmodified mean"], p.Values["traxtent mean"],
+				p.Values["unmodified hit"]*100, p.Values["traxtent hit"]*100)
+		}
+		fmt.Println("\nthe traxtent allocator never straddles a track, so its misses fill one line;")
+		fmt.Println("unmodified straddles pay rotation plus double fills until the cache holds everything.")
+		return
+	}
 
 	if *mkfs {
 		for _, name := range []string{"Quantum-Atlas10K", "Quantum-Atlas10KII"} {

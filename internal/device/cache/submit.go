@@ -18,6 +18,7 @@
 // completes at port speed even though the fill's media access may be
 // scheduled later by the inner queue. Everything runs on the caller's
 // goroutine, so a batch is bit-identical at any GOMAXPROCS.
+
 package cache
 
 import (

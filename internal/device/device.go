@@ -1,18 +1,3 @@
-// Package device defines the storage-device abstraction at the heart of
-// the v1 API: the paper's thesis is that track-aligned access is a
-// property of the *storage interface*, not of one drive, so everything
-// above the device layer — extraction, traxtent tables, allocators, the
-// FFS/LFS/video case studies — speaks to this small interface instead of
-// a concrete simulator type.
-//
-// A Device services timed requests against a logical block address
-// space. The calibrated disk simulator (internal/disk/sim) is one
-// implementation; a traxtent-striped multi-disk array (striped) and a
-// trace-replay device (trace) are others. Capabilities beyond request
-// service — rotation period, track boundaries, a full physical mapping —
-// are optional interfaces discovered by type assertion, because not
-// every backend has them (a replayed trace has no spindle; a striped
-// array has no single physical geometry).
 package device
 
 import (

@@ -1,0 +1,5 @@
+// Package devtest is the Device conformance suite: behavioural checks
+// every backend (simulator, striped array, trace replay, and anything
+// future) must pass to be usable behind the public API. Backend test
+// packages call Run with a factory for a fresh device.
+package devtest

@@ -1,31 +1,3 @@
-// Package sched turns any device.Device into a queue-depth-N device
-// with a pluggable request scheduler. The paper measures everything one
-// (or two) outstanding requests at a time; real systems keep queues, and
-// track-aligned access only pays off as an interface property if it
-// survives queue depths, competing streams, and scheduler reordering —
-// which is what this wrapper makes expressible.
-//
-// A Queue models the host/device boundary: the host submits requests at
-// their arrival times; up to Depth of them are outstanding at the device
-// at once (the scheduler's visibility window, admitted in arrival
-// order), and whenever the device's head frees the scheduler picks which
-// windowed request is serviced next. Everything runs in virtual time on
-// one goroutine, so a run is deterministic — bit-identical for a fixed
-// seed at any GOMAXPROCS.
-//
-// Because a scheduling decision at virtual time t may legally consider
-// any request that has arrived by t, and the caller reveals arrivals one
-// Submit at a time, the queue evaluates lazily: Submit(at, …) only
-// commits dispatch decisions that happen strictly before at (no later
-// arrival can influence them), and the rest wait for more arrivals, a
-// Flush/Drain, or a ForceNext. Completed results carry the request's
-// original issue time, so Result.Response() includes queueing delay.
-//
-// FCFS is special-cased as a transparent passthrough: the wrapped
-// device's own FCFS queueing against its internal resources (head, bus)
-// is exactly arrival-order service, so a Queue with the FCFS scheduler
-// is bit-identical to the bare device at any depth — the differential
-// tests pin this.
 package sched
 
 import (

@@ -1,0 +1,127 @@
+package stack
+
+import (
+	"fmt"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
+	"traxtents/internal/device/sched"
+)
+
+// Stack is the composed host-side stack: a host cache over a scheduling
+// queue over a base device (cache → sched.Queue → Device). It embeds the
+// outermost layer, so a Stack is itself a device.Device with the cache's
+// Submit/Drain batch path (which rides the queue's lazy dispatch) and
+// forwards every capability of the base device.
+type Stack struct {
+	*cache.Cache
+	queue *sched.Queue
+	base  device.Device
+}
+
+var _ device.Device = (*Stack)(nil)
+
+// New composes cache → queue → device from option lists. The queue
+// options are sched options (the facade's WithQueueDepth/WithScheduler);
+// the cache options are cache options (WithCacheMB et al.). Unlike a
+// bare cache.New, the default cache budget here is zero — an unoptioned
+// stack is the transparent passthrough (depth-1 FCFS queue, zero-budget
+// cache), pinned bit-identical to the bare device by the differential
+// tests of both layers.
+func New(d device.Device, qopts []sched.Option, copts []cache.Option) (*Stack, error) {
+	if d == nil {
+		return nil, fmt.Errorf("stack: nil device")
+	}
+	q, err := sched.New(d, qopts...)
+	if err != nil {
+		return nil, fmt.Errorf("stack: queue: %w", err)
+	}
+	copts = append([]cache.Option{cache.WithCapacityMB(0)}, copts...)
+	c, err := cache.New(q, copts...)
+	if err != nil {
+		return nil, fmt.Errorf("stack: cache: %w", err)
+	}
+	return &Stack{Cache: c, queue: q, base: d}, nil
+}
+
+// Queue returns the scheduling-queue layer.
+func (s *Stack) Queue() *sched.Queue { return s.queue }
+
+// Base returns the base device under the whole stack.
+func (s *Stack) Base() device.Device { return s.base }
+
+// Config is the named-field form of the stack, for callers that take
+// the composition from flags or a study grid rather than option lists.
+// The zero value is the transparent passthrough: depth-1 FCFS queue,
+// zero-budget (bypass) cache.
+type Config struct {
+	// Depth is the queue depth (the scheduler's reordering window);
+	// 0 means 1.
+	Depth int
+	// Scheduler names the dispatch policy: "fcfs", "sstf", "clook", or
+	// "traxtent" (resolved against the base device's track boundaries).
+	// "" means "fcfs".
+	Scheduler string
+	// CacheMB is the host-cache budget in megabytes; 0 is the bypass.
+	CacheMB float64
+	// NoReadahead disables the cache's whole-track readahead (on by
+	// default, matching cache.New).
+	NoReadahead bool
+	// WriteBack switches the cache from write-through to write-back.
+	WriteBack bool
+	// SegmentedLRU switches eviction from plain LRU to segmented LRU.
+	SegmentedLRU bool
+
+	// QueueOpts and CacheOpts are appended after the named fields, so
+	// facade options compose with (and can override) them.
+	QueueOpts []sched.Option
+	CacheOpts []cache.Option
+}
+
+// Passthrough reports whether the configuration is the transparent
+// passthrough (no reordering window, no cache budget, no extra
+// options) — the composition pinned bit-identical to the bare device.
+func (cfg Config) Passthrough() bool {
+	return cfg.Depth <= 1 && (cfg.Scheduler == "" || cfg.Scheduler == "fcfs") &&
+		cfg.CacheMB == 0 && len(cfg.QueueOpts) == 0 && len(cfg.CacheOpts) == 0
+}
+
+// Build composes the configured stack over the base device.
+func (cfg Config) Build(d device.Device) (*Stack, error) {
+	if d == nil {
+		return nil, fmt.Errorf("stack: nil device")
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 1
+	}
+	name := cfg.Scheduler
+	if name == "" {
+		name = "fcfs"
+	}
+	sch, err := sched.ByName(name, d)
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	qopts := append([]sched.Option{sched.WithDepth(depth), sched.WithScheduler(sch)}, cfg.QueueOpts...)
+	copts := append([]cache.Option{
+		cache.WithCapacityMB(cfg.CacheMB),
+		cache.WithReadahead(!cfg.NoReadahead),
+		cache.WithWriteBack(cfg.WriteBack),
+		cache.WithSegmentedLRU(cfg.SegmentedLRU),
+	}, cfg.CacheOpts...)
+	return New(d, qopts, copts)
+}
+
+// String summarizes the composition for reports and CLI banners.
+func (cfg Config) String() string {
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 1
+	}
+	name := cfg.Scheduler
+	if name == "" {
+		name = "fcfs"
+	}
+	return fmt.Sprintf("%s depth %d, cache %g MB", name, depth, cfg.CacheMB)
+}

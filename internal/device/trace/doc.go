@@ -1,0 +1,23 @@
+// Package trace implements trace-driven storage: a Recorder that wraps
+// any device and captures each request's observed service time, and a
+// Player that serves requests from such a trace without any simulator —
+// replay of a captured workload costs a map lookup per request.
+//
+// The Player models the device as a single server: a request issued at
+// time t starts at max(t, previous completion) and completes one
+// recorded service time later. Requests are matched to trace records by
+// (LBN, length, direction), each record consumed once in trace order,
+// so replaying the workload that produced the trace reproduces its
+// timing; unmatched requests fall back to the trace's mean service time
+// (or fail, under Strict).
+//
+// Key types: Trace (the JSON-encodable capture, carrying the device
+// identity: capacity, sector size, rotation period, boundaries),
+// Record (one traced request), Recorder, and Player. The Player
+// forwards whatever capabilities the trace recorded, so traxtent
+// tables build over replays.
+//
+// Determinism: replay consumes records in trace order on the caller's
+// goroutine with no randomness at all — identical traces replay
+// bit-identically everywhere.
+package trace

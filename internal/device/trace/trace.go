@@ -1,15 +1,3 @@
-// Package trace implements trace-driven storage: a Recorder that wraps
-// any device and captures each request's observed service time, and a
-// Player that serves requests from such a trace without any simulator —
-// replay of a captured workload costs a map lookup per request.
-//
-// The Player models the device as a single server: a request issued at
-// time t starts at max(t, previous completion) and completes one
-// recorded service time later. Requests are matched to trace records by
-// (LBN, length, direction), each record consumed once in trace order,
-// so replaying the workload that produced the trace reproduces its
-// timing; unmatched requests fall back to the trace's mean service time
-// (or fail, under Strict).
 package trace
 
 import (

@@ -1,0 +1,19 @@
+// Package geom models disk drive geometry: zoned recording, track and
+// cylinder skew, spare-sector reservation schemes, and media defects
+// handled by slipping or remapping.
+//
+// The central type is Layout, a per-track table built by walking every
+// physical sector of a Geometry exactly once. The table provides exact
+// LBN-to-physical and physical-to-LBN translation and the ground-truth
+// track boundary list that the extraction algorithms (internal/extract,
+// internal/dixtrac) are validated against.
+//
+// Conventions:
+//   - A physical location is (cylinder, head, slot) where slot is the
+//     physical sector index on the track, 0..SPT-1.
+//   - LBNs are assigned cylinder-major: all tracks (surfaces) of cylinder
+//     0, then cylinder 1, and so on — the mapping of Figure 2(b) in the
+//     paper.
+//   - Angular position of a slot accounts for accumulated track/cylinder
+//     skew via each track's SkewOff (see Layout).
+package geom

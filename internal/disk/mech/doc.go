@@ -1,0 +1,11 @@
+// Package mech models the mechanical behaviour of a disk drive: the seek
+// curve, constant-speed rotation, head/track switches, and — centrally
+// for this paper — the media-access timing of ordinary versus
+// zero-latency (access-on-arrival) firmware.
+//
+// All times are float64 milliseconds; all angles are expressed in "slot
+// units" (one slot = one sector's angular extent on the track under the
+// head). The rotational position at absolute time t is simply t modulo
+// the rotation period, so the whole simulation shares one global spindle
+// phase, exactly like a real drive.
+package mech

@@ -1,0 +1,16 @@
+// Package model provides named disk models calibrated to Table 1 of the
+// paper, plus the synthetic-zone generator that turns a spec-sheet
+// description (SPT range, track count, RPM, seek times) into a full
+// geometry with realistic skews, spare space, and factory defects.
+//
+// The evaluation disks are:
+//
+//	QuantumAtlas10K    — zero-latency, the FFS/mkfs experiments' disk
+//	QuantumAtlas10KII  — zero-latency, the microbenchmark/video disk
+//	SeagateCheetahX15  — no zero-latency support
+//	IBMUltrastar18ES   — no zero-latency support
+//
+// The remaining Table 1 rows (HP C2247, Quantum Viking, IBM Ultrastar
+// 18LZX) are included for the Table 1 reproduction and for exercising
+// extraction across generations of geometry.
+package model

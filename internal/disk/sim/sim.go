@@ -1,14 +1,3 @@
-// Package sim assembles the geometry and mechanical models into a whole
-// disk drive: a virtual-time simulator with FCFS command queueing, a
-// SCSI-style bus with in-order data delivery, a segmented firmware read
-// cache with prefetch, and optional positioning-time noise.
-//
-// The simulator is deterministic (given a seed) and analytic: each
-// request's service is computed in closed form against the global
-// spindle phase, so five thousand requests simulate in microseconds.
-// Head and bus are separate resources, which is what lets command
-// queueing (the paper's "tworeq" pattern) overlap one request's bus
-// transfer with the next request's positioning.
 package sim
 
 import (

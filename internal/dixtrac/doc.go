@@ -1,0 +1,21 @@
+// Package dixtrac implements the SCSI-specific disk characterization of
+// §4.1.2: a five-step algorithm that extracts the complete
+// LBN-to-physical mapping — and hence the exact track boundary table —
+// in a number of address translations largely independent of capacity
+// (the paper reports under 30,000, under a minute of wall time):
+//
+//  1. READ CAPACITY for the highest LBN; cylinder/surface counts
+//     verified by translating targeted LBNs.
+//  2. READ DEFECT LIST for all media defects.
+//  3. Expert rules to identify the spare-space reservation scheme.
+//  4. Zone boundaries and physical sectors-per-track, by probing
+//     translation validity (a slot past the physical end of a track is
+//     an invalid address).
+//  5. Classification of each defect as slipped or remapped by
+//     back-translating the LBNs adjacent to it.
+//
+// From the learned parameters it reconstructs the full layout
+// arithmetically and verifies it against sampled translations; on any
+// mismatch (an unknown sparing scheme, say) the caller can use Fallback,
+// the expertise-free SCSI walk that costs ~2 translations per track.
+package dixtrac

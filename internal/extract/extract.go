@@ -1,27 +1,3 @@
-// Package extract implements the general, interface-agnostic track
-// boundary detection of §4.1.1: it discovers track boundaries purely by
-// timing read commands, so it works on any disk that can read — no SCSI
-// diagnostic pages required.
-//
-// Method, following the paper:
-//
-//   - Requests are issued synchronized with the rotation: each probe for
-//     a region is issued at a fixed offset within the rotational period,
-//     tuned so the head arrives just before the first wanted sector. At
-//     that phase, the response to an N-sector read grows exactly
-//     linearly in N while the read stays within one track, and jumps by
-//     the head-switch/skew gap when it crosses a boundary.
-//   - A binary search finds the smallest N whose response exceeds the
-//     linear model: the boundary is at S+N-1.
-//   - Once a track's size is known, each following track is verified
-//     with two reads (full-track vs full-track-plus-one); only zone
-//     changes and defective tracks fall back to the full search.
-//   - To defeat the firmware cache, measurements for ~100 widespread
-//     regions are interleaved round-robin, so the cache has always
-//     evicted a region's data before the extractor returns to it
-//     (§4.1.1's "100 parallel extraction operations").
-//   - With measurement noise, each probe is the average of several
-//     samples, themselves interleaved.
 package extract
 
 import (

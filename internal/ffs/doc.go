@@ -1,0 +1,32 @@
+// Package ffs simulates the FreeBSD FFS request-generation behaviour the
+// paper modifies (§4.2): cylinder-group-based block allocation with
+// McVoy–Kleiman clustering, history-based ("sequential count")
+// read-ahead, and write-back clustering — in three variants:
+//
+//	Unmodified — stock FreeBSD 4.0 FFS behaviour
+//	FastStart  — aggressive prefetch of up to 32 contiguous blocks on
+//	             the first access (the paper's comparison point)
+//	Traxtent   — traxtent-aware: excluded blocks never allocated,
+//	             allocation prefers whole traxtents, read-ahead and
+//	             write clustering clipped at track boundaries
+//
+// The simulation tracks only metadata and timing: file block maps, the
+// free-block bitmap, a buffer cache of block availability times, and the
+// virtual clock driven by the disk simulator. That is exactly the level
+// at which the paper's Table 2 effects arise — the sizes and alignment
+// of the requests the file system issues.
+//
+// Key types: FS (New formats one over any device.Device), Params
+// (variant, geometry, and the host-stack composition), File, and
+// Stats. Every request the file system issues is served through the
+// composed host stack (Params.Stack: cache → scheduling queue →
+// device); the zero-value stack is the transparent passthrough pinned
+// bit-identical to the bare device, which is what keeps the Table 2
+// numbers unchanged, while a cache budget puts a track-granular host
+// cache *under* the FFS buffer cache.
+//
+// Determinism: allocation scans, the FIFO buffer cache, and
+// deterministic file ordering keep all state machine-independent, and
+// the device stack runs in virtual time on the caller's goroutine — a
+// fixed workload is bit-identical at any GOMAXPROCS.
+package ffs

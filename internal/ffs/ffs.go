@@ -1,26 +1,11 @@
-// Package ffs simulates the FreeBSD FFS request-generation behaviour the
-// paper modifies (§4.2): cylinder-group-based block allocation with
-// McVoy–Kleiman clustering, history-based ("sequential count")
-// read-ahead, and write-back clustering — in three variants:
-//
-//	Unmodified — stock FreeBSD 4.0 FFS behaviour
-//	FastStart  — aggressive prefetch of up to 32 contiguous blocks on
-//	             the first access (the paper's comparison point)
-//	Traxtent   — traxtent-aware: excluded blocks never allocated,
-//	             allocation prefers whole traxtents, read-ahead and
-//	             write clustering clipped at track boundaries
-//
-// The simulation tracks only metadata and timing: file block maps, the
-// free-block bitmap, a buffer cache of block availability times, and the
-// virtual clock driven by the disk simulator. That is exactly the level
-// at which the paper's Table 2 effects arise — the sizes and alignment
-// of the requests the file system issues.
 package ffs
 
 import (
 	"fmt"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
+	"traxtents/internal/device/stack"
 	"traxtents/internal/traxtent"
 )
 
@@ -64,6 +49,15 @@ type Params struct {
 	ReadAheadMax int
 	// CacheBlocks bounds the buffer cache (default 16384 = 128 MB).
 	CacheBlocks int
+	// Stack composes the host-side stack (cache → scheduling queue →
+	// device) every file-system request is served through. The zero
+	// value is the transparent passthrough (depth-1 FCFS queue,
+	// zero-budget cache), pinned bit-identical to the bare device — so
+	// the Table 2 numbers are unchanged unless a budget or scheduler is
+	// configured. A host-cache budget models track-granular caching
+	// *below* the FFS buffer cache: whole-track fills make re-reads of
+	// neighbouring blocks host hits.
+	Stack stack.Config
 }
 
 func (p *Params) fill() {
@@ -84,10 +78,15 @@ func (p *Params) fill() {
 	}
 }
 
-// FS is a simulated file system on a storage device.
+// FS is a simulated file system on a storage device. D is the top of
+// the composed host stack (the device every request is served
+// through); Base returns the raw device underneath it.
 type FS struct {
 	D device.Device
 	P Params
+
+	stack *stack.Stack
+	base  device.Device
 
 	nblocks  int64
 	free     []bool
@@ -134,16 +133,21 @@ type File struct {
 	dirty []int64
 }
 
-// New formats a file system over the device. In the Traxtent variant
-// every block spanning a track boundary is pre-marked used (§4.2.2).
+// New formats a file system over the device, composing the configured
+// host stack (P.Stack) on top of it. In the Traxtent variant every
+// block spanning a track boundary is pre-marked used (§4.2.2).
 func New(d device.Device, p Params) (*FS, error) {
 	p.fill()
 	if p.Variant == Traxtent && p.Table == nil {
 		return nil, fmt.Errorf("ffs: traxtent variant requires a boundary table")
 	}
+	st, err := p.Stack.Build(d)
+	if err != nil {
+		return nil, fmt.Errorf("ffs: %w", err)
+	}
 	nblocks := d.Capacity() / p.BlockSectors
 	fs := &FS{
-		D: d, P: p,
+		D: st, P: p, stack: st, base: d,
 		nblocks:  nblocks,
 		free:     make([]bool, nblocks),
 		excluded: make([]bool, nblocks),
@@ -168,6 +172,17 @@ func New(d device.Device, p Params) (*FS, error) {
 
 // Now returns the virtual clock.
 func (fs *FS) Now() float64 { return fs.now }
+
+// Base returns the raw device under the composed host stack.
+func (fs *FS) Base() device.Device { return fs.base }
+
+// HostStack returns the composed host stack the file system serves
+// through (the passthrough when P.Stack is the zero value).
+func (fs *FS) HostStack() *stack.Stack { return fs.stack }
+
+// HostCacheStats returns the host-cache statistics of the composed
+// stack (all zero for a zero-budget passthrough).
+func (fs *FS) HostCacheStats() cache.Stats { return fs.stack.Stats() }
 
 // AdvanceCPU models application CPU time: the clock moves forward with
 // no disk activity.

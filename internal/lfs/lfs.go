@@ -1,17 +1,3 @@
-// Package lfs implements the paper's §5.5 log-structured file system
-// evaluation in two parts:
-//
-//  1. The overall-write-cost (OWC) model of Matthews et al.:
-//     OWC = WriteCost × TransferInefficiency, where WriteCost comes from
-//     the published Auspex-trace values (we interpolate their curve — we
-//     do not have the trace; DESIGN.md records the substitution) and
-//     TransferInefficiency is *measured* on the disk simulator for
-//     track-aligned and unaligned segment writes (Figure 10).
-//
-//  2. A working miniature LFS — segment log, segment usage table with
-//     variable-sized segments matched to traxtents (§5.5.1), and a
-//     greedy cleaner — used to validate the invariants behind the model
-//     (live data survives cleaning; measured write cost behaves).
 package lfs
 
 import (
@@ -20,6 +6,7 @@ import (
 	"math/rand"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/stack"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/disk/sim"
 	"traxtents/internal/traxtent"
@@ -155,6 +142,11 @@ type LFS struct {
 	d            device.Device
 	blockSectors int64
 
+	// Host-stack wiring (NewLFSStack): the composed stack d points at,
+	// and the raw device underneath it. Both nil for a bare NewLFS.
+	stack *stack.Stack
+	base  device.Device
+
 	segs    []SegmentInfo
 	freeSeg []int // indexes of free segments
 	cur     int   // segment being filled, -1 if none
@@ -227,6 +219,38 @@ func FixedSegments(total int64, segSectors int64) []traxtent.Extent {
 	}
 	return out
 }
+
+// NewLFSStack builds the store over the composed host stack (cache →
+// scheduling queue → device): every log write and cleaner read is
+// served through it. The zero-value config is the transparent
+// passthrough, pinned bit-identical to a bare NewLFS over the same
+// device; a cache budget makes the cleaner's segment re-reads host
+// hits when the segments it compacts are still resident.
+func NewLFSStack(d device.Device, cfg stack.Config, segments []traxtent.Extent, blockSectors int64) (*LFS, error) {
+	st, err := cfg.Build(d)
+	if err != nil {
+		return nil, fmt.Errorf("lfs: %w", err)
+	}
+	l, err := NewLFS(st, segments, blockSectors)
+	if err != nil {
+		return nil, err
+	}
+	l.stack, l.base = st, d
+	return l, nil
+}
+
+// Base returns the raw device under the composed host stack (the
+// store's own device for a bare NewLFS).
+func (l *LFS) Base() device.Device {
+	if l.base != nil {
+		return l.base
+	}
+	return l.d
+}
+
+// HostStack returns the composed host stack of a NewLFSStack store
+// (nil for a bare NewLFS).
+func (l *LFS) HostStack() *stack.Stack { return l.stack }
 
 // Now returns the virtual clock.
 func (l *LFS) Now() float64 { return l.now }

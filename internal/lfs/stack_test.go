@@ -1,0 +1,113 @@
+package lfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/device/stack"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/traxtent"
+)
+
+// stackStore builds a small store over a fresh Atlas 10K II behind the
+// given composition (nil segments = 64 whole-track segments from the
+// device's own boundaries).
+func stackStore(t *testing.T, cfg stack.Config) *LFS {
+	t.Helper()
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	tbl, err := traxtent.New(d.Lay.Boundaries())
+	if err != nil {
+		t.Fatalf("traxtent.New: %v", err)
+	}
+	var segs []traxtent.Extent
+	for i := 0; i < 64; i++ {
+		segs = append(segs, tbl.Index(i))
+	}
+	l, err := NewLFSStack(d, cfg, segs, 16)
+	if err != nil {
+		t.Fatalf("NewLFSStack: %v", err)
+	}
+	return l
+}
+
+// churn drives seeded random overwrites hard enough to trigger the
+// cleaner, returning the measured write cost and final clock.
+func churn(t *testing.T, l *LFS) (cost, clock float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		if err := l.Write(rng.Int63n(1400)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	return l.MeasuredWriteCost(), l.Now()
+}
+
+// TestPassthroughStackBitIdentical: an LFS over the zero-value stack
+// must time the same churn workload exactly as an LFS over the bare
+// device — the same pin the video server and FFS carry.
+func TestPassthroughStackBitIdentical(t *testing.T) {
+	viaStack := stackStore(t, stack.Config{})
+	if viaStack.HostStack() == nil || viaStack.Base() == viaStack.d {
+		t.Fatal("stack not composed")
+	}
+
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	tbl, err := traxtent.New(d.Lay.Boundaries())
+	if err != nil {
+		t.Fatalf("traxtent.New: %v", err)
+	}
+	var segs []traxtent.Extent
+	for i := 0; i < 64; i++ {
+		segs = append(segs, tbl.Index(i))
+	}
+	bare, err := NewLFS(d, segs, 16)
+	if err != nil {
+		t.Fatalf("NewLFS: %v", err)
+	}
+	if bare.HostStack() != nil || bare.Base() != bare.d {
+		t.Fatal("bare store should have no stack")
+	}
+
+	sCost, sClock := churn(t, viaStack)
+	bCost, bClock := churn(t, bare)
+	if sCost != bCost || sClock != bClock {
+		t.Fatalf("passthrough stack drifted from bare device: cost %g vs %g, clock %g vs %g",
+			sCost, bCost, sClock, bClock)
+	}
+}
+
+// TestCleanerHitsHostCache: with a cache budget in the stack, the
+// cleaner's re-reads of recently written segments are host hits and
+// the same churn finishes sooner on the virtual clock.
+func TestCleanerHitsHostCache(t *testing.T) {
+	_, slow := churn(t, stackStore(t, stack.Config{}))
+	cached := stackStore(t, stack.Config{CacheMB: 8})
+	_, fast := churn(t, cached)
+	if hits := cached.HostStack().Stats().Hits; hits == 0 {
+		t.Fatal("cleaner produced no host-cache hits")
+	}
+	if fast >= slow {
+		t.Fatalf("host cache did not shorten the churn: %g ms vs %g ms", fast, slow)
+	}
+}
+
+// TestStackValidationLFS: a bad composition surfaces from NewLFSStack.
+func TestStackValidationLFS(t *testing.T) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	if _, err := NewLFSStack(d, stack.Config{Scheduler: "bogus"}, FixedSegments(4096, 512), 16); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

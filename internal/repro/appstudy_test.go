@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+)
+
+// appStudyRounds keeps the video Monte Carlo affordable in tests; the
+// golden snapshots use goldenN for the same reason.
+func appStudyRounds(t *testing.T) int {
+	if testing.Short() {
+		return 20
+	}
+	return 50
+}
+
+// TestVideoStudyAcceptance is the PR's acceptance pin: at the
+// spindle-bound cell (cache off) the aligned layout sustains strictly
+// more concurrent streams than the unaligned one at the same 99.99%
+// deadline-miss budget, and the mixed-workload background small I/Os
+// respond faster next to aligned streams. At cache-dominant sizes the
+// study's other honest finding appears: once the hot set is resident,
+// the host port — not the spindle — limits admission, so both layouts
+// saturate together while the background load still pays for the
+// unaligned fills.
+func TestVideoStudyAcceptance(t *testing.T) {
+	pts, err := VideoStudy(appStudyRounds(t), 1, nil)
+	if err != nil {
+		t.Fatalf("VideoStudy: %v", err)
+	}
+	if len(pts) < 2 || pts[0].X != 0 {
+		t.Fatalf("study must start at the cache-off baseline, got %+v", pts)
+	}
+	off := pts[0]
+	if al, un := off.Values["aligned streams"], off.Values["unaligned streams"]; !(al > un) {
+		t.Fatalf("aligned layout must sustain strictly more streams at equal deadline budget: %g vs %g", al, un)
+	}
+	if am, um := off.Values["aligned bg mean"], off.Values["unaligned bg mean"]; !(am < um) {
+		t.Fatalf("background small I/Os should respond faster next to aligned streams: %g vs %g ms", am, um)
+	}
+	for _, p := range pts {
+		if p.Values["aligned streams"] <= 0 || p.Values["unaligned streams"] <= 0 {
+			t.Fatalf("degenerate admission at mb=%g: %+v", p.X, p.Values)
+		}
+	}
+	biggest := pts[len(pts)-1]
+	if biggest.Values["aligned hit"] <= 0 {
+		t.Fatalf("warm hot set produced no aligned cache hits: %+v", biggest.Values)
+	}
+	if al0, alN := off.Values["aligned streams"], biggest.Values["aligned streams"]; !(alN > al0) {
+		t.Fatalf("host cache should raise aligned admission: %g -> %g", al0, alN)
+	}
+}
+
+// TestFFSStudyAcceptance: the traxtent-aware FFS answers random small
+// reads faster than the unmodified one while the spindle is the
+// bottleneck (cache off and partial cache); once the host cache holds
+// the whole file population the layouts converge (and straddle-free
+// allocation no longer matters — alignment is a spindle property).
+func TestFFSStudyAcceptance(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 100
+	}
+	pts, err := FFSStudy(n, 1, nil)
+	if err != nil {
+		t.Fatalf("FFSStudy: %v", err)
+	}
+	if len(pts) < 2 || pts[0].X != 0 {
+		t.Fatalf("study must start at the cache-off baseline, got %+v", pts)
+	}
+	for _, p := range pts[:len(pts)-1] {
+		if tm, um := p.Values["traxtent mean"], p.Values["unmodified mean"]; !(tm < um) {
+			t.Fatalf("traxtent FFS should respond faster at mb=%g: %g vs %g ms", p.X, tm, um)
+		}
+	}
+	if h := pts[len(pts)-1].Values["traxtent hit"]; h <= pts[0].Values["traxtent hit"] {
+		t.Fatalf("hit rate should climb with cache size, got %g", h)
+	}
+}
+
+// TestVideoStudyDeterministicAcrossGOMAXPROCS: the video study must be
+// bit-identical at GOMAXPROCS 1, 4, and 16 — the per-cell-seed
+// discipline every engine study holds, now including the full
+// application stack (video server, host cache, queue, background
+// driver stream).
+func TestVideoStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() []Point {
+		pts, err := VideoStudy(20, 1, []float64{0, 2})
+		if err != nil {
+			t.Fatalf("VideoStudy: %v", err)
+		}
+		return pts
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var ref []Point
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		pts := run()
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		samePoints(t, ref, pts, "video study")
+	}
+}
+
+// TestFFSStudyDeterministicAcrossGOMAXPROCS: same discipline for the
+// file-system study (allocator, buffer cache, host stack).
+func TestFFSStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() []Point {
+		pts, err := FFSStudy(100, 1, nil)
+		if err != nil {
+			t.Fatalf("FFSStudy: %v", err)
+		}
+		return pts
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var ref []Point
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		pts := run()
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		samePoints(t, ref, pts, "ffs study")
+	}
+}
+
+// TestAppStudyValidation: bad sweeps fail fast.
+func TestAppStudyValidation(t *testing.T) {
+	if _, err := VideoStudy(5, 1, []float64{-1}); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+	if _, err := FFSStudy(5, 1, []float64{-1}); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation from the simulator, plus the beyond-paper system studies:
+// each function returns the data series the paper plots, and the cmd/
+// tools and root benchmarks print them. DESIGN.md's experiments index
+// records where each artifact is regenerated and pinned.
+//
+// Key types: Point (one x/series row of a figure), Cell and RunCells
+// (the parallel engine), Table2Row/Table2Sizes (the FFS benchmarks),
+// and the study functions — Fig1Efficiency through Fig8Variance,
+// QueueDepthStudy, LoadCurve, CacheStudy, and the application-level
+// VideoStudy and FFSStudy that drive the composed host stack.
+//
+// Regeneration is parallel: every figure decomposes into independent
+// (disk, pattern, seed) cells — each cell builds its own simulator and
+// owns its result slot — and the engine (engine.go) fans the cells
+// across a GOMAXPROCS-wide worker pool. Cell seeds are fixed per cell,
+// so the regenerated numbers are bit-identical at any parallelism;
+// golden snapshots under testdata/golden pin them against drift.
+package repro

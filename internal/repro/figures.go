@@ -1,13 +1,3 @@
-// Package repro regenerates every table and figure of the paper's
-// evaluation from the simulator: each function returns the data series
-// the paper plots, and the cmd/ tools and root benchmarks print them.
-// EXPERIMENTS.md records paper-vs-measured for each.
-//
-// Regeneration is parallel: every figure decomposes into independent
-// (disk, pattern, seed) cells — each cell builds its own simulator and
-// owns its result slot — and the engine (engine.go) fans the cells
-// across a GOMAXPROCS-wide worker pool. Cell seeds are fixed per cell,
-// so the regenerated numbers are bit-identical at any parallelism.
 package repro
 
 import (

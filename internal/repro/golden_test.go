@@ -111,3 +111,35 @@ func TestGoldenCacheStudy(t *testing.T) {
 	}
 	checkGolden(t, "cache_study", pts)
 }
+
+// TestGoldenVideoStudy pins the application-level video study — the
+// admission Monte Carlo over the full host stack, including the
+// hot-set warmup and the mixed-workload background stream. The
+// snapshot is the PR's acceptance artifact: its cache-off row shows
+// the aligned layout sustaining strictly more streams than the
+// unaligned one at the same deadline-miss budget. Reproduce it with:
+//
+//	go run ./cmd/videobench -study -rounds 50 -seed 1
+func TestGoldenVideoStudy(t *testing.T) {
+	pts, err := VideoStudy(goldenN, goldenSeed, nil)
+	if err != nil {
+		t.Fatalf("VideoStudy: %v", err)
+	}
+	if al, un := pts[0].Values["aligned streams"], pts[0].Values["unaligned streams"]; !(al > un) {
+		t.Fatalf("golden must show aligned sustaining strictly more streams: %g vs %g", al, un)
+	}
+	checkGolden(t, "video_study", pts)
+}
+
+// TestGoldenFFSStudy pins the application-level FFS study — the
+// traxtent-aware allocator and read path over the composed host
+// stack. Reproduce with:
+//
+//	go run ./cmd/ffsbench -study -n 50 -seed 1
+func TestGoldenFFSStudy(t *testing.T) {
+	pts, err := FFSStudy(goldenN, goldenSeed, nil)
+	if err != nil {
+		t.Fatalf("FFSStudy: %v", err)
+	}
+	checkGolden(t, "ffs_study", pts)
+}

@@ -1,25 +1,3 @@
-// Package scsi simulates the subset of the SCSI command set that the
-// DIXtrac-style characterization tool (internal/dixtrac) depends on:
-//
-//	READ CAPACITY             — highest LBN and block size
-//	SEND/RECEIVE DIAGNOSTIC   — LBN-to-physical and physical-to-LBN
-//	                            address translation pages
-//	READ DEFECT LIST          — primary (P) and grown (G) lists in
-//	                            physical sector format
-//	READ / WRITE              — data commands with full service timing
-//	INQUIRY / MODE SENSE      — identity and (nominal) geometry
-//
-// A target attaches to any device.Device. Data commands and READ
-// CAPACITY work against every backend; the diagnostic pages (address
-// translation, defect lists, mode geometry) need the device's physical
-// layout and are only served when the device implements device.Mapped —
-// on anything else they fail with ErrNoTranslation, exactly as a real
-// array controller refuses drive-internal diagnostic pages.
-//
-// The target answers translations from the device's layout table — the
-// same source of truth the mechanical model uses — and counts them,
-// because translation count is DIXtrac's efficiency metric (fewer than
-// 30,000 translations for a complete map, §4.1.2).
 package scsi
 
 import (

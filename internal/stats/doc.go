@@ -1,0 +1,4 @@
+// Package stats provides the small set of statistics helpers used by the
+// traxtents experiments: means, standard deviations, percentiles, and
+// fixed-width histograms for response-time distributions.
+package stats

@@ -1,15 +1,3 @@
-// Package traxtent implements track-aligned extents, the paper's primary
-// contribution: a compact table of disk track boundaries and the
-// operations systems need to exploit it — finding the traxtent holding
-// an LBN, clipping and splitting requests at track boundaries, computing
-// excluded blocks for block-based file systems, allocating whole-track
-// extents, and serializing the table for on-disk storage.
-//
-// The package is deliberately device-independent: it consumes a boundary
-// list produced by either extraction method (internal/extract,
-// internal/dixtrac) or by any other means, and nothing in it depends on
-// a particular disk. That separation is the paper's §3 design argument —
-// file system code needs variable-sized extents, not device drivers.
 package traxtent
 
 import (

@@ -1,0 +1,30 @@
+// Package video implements the paper's §5.4 video-server evaluation: a
+// round-based scheduler serving fixed-bit-rate streams from an array of
+// disks, with soft-real-time admission (Monte-Carlo percentile of round
+// completion times, as in the RIO video server) and hard-real-time
+// admission (worst-case seek route, rotation, and transfer).
+//
+// Track-aligned I/O raises disk efficiency, so a given round time admits
+// more streams (56% more in the paper's configuration), or equivalently
+// a given stream count needs a smaller I/O size and so a much lower
+// startup latency (Figure 9).
+//
+// Key types: Server is the admission evaluator — RoundTimeQ /
+// MeasureRounds run the Monte Carlo, MaxStreamsSoft binary-searches the
+// sustainable stream count, and HardRealTime is the analytic worst
+// case. Config composes the storage side: every Monte-Carlo round is
+// served through a host-side stack (stack.Config: cache → sched.Queue
+// → Device), so queue depth, scheduler policy, and host-cache budget
+// are part of the experiment. Config.HotSetTracks bounds stream
+// placement to popular content a cache can hold, and Config.Background
+// adds a competing FFS-style small-I/O load (via driver.Stream) on the
+// same spindle — the mixed-workload mode whose per-request responses
+// MeasureRounds reports in RoundMetrics.
+//
+// Determinism: all randomness flows from Config.Seed through sources
+// consumed in a fixed order, and the stack runs in virtual time on the
+// caller's goroutine, so every measurement is bit-identical at any
+// GOMAXPROCS. The zero-value stack is the transparent passthrough
+// (depth-1 FCFS, zero-budget cache), pinned bit-identical to serving
+// the bare device by differential test.
+package video

@@ -1,13 +1,3 @@
-// Package video implements the paper's §5.4 video-server evaluation: a
-// round-based scheduler serving fixed-bit-rate streams from an array of
-// disks, with soft-real-time admission (Monte-Carlo percentile of round
-// completion times, as in the RIO video server) and hard-real-time
-// admission (worst-case seek route, rotation, and transfer).
-//
-// Track-aligned I/O raises disk efficiency, so a given round time admits
-// more streams (56% more in the paper's configuration), or equivalently
-// a given stream count needs a smaller I/O size and so a much lower
-// startup latency (Figure 9).
 package video
 
 import (
@@ -15,9 +5,11 @@ import (
 	"math/rand"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/stack"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/stats"
 	"traxtents/internal/traxtent"
+	"traxtents/internal/workload/driver"
 )
 
 // Config describes the server.
@@ -34,6 +26,43 @@ type Config struct {
 	// Model with its default firmware setup is used. HardRealTime is
 	// analytic and always uses the Model's mechanical parameters.
 	NewDevice func() (device.Device, error)
+
+	// Stack composes the host-side stack (cache → scheduling queue →
+	// device) every Monte-Carlo round is served through. The zero value
+	// is the transparent passthrough — depth-1 FCFS queue, zero-budget
+	// cache — pinned bit-identical to serving the bare device by
+	// differential test. A reordering window lets the device's scheduler
+	// play the per-round elevator; a cache budget models popular content
+	// resident at the host.
+	Stack stack.Config
+
+	// HotSetTracks restricts stream placement to the first K tracks of
+	// the content region — the popular content a host cache can hold; 0
+	// places streams across the whole first zone (the paper's §5.4
+	// setup).
+	HotSetTracks int
+
+	// Background adds a competing small-I/O workload on the same
+	// spindle (the mixed-workload mode): an FFS-style stream of small
+	// requests arriving open-Poisson while the server streams.
+	Background Background
+}
+
+// Background describes the mixed-workload mode's competing small-I/O
+// load. While the video server issues its per-round whole-track reads,
+// background requests arrive at seeded-Poisson instants within each
+// round and compete for the same spindle; RoundMetrics reports their
+// response times next to the round quantile.
+type Background struct {
+	// RatePerSec is the open arrival rate in requests/second; 0
+	// disables the background load.
+	RatePerSec float64
+	// IOSectors sizes the background requests (default 16 = 8 KB, the
+	// FFS block size).
+	IOSectors int
+	// WriteEvery makes every k-th background request a write; 0 means
+	// reads only.
+	WriteEvery int
 }
 
 func (c *Config) fill() {
@@ -51,6 +80,9 @@ func (c *Config) fill() {
 	}
 	if c.Rounds == 0 {
 		c.Rounds = 1000
+	}
+	if c.Background.RatePerSec > 0 && c.Background.IOSectors == 0 {
+		c.Background.IOSectors = 16
 	}
 }
 
@@ -147,31 +179,121 @@ func (s *Server) findRegion(d device.Device) {
 	}
 }
 
-// RoundTimeQ measures, by Monte Carlo on the configured device, the
+// region returns the effective content region for one measurement:
+// the configured hot set when HotSetTracks bounds placement, the whole
+// first zone otherwise, validated against the I/O size.
+func (s *Server) region(ioSectors int, aligned bool) (zFirst, zLast int64, starts []int64, err error) {
+	zFirst, zLast, starts = s.zFirst, s.zLast, s.starts
+	if len(starts) == 0 {
+		return 0, 0, nil, fmt.Errorf("video: device exposes neither a physical layout nor track boundaries")
+	}
+	if k := s.cfg.HotSetTracks; k > 0 && k < len(starts) {
+		// Tracks 0..k-1 hold the popular content; their LBNs are
+		// contiguous, so the hot span ends where track k begins.
+		zLast = starts[k] - 1
+		starts = starts[:k]
+	}
+	if aligned {
+		if starts[0]+int64(ioSectors) > zLast+1 {
+			return 0, 0, nil, fmt.Errorf("video: no aligned placement for %d-sector I/Os", ioSectors)
+		}
+	} else if zLast-zFirst+1-int64(ioSectors) <= 0 {
+		return 0, 0, nil, fmt.Errorf("video: %d-sector I/Os exceed the content region", ioSectors)
+	}
+	return zFirst, zLast, starts, nil
+}
+
+// RoundMetrics aggregates one Monte-Carlo measurement: the round-time
+// quantile the admission decision uses, the host-cache hit rate of the
+// composed stack, and — in the mixed-workload mode — the response
+// times of the competing background small I/Os.
+type RoundMetrics struct {
+	Streams   int
+	IOSectors int
+	Aligned   bool
+	// RoundQMs is the DeadlineQ quantile of the round completion time.
+	RoundQMs float64
+	// RoundMeanMs is the mean round completion time.
+	RoundMeanMs float64
+	// CacheHitRate is the stack's host-cache demand hit rate over the
+	// timed rounds — the hot-set warmup's fills are excluded, so this
+	// is the steady state (0 when the cache is a zero-budget bypass).
+	CacheHitRate float64
+	// BgRequests counts background requests issued; BgMeanMs/BgP95Ms
+	// summarize their response times (0 when Background is off).
+	BgRequests int
+	BgMeanMs   float64
+	BgP95Ms    float64
+}
+
+// RoundTimeQ measures, by Monte Carlo on the configured stack, the
 // DeadlineQ quantile of the time to complete v simultaneous requests of
 // ioSectors each (aligned: whole-track reads of that many sectors;
 // unaligned: same size at uncorrelated offsets). Requests in a round are
 // issued together and sorted by LBN — the per-round elevator schedule of
 // RIO/Tiger.
 func (s *Server) RoundTimeQ(v int, ioSectors int, aligned bool) (float64, error) {
-	d, err := s.cfg.NewDevice()
+	m, err := s.MeasureRounds(v, ioSectors, aligned)
 	if err != nil {
 		return 0, err
 	}
-	zFirst, zLast, starts := s.zFirst, s.zLast, s.starts
-	if len(starts) == 0 {
-		return 0, fmt.Errorf("video: device exposes neither a physical layout nor track boundaries")
+	return m.RoundQMs, nil
+}
+
+// MeasureRounds runs the full Monte-Carlo measurement for v streams of
+// ioSectors each: every round's requests are issued together at the
+// round start, in ascending LBN order, through the composed host stack
+// (cache → queue → device), and background small I/Os — when
+// Config.Background enables them — arrive at seeded-Poisson instants
+// within the round and compete for the same spindle. When the stack
+// carries a cache budget and a hot set is configured, the hot tracks
+// are served once before the timed rounds (popular content resident at
+// the host), so the quantile measures the steady state.
+func (s *Server) MeasureRounds(v int, ioSectors int, aligned bool) (RoundMetrics, error) {
+	out := RoundMetrics{Streams: v, IOSectors: ioSectors, Aligned: aligned}
+	d, err := s.cfg.NewDevice()
+	if err != nil {
+		return out, err
+	}
+	st, err := s.cfg.Stack.Build(d)
+	if err != nil {
+		return out, err
+	}
+	zFirst, zLast, starts, err := s.region(ioSectors, aligned)
+	if err != nil {
+		return out, err
 	}
 	span := zLast - zFirst + 1 - int64(ioSectors)
-	if aligned {
-		if len(starts) == 0 || starts[0]+int64(ioSectors) > zLast+1 {
-			return 0, fmt.Errorf("video: no aligned placement for %d-sector I/Os", ioSectors)
+
+	if s.cfg.Stack.CacheMB > 0 && s.cfg.HotSetTracks > 0 {
+		if err := s.warmHotSet(st, starts, zLast); err != nil {
+			return out, err
 		}
-	} else if span <= 0 {
-		return 0, fmt.Errorf("video: %d-sector I/Os exceed the content region", ioSectors)
 	}
+	// Snapshot after the warmup so CacheHitRate reports the timed
+	// rounds' steady state, not the warmup's guaranteed misses.
+	warm := st.Stats()
+
+	bg := s.cfg.Background
+	var bgStream *driver.Stream
+	var bgRng *rand.Rand
+	if bg.RatePerSec > 0 {
+		bgStream, err = driver.NewStream(st, driver.Workload{
+			Requests:   1, // ignored by Stream; rounds draw what they need
+			IOSectors:  bg.IOSectors,
+			WriteEvery: bg.WriteEvery,
+			Seed:       s.cfg.Seed + 104729,
+		})
+		if err != nil {
+			return out, err
+		}
+		bgRng = rand.New(rand.NewSource(s.cfg.Seed + 7919))
+	}
+
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(v)*7 + int64(ioSectors)))
+	roundMs := float64(ioSectors*512) / s.cfg.bytesPerMs()
 	times := make([]float64, 0, s.cfg.Rounds)
+	var bgResp []float64
 	for r := 0; r < s.cfg.Rounds; r++ {
 		lbns := make([]int64, 0, v)
 		for i := 0; i < v; i++ {
@@ -188,20 +310,66 @@ func (s *Server) RoundTimeQ(v int, ioSectors int, aligned bool) (float64, error)
 			}
 		}
 		sortInt64(lbns)
-		start := d.Now()
-		var last float64
+		start := st.Now()
 		for _, lbn := range lbns {
-			res, err := d.Serve(start, device.Request{LBN: lbn, Sectors: ioSectors})
-			if err != nil {
-				return 0, err
+			if err := st.Submit(start, device.Request{LBN: lbn, Sectors: ioSectors}); err != nil {
+				return out, err
 			}
-			if res.Done > last {
-				last = res.Done
+		}
+		if bgStream != nil {
+			ratePerMs := bg.RatePerSec / 1000
+			for t := start + bgRng.ExpFloat64()/ratePerMs; t < start+roundMs; t += bgRng.ExpFloat64() / ratePerMs {
+				if err := st.Submit(t, bgStream.Next()); err != nil {
+					return out, err
+				}
+				out.BgRequests++
+			}
+		}
+		rs, err := st.Drain()
+		if err != nil {
+			return out, err
+		}
+		var last float64
+		for i, res := range rs {
+			if i < len(lbns) {
+				if res.Done > last {
+					last = res.Done
+				}
+			} else {
+				bgResp = append(bgResp, res.Response())
 			}
 		}
 		times = append(times, last-start)
 	}
-	return stats.Percentile(times, s.cfg.DeadlineQ*100), nil
+	out.RoundQMs = stats.Percentile(times, s.cfg.DeadlineQ*100)
+	out.RoundMeanMs = stats.Mean(times)
+	if fin := st.Stats(); fin.Hits-warm.Hits+fin.Misses-warm.Misses > 0 {
+		out.CacheHitRate = float64(fin.Hits-warm.Hits) /
+			float64(fin.Hits-warm.Hits+fin.Misses-warm.Misses)
+	}
+	if len(bgResp) > 0 {
+		out.BgMeanMs = stats.Mean(bgResp)
+		out.BgP95Ms = stats.Percentile(bgResp, 95)
+	}
+	return out, nil
+}
+
+// warmHotSet serves one whole-track read of every hot-set track through
+// the stack, filling the host cache before the timed rounds.
+func (s *Server) warmHotSet(st *stack.Stack, starts []int64, zLast int64) error {
+	for i, lbn := range starts {
+		end := zLast + 1
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		if end <= lbn {
+			continue
+		}
+		if _, err := st.Serve(st.Now(), device.Request{LBN: lbn, Sectors: int(end - lbn)}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MaxStreamsSoft returns the largest per-disk stream count whose

@@ -1,6 +1,13 @@
 package video
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/stack"
+	"traxtents/internal/stats"
+)
 
 func testServer(t *testing.T, rounds int) *Server {
 	t.Helper()
@@ -123,6 +130,236 @@ func TestStartupLatencyLowerAligned(t *testing.T) {
 	}
 	t.Logf("55 streams: aligned %.1f s (io %d sectors), unaligned %.1f s (io %d)",
 		latAl/1000, ioAl, latUn/1000, ioUn)
+}
+
+// bareRoundTimeQ replicates the pre-stack round loop on the bare
+// device: every round's requests served sequentially at the round
+// start, sorted by LBN — the exact algorithm RoundTimeQ used before it
+// was wired through the host stack.
+func bareRoundTimeQ(t *testing.T, s *Server, v, ioSectors int, aligned bool) float64 {
+	t.Helper()
+	d, err := s.cfg.NewDevice()
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	zFirst, zLast, starts, err := s.region(ioSectors, aligned)
+	if err != nil {
+		t.Fatalf("region: %v", err)
+	}
+	span := zLast - zFirst + 1 - int64(ioSectors)
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(v)*7 + int64(ioSectors)))
+	times := make([]float64, 0, s.cfg.Rounds)
+	for r := 0; r < s.cfg.Rounds; r++ {
+		lbns := make([]int64, 0, v)
+		for i := 0; i < v; i++ {
+			if aligned {
+				lbn := starts[rng.Intn(len(starts))]
+				if lbn+int64(ioSectors) > zLast+1 {
+					i--
+					continue
+				}
+				lbns = append(lbns, lbn)
+			} else {
+				lbns = append(lbns, zFirst+rng.Int63n(span))
+			}
+		}
+		sortInt64(lbns)
+		start := d.Now()
+		var last float64
+		for _, lbn := range lbns {
+			res, err := d.Serve(start, device.Request{LBN: lbn, Sectors: ioSectors})
+			if err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			if res.Done > last {
+				last = res.Done
+			}
+		}
+		times = append(times, last-start)
+	}
+	return stats.Percentile(times, s.cfg.DeadlineQ*100)
+}
+
+// TestPassthroughStackBitIdentical is the PR's differential pin: a
+// server whose stack is the zero-value passthrough (depth-1 FCFS
+// queue, zero-budget cache) must measure exactly the same round-time
+// quantiles as the pre-stack bare-device loop — for aligned and
+// unaligned rounds alike. This is what lets the video server route
+// through the stack unconditionally.
+func TestPassthroughStackBitIdentical(t *testing.T) {
+	s := testServer(t, 40)
+	if !s.Config().Stack.Passthrough() {
+		t.Fatal("zero-config server must run the passthrough stack")
+	}
+	ts := s.TrackSectors()
+	for _, aligned := range []bool{true, false} {
+		for _, v := range []int{5, 25} {
+			got, err := s.RoundTimeQ(v, ts, aligned)
+			if err != nil {
+				t.Fatalf("RoundTimeQ: %v", err)
+			}
+			want := bareRoundTimeQ(t, s, v, ts, aligned)
+			if got != want {
+				t.Fatalf("v=%d aligned=%v: stack path drifted from bare device: %g vs %g",
+					v, aligned, got, want)
+			}
+		}
+	}
+}
+
+// TestMeasureRoundsDeterministic: two identical servers measure
+// bit-identical metrics — including the mixed-workload background
+// responses and the cache hit rate.
+func TestMeasureRoundsDeterministic(t *testing.T) {
+	mk := func() RoundMetrics {
+		s, err := New(Config{
+			Rounds: 20, Seed: 5, HotSetTracks: 8,
+			Stack:      stack.Config{Depth: 4, Scheduler: "clook", CacheMB: 2},
+			Background: Background{RatePerSec: 50},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		m, err := s.MeasureRounds(10, s.TrackSectors(), true)
+		if err != nil {
+			t.Fatalf("MeasureRounds: %v", err)
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("measurement not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.BgRequests == 0 || a.BgMeanMs <= 0 {
+		t.Fatalf("background load did not run: %+v", a)
+	}
+	if a.CacheHitRate <= 0 {
+		t.Fatalf("warm hot set yielded no cache hits: %+v", a)
+	}
+}
+
+// TestHotSetCacheSustainsMoreStreams: with the popular content bounded
+// to a host-cacheable hot set, adding a cache budget shortens the
+// round-time quantile — the application-level payoff of the host
+// stack.
+func TestHotSetCacheSustainsMoreStreams(t *testing.T) {
+	mk := func(mb float64) *Server {
+		s, err := New(Config{Rounds: 30, Seed: 5, HotSetTracks: 8,
+			Stack: stack.Config{CacheMB: mb}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	cold, warm := mk(0), mk(4)
+	ts := cold.TrackSectors()
+	qCold, err := cold.RoundTimeQ(20, ts, true)
+	if err != nil {
+		t.Fatalf("RoundTimeQ: %v", err)
+	}
+	qWarm, err := warm.RoundTimeQ(20, ts, true)
+	if err != nil {
+		t.Fatalf("RoundTimeQ: %v", err)
+	}
+	if qWarm >= qCold {
+		t.Fatalf("host cache did not shorten rounds: %g ms with vs %g ms without", qWarm, qCold)
+	}
+}
+
+// TestBackgroundSlowsRounds: the mixed workload competes for the
+// spindle, so the round quantile with background load must not be
+// shorter than without it.
+func TestBackgroundSlowsRounds(t *testing.T) {
+	mk := func(rate float64) *Server {
+		s, err := New(Config{Rounds: 20, Seed: 3,
+			Background: Background{RatePerSec: rate}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	quiet, busy := mk(0), mk(200)
+	ts := quiet.TrackSectors()
+	mQuiet, err := quiet.MeasureRounds(10, ts, true)
+	if err != nil {
+		t.Fatalf("MeasureRounds: %v", err)
+	}
+	mBusy, err := busy.MeasureRounds(10, ts, true)
+	if err != nil {
+		t.Fatalf("MeasureRounds: %v", err)
+	}
+	if mQuiet.BgRequests != 0 || mBusy.BgRequests == 0 {
+		t.Fatalf("background accounting wrong: quiet %d, busy %d", mQuiet.BgRequests, mBusy.BgRequests)
+	}
+	if mBusy.RoundQMs < mQuiet.RoundQMs {
+		t.Fatalf("background load shortened rounds: %g vs %g", mBusy.RoundQMs, mQuiet.RoundQMs)
+	}
+}
+
+// boundaryOnly hides a device's physical layout, leaving only its
+// boundary table — the shape of a real disk behind an array
+// controller, which findRegion must approximate with the outermost
+// eighth of the table.
+type boundaryOnly struct {
+	device.Device
+}
+
+func (b boundaryOnly) TrackBoundaries() []int64 {
+	return b.Device.(device.BoundaryProvider).TrackBoundaries()
+}
+
+// TestBoundaryOnlyRegion: a device exposing boundaries but no layout
+// still hosts the Monte Carlo.
+func TestBoundaryOnlyRegion(t *testing.T) {
+	s, err := New(Config{Rounds: 5, Seed: 2, NewDevice: func() (device.Device, error) {
+		inner, err := New(Config{Rounds: 1})
+		if err != nil {
+			return nil, err
+		}
+		d, err := inner.cfg.NewDevice()
+		if err != nil {
+			return nil, err
+		}
+		return boundaryOnly{Device: d}, nil
+	}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := s.TrackSectors()
+	if ts <= 0 {
+		t.Fatal("no track size from the boundary table")
+	}
+	for _, aligned := range []bool{true, false} {
+		q, err := s.RoundTimeQ(4, ts, aligned)
+		if err != nil {
+			t.Fatalf("RoundTimeQ(aligned=%v): %v", aligned, err)
+		}
+		if q <= 0 {
+			t.Fatalf("degenerate round time %g", q)
+		}
+	}
+}
+
+// TestRegionValidation: oversized I/Os and impossible placements are
+// rejected with errors, for both layouts and with a hot set.
+func TestRegionValidation(t *testing.T) {
+	s := testServer(t, 2)
+	if _, err := s.RoundTimeQ(2, 1<<30, true); err == nil {
+		t.Fatal("oversized aligned I/O accepted")
+	}
+	if _, err := s.RoundTimeQ(2, 1<<30, false); err == nil {
+		t.Fatal("oversized unaligned I/O accepted")
+	}
+	hot, err := New(Config{Rounds: 2, Seed: 2, HotSetTracks: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := hot.RoundTimeQ(2, 100*hot.TrackSectors(), false); err == nil {
+		t.Fatal("I/O larger than the hot set accepted")
+	}
+	if _, _, _, err := hot.region(hot.TrackSectors(), true); err != nil {
+		t.Fatalf("valid hot-set region rejected: %v", err)
+	}
 }
 
 func TestConfigDefaults(t *testing.T) {

@@ -1,0 +1,11 @@
+// Package workload implements the application workloads of the paper's
+// evaluation: the Table 2 file-system benchmarks (large-file scan, diff,
+// copy, Postmark-like small-file transactions, an SSH-build-like
+// software build, and the head* worst case), plus request generators for
+// the disk-level experiments.
+//
+// CPU-bound components (compilation in SSH-build, per-transaction
+// processing in Postmark) are modelled as declared constants advancing
+// the virtual clock, as DESIGN.md notes; all I/O time comes from the
+// disk simulator.
+package workload

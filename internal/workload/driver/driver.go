@@ -1,14 +1,3 @@
-// Package driver generates concurrent request workloads against a
-// queued device and measures the response-time/throughput curves the
-// paper's one-request-at-a-time methodology cannot: an open arrival
-// process (Poisson, seeded) models independent users offering load at a
-// fixed rate, and a closed loop (N clients with think time) models a
-// fixed population that waits for each completion before re-issuing.
-//
-// Determinism is a hard requirement: all randomness flows from one
-// seeded source consumed in a fixed order, and the queued device
-// resolves scheduling decisions in virtual time on one goroutine, so a
-// run is bit-identical for a fixed seed at any GOMAXPROCS.
 package driver
 
 import (

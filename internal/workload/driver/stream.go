@@ -1,0 +1,28 @@
+package driver
+
+import "traxtents/internal/device"
+
+// Stream is a Workload's deterministic request sequence as a standalone
+// generator, for callers that drive a device themselves rather than
+// through Run — the video server's mixed-workload rounds interleave a
+// Stream's small I/Os with their own whole-track reads. The workload's
+// Requests field is ignored: the caller decides how many to draw.
+type Stream struct {
+	g *gen
+}
+
+// NewStream validates the workload against the device (boundary needs,
+// request-size bounds) and returns its generator. The device is only
+// consulted for its geometry; the Stream never issues requests itself.
+func NewStream(d device.Device, wl Workload) (*Stream, error) {
+	g, err := newGen(d, wl)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{g: g}, nil
+}
+
+// Next returns the workload's next request. The sequence is fixed by
+// the workload seed: two Streams of the same Workload over the same
+// device produce identical sequences.
+func (s *Stream) Next() device.Request { return s.g.next() }

@@ -18,7 +18,11 @@
 //     excluded-block computation, whole-track allocation, and a compact
 //     on-disk encoding.
 //   - The paper's three case studies: a traxtent-aware FFS, a video
-//     server admission model, and an LFS with variable-sized segments.
+//     server admission model, and an LFS with variable-sized segments —
+//     the FFS and video server running over a composed host stack
+//     (NewDeviceStack / StackConfig: host cache → scheduling queue →
+//     device), with a mixed-workload mode pitting video streams against
+//     background small I/Os on the same spindle.
 //
 // Quick start:
 //
@@ -38,6 +42,7 @@ import (
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/sched"
+	"traxtents/internal/device/stack"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
 	"traxtents/internal/disk/geom"
@@ -107,6 +112,15 @@ type (
 	// CacheStats aggregates a cached device's hit/fill/eviction
 	// activity.
 	CacheStats = cache.Stats
+	// DeviceStack is the composed host-side stack — a host cache over a
+	// scheduling queue over a base device (cache → queue → device) —
+	// and is itself a Device.
+	DeviceStack = stack.Stack
+	// StackConfig is the named-field form of the stack composition
+	// (depth, scheduler name, cache budget), for CLI flags and study
+	// grids; its zero value is a transparent passthrough and
+	// StackConfig.Build composes it over any Device.
+	StackConfig = stack.Config
 	// Model is a named, calibrated drive model.
 	Model = model.Model
 	// Geometry is the physical description of a drive.
@@ -137,6 +151,12 @@ type (
 	VideoServer = video.Server
 	// VideoConfig describes the server.
 	VideoConfig = video.Config
+	// VideoBackground configures the video server's mixed-workload
+	// background small-I/O load.
+	VideoBackground = video.Background
+	// VideoRoundMetrics is one Monte-Carlo measurement of the video
+	// server (round quantile, cache hit rate, background responses).
+	VideoRoundMetrics = video.RoundMetrics
 	// LFS is the miniature log-structured store.
 	LFS = lfs.LFS
 )
@@ -303,7 +323,9 @@ func WithQueuedChildren(opts ...QueueOption) StripedOption {
 // segmented-LRU eviction, write-through or write-back, and whole-track
 // readahead. The cache is itself a Device forwarding the wrapped
 // device's capabilities, so it composes freely — the canonical stack
-// is NewQueuedDevice(NewCachedDevice(disk)). Defaults: 4 MB,
+// is NewDeviceStack (cache over queue over device); the inverse
+// NewQueuedDevice(NewCachedDevice(disk)) lets the scheduler reorder
+// the miss stream instead. Defaults: 4 MB,
 // readahead on, write-through, plain LRU. A zero-size cache is a
 // transparent bypass, bit-identical to the bare device.
 //
@@ -337,6 +359,18 @@ func WithSegmentedLRU(on bool) CacheOption { return cache.WithSegmentedLRU(on) }
 // WithCacheLineSectors sets the host cache's line size for devices
 // that expose no track boundaries.
 func WithCacheLineSectors(n int64) CacheOption { return cache.WithLineSectors(n) }
+
+// NewDeviceStack composes the canonical host-side stack — a host cache
+// over a scheduling queue over the base device (cache → queue →
+// device) — from facade option lists: WithQueueDepth/WithScheduler for
+// the queue, WithCacheMB et al. for the cache. Unlike NewCachedDevice,
+// the unoptioned stack's cache budget is zero, so a bare NewDeviceStack
+// is a transparent passthrough pinned bit-identical to the device. The
+// application layers (video server via VideoConfig.Stack, FFS via
+// FFSParams.Stack) build the same composition from a StackConfig.
+func NewDeviceStack(d Device, qopts []QueueOption, copts []CacheOption) (*DeviceStack, error) {
+	return stack.New(d, qopts, copts)
+}
 
 // NewRecorder wraps a device, capturing a Trace of every request served
 // through it.
@@ -389,4 +423,12 @@ func NewVideoServer(cfg VideoConfig) (*VideoServer, error) { return video.New(cf
 // device.
 func NewLFS(d Device, segments []Extent, blockSectors int64) (*LFS, error) {
 	return lfs.NewLFS(d, segments, blockSectors)
+}
+
+// NewLFSStack builds the log-structured store over the composed host
+// stack (cache → scheduling queue → device); the zero StackConfig is
+// the bit-identical passthrough, and a cache budget makes the
+// cleaner's segment re-reads host hits.
+func NewLFSStack(d Device, cfg StackConfig, segments []Extent, blockSectors int64) (*LFS, error) {
+	return lfs.NewLFSStack(d, cfg, segments, blockSectors)
 }
