@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (one per experiment, as indexed in DESIGN.md §4), plus
+// evaluation (one per experiment, as indexed in DESIGN.md §8), plus
 // micro-benchmarks of the library's hot paths. Key reproduced values are
 // attached to each benchmark via ReportMetric, so
 //
@@ -10,6 +10,7 @@ package traxtents_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"testing"
@@ -681,6 +682,162 @@ func TestBenchSimJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_sim.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Multi-tenant volume server (BENCH_volume.json) ----
+
+// volumeBench builds a 128-tenant volume manager over two simulated
+// spindles with the given tier: every tenant owns one whole-traxtent
+// extent, so a whole-extent read is a single zero-latency track access
+// on one shard. The returned requests are each tenant's full extent.
+func volumeBench(tb testing.TB, tier string, depth int) (*traxtents.VolumeManager, []string, []traxtents.Request) {
+	tb.Helper()
+	const tenants = 128
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	var shards []traxtents.Device
+	for i := 0; i < 2; i++ {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(int64(i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		shards = append(shards, d)
+	}
+	table, err := traxtents.GroundTruthTable(shards[0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	meanExtent := shards[0].Capacity() / int64(table.NumTracks())
+	mgr, err := traxtents.NewVolumeManager(shards,
+		traxtents.WithVolumeTier(tier), traxtents.WithVolumeTierDepth(depth))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	names := make([]string, tenants)
+	reqs := make([]traxtents.Request, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%04d", i)
+		v, err := mgr.AddVolume(names[i], meanExtent)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		reqs[i] = traxtents.Request{LBN: 0, Sectors: int(v.ExtentTable()[0].Sectors)}
+	}
+	return mgr, names, reqs
+}
+
+// serveVolumeLoop drives n whole-extent reads round-robin over the
+// tenants through ServeTenant — the synchronous steady-state path — and
+// returns the final virtual time.
+func serveVolumeLoop(tb testing.TB, mgr *traxtents.VolumeManager, names []string, reqs []traxtents.Request, n int) float64 {
+	tb.Helper()
+	at := mgr.Now()
+	for i := 0; i < n; i++ {
+		t := i % len(names)
+		res, err := mgr.ServeTenant(names[t], at, reqs[t])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		at = res.Done
+	}
+	return at
+}
+
+// BenchmarkVolumeServe measures one whole-extent tenant read through
+// the 128-tenant manager per iteration (round-robin tenants).
+func BenchmarkVolumeServe(b *testing.B) {
+	for _, tier := range []struct {
+		name  string
+		tier  string
+		depth int
+	}{{"fcfs-d1", "fcfs", 1}, {"fair-d8", "fair", 8}} {
+		b.Run(tier.name, func(b *testing.B) {
+			mgr, names, reqs := volumeBench(b, tier.tier, tier.depth)
+			serveVolumeLoop(b, mgr, names, reqs, 256) // warm pooled buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			at := mgr.Now()
+			for i := 0; i < b.N; i++ {
+				t := i % len(names)
+				res, err := mgr.ServeTenant(names[t], at, reqs[t])
+				if err != nil {
+					b.Fatal(err)
+				}
+				at = res.Done
+			}
+		})
+	}
+}
+
+// TestBenchVolumeJSON emits BENCH_volume.json: wall-clock requests/sec
+// and allocs/request for steady-state whole-extent reads through the
+// 128-tenant volume manager, on the passthrough tier (fcfs, depth 1 —
+// the manager's pure routing overhead, gated at zero allocations per
+// request) and the fair-share tier (sfq tagging and reordering on top).
+// Like the other JSON gates this is a virtual-time measurement, cheap
+// enough for every CI run.
+func TestBenchVolumeJSON(t *testing.T) {
+	const (
+		n      = 2048
+		passes = 3
+	)
+	type row struct {
+		Tier         string  `json:"tier"`
+		Tenants      int     `json:"tenants"`
+		Requests     int     `json:"requests"`
+		WallNsPerReq float64 `json:"wall_ns_per_req"`
+		ReqPerSec    float64 `json:"req_per_sec"`
+		AllocsPerReq float64 `json:"allocs_per_req"`
+	}
+	report := struct {
+		Benchmark string `json:"benchmark"`
+		Rows      []row  `json:"rows"`
+	}{Benchmark: "whole-extent tenant reads, 128 tenants round-robin, steady state"}
+
+	for _, tier := range []struct {
+		name  string
+		tier  string
+		depth int
+	}{{"fcfs-d1", "fcfs", 1}, {"fair-d8", "fair", 8}} {
+		mgr, names, reqs := volumeBench(t, tier.tier, tier.depth)
+		serveVolumeLoop(t, mgr, names, reqs, 256) // warm pooled buffers
+
+		at := mgr.Now()
+		i := 0
+		serveOne := func() {
+			ti := i % len(names)
+			res, err := mgr.ServeTenant(names[ti], at, reqs[ti])
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = res.Done
+			i++
+		}
+		allocs := testing.AllocsPerRun(n, serveOne)
+		best := math.Inf(1)
+		for p := 0; p < passes; p++ { // timed passes after AllocsPerRun's GC churn
+			start := time.Now()
+			serveVolumeLoop(t, mgr, names, reqs, n)
+			if ns := float64(time.Since(start).Nanoseconds()) / n; ns < best {
+				best = ns
+			}
+		}
+		report.Rows = append(report.Rows, row{
+			Tier: tier.name, Tenants: len(names), Requests: n,
+			WallNsPerReq: best,
+			ReqPerSec:    1e9 / best,
+			AllocsPerReq: allocs,
+		})
+		if tier.tier == "fcfs" && allocs != 0 {
+			t.Errorf("%s: steady-state ServeTenant allocates %.1f per request, want 0", tier.name, allocs)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_volume.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,191 @@
+// volbench exercises the multi-tenant volume server: N tenant volumes
+// placed across simulated spindle shards (whole traxtents when aligned,
+// a size-matched fixed grid when not), driven by an open Poisson load
+// through per-tenant admission control and the tenant-aware scheduling
+// tier, with streaming P² tail-latency accounting per tenant.
+//
+// Usage:
+//
+//	volbench                 one measurement, aligned vs unaligned
+//	volbench -study          the repro.TenantStudy sweep (golden snapshot)
+//
+// The measurement composition:
+//
+//	-tenants N     tenant volume count (default 16)
+//	-shards N      spindle shards under the manager (default 2)
+//	-limit R       per-tenant admission limit in IOPS (0 = unlimited)
+//	-sched NAME    tenant tier: fcfs|fair|edf (or sstf|clook|traxtent)
+//	-qdepth N      tier queue depth per shard (default 16)
+//	-cachemb MB    host-cache budget per shard (0 = none)
+//	-rate R        aggregate offered load in requests/second
+//	-n N           load scale: 64·n requests (also study cells per point)
+//	-seed S        workload seed
+//
+// The committed golden snapshot internal/repro/testdata/golden/
+// tenant_study.json regenerates exactly with:
+//
+//	volbench -study -n 50 -seed 1
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"traxtents"
+	"traxtents/internal/repro"
+)
+
+func main() {
+	study := flag.Bool("study", false, "repro.TenantStudy sweep: tail latency vs tenant count")
+	tenants := flag.Int("tenants", 16, "tenant volume count")
+	shards := flag.Int("shards", 2, "spindle shards under the manager")
+	limit := flag.Float64("limit", 0, "per-tenant admission limit in IOPS (0 = unlimited)")
+	schedName := flag.String("sched", "fair", "tenant tier: fcfs|fair|edf (or sstf|clook|traxtent)")
+	qdepth := flag.Int("qdepth", 16, "tier queue depth per shard")
+	cachemb := flag.Float64("cachemb", 0, "host-cache budget per shard in MB")
+	rate := flag.Float64("rate", 120, "aggregate offered load in requests/second")
+	n := flag.Int("n", 50, "load scale: 64*n requests; study cells per point")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *study {
+		runStudy(*n, *seed)
+		return
+	}
+	if *tenants < 1 || *shards < 1 || *n < 1 {
+		fail(fmt.Errorf("need -tenants, -shards, -n >= 1"))
+	}
+	fmt.Printf("volume manager: %d tenants on %d shards, tier %s depth %d", *tenants, *shards, *schedName, *qdepth)
+	if *cachemb > 0 {
+		fmt.Printf(", %g MB cache/shard", *cachemb)
+	}
+	if *limit > 0 {
+		fmt.Printf(", %g IOPS/tenant", *limit)
+	}
+	fmt.Printf("; %d requests at %g req/s\n\n", 64**n, *rate)
+	fmt.Printf("%10s %8s %8s %10s %10s %10s %12s %8s\n",
+		"layout", "served", "rejected", "mean ms", "p99 ms", "p99.99 ms", "max ms", "req/s")
+	for _, aligned := range []bool{true, false} {
+		agg, iops, err := measure(*tenants, *shards, *limit, *schedName, *qdepth, *cachemb, *rate, *n, *seed, aligned)
+		if err != nil {
+			fail(err)
+		}
+		name := "aligned"
+		if !aligned {
+			name = "unaligned"
+		}
+		fmt.Printf("%10s %8d %8d %10.2f %10.2f %10.2f %12.2f %8.1f\n",
+			name, agg.Requests, agg.Rejected, agg.MeanMs, agg.P99Ms, agg.P9999Ms, agg.MaxMs, iops)
+	}
+	fmt.Println("\nthe unaligned grid straddles track boundaries, so every whole-extent read")
+	fmt.Println("pays an extra head switch and lost rotation; the aligned layout keeps the")
+	fmt.Println("zero-latency whole-track access and the shorter tail.")
+}
+
+// measure runs one (layout, composition) cell and returns the
+// cross-tenant aggregate and the achieved request rate.
+func measure(tenants, shards int, limit float64, schedName string, qdepth int, cachemb, rate float64, n int, seed int64, aligned bool) (traxtents.VolumeStats, float64, error) {
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	devs := make([]traxtents.Device, shards)
+	for i := range devs {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(seed+int64(10+i)))
+		if err != nil {
+			return traxtents.VolumeStats{}, 0, err
+		}
+		devs[i] = d
+		if cachemb > 0 {
+			c, err := traxtents.NewCachedDevice(d, traxtents.WithCacheMB(cachemb))
+			if err != nil {
+				return traxtents.VolumeStats{}, 0, err
+			}
+			devs[i] = c
+		}
+	}
+	table, err := traxtents.GroundTruthTable(devs[0])
+	if err != nil {
+		return traxtents.VolumeStats{}, 0, err
+	}
+	meanExtent := devs[0].Capacity() / int64(table.NumTracks())
+	opts := []traxtents.VolumeManagerOption{
+		traxtents.WithVolumeTier(schedName),
+		traxtents.WithVolumeTierDepth(qdepth),
+	}
+	if !aligned {
+		opts = append(opts, traxtents.WithVolumeExtentSectors(meanExtent))
+	}
+	mgr, err := traxtents.NewVolumeManager(devs, opts...)
+	if err != nil {
+		return traxtents.VolumeStats{}, 0, err
+	}
+	var vopts []traxtents.TenantOption
+	if limit > 0 {
+		vopts = append(vopts, traxtents.WithTenantLimit(traxtents.TenantLimit{IOPS: limit}))
+	}
+	names := make([]string, tenants)
+	bounds := make([][]int64, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%04d", i)
+		v, err := mgr.AddVolume(names[i], meanExtent*4, vopts...)
+		if err != nil {
+			return traxtents.VolumeStats{}, 0, err
+		}
+		cum := []int64{0}
+		for _, e := range v.ExtentTable() {
+			cum = append(cum, cum[len(cum)-1]+e.Sectors)
+		}
+		bounds[i] = cum
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	at, meanIA := 0.0, 1000.0/rate
+	for i := 0; i < 64*n; i++ {
+		ti := rng.Intn(tenants)
+		b := bounds[ti]
+		k := rng.Intn(len(b) - 1)
+		req := traxtents.Request{LBN: b[k], Sectors: int(b[k+1] - b[k])}
+		err := mgr.Submit(names[ti], at, req)
+		if err != nil && !errors.Is(err, traxtents.ErrTenantRejected) {
+			return traxtents.VolumeStats{}, 0, err
+		}
+		at += rng.ExpFloat64() * meanIA
+	}
+	if err := mgr.Drain(); err != nil {
+		return traxtents.VolumeStats{}, 0, err
+	}
+	agg := mgr.Aggregate()
+	iops := 0.0
+	if now := mgr.Now(); now > 0 {
+		iops = float64(agg.Requests) / now * 1000
+	}
+	return agg, iops, nil
+}
+
+// runStudy regenerates the repro.TenantStudy sweep — the same cells the
+// golden snapshot pins.
+func runStudy(n int, seed int64) {
+	pts, err := repro.TenantStudy(n, seed, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("== TenantStudy: cross-tenant response tail vs tenant count, aligned vs unaligned ==")
+	fmt.Printf("%8s %12s %12s %14s %14s %12s %14s\n",
+		"tenants", "al mean ms", "un mean ms", "al p99.99 ms", "un p99.99 ms", "al req/s", "un req/s")
+	for _, p := range pts {
+		fmt.Printf("%8.0f %12.2f %12.2f %14.2f %14.2f %12.1f %14.1f\n",
+			p.X,
+			p.Values["aligned mean"], p.Values["unaligned mean"],
+			p.Values["aligned p99.99"], p.Values["unaligned p99.99"],
+			p.Values["aligned iops"], p.Values["unaligned iops"])
+	}
+	fmt.Println("\nboth layouts see the same open Poisson load; the unaligned grid's per-access")
+	fmt.Println("penalty drains bursts slower, so its tail inflates with tenant contention while")
+	fmt.Println("the aligned layout stays flat.")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "volbench:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@ import (
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
 	"traxtents/internal/device/sched"
+	"traxtents/internal/volume"
 )
 
 // FuzzDevice is the native conformance fuzzer: the engine mutates a raw
@@ -52,6 +53,21 @@ func FuzzDevice(f *testing.F) {
 					t.Fatalf("cache.New: %v", err)
 				}
 				return c
+			}},
+			{"volume", func() device.Device {
+				m, err := volume.New([]device.Device{newSim(t, 3)},
+					volume.WithTier("fair"), volume.WithTierDepth(4))
+				if err != nil {
+					t.Fatalf("volume.New: %v", err)
+				}
+				if _, err := m.AddVolume("t0", newSim(t, 3).Capacity()/2); err != nil {
+					t.Fatalf("AddVolume: %v", err)
+				}
+				view, err := m.View("t0")
+				if err != nil {
+					t.Fatalf("View: %v", err)
+				}
+				return view
 			}},
 		}
 		for _, b := range backends {

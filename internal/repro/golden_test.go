@@ -131,6 +131,27 @@ func TestGoldenVideoStudy(t *testing.T) {
 	checkGolden(t, "video_study", pts)
 }
 
+// TestGoldenTenantStudy pins the multi-tenant volume study — the
+// volume manager's placement, admission, fair-share tier, and
+// streaming quantile accounting over two spindle shards. The snapshot is
+// the PR's acceptance artifact: at the highest tenant count the
+// aligned layout sustains a strictly lower p99.99 than the
+// size-matched unaligned layout in the spindle-bound cell. Reproduce
+// it with:
+//
+//	go run ./cmd/volbench -study -n 50 -seed 1
+func TestGoldenTenantStudy(t *testing.T) {
+	pts, err := TenantStudy(goldenN, goldenSeed, nil)
+	if err != nil {
+		t.Fatalf("TenantStudy: %v", err)
+	}
+	last := pts[len(pts)-1]
+	if al, un := last.Values["aligned p99.99"], last.Values["unaligned p99.99"]; !(al < un) {
+		t.Fatalf("golden must show aligned p99.99 strictly below unaligned at N=%g: %g vs %g", last.X, al, un)
+	}
+	checkGolden(t, "tenant_study", pts)
+}
+
 // TestGoldenFFSStudy pins the application-level FFS study — the
 // traxtent-aware allocator and read path over the composed host
 // stack. Reproduce with:

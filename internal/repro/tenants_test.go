@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestTenantStudySanity: every cell serves its full load and reports a
+// positive rate, and the inputs are validated.
+func TestTenantStudySanity(t *testing.T) {
+	pts, err := TenantStudy(4, 3, []int{2, 8})
+	if err != nil {
+		t.Fatalf("TenantStudy: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		for _, key := range []string{"aligned iops", "unaligned iops", "aligned mean", "unaligned mean"} {
+			if p.Values[key] <= 0 {
+				t.Fatalf("N=%g: %s = %g, want > 0", p.X, key, p.Values[key])
+			}
+		}
+		if p.Values["aligned p99.99"] < p.Values["aligned p99"] {
+			t.Fatalf("N=%g: aligned p99.99 %g below p99 %g", p.X, p.Values["aligned p99.99"], p.Values["aligned p99"])
+		}
+	}
+	if _, err := TenantStudy(0, 3, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := TenantStudy(4, 3, []int{0}); err == nil {
+		t.Fatal("zero tenant count accepted")
+	}
+}
+
+// TestTenantStudyDeterministic: the study is bit-identical at
+// GOMAXPROCS 1, 4, and 16 — cells own their seeds and result slots, so
+// the worker schedule cannot leak into the numbers.
+func TestTenantStudyDeterministic(t *testing.T) {
+	run := func() []Point {
+		pts, err := TenantStudy(4, 7, []int{2, 16})
+		if err != nil {
+			t.Fatalf("TenantStudy: %v", err)
+		}
+		return pts
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var base []Point
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		got := run()
+		if base == nil {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("study diverged at GOMAXPROCS %d:\n%+v\nvs\n%+v", procs, got, base)
+		}
+	}
+}

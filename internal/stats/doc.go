@@ -1,4 +1,6 @@
 // Package stats provides the small set of statistics helpers used by the
-// traxtents experiments: means, standard deviations, percentiles, and
-// fixed-width histograms for response-time distributions.
+// traxtents experiments: means, standard deviations, percentiles,
+// fixed-width histograms for response-time distributions, and a
+// streaming P² quantile estimator (Quantile) for online p99/p99.99
+// accounting without stored samples.
 package stats

@@ -1,0 +1,131 @@
+package stats
+
+// Quantile is an online estimator of a single quantile using the P²
+// (piecewise-parabolic) algorithm of Jain and Chlamtac (1985): five
+// markers track the minimum, the target quantile, the maximum, and the
+// two midpoints, adjusting their heights with parabolic interpolation
+// as observations stream in. Memory is O(1) and Add never allocates,
+// so per-tenant p99/p99.99 response accounting can run inline on the
+// request path without storing samples — the same estimator the
+// streaming trace-replay statistics (ROADMAP item 5) will use.
+//
+// The zero value is not usable; construct with NewQuantile. Results are
+// deterministic: the estimate is a pure function of the observation
+// sequence.
+type Quantile struct {
+	p    float64
+	n    int        // observations seen
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+// NewQuantile creates an estimator for the p-th quantile, 0 < p < 1
+// (e.g. 0.99, 0.9999). Out-of-range targets are clamped into (0, 1).
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	q := &Quantile{p: p}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// P returns the target quantile.
+func (q *Quantile) P() float64 { return q.p }
+
+// Count returns the number of observations.
+func (q *Quantile) Count() int { return q.n }
+
+// Add records one observation.
+func (q *Quantile) Add(x float64) {
+	if q.n < 5 {
+		// Insertion-sort the first five observations into the marker
+		// heights; they seed the estimator exactly.
+		i := q.n
+		for i > 0 && q.q[i-1] > x {
+			q.q[i] = q.q[i-1]
+			i--
+		}
+		q.q[i] = x
+		q.n++
+		if q.n == 5 {
+			p := q.p
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+			q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+	q.n++
+
+	// Find the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < q.q[0]:
+		q.q[0] = x
+		k = 0
+	case x >= q.q[4]:
+		q.q[4] = x
+		k = 3
+	default:
+		k = 0
+		for k < 3 && x >= q.q[k+1] {
+			k++
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+
+	// Nudge the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if !(d >= 1 && q.pos[i+1]-q.pos[i] > 1) && !(d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1.0
+		}
+		// Parabolic adjustment; fall back to linear when it would push
+		// the marker height out of order.
+		np, nm, ni := q.pos[i+1], q.pos[i-1], q.pos[i]
+		h := q.q[i] + s/(np-nm)*((ni-nm+s)*(q.q[i+1]-q.q[i])/(np-ni)+(np-ni-s)*(q.q[i]-q.q[i-1])/(ni-nm))
+		if h <= q.q[i-1] || h >= q.q[i+1] {
+			if s > 0 {
+				h = q.q[i] + (q.q[i+1]-q.q[i])/(np-ni)
+			} else {
+				h = q.q[i] - (q.q[i-1]-q.q[i])/(nm-ni)
+			}
+		}
+		q.q[i] = h
+		q.pos[i] += s
+	}
+}
+
+// Value returns the current quantile estimate: the height of the
+// middle marker, or the exact sample quantile while fewer than five
+// observations have been seen (0 with none).
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		// The prefix q[:n] is kept sorted; interpolate exactly.
+		rank := q.p * float64(q.n-1)
+		lo := int(rank)
+		if lo >= q.n-1 {
+			return q.q[q.n-1]
+		}
+		frac := rank - float64(lo)
+		return q.q[lo]*(1-frac) + q.q[lo+1]*frac
+	}
+	return q.q[2]
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rankBand asserts the streaming estimate lies between the exact
+// sample quantiles at p-delta and p+delta (with a small absolute
+// slack for flat regions) — a rank-based accuracy check that does not
+// depend on the distribution's scale.
+func rankBand(t *testing.T, name string, xs []float64, p, delta, slack float64, got float64) {
+	t.Helper()
+	lo := Percentile(xs, math.Max(0, p-delta)*100) - slack
+	hi := Percentile(xs, math.Min(1, p+delta)*100) + slack
+	if got < lo || got > hi {
+		t.Errorf("%s: p=%g estimate %g outside sample band [%g, %g]", name, p, got, lo, hi)
+	}
+}
+
+// TestQuantileAccuracy runs the P² estimator over seeded draws from
+// several shapes and checks each estimate against the sorted-sample
+// percentile band.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 8 }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }},
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(4) == 0 {
+				return 50 + r.Float64()*5 // slow mode (queueing tail)
+			}
+			return 1 + r.Float64()
+		}},
+	}
+	targets := []struct{ p, delta float64 }{
+		{0.50, 0.02},
+		{0.90, 0.02},
+		{0.99, 0.006},
+		{0.9999, 0.0008},
+	}
+	for di, d := range dists {
+		rng := rand.New(rand.NewSource(int64(42 + di)))
+		xs := make([]float64, n)
+		qs := make([]*Quantile, len(targets))
+		for i := range targets {
+			qs[i] = NewQuantile(targets[i].p)
+		}
+		for i := range xs {
+			x := d.gen(rng)
+			xs[i] = x
+			for _, q := range qs {
+				q.Add(x)
+			}
+		}
+		for i, tg := range targets {
+			if qs[i].Count() != n {
+				t.Fatalf("%s: Count = %d, want %d", d.name, qs[i].Count(), n)
+			}
+			// Slack scales with the distribution's spread so the flat
+			// bimodal plateau doesn't demand sub-ulp agreement.
+			slack := (Max(xs) - Min(xs)) * 0.01
+			rankBand(t, d.name, xs, tg.p, tg.delta, slack, qs[i].Value())
+		}
+	}
+}
+
+// TestQuantileSmall pins the exact small-sample behaviour: fewer than
+// five observations fall back to the exact sorted-sample quantile.
+func TestQuantileSmall(t *testing.T) {
+	q := NewQuantile(0.5)
+	if q.Value() != 0 {
+		t.Fatalf("empty Value = %g, want 0", q.Value())
+	}
+	q.Add(7)
+	if q.Value() != 7 {
+		t.Fatalf("single-sample Value = %g, want 7", q.Value())
+	}
+	q.Add(3)
+	if got := q.Value(); got != 5 {
+		t.Fatalf("two-sample median = %g, want 5", got)
+	}
+	q.Add(5)
+	if got := q.Value(); got != 5 {
+		t.Fatalf("three-sample median = %g, want 5", got)
+	}
+	max := NewQuantile(0.9999)
+	for _, x := range []float64{1, 9, 4} {
+		max.Add(x)
+	}
+	if got := max.Value(); math.Abs(got-9) > 1e-2 {
+		t.Fatalf("small-sample p99.99 = %g, want ~9", got)
+	}
+}
+
+// TestQuantileMonotoneStream feeds a strictly increasing stream: the
+// median estimate must land inside the observed range and track the
+// middle, and the extreme markers must pin the true min/max.
+func TestQuantileMonotoneStream(t *testing.T) {
+	q := NewQuantile(0.5)
+	const n = 10001
+	for i := 0; i < n; i++ {
+		q.Add(float64(i))
+	}
+	got := q.Value()
+	if got < float64(n)*0.45 || got > float64(n)*0.55 {
+		t.Fatalf("median of 0..%d = %g, want ~%d", n-1, got, n/2)
+	}
+	if q.q[0] != 0 || q.q[4] != float64(n-1) {
+		t.Fatalf("extreme markers [%g, %g], want [0, %d]", q.q[0], q.q[4], n-1)
+	}
+}
+
+// TestQuantileDeterministic: the estimate is a pure function of the
+// observation sequence.
+func TestQuantileDeterministic(t *testing.T) {
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(99))
+		q := NewQuantile(0.99)
+		for i := 0; i < 5000; i++ {
+			q.Add(rng.ExpFloat64())
+		}
+		return q.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("estimates differ across identical runs: %g vs %g", a, b)
+	}
+}
+
+// TestQuantileClamp: out-of-range targets clamp into (0, 1) instead of
+// producing NaNs.
+func TestQuantileClamp(t *testing.T) {
+	for _, p := range []float64{-1, 0, 1, 2} {
+		q := NewQuantile(p)
+		for i := 0; i < 100; i++ {
+			q.Add(float64(i % 13))
+		}
+		if v := q.Value(); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NewQuantile(%g).Value() = %g", p, v)
+		}
+	}
+}

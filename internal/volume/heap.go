@@ -1,0 +1,69 @@
+package volume
+
+import "cmp"
+
+// heldHeap orders shaped requests by (release, arrival), the order the
+// Manager re-injects them into the shard tiers. It implements
+// container/heap (the deferral path tolerates the interface boxing;
+// the unshaped fast path never touches it).
+type heldHeap []heldReq
+
+func (h heldHeap) Len() int { return len(h) }
+func (h heldHeap) Less(i, j int) bool {
+	if h[i].release != h[j].release {
+		return h[i].release < h[j].release
+	}
+	return h[i].order < h[j].order
+}
+func (h heldHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *heldHeap) Push(x any) { *h = append(*h, x.(heldReq)) }
+
+func (h *heldHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	x := old[n]
+	*h = old[:n]
+	return x
+}
+
+// heapPush and heapPop are allocation-free min-heap helpers for the
+// scalar heaps (free extent indices, in-flight completion times).
+
+func heapPush[T cmp.Ordered](h *[]T, x T) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func heapPop[T cmp.Ordered](h *[]T) T {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l] < s[least] {
+			least = l
+		}
+		if r < n && s[r] < s[least] {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}

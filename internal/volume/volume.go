@@ -1,0 +1,913 @@
+package volume
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/sched"
+	"traxtents/internal/disk/mech"
+	"traxtents/internal/stats"
+)
+
+// Tier names accepted by WithTier, beyond the per-spindle policies that
+// sched.ByName knows.
+const (
+	tierFCFS = "fcfs"
+	tierFair = "fair"
+	tierEDF  = "edf"
+)
+
+// ErrRejected is wrapped by every admission-control rejection, so
+// callers can tell "denied by policy" from request or tenant errors
+// with errors.Is.
+var ErrRejected = errors.New("admission rejected")
+
+// TenantLimit bounds one tenant's admission. The zero value admits
+// nothing (a zero-rate token bucket: every request is rejected); leave
+// a volume's limit unset to admit everything.
+//
+// Each bucket is active when its rate or burst is non-zero. An active
+// request bucket defaults to a burst of 1 request; an active bandwidth
+// bucket defaults to one second's refill. A request costing more than
+// a bucket's whole burst can never be admitted and is rejected
+// outright.
+type TenantLimit struct {
+	// IOPS is the request-bucket refill rate, admitted requests per
+	// second of virtual time.
+	IOPS float64
+	// BurstRequests is the request-bucket capacity.
+	BurstRequests float64
+	// SectorsPerSec is the bandwidth-bucket refill rate.
+	SectorsPerSec float64
+	// BurstSectors is the bandwidth-bucket capacity.
+	BurstSectors float64
+	// MaxInFlight caps admitted-but-incomplete requests (a queue-depth
+	// cap). Exceeding it always rejects, never defers.
+	MaxInFlight int
+	// Defer shapes instead of policing: a request that would exhaust a
+	// bucket is admitted but released to the scheduler tier only when
+	// its tokens have refilled (deterministically, in arrival order).
+	// Requests that could never accumulate tokens are still rejected.
+	Defer bool
+}
+
+// Extent is one placement unit of a volume: a whole traxtent (or
+// fixed-size chunk) of a single shard.
+type Extent struct {
+	Shard   int   // shard index within the Manager
+	Index   int   // extent index within the shard's table
+	LBN     int64 // start LBN on the shard
+	Sectors int64
+}
+
+// span is one shard-contiguous piece of a volume request.
+type span struct {
+	sh      *shard
+	lbn     int64
+	sectors int
+}
+
+// shard is one backing device plus its scheduler tier and extent table.
+type shard struct {
+	idx  int
+	dev  device.Device
+	tier *sched.Queue
+
+	bounds    []int64 // ascending extent boundaries, bounds[0] = 0
+	freeExt   []int   // min-heap of returned extent indices
+	nextFresh int     // lowest never-allocated extent index
+
+	nextSeq int         // mirror of the tier's submission sequence
+	routes  map[int]int // tier seq -> join index (batch path only)
+
+	// Tenant metadata for the tier scheduler, indexed by tier sequence
+	// number (only populated for the fair and edf tiers).
+	seqTag      []float64
+	seqDeadline []float64
+	vtime       float64 // SFQ virtual time
+}
+
+// extents returns the number of extents in the shard's table.
+func (s *shard) extents() int { return len(s.bounds) - 1 }
+
+// takeExtent allocates the lowest free extent index, if any.
+func (s *shard) takeExtent() (int, bool) {
+	if len(s.freeExt) > 0 {
+		return heapPop(&s.freeExt), true
+	}
+	if s.nextFresh < s.extents() {
+		s.nextFresh++
+		return s.nextFresh - 1, true
+	}
+	return 0, false
+}
+
+// giveExtent returns an extent index to the free pool.
+func (s *shard) giveExtent(i int) { heapPush(&s.freeExt, i) }
+
+// Volume is one tenant's logical LBN space.
+type Volume struct {
+	m        *Manager
+	name     string
+	weight   float64 // fair-share weight
+	deadline float64 // EDF deadline, ms after release
+
+	exts     []Extent
+	bounds   []int64 // cumulative volume-LBN extent boundaries
+	capacity int64
+
+	// Admission state.
+	limit       *TenantLimit
+	denyAll     bool
+	reqActive   bool
+	secActive   bool
+	reqRate     float64 // tokens per ms
+	secRate     float64
+	reqBurst    float64
+	secBurst    float64
+	reqTokens   float64
+	secTokens   float64
+	bucketAt    float64 // buckets last refilled to this instant
+	lastRelease float64
+
+	unresolved int       // admitted requests whose completion has not folded
+	doneHeap   []float64 // completion times, for the MaxInFlight window
+
+	// Accounting.
+	served          int
+	rejected        int
+	deferred        int
+	sumResp         float64
+	maxResp         float64
+	q50, q99, q9999 *stats.Quantile
+	lastFinish      []float64 // per-shard SFQ finish tag
+	lastDone        float64
+}
+
+// Name returns the tenant name.
+func (v *Volume) Name() string { return v.name }
+
+// Capacity returns the volume's addressable LBNs (the requested size
+// rounded up to whole extents).
+func (v *Volume) Capacity() int64 { return v.capacity }
+
+// ExtentTable returns a copy of the volume's placement.
+func (v *Volume) ExtentTable() []Extent { return append([]Extent(nil), v.exts...) }
+
+// setLimit resolves a TenantLimit's defaults onto the volume and fills
+// the buckets.
+func (v *Volume) setLimit(l TenantLimit) {
+	lim := l
+	v.limit = &lim
+	v.denyAll = l == TenantLimit{}
+	v.reqActive = l.IOPS > 0 || l.BurstRequests > 0
+	v.secActive = l.SectorsPerSec > 0 || l.BurstSectors > 0
+	v.reqRate = l.IOPS / 1000
+	v.secRate = l.SectorsPerSec / 1000
+	v.reqBurst = l.BurstRequests
+	if v.reqActive && v.reqBurst <= 0 {
+		v.reqBurst = 1
+	}
+	v.secBurst = l.BurstSectors
+	if v.secActive && v.secBurst <= 0 {
+		v.secBurst = l.SectorsPerSec
+	}
+	v.reqTokens, v.secTokens = v.reqBurst, v.secBurst
+}
+
+// admit applies the volume's limit at the given host time, returning
+// the instant the request is released to the scheduler tier (at, when
+// not shaped). A rejection leaves every clock untouched.
+func (v *Volume) admit(at float64, sectors int) (float64, error) {
+	if v.limit == nil {
+		return at, nil
+	}
+	reject := func(reason string) (float64, error) {
+		v.rejected++
+		return 0, fmt.Errorf("volume: tenant %q: %w: %s", v.name, ErrRejected, reason)
+	}
+	if v.denyAll {
+		return reject("zero-rate limit admits nothing")
+	}
+	if max := v.limit.MaxInFlight; max > 0 {
+		for len(v.doneHeap) > 0 && v.doneHeap[0] <= at {
+			heapPop(&v.doneHeap)
+		}
+		if v.unresolved+len(v.doneHeap) >= max {
+			return reject(fmt.Sprintf("%d requests in flight", max))
+		}
+	}
+	cost := float64(sectors)
+	if v.secActive && cost > v.secBurst {
+		return reject("request larger than the bandwidth burst")
+	}
+	t0 := math.Max(at, v.lastRelease)
+	v.refill(t0)
+	wait := 0.0
+	if v.reqActive && v.reqTokens < 1 {
+		if v.reqRate <= 0 || !v.limit.Defer {
+			return reject("request tokens exhausted")
+		}
+		wait = (1 - v.reqTokens) / v.reqRate
+	}
+	if v.secActive && v.secTokens < cost {
+		if v.secRate <= 0 || !v.limit.Defer {
+			return reject("bandwidth tokens exhausted")
+		}
+		if w := (cost - v.secTokens) / v.secRate; w > wait {
+			wait = w
+		}
+	}
+	release := t0 + wait
+	v.refill(release)
+	if v.reqActive {
+		v.reqTokens--
+	}
+	if v.secActive {
+		v.secTokens -= cost
+	}
+	v.lastRelease = release
+	if release > at {
+		v.deferred++
+	}
+	return release, nil
+}
+
+// refill tops the buckets up to instant t.
+func (v *Volume) refill(t float64) {
+	if t <= v.bucketAt {
+		return
+	}
+	dt := t - v.bucketAt
+	v.bucketAt = t
+	if v.reqActive {
+		v.reqTokens = math.Min(v.reqBurst, v.reqTokens+v.reqRate*dt)
+	}
+	if v.secActive {
+		v.secTokens = math.Min(v.secBurst, v.secTokens+v.secRate*dt)
+	}
+}
+
+// join assembles one volume request's spans back into a single Result.
+type join struct {
+	vol       *Volume
+	res       device.Result
+	remaining int
+	started   bool
+}
+
+// heldReq is an admitted-but-shaped request waiting for its release
+// instant.
+type heldReq struct {
+	release float64
+	order   int
+	vol     *Volume
+	issue   float64
+	req     device.Request
+}
+
+// config collects constructor options.
+type config struct {
+	tier          string
+	depth         int
+	extentSectors int64
+	deadlineMs    float64
+}
+
+// Option configures a Manager.
+type Option func(*config)
+
+// WithTier selects the scheduler-tier policy above each shard: "fcfs"
+// (the default — with depth 1 it is a transparent passthrough), "fair"
+// (start-time fair queueing across tenants, weighted by sectors), "edf"
+// (earliest deadline first), or any per-spindle policy sched.ByName
+// accepts ("sstf", "clook", "traxtent").
+func WithTier(name string) Option { return func(c *config) { c.tier = name } }
+
+// WithTierDepth sets the tier's queue depth (reordering window). The
+// default is 1.
+func WithTierDepth(n int) Option { return func(c *config) { c.depth = n } }
+
+// WithExtentSectors switches placement from the shards' own traxtent
+// boundaries to a fixed extent size — the unaligned layout, whose
+// extents straddle track boundaries. Shard capacity beyond the last
+// whole extent is not used.
+func WithExtentSectors(n int64) Option { return func(c *config) { c.extentSectors = n } }
+
+// WithDefaultDeadline sets the EDF deadline (ms past a request's
+// release) for volumes that do not set their own. The default is 50 ms.
+func WithDefaultDeadline(ms float64) Option { return func(c *config) { c.deadlineMs = ms } }
+
+// VolumeOption configures one volume at AddVolume time.
+type VolumeOption func(*Volume)
+
+// WithLimit sets the tenant's admission limit.
+func WithLimit(l TenantLimit) VolumeOption { return func(v *Volume) { v.setLimit(l) } }
+
+// WithWeight sets the tenant's fair-share weight (default 1).
+func WithWeight(w float64) VolumeOption { return func(v *Volume) { v.weight = w } }
+
+// WithDeadline sets the tenant's EDF deadline in ms (default: the
+// Manager's).
+func WithDeadline(ms float64) VolumeOption { return func(v *Volume) { v.deadline = ms } }
+
+// Manager is the multi-tenant volume server: it owns the shards, the
+// per-shard scheduler tiers, the tenant volumes, and the admission and
+// accounting state. Like every layer of the stack it is deterministic
+// and single-goroutine, with issue times non-decreasing across
+// Submit/ServeTenant calls.
+type Manager struct {
+	shards     []*shard
+	cfg        config
+	sectorSize int
+	rotation   float64 // common shard rotation period, 0 when mixed
+
+	vols  map[string]*Volume
+	order []*Volume
+
+	joins     []join
+	held      heldHeap
+	heldOrder int
+
+	lastIssue float64
+	lastDone  float64
+
+	spanBuf []span
+
+	// Aggregate accounting across tenants.
+	served          int
+	sumResp         float64
+	maxResp         float64
+	q50, q99, q9999 *stats.Quantile
+}
+
+// New builds a Manager over the given shard devices (striped arrays,
+// composed stacks, or bare disks). All shards must share a sector
+// size; with the default traxtent-aligned placement each shard must be
+// a device.BoundaryProvider.
+func New(shards []device.Device, opts ...Option) (*Manager, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("volume: no shards")
+	}
+	cfg := config{tier: tierFCFS, depth: 1, deadlineMs: 50}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.depth < 1 {
+		return nil, fmt.Errorf("volume: tier depth %d", cfg.depth)
+	}
+	if cfg.extentSectors < 0 {
+		return nil, fmt.Errorf("volume: extent size %d", cfg.extentSectors)
+	}
+	m := &Manager{
+		cfg:        cfg,
+		sectorSize: shards[0].SectorSize(),
+		vols:       make(map[string]*Volume),
+		q50:        stats.NewQuantile(0.50),
+		q99:        stats.NewQuantile(0.99),
+		q9999:      stats.NewQuantile(0.9999),
+	}
+	for i, d := range shards {
+		if d == nil {
+			return nil, fmt.Errorf("volume: shard %d is nil", i)
+		}
+		if d.SectorSize() != m.sectorSize {
+			return nil, fmt.Errorf("volume: shard %d sector size %d != %d", i, d.SectorSize(), m.sectorSize)
+		}
+		bounds, err := extentBounds(d, cfg.extentSectors)
+		if err != nil {
+			return nil, fmt.Errorf("volume: shard %d: %w", i, err)
+		}
+		sh := &shard{idx: i, dev: d, bounds: bounds, routes: make(map[int]int)}
+		var s sched.Scheduler
+		switch cfg.tier {
+		case tierFair:
+			s = &fairShare{sh: sh}
+		case tierEDF:
+			s = &edf{sh: sh}
+		default:
+			if s, err = sched.ByName(cfg.tier, d); err != nil {
+				return nil, err
+			}
+		}
+		if sh.tier, err = sched.New(d, sched.WithDepth(cfg.depth), sched.WithScheduler(s)); err != nil {
+			return nil, err
+		}
+		m.shards = append(m.shards, sh)
+	}
+	m.rotation = commonRotation(shards)
+	return m, nil
+}
+
+// extentBounds builds a shard's extent table: its own traxtent
+// boundaries, or a fixed grid when extentSectors is non-zero.
+func extentBounds(d device.Device, extentSectors int64) ([]int64, error) {
+	if extentSectors == 0 {
+		bp, ok := d.(device.BoundaryProvider)
+		if !ok {
+			return nil, fmt.Errorf("device %T exposes no track boundaries; use WithExtentSectors", d)
+		}
+		b := bp.TrackBoundaries()
+		if len(b) < 2 {
+			return nil, fmt.Errorf("device has no usable track boundaries")
+		}
+		return b, nil
+	}
+	n := d.Capacity() / extentSectors
+	if n == 0 {
+		return nil, fmt.Errorf("extent size %d exceeds capacity %d", extentSectors, d.Capacity())
+	}
+	bounds := make([]int64, n+1)
+	for i := range bounds {
+		bounds[i] = int64(i) * extentSectors
+	}
+	return bounds, nil
+}
+
+// commonRotation returns the rotation period shared by every shard, or
+// 0 when any shard differs or has none.
+func commonRotation(shards []device.Device) float64 {
+	period := 0.0
+	for i, d := range shards {
+		r, ok := d.(device.Rotational)
+		if !ok {
+			return 0
+		}
+		p := r.RotationPeriod()
+		if i == 0 {
+			period = p
+		} else if p != period {
+			return 0
+		}
+	}
+	return period
+}
+
+// Shards returns the number of shard devices.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// SectorSize returns the shards' common sector size.
+func (m *Manager) SectorSize() int { return m.sectorSize }
+
+// Now returns the completion time of the last finished request.
+func (m *Manager) Now() float64 { return m.lastDone }
+
+// Tenants returns the tenant names in creation order.
+func (m *Manager) Tenants() []string {
+	names := make([]string, len(m.order))
+	for i, v := range m.order {
+		names[i] = v.name
+	}
+	return names
+}
+
+// Volume returns a tenant's volume.
+func (m *Manager) Volume(name string) (*Volume, error) {
+	v, ok := m.vols[name]
+	if !ok {
+		return nil, fmt.Errorf("volume: unknown tenant %q", name)
+	}
+	return v, nil
+}
+
+// place returns the home shard for a tenant's i-th extent: an FNV-1a
+// hash of the tenant name and the extent ordinal, so placement is a
+// pure function of (name, i, shard count) — stable under churn.
+func (m *Manager) place(name string, i int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for j := 0; j < len(name); j++ {
+		h ^= uint64(name[j])
+		h *= prime64
+	}
+	for b := 0; b < 8; b++ {
+		h ^= uint64(i>>(8*b)) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(len(m.shards)))
+}
+
+// AddVolume creates a tenant volume of at least sizeSectors, placing
+// whole extents hash-first with deterministic probing to the next
+// shard when the home shard is full. Volumes may be added mid-run; the
+// allocation itself never moves the clock.
+func (m *Manager) AddVolume(name string, sizeSectors int64, opts ...VolumeOption) (*Volume, error) {
+	if name == "" {
+		return nil, fmt.Errorf("volume: empty tenant name")
+	}
+	if _, ok := m.vols[name]; ok {
+		return nil, fmt.Errorf("volume: tenant %q exists", name)
+	}
+	if sizeSectors <= 0 {
+		return nil, fmt.Errorf("volume: size %d sectors", sizeSectors)
+	}
+	v := &Volume{
+		m:          m,
+		name:       name,
+		weight:     1,
+		deadline:   m.cfg.deadlineMs,
+		bucketAt:   m.lastIssue,
+		q50:        stats.NewQuantile(0.50),
+		q99:        stats.NewQuantile(0.99),
+		q9999:      stats.NewQuantile(0.9999),
+		lastFinish: make([]float64, len(m.shards)),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	if v.weight <= 0 {
+		return nil, fmt.Errorf("volume: tenant %q weight %g", name, v.weight)
+	}
+	for i := 0; v.capacity < sizeSectors; i++ {
+		home := m.place(name, i)
+		placed := false
+		for probe := 0; probe < len(m.shards); probe++ {
+			sh := m.shards[(home+probe)%len(m.shards)]
+			ei, ok := sh.takeExtent()
+			if !ok {
+				continue
+			}
+			size := sh.bounds[ei+1] - sh.bounds[ei]
+			v.exts = append(v.exts, Extent{Shard: sh.idx, Index: ei, LBN: sh.bounds[ei], Sectors: size})
+			v.capacity += size
+			placed = true
+			break
+		}
+		if !placed {
+			for _, e := range v.exts { // roll back
+				m.shards[e.Shard].giveExtent(e.Index)
+			}
+			return nil, fmt.Errorf("volume: tenant %q: no free extents for %d sectors", name, sizeSectors)
+		}
+	}
+	v.bounds = make([]int64, len(v.exts)+1)
+	for i, e := range v.exts {
+		v.bounds[i+1] = v.bounds[i] + e.Sectors
+	}
+	m.vols[name] = v
+	m.order = append(m.order, v)
+	return v, nil
+}
+
+// RemoveVolume deletes a tenant and returns its extents to the free
+// pool (lowest-index-first reallocation keeps churn deterministic).
+// It fails while the tenant has admitted requests outstanding.
+func (m *Manager) RemoveVolume(name string) error {
+	v, ok := m.vols[name]
+	if !ok {
+		return fmt.Errorf("volume: unknown tenant %q", name)
+	}
+	if v.unresolved > 0 {
+		return fmt.Errorf("volume: tenant %q has %d requests in flight", name, v.unresolved)
+	}
+	for _, e := range v.exts {
+		m.shards[e.Shard].giveExtent(e.Index)
+	}
+	delete(m.vols, name)
+	for i, o := range m.order {
+		if o == v {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// split maps a volume request onto shard-contiguous spans, merging
+// adjacent extents that happen to be contiguous on the same shard (the
+// passthrough identity mapping always merges to one span). The
+// returned slice is valid until the next split.
+func (m *Manager) split(v *Volume, req device.Request) []span {
+	spans := m.spanBuf[:0]
+	lbn := req.LBN
+	left := int64(req.Sectors)
+	ei := sort.Search(len(v.bounds), func(i int) bool { return v.bounds[i] > lbn }) - 1
+	for left > 0 {
+		e := v.exts[ei]
+		off := lbn - v.bounds[ei]
+		n := e.Sectors - off
+		if n > left {
+			n = left
+		}
+		dev := e.LBN + off
+		if k := len(spans) - 1; k >= 0 && spans[k].sh.idx == e.Shard && spans[k].lbn+int64(spans[k].sectors) == dev {
+			spans[k].sectors += int(n)
+		} else {
+			spans = append(spans, span{sh: m.shards[e.Shard], lbn: dev, sectors: int(n)})
+		}
+		lbn += n
+		left -= n
+		ei++
+	}
+	m.spanBuf = spans
+	return spans
+}
+
+// tag records the tenant metadata the tier scheduler will read for the
+// next submission on sh, advancing the tenant's SFQ finish tag.
+func (m *Manager) tag(sh *shard, v *Volume, release float64, sectors int) {
+	switch m.cfg.tier {
+	case tierFair:
+		s := math.Max(sh.vtime, v.lastFinish[sh.idx])
+		v.lastFinish[sh.idx] = s + float64(sectors)/v.weight
+		sh.seqTag = append(sh.seqTag, s)
+	case tierEDF:
+		sh.seqDeadline = append(sh.seqDeadline, release+v.deadline)
+	}
+}
+
+// Submit enqueues one tenant request issued at the given host time
+// (non-decreasing across calls). The request is validated and admitted
+// immediately — ErrRejected-wrapped errors leave all state untouched —
+// then split into spans and handed to the shard tiers (or held until
+// its shaped release). Completions accumulate internally; Drain
+// resolves them.
+func (m *Manager) Submit(name string, at float64, req device.Request) error {
+	v, ok := m.vols[name]
+	if !ok {
+		return fmt.Errorf("volume: unknown tenant %q", name)
+	}
+	if err := device.CheckBounds(req.LBN, req.Sectors, v.capacity); err != nil {
+		return err
+	}
+	if at < m.lastIssue {
+		return fmt.Errorf("volume: issue time %g before previous %g", at, m.lastIssue)
+	}
+	if err := m.advanceTo(at); err != nil {
+		return err
+	}
+	release, err := v.admit(at, req.Sectors)
+	if err != nil {
+		return err
+	}
+	m.lastIssue = at
+	v.unresolved++
+	if release > at {
+		heap.Push(&m.held, heldReq{release: release, order: m.heldOrder, vol: v, issue: at, req: req})
+		m.heldOrder++
+		return nil
+	}
+	return m.route(v, at, release, req)
+}
+
+// route splits an admitted request and submits its spans to the shard
+// tiers at the release instant, registering a join for reassembly.
+func (m *Manager) route(v *Volume, issue, release float64, req device.Request) error {
+	ji := len(m.joins)
+	m.joins = append(m.joins, join{vol: v, res: device.Result{Req: req, Issue: issue}})
+	spans := m.split(v, req)
+	m.joins[ji].remaining = len(spans)
+	for _, sp := range spans {
+		sub := device.Request{LBN: sp.lbn, Sectors: sp.sectors, Write: req.Write, FUA: req.FUA}
+		m.tag(sp.sh, v, release, sp.sectors)
+		sp.sh.routes[sp.sh.nextSeq] = ji
+		sp.sh.nextSeq++
+		if err := sp.sh.tier.Submit(release, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advanceTo releases every held request due by at (in release order,
+// ties by arrival), commits tier decisions before at, and folds the
+// resulting completions.
+func (m *Manager) advanceTo(at float64) error {
+	for len(m.held) > 0 && m.held[0].release <= at {
+		h := heap.Pop(&m.held).(heldReq)
+		if err := m.route(h.vol, h.issue, h.release, h.req); err != nil {
+			return err
+		}
+	}
+	for _, sh := range m.shards {
+		if err := sh.tier.AdvanceTo(at); err != nil {
+			return err
+		}
+	}
+	m.fold()
+	return nil
+}
+
+// fold routes finished tier completions back to their joins and
+// accounts every fully reassembled request.
+func (m *Manager) fold() {
+	for _, sh := range m.shards {
+		for _, c := range sh.tier.TakeCompleted() {
+			ji := sh.routes[c.Seq]
+			delete(sh.routes, c.Seq)
+			j := &m.joins[ji]
+			accumulate(&j.res, &j.started, c.Res)
+			j.remaining--
+			if j.remaining == 0 {
+				j.vol.unresolved--
+				m.account(j.vol, j.res)
+			}
+		}
+	}
+}
+
+// accumulate merges one span result into a join's aggregate. A single
+// span keeps the child's full record (including the media-phase
+// breakdown); merged spans drop Timing, like a striped array's joins.
+func accumulate(dst *device.Result, started *bool, r device.Result) {
+	if !*started {
+		req, issue := dst.Req, dst.Issue
+		*dst = r
+		dst.Req, dst.Issue = req, issue
+		*started = true
+		return
+	}
+	dst.Timing = mech.Timing{}
+	if r.Start < dst.Start {
+		dst.Start = r.Start
+	}
+	if r.MediaEnd > dst.MediaEnd {
+		dst.MediaEnd = r.MediaEnd
+	}
+	if r.Done > dst.Done {
+		dst.Done = r.Done
+	}
+	dst.BusTime += r.BusTime
+	dst.Prefetched += r.Prefetched
+	dst.CacheHit = dst.CacheHit && r.CacheHit
+}
+
+// account records one reassembled completion against its tenant and
+// the aggregate.
+func (m *Manager) account(v *Volume, res device.Result) {
+	resp := res.Response()
+	v.served++
+	v.sumResp += resp
+	if resp > v.maxResp {
+		v.maxResp = resp
+	}
+	v.q50.Add(resp)
+	v.q99.Add(resp)
+	v.q9999.Add(resp)
+	if res.Done > v.lastDone {
+		v.lastDone = res.Done
+	}
+	if v.limit != nil && v.limit.MaxInFlight > 0 {
+		heapPush(&v.doneHeap, res.Done)
+	}
+	m.served++
+	m.sumResp += resp
+	if resp > m.maxResp {
+		m.maxResp = resp
+	}
+	m.q50.Add(resp)
+	m.q99.Add(resp)
+	m.q9999.Add(resp)
+	if res.Done > m.lastDone {
+		m.lastDone = res.Done
+	}
+}
+
+// Drain releases every held request, flushes the shard tiers, and
+// folds all remaining completions into the accounting.
+func (m *Manager) Drain() error {
+	for len(m.held) > 0 {
+		h := heap.Pop(&m.held).(heldReq)
+		if err := m.route(h.vol, h.issue, h.release, h.req); err != nil {
+			return err
+		}
+	}
+	for _, sh := range m.shards {
+		if err := sh.tier.Flush(); err != nil {
+			return err
+		}
+	}
+	m.fold()
+	m.joins = m.joins[:0]
+	return nil
+}
+
+// ServeTenant submits one request and resolves it synchronously,
+// returning its reassembled result — a barrier, like sched.Queue.Serve:
+// any outstanding batch work is drained first. Sequential consumers
+// (and the per-tenant device view) use it; concurrent workloads should
+// Submit and Drain. The steady-state path does not allocate.
+func (m *Manager) ServeTenant(name string, at float64, req device.Request) (device.Result, error) {
+	if len(m.held) > 0 || len(m.joins) > 0 {
+		if err := m.Drain(); err != nil {
+			return device.Result{}, err
+		}
+	}
+	v, ok := m.vols[name]
+	if !ok {
+		return device.Result{}, fmt.Errorf("volume: unknown tenant %q", name)
+	}
+	if err := device.CheckBounds(req.LBN, req.Sectors, v.capacity); err != nil {
+		return device.Result{}, err
+	}
+	if at < m.lastIssue {
+		return device.Result{}, fmt.Errorf("volume: issue time %g before previous %g", at, m.lastIssue)
+	}
+	release, err := v.admit(at, req.Sectors)
+	if err != nil {
+		return device.Result{}, err
+	}
+	m.lastIssue = at
+	res := device.Result{Req: req, Issue: at}
+	started := false
+	for _, sp := range m.split(v, req) {
+		sub := device.Request{LBN: sp.lbn, Sectors: sp.sectors, Write: req.Write, FUA: req.FUA}
+		m.tag(sp.sh, v, release, sp.sectors)
+		sp.sh.nextSeq++
+		r, err := sp.sh.tier.Serve(release, sub)
+		if err != nil {
+			return device.Result{}, err
+		}
+		accumulate(&res, &started, r)
+	}
+	m.account(v, res)
+	return res, nil
+}
+
+// VolumeStats is one tenant's accounting snapshot (or the cross-tenant
+// aggregate, Tenant "*"). Quantiles are streaming P² estimates.
+type VolumeStats struct {
+	Tenant   string
+	Capacity int64 // sectors
+	Extents  int
+	Requests int // completed
+	Rejected int
+	Deferred int
+	InFlight int // admitted, not yet complete
+	MeanMs   float64
+	MaxMs    float64
+	P50Ms    float64
+	P99Ms    float64
+	P9999Ms  float64
+}
+
+// snapshot builds the stats record for one volume.
+func (v *Volume) snapshot() VolumeStats {
+	s := VolumeStats{
+		Tenant:   v.name,
+		Capacity: v.capacity,
+		Extents:  len(v.exts),
+		Requests: v.served,
+		Rejected: v.rejected,
+		Deferred: v.deferred,
+		InFlight: v.unresolved,
+		MaxMs:    v.maxResp,
+		P50Ms:    v.q50.Value(),
+		P99Ms:    v.q99.Value(),
+		P9999Ms:  v.q9999.Value(),
+	}
+	if v.served > 0 {
+		s.MeanMs = v.sumResp / float64(v.served)
+	}
+	return s
+}
+
+// VolumeStats returns one tenant's accounting snapshot.
+func (m *Manager) VolumeStats(name string) (VolumeStats, error) {
+	v, ok := m.vols[name]
+	if !ok {
+		return VolumeStats{}, fmt.Errorf("volume: unknown tenant %q", name)
+	}
+	return v.snapshot(), nil
+}
+
+// Stats returns every tenant's snapshot in creation order.
+func (m *Manager) Stats() []VolumeStats {
+	out := make([]VolumeStats, len(m.order))
+	for i, v := range m.order {
+		out[i] = v.snapshot()
+	}
+	return out
+}
+
+// Aggregate returns the cross-tenant snapshot (Tenant "*"): the
+// aggregate quantiles are streamed over every completion in service
+// order, not an average of the per-tenant estimates.
+func (m *Manager) Aggregate() VolumeStats {
+	s := VolumeStats{
+		Tenant:   "*",
+		Requests: m.served,
+		MaxMs:    m.maxResp,
+		P50Ms:    m.q50.Value(),
+		P99Ms:    m.q99.Value(),
+		P9999Ms:  m.q9999.Value(),
+	}
+	for _, v := range m.order {
+		s.Capacity += v.capacity
+		s.Extents += len(v.exts)
+		s.Rejected += v.rejected
+		s.Deferred += v.deferred
+		s.InFlight += v.unresolved
+	}
+	if m.served > 0 {
+		s.MeanMs = m.sumResp / float64(m.served)
+	}
+	return s
+}

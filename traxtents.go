@@ -23,6 +23,11 @@
 //     (NewDeviceStack / StackConfig: host cache → scheduling queue →
 //     device), with a mixed-workload mode pitting video streams against
 //     background small I/Os on the same spindle.
+//   - A multi-tenant volume server (NewVolumeManager): many logical
+//     volumes placed on whole traxtents across device shards, with
+//     per-tenant token-bucket admission control, a fair-share/deadline
+//     scheduling tier above the per-spindle queues, and streaming P²
+//     tail-latency accounting per tenant.
 //
 // Quick start:
 //
@@ -56,6 +61,7 @@ import (
 	"traxtents/internal/scsi"
 	"traxtents/internal/traxtent"
 	"traxtents/internal/video"
+	"traxtents/internal/volume"
 )
 
 // Core traxtent types.
@@ -160,6 +166,38 @@ type (
 	// LFS is the miniature log-structured store.
 	LFS = lfs.LFS
 )
+
+// Multi-tenant volume types. A VolumeManager maps many logical tenant
+// volumes onto device shards — placement is deterministic and
+// traxtent-granular, so no tenant extent ever straddles a track
+// boundary — with per-tenant admission control, a tenant-aware
+// scheduling tier above the per-shard queues, and streaming response
+// accounting.
+type (
+	// VolumeManager is the multi-tenant volume server.
+	VolumeManager = volume.Manager
+	// TenantVolume is one logical volume inside a manager.
+	TenantVolume = volume.Volume
+	// VolumeManagerOption configures a volume manager.
+	VolumeManagerOption = volume.Option
+	// TenantOption configures one tenant volume at AddVolume time.
+	TenantOption = volume.VolumeOption
+	// TenantLimit is a tenant's admission-control policy: token-bucket
+	// request and bandwidth rates and a queue-depth cap. The zero value
+	// denies everything; omit WithTenantLimit for an unlimited tenant.
+	TenantLimit = volume.TenantLimit
+	// VolumeStats is one tenant's (or the cross-tenant aggregate's)
+	// accounting snapshot, including streaming P² tail quantiles.
+	VolumeStats = volume.VolumeStats
+	// VolumeExtent is one placed extent of a tenant volume.
+	VolumeExtent = volume.Extent
+	// VolumeView adapts one tenant's volume to the Device interface.
+	VolumeView = volume.View
+)
+
+// ErrTenantRejected is wrapped by every admission-control rejection a
+// volume manager returns; test with errors.Is.
+var ErrTenantRejected = volume.ErrRejected
 
 // FFS variants.
 const (
@@ -389,6 +427,51 @@ func StrictReplay() TraceOption { return trace.Strict() }
 
 // DecodeTrace parses a JSON-encoded trace (see Trace.Encode).
 func DecodeTrace(data []byte) (Trace, error) { return trace.Decode(data) }
+
+// ---- Multi-tenant volumes ----
+
+// NewVolumeManager builds a multi-tenant volume server over the shard
+// devices: AddVolume places tenant volumes on whole traxtents (never
+// straddling a track boundary), Submit/Drain and ServeTenant serve
+// tenant requests through per-tenant admission control and the
+// tenant-aware scheduling tier, and VolumeStats/Aggregate report
+// streaming response accounting. A single-tenant manager with no limit
+// over an unoptioned tier is a transparent passthrough, bit-identical
+// to serving the shard directly.
+func NewVolumeManager(shards []Device, opts ...VolumeManagerOption) (*VolumeManager, error) {
+	return volume.New(shards, opts...)
+}
+
+// WithVolumeTier sets the tenant-aware scheduling tier above the
+// per-shard queues: "fcfs" (arrival order, the passthrough default),
+// "fair" (start-time fair queueing weighted by WithTenantWeight), or
+// "edf" (earliest deadline first over WithTenantDeadline).
+func WithVolumeTier(name string) VolumeManagerOption { return volume.WithTier(name) }
+
+// WithVolumeTierDepth sets each shard tier's queue depth — the
+// tenant-aware scheduler's reordering window (default 1).
+func WithVolumeTierDepth(n int) VolumeManagerOption { return volume.WithTierDepth(n) }
+
+// WithVolumeExtentSectors switches placement from the shards' own
+// traxtents to a fixed-size extent grid — the size-matched unaligned
+// layout the studies compare against.
+func WithVolumeExtentSectors(n int64) VolumeManagerOption { return volume.WithExtentSectors(n) }
+
+// WithVolumeDeadline sets the default EDF deadline (ms) for tenants
+// without their own WithTenantDeadline.
+func WithVolumeDeadline(ms float64) VolumeManagerOption { return volume.WithDefaultDeadline(ms) }
+
+// WithTenantLimit attaches an admission-control policy to a tenant
+// volume; requests over the limit are rejected (wrapping
+// ErrTenantRejected) or, with TenantLimit.Defer, shaped to the bucket's
+// deterministic release time.
+func WithTenantLimit(l TenantLimit) TenantOption { return volume.WithLimit(l) }
+
+// WithTenantWeight sets a tenant's fair-share weight (default 1).
+func WithTenantWeight(w float64) TenantOption { return volume.WithWeight(w) }
+
+// WithTenantDeadline sets a tenant's EDF deadline in ms.
+func WithTenantDeadline(ms float64) TenantOption { return volume.WithDeadline(ms) }
 
 // ---- Boundary extraction ----
 
