@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (one per experiment, as indexed in DESIGN.md §8), plus
+// evaluation (one per experiment, as indexed in DESIGN.md §9), plus
 // micro-benchmarks of the library's hot paths. Key reproduced values are
 // attached to each benchmark via ReportMetric, so
 //
@@ -838,6 +838,115 @@ func TestBenchVolumeJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_volume.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Degraded-mode rebuild (BENCH_rebuild.json) ----
+
+// TestBenchRebuildJSON emits BENCH_rebuild.json: the rebuild study's
+// headline numbers at a CI-sized cell (rebuild MB/s and the foreground
+// p99.99 it inflicts, track-aligned vs block-granular), plus the
+// fault-free hot-path gates — a passthrough fault injector and a
+// healthy parity array must both serve steady-state track-aligned
+// reads at zero allocations per request, so the failure subsystem
+// costs nothing until something actually fails.
+func TestBenchRebuildJSON(t *testing.T) {
+	const n = 1024
+	type strategyRow struct {
+		Strategy          string  `json:"strategy"`
+		RebuildMs         float64 `json:"rebuild_ms"`
+		RebuildMBPerSec   float64 `json:"rebuild_mb_per_sec"`
+		ForegroundP99Ms   float64 `json:"foreground_p99_ms"`
+		ForegroundP9999Ms float64 `json:"foreground_p9999_ms"`
+		Reconstructs      int     `json:"reconstructs"`
+	}
+	type pathRow struct {
+		Path         string  `json:"path"`
+		Requests     int     `json:"requests"`
+		WallNsPerReq float64 `json:"wall_ns_per_req"`
+		AllocsPerReq float64 `json:"allocs_per_req"`
+	}
+	report := struct {
+		Benchmark string        `json:"benchmark"`
+		Rows      []strategyRow `json:"rows"`
+		FaultFree []pathRow     `json:"fault_free"`
+	}{Benchmark: "degraded rebuild under foreground load, 3-wide parity, 1 lost"}
+
+	res, err := repro.RebuildStudy(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		report.Rows = append(report.Rows, strategyRow{
+			Strategy:          r.Strategy,
+			RebuildMs:         r.Metrics.RebuildMs,
+			RebuildMBPerSec:   r.Metrics.RebuildMBPerSec,
+			ForegroundP99Ms:   r.Metrics.ForegroundP99Ms,
+			ForegroundP9999Ms: r.Metrics.ForegroundP9999Ms,
+			Reconstructs:      r.Metrics.Reconstructs,
+		})
+	}
+
+	// Fault-free hot paths: the failure machinery must be invisible
+	// until a fault fires.
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	newDisk := func(seed int64) traxtents.Device {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	inj, err := traxtents.NewFaultyDevice(newDisk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var children []traxtents.Device
+	for i := int64(2); i < 5; i++ {
+		children = append(children, newDisk(i))
+	}
+	parr, err := traxtents.NewStripedDevice(children, traxtents.WithParity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		name string
+		d    traxtents.Device
+	}{{"faults-passthrough", inj}, {"parity-3-healthy", parr}} {
+		table, err := traxtents.GroundTruthTable(p.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveLoop(t, p.d, table, 64) // warm pooled buffers
+		at := p.d.Now()
+		i := 0
+		serveOne := func() {
+			e := table.Index(i * 127 % table.NumTracks())
+			res, err := p.d.Serve(at, traxtents.Request{LBN: e.Start, Sectors: int(e.Len)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = res.Done
+			i++
+		}
+		allocs := testing.AllocsPerRun(n, serveOne)
+		start := time.Now()
+		serveLoop(t, p.d, table, n)
+		wall := float64(time.Since(start).Nanoseconds()) / n
+		report.FaultFree = append(report.FaultFree, pathRow{
+			Path: p.name, Requests: n, WallNsPerReq: wall, AllocsPerReq: allocs,
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state Serve allocates %.1f per request, want 0", p.name, allocs)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_rebuild.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -16,6 +16,7 @@
 //	diskbench -queue                response time vs queue depth
 //	diskbench -load                 response/throughput vs offered load
 //	diskbench -cache                hit rate & response vs host-cache size
+//	diskbench -rebuild              degraded-mode rebuild, track vs block granularity
 //	diskbench -all                  everything
 //	diskbench -n 5000               requests per measurement
 //
@@ -31,6 +32,14 @@
 //	-readahead     whole-track readahead (default true)
 //	-writeback     write-back with a 1-in-4 write mix (default
 //	               write-through, reads only)
+//
+// The rebuild study takes:
+//
+//	-rblocks 16,64   block-granular read sizes in sectors to compare
+//	                 against the track-aligned strategy
+//
+// and scales with -n (foreground requests and stripe units per study
+// n); the committed golden snapshot is -rebuild -n 50 -seed 1.
 package main
 
 import (
@@ -38,6 +47,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"traxtents/internal/repro"
 	"traxtents/internal/workload/driver"
@@ -51,6 +62,8 @@ func main() {
 	queue := flag.Bool("queue", false, "response time vs queue depth, aligned vs unaligned")
 	load := flag.Bool("load", false, "response/throughput vs offered load, aligned vs unaligned")
 	cacheStudy := flag.Bool("cache", false, "hit rate & response vs host-cache size, aligned vs unaligned")
+	rebuild := flag.Bool("rebuild", false, "degraded-mode rebuild study, track-aligned vs block-granular")
+	rblocks := flag.String("rblocks", "", "comma-separated block sizes in sectors for -rebuild (default 16,64)")
 	cacheMB := flag.Float64("cachemb", 0, "largest host-cache size in MB for -cache (0: default sweep)")
 	readahead := flag.Bool("readahead", true, "whole-track readahead in the host cache for -cache")
 	writeback := flag.Bool("writeback", false, "write-back host cache with a 1-in-4 write mix for -cache")
@@ -245,6 +258,33 @@ func main() {
 				p.Values["aligned hit"]*100, p.Values["unaligned hit"]*100,
 				p.Values["aligned mean"], p.Values["unaligned mean"],
 				p.Values["aligned iops"], p.Values["unaligned iops"])
+		}
+		fmt.Println()
+	}
+	if *all || *rebuild {
+		any = true
+		var blocks []int
+		if *rblocks != "" {
+			for _, f := range strings.Split(*rblocks, ",") {
+				b, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					die(fmt.Errorf("bad -rblocks entry %q: %v", f, err))
+				}
+				blocks = append(blocks, b)
+			}
+		}
+		fmt.Println("== Degraded-mode rebuild: track-aligned vs block-granular (3-wide parity, 1 lost, C-LOOK depth 8) ==")
+		res, err := repro.RebuildStudy(*n, *seed, blocks)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-10s %8s %8s %12s %8s %10s %10s %12s %8s\n",
+			"strategy", "units", "reads", "rebuild ms", "MB/s", "fg mean", "fg p99", "fg p99.99", "reconst")
+		for _, r := range res {
+			m := r.Metrics
+			fmt.Printf("%-10s %8d %8d %12.1f %8.2f %8.2fms %8.2fms %10.2fms %8d\n",
+				r.Strategy, m.Units, m.Requests, m.RebuildMs, m.RebuildMBPerSec,
+				m.ForegroundMeanMs, m.ForegroundP99Ms, m.ForegroundP9999Ms, m.Reconstructs)
 		}
 		fmt.Println()
 	}

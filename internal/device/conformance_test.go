@@ -6,6 +6,7 @@ import (
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
+	"traxtents/internal/device/faults"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
@@ -33,6 +34,23 @@ func newStriped(t testing.TB) device.Device {
 	a, err := striped.New(children)
 	if err != nil {
 		t.Fatalf("striped.New: %v", err)
+	}
+	return a
+}
+
+// newParity builds a traxtent-matched parity array, optionally with
+// one child already lost (degraded mode).
+func newParity(t testing.TB, lose bool) *striped.Array {
+	t.Helper()
+	children := []device.Device{newSim(t, 1), newSim(t, 2), newSim(t, 3)}
+	a, err := striped.New(children, striped.WithParity())
+	if err != nil {
+		t.Fatalf("striped.New: %v", err)
+	}
+	if lose {
+		if err := a.Lose(1); err != nil {
+			t.Fatalf("Lose: %v", err)
+		}
 	}
 	return a
 }
@@ -90,6 +108,15 @@ func newHostCached(t testing.TB, inner device.Device, writeBack bool) device.Dev
 func TestConformance(t *testing.T) {
 	devtest.Run(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) })
 	devtest.Run(t, "striped", func(t *testing.T) device.Device { return newStriped(t) })
+	devtest.Run(t, "parity", func(t *testing.T) device.Device { return newParity(t, false) })
+	devtest.Run(t, "parity-degraded", func(t *testing.T) device.Device { return newParity(t, true) })
+	devtest.Run(t, "faults", func(t *testing.T) device.Device {
+		in, err := faults.New(newSim(t, 7)) // transparent: the strict suite must hold
+		if err != nil {
+			t.Fatalf("faults.New: %v", err)
+		}
+		return in
+	})
 	devtest.Run(t, "trace", func(t *testing.T) device.Device { return newPlayer(t) })
 	devtest.Run(t, "recorder", func(t *testing.T) device.Device { return trace.NewRecorder(newSim(t, 8)) })
 	devtest.Run(t, "sched-fcfs", func(t *testing.T) device.Device { return newQueued(t, 1, sched.FCFS()) })
@@ -113,6 +140,10 @@ func TestConformanceFuzz(t *testing.T) {
 	const n, seed = 600, 11
 	devtest.Fuzz(t, "sim", func(t *testing.T) device.Device { return newSim(t, 7) }, n, seed)
 	devtest.Fuzz(t, "striped", func(t *testing.T) device.Device { return newStriped(t) }, n, seed)
+	// A degraded parity array must pass the strict suite: every valid
+	// request — reads reconstructing from survivors, writes folding
+	// into parity — still succeeds with coherent timing.
+	devtest.Fuzz(t, "parity-degraded", func(t *testing.T) device.Device { return newParity(t, true) }, n, seed)
 	devtest.Fuzz(t, "trace", func(t *testing.T) device.Device { return newPlayer(t) }, n, seed)
 	devtest.Fuzz(t, "sched", func(t *testing.T) device.Device {
 		d := newSim(t, 5)
@@ -146,6 +177,30 @@ func TestConformanceFuzz(t *testing.T) {
 	devtest.FuzzCached(t, "cache-sched", func(t *testing.T) device.Device {
 		return newHostCached(t, newQueued(t, 8, sched.CLOOK()), true)
 	}, n, seed, allocCap)
+
+	// Fault-injecting variants run the faulty suite: injected failures
+	// must be typed, identify the request, leave the clock untouched,
+	// and replay identically across two lockstep replicas.
+	devtest.FuzzFaulty(t, "faults-sim", func(t *testing.T) device.Device {
+		in, err := faults.New(newSim(t, 7),
+			faults.WithSeed(21),
+			faults.WithLatentErrors(24, 16),
+			faults.WithTimeoutProb(0.08))
+		if err != nil {
+			t.Fatalf("faults.New: %v", err)
+		}
+		return in
+	}, n, seed)
+	devtest.FuzzFaulty(t, "faults-lost", func(t *testing.T) device.Device {
+		in, err := faults.New(newSim(t, 7),
+			faults.WithSeed(22),
+			faults.WithTimeoutProb(0.05),
+			faults.WithFailAt(400))
+		if err != nil {
+			t.Fatalf("faults.New: %v", err)
+		}
+		return in
+	}, n, seed)
 }
 
 // TestRecorderForwardsCapabilities: a recorder stands in for the

@@ -99,13 +99,14 @@ type Named interface {
 // not wrap negative and slip past the capacity comparison. It is shared
 // by the request gate below and by loaders validating externally
 // supplied ranges (trace records).
+// Both failure shapes wrap ErrInvalidRequest.
 func CheckBounds(lbn int64, sectors int, capacity int64) error {
 	if sectors <= 0 {
-		return fmt.Errorf("device: request for %d sectors", sectors)
+		return fmt.Errorf("device: %w: request for %d sectors", ErrInvalidRequest, sectors)
 	}
 	if lbn < 0 || lbn >= capacity || int64(sectors) > capacity-lbn {
-		return fmt.Errorf("device: request [%d,+%d) outside device of %d LBNs",
-			lbn, sectors, capacity)
+		return fmt.Errorf("device: %w: request [%d,+%d) outside device of %d LBNs",
+			ErrInvalidRequest, lbn, sectors, capacity)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package devtest
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -170,6 +171,113 @@ func Check(t testing.TB, d device.Device, at float64, req device.Request) (devic
 		t.Fatalf("Serve(%g, %+v): Now %g behind completion %g", at, req, d.Now(), res.Done)
 	}
 	return res, true
+}
+
+// CheckFaulty is Check's variant for devices with injected faults
+// (the faults package, or any wrapper that can fail a valid request).
+// A valid request may now fail — but only with a typed device fault:
+// the error must satisfy device.IsFault, carry a *device.Error
+// identifying a request, and leave the clock untouched (no partial
+// state a failed command could have left behind). Invalid requests and
+// successes must uphold exactly the Check invariants. It returns the
+// result and the Serve error (nil on success).
+func CheckFaulty(t testing.TB, d device.Device, at float64, req device.Request) (device.Result, error) {
+	t.Helper()
+	prevNow := d.Now()
+	res, err := d.Serve(at, req)
+	if device.CheckRequest(d, req) != nil {
+		if err == nil {
+			t.Fatalf("Serve(%g, %+v) accepted, but CheckRequest rejects it", at, req)
+		}
+		if d.Now() != prevNow {
+			t.Fatalf("rejected request %+v moved the clock %g -> %g", req, prevNow, d.Now())
+		}
+		return res, err
+	}
+	if err != nil {
+		if !device.IsFault(err) {
+			t.Fatalf("Serve(%g, %+v) failed with a non-fault error: %v", at, req, err)
+		}
+		var de *device.Error
+		if !errors.As(err, &de) {
+			t.Fatalf("Serve(%g, %+v) fault is not a typed *device.Error: %v", at, req, err)
+		}
+		if de.Req.Sectors <= 0 {
+			t.Fatalf("Serve(%g, %+v) fault identifies no request: %v", at, req, err)
+		}
+		if d.Now() != prevNow {
+			t.Fatalf("failed request %+v moved the clock %g -> %g: %v", req, prevNow, d.Now(), err)
+		}
+		return res, err
+	}
+	if res.Req != req {
+		t.Fatalf("Serve(%g, %+v) echoes %+v", at, req, res.Req)
+	}
+	if res.Issue != at {
+		t.Fatalf("Serve(%g, %+v): Issue = %g", at, req, res.Issue)
+	}
+	if res.Start < res.Issue || res.MediaEnd < res.Start || res.Done < res.MediaEnd {
+		t.Fatalf("Serve(%g, %+v): incoherent times %+v", at, req, res)
+	}
+	if d.Now() < prevNow {
+		t.Fatalf("Serve(%g, %+v): Now went backwards (%g -> %g)", at, req, prevNow, d.Now())
+	}
+	if d.Now() < res.Done {
+		t.Fatalf("Serve(%g, %+v): Now %g behind completion %g", at, req, d.Now(), res.Done)
+	}
+	return res, nil
+}
+
+// FuzzFaulty is the seeded property suite under injected faults: it
+// drives the same randomized request stream at two devices built by
+// identical calls to mk — which must configure identical fault
+// injection — asserting the CheckFaulty invariants on every call and
+// that both replicas produce the identical outcome sequence (same
+// accept/fault decision, same fault class, same completion times):
+// deterministic replay of the same seed.
+func FuzzFaulty(t *testing.T, name string, mk func(t *testing.T) device.Device, n int, seed int64) {
+	t.Run(name+"/fuzz-faults", func(t *testing.T) {
+		d1, d2 := mk(t), mk(t)
+		capacity := d1.Capacity()
+		rng := rand.New(rand.NewSource(seed))
+		at := 0.0
+		faulted, accepted := 0, 0
+		for i := 0; i < n; i++ {
+			req := FuzzRequest(capacity, rng.Int63(), int(rng.Int31()), uint8(rng.Intn(8)), rng.Intn(4) == 0, rng.Intn(16) == 0)
+			r1, err1 := CheckFaulty(t, d1, at, req)
+			r2, err2 := CheckFaulty(t, d2, at, req)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("request %d (%+v): replica outcomes diverge: %v vs %v", i, req, err1, err2)
+			}
+			if err1 != nil {
+				if err1.Error() != err2.Error() {
+					t.Fatalf("request %d (%+v): replica faults diverge: %q vs %q", i, req, err1, err2)
+				}
+				if device.IsFault(err1) {
+					faulted++
+				}
+				continue // clock untouched: at stands
+			}
+			if r1.Done != r2.Done || r1.Start != r2.Start || r1.MediaEnd != r2.MediaEnd {
+				t.Fatalf("request %d (%+v): replica timings diverge: %+v vs %+v", i, req, r1, r2)
+			}
+			accepted++
+			switch rng.Intn(3) {
+			case 0:
+				at = r1.Done
+			case 1:
+				at += rng.Float64() * (r1.Done - at)
+			case 2:
+				at = r1.Done + rng.Float64()*5
+			}
+		}
+		if accepted == 0 {
+			t.Fatalf("fuzz stream of %d requests accepted none", n)
+		}
+		if faulted == 0 {
+			t.Fatalf("fuzz stream of %d requests saw no injected faults — configure the injector", n)
+		}
+	})
 }
 
 // FuzzRequest derives a request from raw fuzz inputs, steering roughly

@@ -1,0 +1,68 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error classes. Every failure a backend or wrapper returns wraps one
+// of these sentinels, so callers dispatch on the class with errors.Is
+// instead of matching message strings:
+//
+//   - ErrInvalidRequest: the request itself is malformed (out of
+//     bounds, non-positive size). Deterministic — retrying is useless.
+//   - ErrMedium: an unrecoverable medium error (a latent sector error
+//     under the requested range). The device is otherwise healthy;
+//     other ranges still serve, and redundant layers can reconstruct.
+//   - ErrTimeout: a transient command timeout. The device state is
+//     unchanged; retrying the same request may succeed.
+//   - ErrLost: the whole device has failed. Every subsequent request
+//     fails the same way; only redundancy recovers the data.
+//
+// Failures never advance a device's clock: a request that errors has
+// consumed no virtual time (the conformance suite asserts this for
+// every backend, and devtest.FuzzFaulty under injected faults).
+var (
+	ErrInvalidRequest = errors.New("invalid request")
+	ErrMedium         = errors.New("unrecoverable medium error")
+	ErrTimeout        = errors.New("command timeout")
+	ErrLost           = errors.New("device lost")
+)
+
+// Error is the typed failure record carried up the stack: which layer
+// failed (Op), the exact request that failed (Req), and the underlying
+// cause (Err, wrapping one of the class sentinels above). Batch paths
+// (sched.Queue, striped.Array, cache.Cache Submit/Drain) wrap child
+// failures in an Error so a mid-batch failure reaches the caller with
+// the failing request identified — recover it with errors.As.
+type Error struct {
+	// Op names the failing layer and position ("sim", "striped child 2",
+	// "sched dispatch", ...).
+	Op string
+	// Req is the request whose service failed, as issued to the failing
+	// layer.
+	Req Request
+	// Err is the cause; it wraps (or is) one of the sentinel classes.
+	Err error
+}
+
+// Error formats the failure with its request identified.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: request {LBN:%d Sectors:%d Write:%v}: %v", e.Op, e.Req.LBN, e.Req.Sectors, e.Req.Write, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsFault reports whether err is an injected or simulated device fault
+// — a medium error, a transient timeout, or a whole-device loss — as
+// opposed to a malformed request or a usage error. Fault-aware layers
+// (parity reconstruction, rebuild retry loops, the fault-injecting
+// fuzz suite) treat exactly these classes as survivable.
+func IsFault(err error) bool {
+	return errors.Is(err, ErrMedium) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrLost)
+}
+
+// IsTransient reports whether err is worth retrying as-is: only
+// timeouts are — medium errors and lost devices fail deterministically.
+func IsTransient(err error) bool { return errors.Is(err, ErrTimeout) }

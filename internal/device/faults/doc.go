@@ -1,0 +1,25 @@
+// Package faults wraps any device.Device in a deterministic fault
+// injector: seeded latent sector errors, seeded transient command
+// timeouts, and whole-disk loss (scheduled by virtual time or
+// triggered explicitly). Every injected failure is typed — it wraps
+// one of the device error classes (device.ErrMedium, device.ErrTimeout,
+// device.ErrLost) inside a *device.Error identifying the failing
+// request — and never advances the wrapped device's clock, so a failed
+// request consumes no virtual time and the stack above can retry,
+// reconstruct, or fail over deterministically.
+//
+// Determinism: latent errors are a seeded function of position (the
+// same seed places the same bad ranges, whatever the request order),
+// and timeouts are drawn from a seeded stream per served request, so
+// replaying an identical request sequence against an identically
+// configured injector reproduces the identical outcome sequence —
+// the property devtest.FuzzFaulty pins. Writes heal latent errors
+// under their range (sector reassignment), which is what lets a scrub
+// or rebuild pass repair a degraded array. The fault-free hot path
+// adds no allocations (gated in BENCH_rebuild.json).
+//
+// The injector forwards the wrapped device's capabilities
+// (Rotational, BoundaryProvider, Mapped, Named), so it can stand
+// anywhere a backend can — including as the child of a parity array,
+// which is how the rebuild studies lose a spindle.
+package faults

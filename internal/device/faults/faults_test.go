@@ -1,0 +1,340 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/faults"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/disk/sim"
+)
+
+func newSim(t testing.TB, seed int64) *sim.Disk {
+	t.Helper()
+	m := model.MustGet("HP-C2247")
+	cfg := m.DefaultConfig()
+	cfg.Seed = seed
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	return d
+}
+
+// TestTransparent: an option-free injector changes nothing — every
+// request's Result is identical to the bare device's.
+func TestTransparent(t *testing.T) {
+	bare := newSim(t, 1)
+	in, err := faults.New(newSim(t, 1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	at := 0.0
+	for i := 0; i < 32; i++ {
+		req := device.Request{LBN: int64(i) * 977 % (bare.Capacity() - 64), Sectors: 8 + i%16, Write: i%3 == 0}
+		want, err1 := bare.Serve(at, req)
+		got, err2 := in.Serve(at, req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Serve %d: %v / %v", i, err1, err2)
+		}
+		if got.Issue != want.Issue || got.Start != want.Start || got.MediaEnd != want.MediaEnd || got.Done != want.Done {
+			t.Fatalf("Serve %d: injector result %+v != bare %+v", i, got, want)
+		}
+		at = got.Done
+	}
+	if s := in.Stats(); s.Served != 32 || s.Medium+s.Timeout+s.Lost != 0 {
+		t.Fatalf("stats %+v after a fault-free run", s)
+	}
+}
+
+// TestLatentErrors: placement is a seeded function of position; reads
+// over a bad range fail with a typed medium error and an untouched
+// clock; writes heal.
+func TestLatentErrors(t *testing.T) {
+	mk := func() *faults.Injector {
+		in, err := faults.New(newSim(t, 2), faults.WithSeed(42), faults.WithLatentErrors(4, 16))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	ra, rb := a.LatentRanges(), b.LatentRanges()
+	if len(ra) == 0 {
+		t.Fatal("no latent ranges seeded")
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("placement differs across identical seeds: %v vs %v", ra, rb)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("placement differs at %d: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+
+	in := a
+	bad := ra[0]
+	// A read overlapping the bad range fails as a medium error, typed,
+	// with the failing request recoverable and the clock untouched.
+	req := device.Request{LBN: bad[0], Sectors: int(bad[1])}
+	before := in.Now()
+	_, err := in.Serve(before, req)
+	if !errors.Is(err, device.ErrMedium) {
+		t.Fatalf("read over bad range: %v, want ErrMedium", err)
+	}
+	if !device.IsFault(err) || device.IsTransient(err) {
+		t.Fatalf("classification of %v: IsFault=%v IsTransient=%v", err, device.IsFault(err), device.IsTransient(err))
+	}
+	var de *device.Error
+	if !errors.As(err, &de) || de.Req != req {
+		t.Fatalf("typed error does not identify the failing request: %v", err)
+	}
+	if in.Now() != before {
+		t.Fatalf("failed read advanced the clock %g -> %g", before, in.Now())
+	}
+	// A single-sector read just outside the range succeeds.
+	if bad[0] > 0 {
+		if _, err := in.Serve(in.Now(), device.Request{LBN: bad[0] - 1, Sectors: 1}); err != nil {
+			t.Fatalf("read outside bad range: %v", err)
+		}
+	}
+	// A write over the range heals it: the same read then succeeds.
+	if _, err := in.Serve(in.Now(), device.Request{LBN: bad[0], Sectors: int(bad[1]), Write: true}); err != nil {
+		t.Fatalf("healing write: %v", err)
+	}
+	if _, err := in.Serve(in.Now(), req); err != nil {
+		t.Fatalf("read after healing write: %v", err)
+	}
+	if in.Stats().Healed == 0 {
+		t.Fatal("healing write not counted")
+	}
+	if len(in.LatentRanges()) != len(ra)-1 {
+		t.Fatalf("%d ranges after healing one of %d", len(in.LatentRanges()), len(ra))
+	}
+}
+
+// TestPartialHeal: a write covering the middle of a bad range splits
+// it; the remnants still fail.
+func TestPartialHeal(t *testing.T) {
+	in, err := faults.New(newSim(t, 2), faults.WithLatentErrors(1, 32))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bad := in.LatentRanges()[0]
+	mid := device.Request{LBN: bad[0] + 8, Sectors: 8, Write: true}
+	if _, err := in.Serve(0, mid); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	rs := in.LatentRanges()
+	if len(rs) != 2 {
+		t.Fatalf("ranges after mid-write: %v, want a split", rs)
+	}
+	// The written window now reads clean; both remnants still fail.
+	if _, err := in.Serve(in.Now(), device.Request{LBN: mid.LBN, Sectors: mid.Sectors}); err != nil {
+		t.Fatalf("read of healed window: %v", err)
+	}
+	for _, r := range rs {
+		if _, err := in.Serve(in.Now(), device.Request{LBN: r[0], Sectors: int(r[1])}); !errors.Is(err, device.ErrMedium) {
+			t.Fatalf("remnant %v: %v, want ErrMedium", r, err)
+		}
+	}
+}
+
+// TestTimeouts: draws come from a seeded stream, so the outcome
+// sequence replays exactly; failures leave the clock untouched and a
+// retry redraws.
+func TestTimeouts(t *testing.T) {
+	run := func() ([]bool, faults.Stats) {
+		in, err := faults.New(newSim(t, 3), faults.WithSeed(7), faults.WithTimeoutProb(0.3))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		outcomes := make([]bool, 0, 64)
+		at := 0.0
+		for i := 0; i < 64; i++ {
+			req := device.Request{LBN: int64(i) * 577 % (in.Capacity() - 8), Sectors: 8}
+			before := in.Now()
+			res, err := in.Serve(at, req)
+			if err != nil {
+				if !errors.Is(err, device.ErrTimeout) || !device.IsTransient(err) {
+					t.Fatalf("Serve %d: %v, want a transient timeout", i, err)
+				}
+				if in.Now() != before {
+					t.Fatalf("Serve %d: timeout advanced the clock", i)
+				}
+				outcomes = append(outcomes, false)
+				continue
+			}
+			outcomes = append(outcomes, true)
+			at = res.Done
+		}
+		return outcomes, in.Stats()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if s1.Timeout == 0 || s1.Served == 0 {
+		t.Fatalf("stream did not mix outcomes: %+v", s1)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical replays: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d differs across identical replays", i)
+		}
+	}
+}
+
+// TestDiskLoss: WithFailAt trips by virtual time, FailNow immediately;
+// once lost every request fails with ErrLost until Repair.
+func TestDiskLoss(t *testing.T) {
+	in, err := faults.New(newSim(t, 4), faults.WithFailAt(50))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	req := device.Request{LBN: 0, Sectors: 8}
+	res, err := in.Serve(0, req)
+	if err != nil {
+		t.Fatalf("pre-loss Serve: %v", err)
+	}
+	if _, err := in.Serve(50, req); !errors.Is(err, device.ErrLost) {
+		t.Fatalf("Serve at fail time: %v, want ErrLost", err)
+	}
+	if !in.Lost() {
+		t.Fatal("injector not marked lost")
+	}
+	// Loss latches: even an earlier-than-failAt retry fails.
+	if _, err := in.Serve(res.Done, req); !errors.Is(err, device.ErrLost) {
+		t.Fatalf("Serve after loss: %v, want ErrLost", err)
+	}
+	in.Repair()
+	if _, err := in.Serve(60, req); err != nil {
+		t.Fatalf("Serve after repair: %v", err)
+	}
+
+	in2, err := faults.New(newSim(t, 4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	in2.FailNow()
+	if _, err := in2.Serve(0, req); !errors.Is(err, device.ErrLost) {
+		t.Fatalf("Serve after FailNow: %v, want ErrLost", err)
+	}
+}
+
+// TestRejectsInvalid: malformed requests fail the shared gate (typed
+// ErrInvalidRequest), are not faults, and touch no counters.
+func TestRejectsInvalid(t *testing.T) {
+	in, err := faults.New(newSim(t, 5), faults.WithTimeoutProb(0.5))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = in.Serve(0, device.Request{LBN: -1, Sectors: 8})
+	if !errors.Is(err, device.ErrInvalidRequest) {
+		t.Fatalf("invalid request: %v, want ErrInvalidRequest", err)
+	}
+	if device.IsFault(err) {
+		t.Fatalf("invalid request classified as a fault: %v", err)
+	}
+	if s := in.Stats(); s != (faults.Stats{}) {
+		t.Fatalf("invalid request touched counters: %+v", s)
+	}
+}
+
+// TestForwardsCapabilities: the injector stands in for the wrapped
+// device under capability discovery.
+func TestForwardsCapabilities(t *testing.T) {
+	d := newSim(t, 6)
+	in, err := faults.New(d)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if in.RotationPeriod() != d.RotationPeriod() {
+		t.Fatal("injector does not forward the rotation period")
+	}
+	if len(in.TrackBoundaries()) != len(d.TrackBoundaries()) {
+		t.Fatal("injector does not forward boundaries")
+	}
+	if in.Layout() != d.Lay {
+		t.Fatal("injector does not forward the layout")
+	}
+	if in.Name() == "" || in.Inner() != device.Device(d) {
+		t.Fatal("injector hides its wrapped device")
+	}
+}
+
+// TestConstructorRejects: bad options fail construction.
+func TestConstructorRejects(t *testing.T) {
+	d := newSim(t, 6)
+	if _, err := faults.New(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := faults.New(d, faults.WithTimeoutProb(1.5)); err == nil {
+		t.Fatal("timeout probability 1.5 accepted")
+	}
+	if _, err := faults.New(d, faults.WithLatentErrors(2, 0)); err == nil {
+		t.Fatal("latent span 0 accepted")
+	}
+	if _, err := faults.New(d, faults.WithLatentErrors(-1, 8)); err == nil {
+		t.Fatal("negative latent count accepted")
+	}
+}
+
+// bareDevice is a minimal Device with no optional capabilities, for
+// exercising the injector's forwarding fallbacks.
+type bareDevice struct{ now float64 }
+
+func (b *bareDevice) Serve(at float64, req device.Request) (device.Result, error) {
+	if at < b.now {
+		at = b.now
+	}
+	res := device.Result{Req: req, Issue: at, Start: at, MediaEnd: at + 1, Done: at + 1}
+	b.now = res.Done
+	return res, nil
+}
+func (b *bareDevice) Now() float64    { return b.now }
+func (b *bareDevice) Capacity() int64 { return 4096 }
+func (b *bareDevice) SectorSize() int { return 512 }
+
+// TestExplicitBadRanges: WithBadRange marks exact ranges, overlapping
+// ranges merge, and a capability-free wrapped device degrades the
+// forwarded capabilities to their zero values.
+func TestExplicitBadRanges(t *testing.T) {
+	in, err := faults.New(&bareDevice{},
+		faults.WithBadRange(100, 16),
+		faults.WithBadRange(108, 16), // overlaps the first: merged
+		faults.WithBadRange(200, 8))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := in.LatentRanges()
+	if len(got) != 2 || got[0] != [2]int64{100, 24} || got[1] != [2]int64{200, 8} {
+		t.Fatalf("merged ranges %v, want [100,24] and [200,8]", got)
+	}
+	if _, err := in.Serve(0, device.Request{LBN: 120, Sectors: 8}); !errors.Is(err, device.ErrMedium) {
+		t.Fatalf("read over the merged range returned %v, want ErrMedium", err)
+	}
+	if _, err := in.Serve(0, device.Request{LBN: 96, Sectors: 32, Write: true}); err != nil {
+		t.Fatalf("healing write: %v", err)
+	}
+	if got := in.LatentRanges(); len(got) != 1 || got[0] != [2]int64{200, 8} {
+		t.Fatalf("ranges after heal %v, want only [200,8]", got)
+	}
+
+	// No optional capabilities on the wrapped device: zero values out.
+	if in.SectorSize() != 512 {
+		t.Fatalf("SectorSize = %d", in.SectorSize())
+	}
+	if in.RotationPeriod() != 0 || in.TrackBoundaries() != nil || in.Layout() != nil {
+		t.Fatal("capability-free inner did not degrade to zero values")
+	}
+	if in.Name() != "faults" {
+		t.Fatalf("Name = %q, want plain \"faults\" over an unnamed device", in.Name())
+	}
+
+	// Out-of-bounds explicit ranges fail construction.
+	if _, err := faults.New(&bareDevice{}, faults.WithBadRange(4090, 16)); err == nil {
+		t.Fatal("out-of-bounds bad range accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
+	"traxtents/internal/device/faults"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/volume"
 )
@@ -25,25 +26,36 @@ func FuzzDevice(f *testing.F) {
 	f.Add(int64(123456), 64, uint8(2), true, true)
 	f.Fuzz(func(t *testing.T, lbn int64, sectors int, shape uint8, write, fua bool) {
 		backends := []struct {
-			name string
-			mk   func() device.Device
+			name   string
+			faulty bool
+			mk     func() device.Device
 		}{
-			{"sim", func() device.Device { return newSim(t, 3) }},
-			{"sched", func() device.Device {
+			{"sim", false, func() device.Device { return newSim(t, 3) }},
+			{"faults", true, func() device.Device {
+				in, err := faults.New(newSim(t, 3),
+					faults.WithSeed(9),
+					faults.WithLatentErrors(32, 24),
+					faults.WithTimeoutProb(0.1))
+				if err != nil {
+					t.Fatalf("faults.New: %v", err)
+				}
+				return in
+			}},
+			{"sched", false, func() device.Device {
 				q, err := sched.New(newSim(t, 3), sched.WithDepth(4), sched.WithScheduler(sched.SSTF()))
 				if err != nil {
 					t.Fatalf("sched.New: %v", err)
 				}
 				return q
 			}},
-			{"cache", func() device.Device {
+			{"cache", false, func() device.Device {
 				c, err := cache.New(newSim(t, 3), cache.WithCapacityMB(1), cache.WithWriteBack(true), cache.WithSegmentedLRU(true))
 				if err != nil {
 					t.Fatalf("cache.New: %v", err)
 				}
 				return c
 			}},
-			{"cache-sched", func() device.Device {
+			{"cache-sched", false, func() device.Device {
 				q, err := sched.New(newSim(t, 3), sched.WithDepth(4), sched.WithScheduler(sched.CLOOK()))
 				if err != nil {
 					t.Fatalf("sched.New: %v", err)
@@ -54,7 +66,7 @@ func FuzzDevice(f *testing.F) {
 				}
 				return c
 			}},
-			{"volume", func() device.Device {
+			{"volume", false, func() device.Device {
 				m, err := volume.New([]device.Device{newSim(t, 3)},
 					volume.WithTier("fair"), volume.WithTierDepth(4))
 				if err != nil {
@@ -79,6 +91,14 @@ func FuzzDevice(f *testing.F) {
 				fuzzed,
 				{LBN: d.Capacity() - 32, Sectors: 32, Write: true},
 			} {
+				if b.faulty {
+					// Injected faults are legal here; the relaxed
+					// check still pins typing and clock behavior.
+					if res, err := devtest.CheckFaulty(t, d, at, req); err == nil {
+						at = res.Done
+					}
+					continue
+				}
 				if res, ok := devtest.Check(t, d, at, req); ok {
 					at = res.Done
 				}

@@ -139,7 +139,7 @@ func (q *Queue) Submit(at float64, req device.Request) error {
 	if q.fcfs {
 		res, err := q.inner.Serve(at, req)
 		if err != nil {
-			q.err = fmt.Errorf("sched: dispatch %+v: %w", req, err)
+			q.err = &device.Error{Op: "sched dispatch", Req: req, Err: err}
 			return q.err
 		}
 		q.note(res)
@@ -302,7 +302,10 @@ func (q *Queue) dispatchAt(t float64) bool {
 	p := cands[pick]
 	res, err := q.inner.Serve(t, p.Req)
 	if err != nil {
-		q.err = fmt.Errorf("sched: dispatch %+v: %w", p.Req, err)
+		// The sticky typed error identifies the failing request: a
+		// dispatch that dies mid-Drain reaches the caller attributed,
+		// not dropped.
+		q.err = &device.Error{Op: "sched dispatch", Req: p.Req, Err: err}
 		return false
 	}
 	// The queue length the scheduler saw: requests arrived by the

@@ -1,6 +1,45 @@
 package striped
 
-import "traxtents/internal/device"
+import (
+	"fmt"
+
+	"traxtents/internal/device"
+)
+
+// RAID0CloneForTest builds a plain (non-parity) array over the given
+// children with this array's exact data layout — the same bounds,
+// childOf, and childLBN tables — so fault-free parity reads can be
+// differentially pinned bit-identical to RAID-0 on the same geometry.
+func (a *Array) RAID0CloneForTest(children []device.Device) (*Array, error) {
+	if len(children) != len(a.children) {
+		return nil, fmt.Errorf("striped: clone over %d children, want %d", len(children), len(a.children))
+	}
+	for i, c := range children {
+		if c.SectorSize() != a.sectorSize {
+			return nil, fmt.Errorf("striped: clone child %d sector size %d != %d", i, c.SectorSize(), a.sectorSize)
+		}
+	}
+	return &Array{
+		children:   children,
+		bounds:     a.bounds,
+		childLBN:   a.childLBN,
+		childOf:    a.childOf,
+		uniform:    a.uniform,
+		sectorSize: a.sectorSize,
+		period:     a.period,
+		lost:       -1,
+		spanBuf:    make([]span, 0, len(children)),
+		spanOf:     make([]int, len(children)),
+		routes:     make([]map[int]int, len(children)),
+		childSeq:   make([]int, len(children)),
+	}, nil
+}
+
+// ParityChildForTest exposes the stripe -> parity-child rotation.
+func (a *Array) ParityChildForTest(s int) int { return a.parityChild[s] }
+
+// ChildStartForTest exposes where stripe s's unit starts on child c.
+func (a *Array) ChildStartForTest(c, s int) int64 { return a.childStarts[c][s] }
 
 // SpanForTest mirrors the unexported span for the external test package.
 type SpanForTest struct {

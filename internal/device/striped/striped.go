@@ -1,6 +1,7 @@
 package striped
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,7 @@ type config struct {
 	chunkSectors int64
 	queueOpts    []sched.Option
 	queued       bool
+	parity       bool
 }
 
 // Option configures the array.
@@ -45,18 +47,43 @@ func WithChunkSectors(n int64) Option {
 	return func(c *config) { c.chunkSectors = n }
 }
 
+// WithParity adds RAID-5-style rotating parity: stripe s is unit s of
+// every child, one of which (child N-1-s mod N) holds the XOR of the
+// others, and the logical space exposes only the data units. The
+// stripe units stay keyed to the children's traxtents (or the fixed
+// chunk grid), so no parity unit straddles a track. A parity array
+// survives one lost child: degraded reads reconstruct from the
+// survivors, a medium error on a healthy child is reconstructed and
+// repaired in place, and transient timeouts are retried. Writes are
+// read-modify-write, so the Submit path serves synchronously.
+func WithParity() Option {
+	return func(c *config) { c.parity = true }
+}
+
 // Array is a striped multi-device array.
 type Array struct {
 	children []device.Device
 	// bounds[j] is the array LBN where stripe unit j starts; the last
-	// entry is the capacity. Unit j lives on child j mod N, starting at
-	// child LBN childLBN[j].
+	// entry is the capacity. Unit j lives on child childOf[j], starting
+	// at child LBN childLBN[j] (childOf[j] = j mod N without parity).
 	bounds     []int64
 	childLBN   []int64
+	childOf    []int
 	uniform    int64 // stripe unit when all are equal (fixed chunks), else 0
 	sectorSize int
 	period     float64 // common child rotation period, 0 if mixed/unknown
 	lastDone   float64
+
+	// Parity state. nData is the data units per stripe (N-1);
+	// childStarts[c][s] is where stripe s's unit starts on child c (data
+	// or parity alike); parityChild[s] is the stripe's parity child; lost
+	// is the failed child, -1 while healthy.
+	parity      bool
+	nData       int
+	childStarts [][]int64
+	parityChild []int
+	lost        int
+	dstats      DegradedStats
 
 	// Per-Serve scratch, derived once at construction and reused on
 	// every request so the steady-state Serve path is allocation-free.
@@ -160,8 +187,12 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 		}
 	}
 
-	// Interleave: array unit j = child (j mod N)'s unit (j div N), up to
-	// the smallest child unit count so every stripe is complete.
+	// Interleave up to the smallest child unit count so every stripe is
+	// complete. Without parity, array unit j = child (j mod N)'s unit
+	// (j div N). With parity, stripe s is unit s of every child; child
+	// N-1-(s mod N) holds parity and the logical space skips it, so the
+	// stripe contributes N-1 data units of the stripe's smallest unit
+	// size (each starting at a unit boundary, so none straddles a track).
 	units := len(childBounds[0]) - 1
 	for _, b := range childBounds[1:] {
 		if n := len(b) - 1; n < units {
@@ -169,15 +200,55 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 		}
 	}
 	n := len(children)
-	a.bounds = make([]int64, 0, units*n+1)
-	a.childLBN = make([]int64, 0, units*n)
-	at := int64(0)
-	a.bounds = append(a.bounds, 0)
-	for j := 0; j < units*n; j++ {
-		c, k := j%n, j/n
-		a.childLBN = append(a.childLBN, childBounds[c][k])
-		at += childBounds[c][k+1] - childBounds[c][k]
-		a.bounds = append(a.bounds, at)
+	a.lost = -1
+	if cfg.parity {
+		if n < 2 {
+			return nil, fmt.Errorf("striped: parity needs at least 2 children")
+		}
+		a.parity = true
+		a.nData = n - 1
+		a.childStarts = make([][]int64, n)
+		for c := range children {
+			a.childStarts[c] = childBounds[c][:units+1]
+		}
+		a.parityChild = make([]int, units)
+		a.bounds = make([]int64, 0, units*(n-1)+1)
+		a.childLBN = make([]int64, 0, units*(n-1))
+		a.childOf = make([]int, 0, units*(n-1))
+		at := int64(0)
+		a.bounds = append(a.bounds, 0)
+		for s := 0; s < units; s++ {
+			size := childBounds[0][s+1] - childBounds[0][s]
+			for _, b := range childBounds[1:] {
+				if u := b[s+1] - b[s]; u < size {
+					size = u
+				}
+			}
+			p := (n - 1) - s%n
+			a.parityChild[s] = p
+			for c := 0; c < n; c++ {
+				if c == p {
+					continue
+				}
+				a.childOf = append(a.childOf, c)
+				a.childLBN = append(a.childLBN, childBounds[c][s])
+				at += size
+				a.bounds = append(a.bounds, at)
+			}
+		}
+	} else {
+		a.bounds = make([]int64, 0, units*n+1)
+		a.childLBN = make([]int64, 0, units*n)
+		a.childOf = make([]int, 0, units*n)
+		at := int64(0)
+		a.bounds = append(a.bounds, 0)
+		for j := 0; j < units*n; j++ {
+			c, k := j%n, j/n
+			a.childOf = append(a.childOf, c)
+			a.childLBN = append(a.childLBN, childBounds[c][k])
+			at += childBounds[c][k+1] - childBounds[c][k]
+			a.bounds = append(a.bounds, at)
+		}
 	}
 
 	a.spanBuf = make([]span, 0, n)
@@ -239,10 +310,14 @@ func (a *Array) RotationPeriod() float64 { return a.period }
 
 // Name identifies the array configuration.
 func (a *Array) Name() string {
+	unit := "traxtent"
 	if a.uniform > 0 {
-		return fmt.Sprintf("striped[%dx%d]", len(a.children), a.uniform)
+		unit = fmt.Sprint(a.uniform)
 	}
-	return fmt.Sprintf("striped[%dxtraxtent]", len(a.children))
+	if a.parity {
+		return fmt.Sprintf("striped[%dx%s+parity]", len(a.children), unit)
+	}
+	return fmt.Sprintf("striped[%dx%s]", len(a.children), unit)
 }
 
 // TrackBoundaries returns the stripe-unit boundaries: the array's
@@ -304,7 +379,7 @@ func (a *Array) split(req device.Request) []span {
 		if n > left {
 			n = left
 		}
-		c := j % len(a.children)
+		c := a.childOf[j]
 		cl := a.childLBN[j] + (lbn - a.bounds[j])
 		if si := a.spanOf[c]; si >= 0 && out[si].lbn+int64(out[si].sectors) == cl {
 			out[si].sectors += int(n)
@@ -346,12 +421,13 @@ func accumulate(dst *device.Result, started *bool, r device.Result) {
 // child's. The aggregate Result has no media-phase breakdown —
 // per-child timing is available from the children themselves. Serve is
 // a per-request barrier; it refuses to interleave with an in-flight
-// Submit batch (Drain first).
+// Submit batch (Drain first) — except on parity arrays, whose
+// submissions are themselves synchronous.
 func (a *Array) Serve(at float64, req device.Request) (device.Result, error) {
 	if err := device.CheckRequest(a, req); err != nil {
 		return device.Result{}, err
 	}
-	if len(a.joins) > 0 {
+	if !a.parity && len(a.joins) > 0 {
 		return device.Result{}, fmt.Errorf("striped: %d submitted requests outstanding; Drain before Serve", len(a.joins))
 	}
 	// Enforce the issue-order contract up front: a regressive time
@@ -361,23 +437,277 @@ func (a *Array) Serve(at float64, req device.Request) (device.Result, error) {
 		return device.Result{}, fmt.Errorf("striped: issue time %g before previous %g", at, a.lastIssue)
 	}
 	a.lastIssue = at
-	res := device.Result{Req: req, Issue: at, CacheHit: true}
-	started := false
-	for _, s := range a.split(req) {
-		sub := device.Request{LBN: s.lbn, Sectors: s.sectors, Write: req.Write, FUA: req.FUA}
-		r, err := a.children[s.child].Serve(at, sub)
-		if err != nil {
-			return device.Result{}, fmt.Errorf("striped: child %d: %w", s.child, err)
-		}
-		if _, ok := a.children[s.child].(*sched.Queue); ok {
-			a.childSeq[s.child]++ // the barrier Serve consumed one sequence number
-		}
-		accumulate(&res, &started, r)
+	res, err := a.serve(at, req)
+	if err != nil {
+		return device.Result{}, err
 	}
 	if res.Done > a.lastDone {
 		a.lastDone = res.Done
 	}
 	return res, nil
+}
+
+// maxRetries bounds in-place retries of transient child timeouts on
+// parity arrays (non-parity arrays propagate the first failure).
+const maxRetries = 3
+
+// childOp issues one sub-request to one child, retrying transient
+// timeouts on parity arrays and wrapping any failure in the typed
+// device.Error record with the failing child and request identified.
+// On success it keeps the mirrored submission counter of queued
+// children in step.
+func (a *Array) childOp(at float64, c int, sub device.Request) (device.Result, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := a.children[c].Serve(at, sub)
+		if err == nil {
+			if _, ok := a.children[c].(*sched.Queue); ok {
+				a.childSeq[c]++ // the barrier Serve consumed one sequence number
+			}
+			return r, nil
+		}
+		if a.parity && device.IsTransient(err) && attempt < maxRetries {
+			a.dstats.Retries++
+			continue
+		}
+		return device.Result{}, &device.Error{Op: fmt.Sprintf("striped child %d", c), Req: sub, Err: err}
+	}
+}
+
+// serve routes one validated request: parity writes and degraded
+// parity arrays walk stripe units one by one; everything else fans out
+// merged per-child spans — so a healthy parity array reads exactly
+// like RAID-0 over the same data layout.
+func (a *Array) serve(at float64, req device.Request) (device.Result, error) {
+	if a.parity && (req.Write || a.lost >= 0) {
+		return a.serveParity(at, req)
+	}
+	res := device.Result{Req: req, Issue: at, CacheHit: true}
+	started := false
+	for _, s := range a.split(req) {
+		sub := device.Request{LBN: s.lbn, Sectors: s.sectors, Write: req.Write, FUA: req.FUA}
+		r, err := a.childOp(at, s.child, sub)
+		if err != nil {
+			if a.parity && a.absorb(err, s.child) {
+				// The child just failed under a healthy parity read:
+				// re-walk the whole request unit by unit, reconstructing
+				// what the failed child cannot serve. Spans already
+				// served stand — the retry is a fresh pass over the same
+				// addresses.
+				return a.serveParity(at, req)
+			}
+			return device.Result{}, err
+		}
+		accumulate(&res, &started, r)
+	}
+	return res, nil
+}
+
+// absorb classifies a child failure a healthy parity array survives in
+// place: a whole-child loss degrades the array, and a medium error is
+// reconstructable per unit. Transients were already retried by
+// childOp. It reports whether the per-unit walk should take over.
+func (a *Array) absorb(err error, c int) bool {
+	if errors.Is(err, device.ErrLost) {
+		if a.lost < 0 {
+			a.lost = c
+			return true
+		}
+		return a.lost == c
+	}
+	return errors.Is(err, device.ErrMedium)
+}
+
+// serveParity is the per-unit path: parity writes (read-modify-write),
+// degraded reads (peer reconstruction), and medium-error repair all
+// work on whole stripe units, so the walk never merges spans.
+func (a *Array) serveParity(at float64, req device.Request) (device.Result, error) {
+	res := device.Result{Req: req, Issue: at, CacheHit: true}
+	started := false
+	lbn := req.LBN
+	left := int64(req.Sectors)
+	j := a.unitOf(lbn)
+	for left > 0 {
+		n := a.bounds[j+1] - lbn
+		if n > left {
+			n = left
+		}
+		o := lbn - a.bounds[j]
+		if err := a.serveUnit(at, j, o, n, req, &res, &started); err != nil {
+			return device.Result{}, err
+		}
+		lbn += n
+		left -= n
+		j++
+	}
+	return res, nil
+}
+
+// serveUnit services the [o, o+n) window of logical unit j.
+func (a *Array) serveUnit(at float64, j int, o, n int64, req device.Request, res *device.Result, started *bool) error {
+	s := j / a.nData
+	c := a.childOf[j]
+	if req.Write {
+		return a.writeUnit(at, s, o, n, c, a.parityChild[s], req.FUA, res, started)
+	}
+	if c == a.lost {
+		return a.reconstruct(at, s, o, n, c, res, started)
+	}
+	rd := device.Request{LBN: a.childStarts[c][s] + o, Sectors: int(n), FUA: req.FUA}
+	r, err := a.childOp(at, c, rd)
+	if err == nil {
+		accumulate(res, started, r)
+		return nil
+	}
+	if errors.Is(err, device.ErrLost) && a.lost < 0 {
+		a.lost = c
+		return a.reconstruct(at, s, o, n, c, res, started)
+	}
+	if errors.Is(err, device.ErrMedium) {
+		// Reconstruct the window from the peers, then rewrite it in
+		// place: the write reassigns the bad sectors, repairing the
+		// child without degrading the array.
+		if err := a.reconstruct(at, s, o, n, c, res, started); err != nil {
+			return err
+		}
+		w := device.Request{LBN: rd.LBN, Sectors: int(n), Write: true}
+		wr, err := a.childOp(at, c, w)
+		if err != nil {
+			return err
+		}
+		a.dstats.Repairs++
+		accumulate(res, started, wr)
+		return nil
+	}
+	return err
+}
+
+// reconstruct answers the [o, o+n) window of stripe s's unit on child
+// skip by reading the matching window of every other child (data and
+// parity) and XORing them — free in virtual time beyond the reads,
+// which are all issued at the same instant so the survivors position
+// in parallel.
+func (a *Array) reconstruct(at float64, s int, o, n int64, skip int, res *device.Result, started *bool) error {
+	if a.lost >= 0 && a.lost != skip {
+		return &device.Error{
+			Op:  fmt.Sprintf("striped child %d", skip),
+			Req: device.Request{LBN: a.childStarts[skip][s] + o, Sectors: int(n)},
+			Err: fmt.Errorf("%w: stripe %d cannot reconstruct with children %d and %d both failed", device.ErrMedium, s, a.lost, skip),
+		}
+	}
+	for c := range a.children {
+		if c == skip {
+			continue
+		}
+		rd := device.Request{LBN: a.childStarts[c][s] + o, Sectors: int(n)}
+		r, err := a.childOp(at, c, rd)
+		if err != nil {
+			return err
+		}
+		accumulate(res, started, r)
+	}
+	a.dstats.Reconstructs++
+	return nil
+}
+
+// writeUnit updates the [o, o+n) window of stripe s's data unit on
+// child c and the stripe's parity on child p. All phases are issued at
+// the same instant: each child queues its own read before its write
+// FCFS, while the data and parity children overlap.
+func (a *Array) writeUnit(at float64, s int, o, n int64, c, p int, fua bool, res *device.Result, started *bool) error {
+	dataW := device.Request{LBN: a.childStarts[c][s] + o, Sectors: int(n), Write: true, FUA: fua}
+	parW := device.Request{LBN: a.childStarts[p][s] + o, Sectors: int(n), Write: true, FUA: fua}
+	switch {
+	case c == a.lost:
+		// The unit's child is gone: fold the new data into parity
+		// instead — read the stripe's surviving data units and rewrite
+		// parity as their XOR with the new data.
+		for cc := range a.children {
+			if cc == c || cc == p {
+				continue
+			}
+			rd := device.Request{LBN: a.childStarts[cc][s] + o, Sectors: int(n)}
+			r, err := a.childOp(at, cc, rd)
+			if err != nil {
+				return err
+			}
+			accumulate(res, started, r)
+		}
+		r, err := a.childOp(at, p, parW)
+		if err != nil {
+			return err
+		}
+		accumulate(res, started, r)
+		return nil
+	case p == a.lost:
+		// Parity is gone: the data write alone carries the update.
+		r, err := a.childOp(at, c, dataW)
+		if err != nil {
+			return err
+		}
+		accumulate(res, started, r)
+		return nil
+	}
+	// Healthy stripe: read-modify-write — read old data and old parity,
+	// then write new data and new parity.
+	for _, ph := range [4]struct {
+		c  int
+		rq device.Request
+	}{
+		{c, device.Request{LBN: dataW.LBN, Sectors: int(n)}},
+		{p, device.Request{LBN: parW.LBN, Sectors: int(n)}},
+		{c, dataW},
+		{p, parW},
+	} {
+		r, err := a.childOp(at, ph.c, ph.rq)
+		if err != nil {
+			if errors.Is(err, device.ErrLost) && a.lost < 0 {
+				// Degrade and redo the unit: the degraded branches above
+				// take over. Ops already served stand.
+				a.lost = ph.c
+				return a.writeUnit(at, s, o, n, c, p, fua, res, started)
+			}
+			if !ph.rq.Write && errors.Is(err, device.ErrMedium) {
+				// The old contents are unreadable; recompute parity from
+				// scratch instead: read every other data unit and write
+				// data + parity (the writes reassign the bad sectors).
+				return a.rewriteUnit(at, s, o, n, c, p, fua, res, started)
+			}
+			return err
+		}
+		accumulate(res, started, r)
+	}
+	return nil
+}
+
+// rewriteUnit is the reconstruct-write fallback for a healthy stripe
+// whose old data or parity is unreadable: parity is recomputed from
+// the other data units and both target windows are rewritten, which
+// also repairs the bad sectors in place.
+func (a *Array) rewriteUnit(at float64, s int, o, n int64, c, p int, fua bool, res *device.Result, started *bool) error {
+	for cc := range a.children {
+		if cc == c || cc == p {
+			continue
+		}
+		rd := device.Request{LBN: a.childStarts[cc][s] + o, Sectors: int(n)}
+		r, err := a.childOp(at, cc, rd)
+		if err != nil {
+			return err
+		}
+		accumulate(res, started, r)
+	}
+	for _, ph := range [2]struct {
+		c   int
+		lbn int64
+	}{{c, a.childStarts[c][s] + o}, {p, a.childStarts[p][s] + o}} {
+		w := device.Request{LBN: ph.lbn, Sectors: int(n), Write: true, FUA: fua}
+		r, err := a.childOp(at, ph.c, w)
+		if err != nil {
+			return err
+		}
+		accumulate(res, started, r)
+	}
+	a.dstats.Repairs++
+	return nil
 }
 
 // Submit enqueues one array request issued at the given host time on
@@ -395,6 +725,22 @@ func (a *Array) Submit(at float64, req device.Request) error {
 		return fmt.Errorf("striped: issue time %g before previous %g", at, a.lastIssue)
 	}
 	a.lastIssue = at
+	if a.parity {
+		// Parity updates are read-modify-write: the phase-2 writes
+		// depend on the phase-1 reads, which lazy per-child scheduling
+		// cannot order. Parity arrays therefore serve each submission
+		// synchronously; Drain still returns results in submission
+		// order, so Submit/Drain drivers work unchanged.
+		res, err := a.serve(at, req)
+		if err != nil {
+			return err
+		}
+		if res.Done > a.lastDone {
+			a.lastDone = res.Done
+		}
+		a.joins = append(a.joins, join{res: res, started: true})
+		return nil
+	}
 	a.joins = append(a.joins, join{res: device.Result{Req: req, Issue: at, CacheHit: true}})
 	ji := len(a.joins) - 1
 	for _, s := range a.split(req) {
@@ -410,9 +756,9 @@ func (a *Array) Submit(at float64, req device.Request) error {
 			a.childSeq[s.child]++
 			a.joins[ji].remaining++
 		} else {
-			r, err := a.children[s.child].Serve(at, sub)
+			r, err := a.childOp(at, s.child, sub)
 			if err != nil {
-				return fmt.Errorf("striped: child %d: %w", s.child, err)
+				return err
 			}
 			accumulate(&a.joins[ji].res, &a.joins[ji].started, r)
 		}
@@ -461,4 +807,196 @@ func (a *Array) Drain() ([]device.Result, error) {
 	}
 	a.joins = a.joins[:0]
 	return out, nil
+}
+
+// DegradedStats counts the fault-absorption work a parity array has
+// done.
+type DegradedStats struct {
+	// Reconstructs is the number of unit windows answered by XORing the
+	// surviving children instead of reading the failed one.
+	Reconstructs int
+	// Repairs is the number of unit windows rewritten in place after a
+	// medium error (sector reassignment through the write path).
+	Repairs int
+	// Retries is the number of transient child timeouts retried.
+	Retries int
+}
+
+// DegradedStats returns the accumulated fault-absorption counters.
+func (a *Array) DegradedStats() DegradedStats { return a.dstats }
+
+// Parity reports whether the array maintains rotating parity.
+func (a *Array) Parity() bool { return a.parity }
+
+// LostChild returns the index of the failed child, or -1 while the
+// array is healthy (always -1 without parity).
+func (a *Array) LostChild() int {
+	if !a.parity {
+		return -1
+	}
+	return a.lost
+}
+
+// Stripes returns the number of parity stripes (0 without parity).
+func (a *Array) Stripes() int {
+	if !a.parity {
+		return 0
+	}
+	return len(a.parityChild)
+}
+
+// ScrubStripe verifies stripe s end to end: every surviving child's
+// full unit — data and parity alike — is read, and a latent sector
+// error is reconstructed from the peers and rewritten in place, just
+// as a foreground read would repair it. The logical read path never
+// touches healthy parity units, so only a scrub surfaces their latent
+// errors before a disk loss would make the stripe unrecoverable. It
+// returns the completion time of the stripe's last operation and the
+// number of unit reads issued.
+func (a *Array) ScrubStripe(at float64, s int) (float64, int, error) {
+	if !a.parity {
+		return 0, 0, fmt.Errorf("striped: scrub needs a parity array")
+	}
+	if s < 0 || s >= a.Stripes() {
+		return 0, 0, fmt.Errorf("striped: scrub stripe %d of %d", s, a.Stripes())
+	}
+	if at < a.lastIssue {
+		return 0, 0, fmt.Errorf("striped: issue time %g before previous %g", at, a.lastIssue)
+	}
+	reads := 0
+	for c := range a.children {
+		if c == a.lost {
+			continue
+		}
+		a.lastIssue = at
+		n := a.childStarts[c][s+1] - a.childStarts[c][s]
+		rd := device.Request{LBN: a.childStarts[c][s], Sectors: int(n)}
+		r, err := a.childOp(at, c, rd)
+		reads++
+		switch {
+		case err == nil:
+			at = r.Done
+		case errors.Is(err, device.ErrLost) && (a.lost < 0 || a.lost == c):
+			// The child died under the scrub's hands: degrade and move
+			// on — its units are now the rebuild pass's problem.
+			a.lost = c
+		case errors.Is(err, device.ErrMedium):
+			res := device.Result{Req: rd, Issue: at}
+			started := false
+			if err := a.reconstruct(at, s, 0, n, c, &res, &started); err != nil {
+				return 0, reads, err
+			}
+			w := device.Request{LBN: rd.LBN, Sectors: int(n), Write: true}
+			wr, err := a.childOp(at, c, w)
+			if err != nil {
+				return 0, reads, err
+			}
+			a.dstats.Repairs++
+			accumulate(&res, &started, wr)
+			at = res.Done
+		default:
+			return 0, reads, err
+		}
+	}
+	if at > a.lastDone {
+		a.lastDone = at
+	}
+	return at, reads, nil
+}
+
+// Lose marks a child failed, as if every request to it returned
+// device.ErrLost: reads reconstruct from the survivors and writes fold
+// into parity. Only parity arrays survive a loss, and only one child
+// may be lost at a time.
+func (a *Array) Lose(c int) error {
+	if !a.parity {
+		return fmt.Errorf("striped: Lose on a non-parity array")
+	}
+	if c < 0 || c >= len(a.children) {
+		return fmt.Errorf("striped: Lose(%d) of %d children", c, len(a.children))
+	}
+	if a.lost >= 0 && a.lost != c {
+		return fmt.Errorf("striped: child %d already lost", a.lost)
+	}
+	a.lost = c
+	return nil
+}
+
+// Replace installs a rebuilt replacement for the lost child and
+// returns the array to healthy mode. The replacement must match the
+// array's sector size and cover the lost child's striped extent; the
+// caller is responsible for having regenerated its contents (see
+// RebuildUnits).
+func (a *Array) Replace(c int, d device.Device) error {
+	if !a.parity {
+		return fmt.Errorf("striped: Replace on a non-parity array")
+	}
+	if c != a.lost {
+		return fmt.Errorf("striped: Replace(%d) but lost child is %d", c, a.lost)
+	}
+	if d == nil {
+		return fmt.Errorf("striped: nil replacement")
+	}
+	if d.SectorSize() != a.sectorSize {
+		return fmt.Errorf("striped: replacement sector size %d != %d", d.SectorSize(), a.sectorSize)
+	}
+	if need := a.childStarts[c][len(a.childStarts[c])-1]; d.Capacity() < need {
+		return fmt.Errorf("striped: replacement capacity %d < %d", d.Capacity(), need)
+	}
+	a.children[c] = d
+	a.childSeq[c] = 0
+	if q, ok := d.(*sched.Queue); ok {
+		a.childSeq[c] = q.Stats().Submitted
+	}
+	a.lost = -1
+	return nil
+}
+
+// RebuildUnit describes regenerating one stripe unit of the lost
+// child. Reading [LBN, LBN+Sectors) of the array's logical space
+// triggers exactly the survivor reads reconstruction needs (for a data
+// unit, the degraded read of the unit itself; for a parity unit, a
+// healthy read of the stripe's data), and the regenerated unit lands
+// at [SpareLBN, SpareLBN+SpareSectors) on the replacement child.
+type RebuildUnit struct {
+	Stripe       int
+	LBN          int64
+	Sectors      int64
+	SpareLBN     int64
+	SpareSectors int64
+}
+
+// RebuildUnits returns the lost child's stripe units in ascending
+// stripe order — the work list a rebuild pass must regenerate onto the
+// replacement. Nil while the array is healthy or has no parity.
+func (a *Array) RebuildUnits() []RebuildUnit {
+	if !a.parity || a.lost < 0 {
+		return nil
+	}
+	units := len(a.parityChild)
+	out := make([]RebuildUnit, 0, units)
+	for s := 0; s < units; s++ {
+		j0 := s * a.nData
+		size := a.bounds[j0+1] - a.bounds[j0]
+		u := RebuildUnit{
+			Stripe:       s,
+			SpareLBN:     a.childStarts[a.lost][s],
+			SpareSectors: size,
+		}
+		if a.parityChild[s] == a.lost {
+			// Parity unit: regenerating it reads the whole stripe's data.
+			u.LBN = a.bounds[j0]
+			u.Sectors = a.bounds[j0+a.nData] - a.bounds[j0]
+		} else {
+			for j := j0; j < j0+a.nData; j++ {
+				if a.childOf[j] == a.lost {
+					u.LBN = a.bounds[j]
+					u.Sectors = a.bounds[j+1] - a.bounds[j]
+					break
+				}
+			}
+		}
+		out = append(out, u)
+	}
+	return out
 }

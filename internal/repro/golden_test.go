@@ -152,6 +152,33 @@ func TestGoldenTenantStudy(t *testing.T) {
 	checkGolden(t, "tenant_study", pts)
 }
 
+// TestGoldenRebuildStudy pins the degraded-mode rebuild study — fault
+// absorption, parity reconstruction, the rebuild driver's event loop,
+// and the spare splice all feed these numbers. The snapshot is the
+// PR's acceptance artifact: the track-aligned strategy regenerates the
+// lost spindle in strictly less time AND holds the foreground p99.99
+// strictly below every block-granular strategy. Reproduce it with:
+//
+//	go run ./cmd/diskbench -rebuild -n 50 -seed 1
+func TestGoldenRebuildStudy(t *testing.T) {
+	res, err := RebuildStudy(goldenN, goldenSeed, nil)
+	if err != nil {
+		t.Fatalf("RebuildStudy: %v", err)
+	}
+	track := res[0].Metrics
+	for _, r := range res[1:] {
+		if !(track.RebuildMs < r.Metrics.RebuildMs) {
+			t.Fatalf("golden must show track rebuild strictly faster than %s: %g vs %g ms",
+				r.Strategy, track.RebuildMs, r.Metrics.RebuildMs)
+		}
+		if !(track.ForegroundP9999Ms < r.Metrics.ForegroundP9999Ms) {
+			t.Fatalf("golden must show track foreground p99.99 strictly below %s: %g vs %g ms",
+				r.Strategy, track.ForegroundP9999Ms, r.Metrics.ForegroundP9999Ms)
+		}
+	}
+	checkGolden(t, "rebuild_study", res)
+}
+
 // TestGoldenFFSStudy pins the application-level FFS study — the
 // traxtent-aware allocator and read path over the composed host
 // stack. Reproduce with:

@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"fmt"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
+	"traxtents/internal/device/sched"
+	"traxtents/internal/device/striped"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/workload"
+	"traxtents/internal/workload/driver"
+)
+
+// Rebuild-study parameters: a three-spindle Atlas 10K II parity array
+// keyed to traxtents (each stripe unit is one track, so whole-unit
+// rebuild reads are zero-latency track reads), one child lost, and a
+// host cache + scheduling queue arbitrating the rebuild stream against
+// an open foreground load. Every strategy cell uses the same seeds —
+// same spindles, same foreground sequence — so the only variable is
+// the rebuild read granularity. The offered foreground rate sits at
+// the degraded array's capacity knee — a load the healthy array
+// absorbs, pushed past the knee by the loss — so every rebuild read
+// compounds into tenant backlog and the strategies separate: how fast
+// a strategy regenerates the lost spindle, and how hard it leans on
+// the tenants while doing so, both land in the foreground tail.
+const (
+	rebuildChildren   = 3
+	rebuildLost       = 1
+	rebuildQueueDepth = 8
+	rebuildCacheMB    = 4
+	rebuildRatePerSec = 100.0 // foreground open arrival rate (at the degraded knee)
+	rebuildIOSectors  = 16    // foreground request size (8 KB)
+	rebuildFGPerN     = 60    // foreground requests per study n
+	rebuildUnitsPerN  = 2     // stripe units regenerated per study n
+)
+
+// RebuildResult is one strategy's row of the rebuild study.
+type RebuildResult struct {
+	// Strategy names the rebuild read granularity: "track" for
+	// whole-stripe-unit reads, "block=N" for N-sector reads.
+	Strategy     string `json:"strategy"`
+	BlockSectors int    `json:"block_sectors,omitempty"` // 0 = whole-track
+	Metrics      workload.RebuildMetrics
+}
+
+// rebuildCell regenerates the lost child at one granularity. The cell
+// builds its whole stack from the shared seed: parity array over three
+// fresh spindles, a spare, the host cache, and the scheduling queue.
+func rebuildCell(n int, seed int64, rc workload.RebuildConfig) (workload.RebuildMetrics, error) {
+	m := model.MustGet("Quantum-Atlas10KII")
+	disk := func(k int64) (device.Device, error) {
+		cfg := m.DefaultConfig()
+		cfg.Seed = seed + k
+		return m.NewDisk(cfg)
+	}
+	children := make([]device.Device, rebuildChildren)
+	for i := range children {
+		d, err := disk(int64(10 + i))
+		if err != nil {
+			return workload.RebuildMetrics{}, err
+		}
+		children[i] = d
+	}
+	arr, err := striped.New(children, striped.WithParity())
+	if err != nil {
+		return workload.RebuildMetrics{}, err
+	}
+	if err := arr.Lose(rebuildLost); err != nil {
+		return workload.RebuildMetrics{}, err
+	}
+	spare, err := disk(20)
+	if err != nil {
+		return workload.RebuildMetrics{}, err
+	}
+	c, err := cache.New(arr, cache.WithCapacityMB(rebuildCacheMB))
+	if err != nil {
+		return workload.RebuildMetrics{}, err
+	}
+	q, err := sched.New(c, sched.WithDepth(rebuildQueueDepth), sched.WithScheduler(sched.CLOOK()))
+	if err != nil {
+		return workload.RebuildMetrics{}, err
+	}
+	fg := workload.ForegroundLoad{
+		Workload: driver.Workload{
+			Requests:   rebuildFGPerN * n,
+			IOSectors:  rebuildIOSectors,
+			WriteEvery: 0,
+			Seed:       seed,
+		},
+		RatePerSec: rebuildRatePerSec,
+	}
+	rc.MaxUnits = rebuildUnitsPerN * n
+	return workload.RebuildUnderLoad(q, arr, spare, fg, rc)
+}
+
+// RebuildStudy measures degraded-mode rebuild at competing read
+// granularities: the track-aligned strategy reads one whole stripe
+// unit — a zero-latency track on the traxtent-keyed layout — per
+// rebuild request, versus layout-blind block-granular strategies
+// re-reading the same units in fixed-size blocks. Each strategy
+// regenerates the same units of the same lost spindle under the same
+// foreground load; reported per row: rebuild time and bandwidth, the
+// foreground response tail it inflicted, and the survivor
+// reconstruction count. The first row is track-aligned, then one row
+// per entry of blocks (default 16 and 64 sectors). Cells follow the
+// engine's per-cell-seed discipline, so the study is bit-identical at
+// any GOMAXPROCS.
+func RebuildStudy(n int, seed int64, blocks []int) ([]RebuildResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("repro: rebuild study n %d", n)
+	}
+	if len(blocks) == 0 {
+		blocks = []int{16, 64}
+	}
+	for _, b := range blocks {
+		if b <= 0 {
+			return nil, fmt.Errorf("repro: rebuild block size %d", b)
+		}
+	}
+
+	out := make([]RebuildResult, 1+len(blocks))
+	cells := []Cell{{
+		Name: "rebuild/track",
+		Run: func() error {
+			m, err := rebuildCell(n, seed, workload.RebuildConfig{TrackAligned: true})
+			if err != nil {
+				return err
+			}
+			out[0] = RebuildResult{Strategy: "track", Metrics: m}
+			return nil
+		},
+	}}
+	for i, b := range blocks {
+		i, b := i, b
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("rebuild/block=%d", b),
+			Run: func() error {
+				m, err := rebuildCell(n, seed, workload.RebuildConfig{BlockSectors: b})
+				if err != nil {
+					return err
+				}
+				out[1+i] = RebuildResult{Strategy: fmt.Sprintf("block=%d", b), BlockSectors: b, Metrics: m}
+				return nil
+			},
+		})
+	}
+	if err := RunCells(cells); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

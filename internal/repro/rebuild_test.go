@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRebuildStudyDeterministic: the study regenerated on one worker
+// must be bit-identical to the same study on all cores — cells own
+// their seeds, their stacks, and their result slots.
+func TestRebuildStudyDeterministic(t *testing.T) {
+	run := func() []RebuildResult {
+		res, err := RebuildStudy(10, 3, []int{32})
+		if err != nil {
+			t.Fatalf("RebuildStudy: %v", err)
+		}
+		return res
+	}
+	wide := run()
+	old := runtime.GOMAXPROCS(1)
+	narrow := run()
+	runtime.GOMAXPROCS(old)
+	if len(wide) != len(narrow) {
+		t.Fatalf("row counts differ: %d vs %d", len(wide), len(narrow))
+	}
+	for i := range wide {
+		if wide[i] != narrow[i] {
+			t.Fatalf("row %d differs:\n%+v (parallel)\n%+v (serial)", i, wide[i], narrow[i])
+		}
+	}
+}
+
+// TestRebuildStudyRejects: sizes are validated before any cell runs.
+func TestRebuildStudyRejects(t *testing.T) {
+	if _, err := RebuildStudy(0, 1, nil); err == nil {
+		t.Fatalf("n=0 accepted")
+	}
+	if _, err := RebuildStudy(5, 1, []int{0}); err == nil {
+		t.Fatalf("zero block size accepted")
+	}
+}

@@ -691,16 +691,19 @@ func (m *Manager) advanceTo(at float64) error {
 			return err
 		}
 	}
-	m.fold()
-	return nil
+	return m.fold()
 }
 
 // fold routes finished tier completions back to their joins and
-// accounts every fully reassembled request.
-func (m *Manager) fold() {
+// accounts every fully reassembled request. A completion no join owns
+// is an accounting fault, not a silently misattributed request.
+func (m *Manager) fold() error {
 	for _, sh := range m.shards {
 		for _, c := range sh.tier.TakeCompleted() {
-			ji := sh.routes[c.Seq]
+			ji, ok := sh.routes[c.Seq]
+			if !ok {
+				return fmt.Errorf("volume: shard %d completion %d (%+v) has no owner", sh.idx, c.Seq, c.Res.Req)
+			}
 			delete(sh.routes, c.Seq)
 			j := &m.joins[ji]
 			accumulate(&j.res, &j.started, c.Res)
@@ -711,6 +714,7 @@ func (m *Manager) fold() {
 			}
 		}
 	}
+	return nil
 }
 
 // accumulate merges one span result into a join's aggregate. A single
@@ -784,7 +788,18 @@ func (m *Manager) Drain() error {
 			return err
 		}
 	}
-	m.fold()
+	if err := m.fold(); err != nil {
+		return err
+	}
+	// Every join must have reassembled: a tier that dropped a span — a
+	// child failure mid-drain, say — must surface as an error naming
+	// the dropped request, not vanish from the accounting.
+	for i := range m.joins {
+		if j := &m.joins[i]; j.remaining != 0 {
+			return fmt.Errorf("volume: request %+v for %q still missing %d spans after drain",
+				j.res.Req, j.vol.name, j.remaining)
+		}
+	}
 	m.joins = m.joins[:0]
 	return nil
 }

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/cache"
+	"traxtents/internal/device/faults"
+	"traxtents/internal/device/sched"
+	"traxtents/internal/device/striped"
+	"traxtents/internal/device/trace"
+	"traxtents/internal/disk/model"
+	"traxtents/internal/workload/driver"
+)
+
+func rbSim(t testing.TB, seed int64) device.Device {
+	t.Helper()
+	m := model.MustGet("HP-C2247")
+	cfg := m.DefaultConfig()
+	cfg.Seed = seed
+	d, err := m.NewDisk(cfg)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	return d
+}
+
+// rbArray builds a degraded 3-child parity array (child 1 lost) over
+// fault-free simulated disks.
+func rbArray(t testing.TB) *striped.Array {
+	t.Helper()
+	children := []device.Device{rbSim(t, 1), rbSim(t, 2), rbSim(t, 3)}
+	a, err := striped.New(children, striped.WithParity())
+	if err != nil {
+		t.Fatalf("striped.New: %v", err)
+	}
+	if err := a.Lose(1); err != nil {
+		t.Fatalf("Lose: %v", err)
+	}
+	return a
+}
+
+// rbStack composes the study's stack over the array: a scheduling
+// queue arbitrating rebuild and foreground over the host cache over
+// the degraded array.
+func rbStack(t testing.TB, a *striped.Array) *sched.Queue {
+	t.Helper()
+	c, err := cache.New(a, cache.WithCapacityMB(4))
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	q, err := sched.New(c, sched.WithDepth(8), sched.WithScheduler(sched.CLOOK()))
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	return q
+}
+
+func rbForeground(requests int) ForegroundLoad {
+	return ForegroundLoad{
+		Workload:   driver.Workload{Requests: requests, IOSectors: 16, Seed: 5},
+		RatePerSec: 60,
+	}
+}
+
+// TestRebuildTrackAligned: a full track-aligned rebuild regenerates
+// every unit of the lost child, writes each spare extent exactly once,
+// splices the spare in, and leaves the array healthy.
+func TestRebuildTrackAligned(t *testing.T) {
+	a := rbArray(t)
+	units := a.RebuildUnits()
+	spare := trace.NewRecorder(rbSim(t, 9))
+	m, err := RebuildUnderLoad(rbStack(t, a), a, spare, rbForeground(150), RebuildConfig{TrackAligned: true})
+	if err != nil {
+		t.Fatalf("RebuildUnderLoad: %v", err)
+	}
+	if m.Units != len(units) || m.Requests != len(units) {
+		t.Fatalf("rebuilt %d units with %d reads, want %d whole-unit reads", m.Units, m.Requests, len(units))
+	}
+	if a.LostChild() != -1 {
+		t.Fatalf("array still degraded after full rebuild")
+	}
+	if m.ForegroundRequests != 150 {
+		t.Fatalf("foreground saw %d completions, want 150", m.ForegroundRequests)
+	}
+	if m.RebuildMs <= 0 || m.RebuiltMB <= 0 || m.RebuildMBPerSec <= 0 {
+		t.Fatalf("degenerate rebuild metrics: %+v", m)
+	}
+	if m.Reconstructs == 0 {
+		t.Fatalf("rebuild never reconstructed from survivors")
+	}
+	// Every spare extent is written exactly once, in order.
+	var writes []trace.Record
+	for _, r := range spare.Trace().Records {
+		if r.Write {
+			writes = append(writes, r)
+		}
+	}
+	if len(writes) != len(units) {
+		t.Fatalf("spare saw %d writes, want %d", len(writes), len(units))
+	}
+	for i, u := range units {
+		if writes[i].LBN != u.SpareLBN || int64(writes[i].Sectors) != u.SpareSectors {
+			t.Fatalf("spare write %d is [%d,+%d), want [%d,+%d)",
+				i, writes[i].LBN, writes[i].Sectors, u.SpareLBN, u.SpareSectors)
+		}
+	}
+}
+
+// TestRebuildBlockGranular: a partial block-granular rebuild issues
+// many small reads per unit, covers exactly the chosen units' spare
+// extents, and leaves the array degraded (no splice).
+func TestRebuildBlockGranular(t *testing.T) {
+	a := rbArray(t)
+	units := a.RebuildUnits()
+	const maxUnits = 8
+	spare := trace.NewRecorder(rbSim(t, 9))
+	m, err := RebuildUnderLoad(rbStack(t, a), a, spare, rbForeground(100),
+		RebuildConfig{BlockSectors: 16, MaxUnits: maxUnits})
+	if err != nil {
+		t.Fatalf("RebuildUnderLoad: %v", err)
+	}
+	if m.Units != maxUnits {
+		t.Fatalf("rebuilt %d units, want %d", m.Units, maxUnits)
+	}
+	if m.Requests <= m.Units {
+		t.Fatalf("block-granular rebuild issued %d reads for %d units; want many per unit", m.Requests, m.Units)
+	}
+	if a.LostChild() != 1 {
+		t.Fatalf("partial rebuild spliced the spare in")
+	}
+	// Spare writes tile the chosen units' extents exactly.
+	var gotSectors int64
+	for _, r := range spare.Trace().Records {
+		if !r.Write {
+			t.Fatalf("rebuild read leaked to the spare: %+v", r)
+		}
+		gotSectors += int64(r.Sectors)
+	}
+	var wantSectors int64
+	for _, u := range units[:maxUnits] {
+		wantSectors += u.SpareSectors
+	}
+	if gotSectors != wantSectors {
+		t.Fatalf("spare received %d sectors, want %d", gotSectors, wantSectors)
+	}
+}
+
+// TestRebuildDeterminism: identical seeds give bit-identical metrics.
+func TestRebuildDeterminism(t *testing.T) {
+	run := func() RebuildMetrics {
+		a := rbArray(t)
+		m, err := RebuildUnderLoad(rbStack(t, a), a, rbSim(t, 9), rbForeground(120),
+			RebuildConfig{TrackAligned: true, MaxUnits: 32})
+		if err != nil {
+			t.Fatalf("RebuildUnderLoad: %v", err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("rebuild not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRebuildRejects: misuse is reported, not half-run.
+func TestRebuildRejects(t *testing.T) {
+	a := rbArray(t)
+	q := rbStack(t, a)
+	if _, err := RebuildUnderLoad(q, a, rbSim(t, 9), rbForeground(10), RebuildConfig{}); err == nil {
+		t.Fatalf("block-granular rebuild without BlockSectors accepted")
+	}
+	healthy := func() *striped.Array {
+		children := []device.Device{rbSim(t, 1), rbSim(t, 2), rbSim(t, 3)}
+		h, err := striped.New(children, striped.WithParity())
+		if err != nil {
+			t.Fatalf("striped.New: %v", err)
+		}
+		return h
+	}()
+	if _, err := RebuildUnderLoad(rbStack(t, healthy), healthy, rbSim(t, 9), rbForeground(10),
+		RebuildConfig{TrackAligned: true}); err == nil {
+		t.Fatalf("rebuild of a healthy array accepted")
+	}
+}
+
+// TestScrub: a scrub pass over an array with latent sector errors on
+// one child repairs them all in place; a second pass finds nothing.
+func TestScrub(t *testing.T) {
+	bad, err := faults.New(rbSim(t, 1), faults.WithLatentErrors(12, 24))
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	a, err := striped.New([]device.Device{bad, rbSim(t, 2), rbSim(t, 3)}, striped.WithParity())
+	if err != nil {
+		t.Fatalf("striped.New: %v", err)
+	}
+	r, err := Scrub(a, 0)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if r.Repairs == 0 || r.Reconstructs < r.Repairs {
+		t.Fatalf("scrub over a bad child reported %+v", r)
+	}
+	if r.Requests == 0 || r.ElapsedMs <= 0 {
+		t.Fatalf("degenerate scrub report: %+v", r)
+	}
+	if left := bad.LatentRanges(); len(left) != 0 {
+		t.Fatalf("latent errors survive the scrub: %v", left)
+	}
+	r2, err := Scrub(a, a.Now())
+	if err != nil {
+		t.Fatalf("second Scrub: %v", err)
+	}
+	if r2.Repairs != 0 || r2.Reconstructs != 0 {
+		t.Fatalf("second scrub still repairing: %+v", r2)
+	}
+
+	// A RAID-0 array cannot scrub: there is nothing to repair from.
+	plain, err := striped.New([]device.Device{rbSim(t, 4), rbSim(t, 5)})
+	if err != nil {
+		t.Fatalf("striped.New: %v", err)
+	}
+	if _, err := Scrub(plain, 0); err == nil {
+		t.Fatalf("scrub of a RAID-0 array accepted")
+	}
+}

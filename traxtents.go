@@ -28,6 +28,14 @@
 //     per-tenant token-bucket admission control, a fair-share/deadline
 //     scheduling tier above the per-spindle queues, and streaming P²
 //     tail-latency accounting per tenant.
+//   - A failure subsystem: a deterministic fault-injecting device
+//     wrapper (NewFaultyDevice: seeded latent sector errors, transient
+//     timeouts, whole-disk loss, all typed via DeviceError and the Err*
+//     sentinels), RAID-5-style parity striping keyed to child traxtents
+//     (WithParity) with degraded-mode reads under single-disk loss, and
+//     rebuild/scrub drivers (RebuildUnderLoad, ScrubArray) that
+//     regenerate a lost child as background traffic competing with
+//     foreground tenants.
 //
 // Quick start:
 //
@@ -46,6 +54,7 @@ import (
 
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
+	"traxtents/internal/device/faults"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/stack"
 	"traxtents/internal/device/striped"
@@ -62,6 +71,8 @@ import (
 	"traxtents/internal/traxtent"
 	"traxtents/internal/video"
 	"traxtents/internal/volume"
+	"traxtents/internal/workload"
+	"traxtents/internal/workload/driver"
 )
 
 // Core traxtent types.
@@ -195,6 +206,57 @@ type (
 	VolumeView = volume.View
 )
 
+// Failure-model types. A FaultyDevice wraps any Device in a
+// deterministic fault injector; a parity-striped array (WithParity)
+// survives one lost child; RebuildUnderLoad and ScrubArray drive
+// regeneration and latent-error scrubbing through the host stack.
+type (
+	// FaultyDevice is a deterministic fault-injecting Device wrapper.
+	FaultyDevice = faults.Injector
+	// FaultOption configures a fault injector.
+	FaultOption = faults.Option
+	// FaultStats counts a fault injector's outcomes by class.
+	FaultStats = faults.Stats
+	// DeviceError is the typed failure every device layer returns: the
+	// failing operation and request, wrapping one of the Err* classes.
+	DeviceError = device.Error
+	// RebuildConfig paces the regeneration of a lost parity-array
+	// child (whole-track vs block-granular reads).
+	RebuildConfig = workload.RebuildConfig
+	// RebuildMetrics summarizes one rebuild-under-load run.
+	RebuildMetrics = workload.RebuildMetrics
+	// ForegroundLoad is the open-arrival tenant traffic a rebuild
+	// competes with.
+	ForegroundLoad = workload.ForegroundLoad
+	// DriverWorkload describes a generated request population (the
+	// Workload field of ForegroundLoad).
+	DriverWorkload = driver.Workload
+	// ScrubReport summarizes one ScrubArray pass.
+	ScrubReport = workload.ScrubReport
+)
+
+// The device error classes. Every failure a device returns wraps
+// exactly one of these inside a DeviceError; test with errors.Is.
+var (
+	// ErrInvalidRequest rejects a malformed request (clock untouched).
+	ErrInvalidRequest = device.ErrInvalidRequest
+	// ErrMedium is an unrecoverable medium (latent sector) error.
+	ErrMedium = device.ErrMedium
+	// ErrTimeout is a transient command timeout; retrying may succeed.
+	ErrTimeout = device.ErrTimeout
+	// ErrLost is whole-device loss; every later request fails the same
+	// way.
+	ErrLost = device.ErrLost
+)
+
+// IsFault reports whether err is a device fault (medium error, timeout,
+// or loss) as opposed to a malformed request or usage error — the
+// classes parity reconstruction and rebuild treat as survivable.
+func IsFault(err error) bool { return device.IsFault(err) }
+
+// IsTransient reports whether err is worth retrying as-is (a timeout).
+func IsTransient(err error) bool { return device.IsTransient(err) }
+
 // ErrTenantRejected is wrapped by every admission-control rejection a
 // volume manager returns; test with errors.Is.
 var ErrTenantRejected = volume.ErrRejected
@@ -298,6 +360,16 @@ func NewDisk(m Model, opts ...DiskOption) (*Disk, error) {
 // WithChunkSectors switches a striped array to fixed chunks (ordinary
 // RAID-0) instead of traxtent-matched stripe units.
 func WithChunkSectors(n int64) StripedOption { return striped.WithChunkSectors(n) }
+
+// WithParity adds RAID-5-style rotating parity to a striped array: one
+// unit per stripe holds the XOR of the others and the logical space
+// exposes only the data units. Stripe units stay keyed to the
+// children's traxtents, so no parity unit straddles a track. A parity
+// array survives one lost child (StripedDevice.Lose): degraded reads
+// reconstruct from the survivors bit-identically, medium errors on
+// healthy children are reconstructed and repaired in place, and
+// StripedDevice.Replace splices a regenerated spare back in.
+func WithParity() StripedOption { return striped.WithParity() }
 
 // NewStripedDevice stripes the children into one device, round-robin in
 // stripe units that are by default the children's own traxtents: array
@@ -427,6 +499,58 @@ func StrictReplay() TraceOption { return trace.Strict() }
 
 // DecodeTrace parses a JSON-encoded trace (see Trace.Encode).
 func DecodeTrace(data []byte) (Trace, error) { return trace.Decode(data) }
+
+// ---- Fault injection and rebuild ----
+
+// NewFaultyDevice wraps a device in a deterministic fault injector:
+// seeded latent sector errors (WithLatentErrors, WithBadRange),
+// transient timeouts (WithTimeoutProb), and whole-disk loss
+// (WithFailAt, or FaultyDevice.FailNow). Every injected failure is a typed
+// DeviceError wrapping ErrMedium, ErrTimeout, or ErrLost, and never
+// advances the wrapped device's clock; writes heal the latent ranges
+// they cover. An unoptioned injector is a transparent passthrough.
+func NewFaultyDevice(d Device, opts ...FaultOption) (*FaultyDevice, error) {
+	return faults.New(d, opts...)
+}
+
+// WithFaultSeed fixes the injector's random streams (latent-error
+// placement and timeout draws); same seed, same faults.
+func WithFaultSeed(seed int64) FaultOption { return faults.WithSeed(seed) }
+
+// WithLatentErrors seeds n latent bad ranges of up to span sectors
+// each, placed deterministically from the injector's seed.
+func WithLatentErrors(n int, span int64) FaultOption { return faults.WithLatentErrors(n, span) }
+
+// WithBadRange marks one explicit LBN range as bad.
+func WithBadRange(lbn, sectors int64) FaultOption { return faults.WithBadRange(lbn, sectors) }
+
+// WithTimeoutProb makes each served request time out with probability
+// p, drawn from the injector's seeded stream.
+func WithTimeoutProb(p float64) FaultOption { return faults.WithTimeoutProb(p) }
+
+// WithFailAt schedules whole-device loss at virtual time t: every
+// request issued at or after t fails with ErrLost.
+func WithFailAt(t float64) FaultOption { return faults.WithFailAt(t) }
+
+// RebuildUnderLoad regenerates the lost child of a degraded parity
+// array onto spare while the open-arrival foreground load competes for
+// the same stack: rebuild reads are submitted through q (a queue over
+// the array, directly or via a host cache) as a closed loop with one
+// outstanding request, foreground requests arrive at their seeded
+// Poisson instants, and the scheduler arbitrates. RebuildConfig picks
+// whole-track or block-granular rebuild reads; after a full
+// regeneration the spare is spliced into the array. Returns rebuild
+// time and bandwidth plus the foreground response tail during the run.
+func RebuildUnderLoad(q *QueuedDevice, arr *StripedDevice, spare Device, fg ForegroundLoad, rc RebuildConfig) (RebuildMetrics, error) {
+	return workload.RebuildUnderLoad(q, arr, spare, fg, rc)
+}
+
+// ScrubArray reads every stripe unit of a parity array — parity units
+// included, which the logical read path never touches — repairing each
+// latent medium error in place from the survivor set.
+func ScrubArray(arr *StripedDevice, at float64) (ScrubReport, error) {
+	return workload.Scrub(arr, at)
+}
 
 // ---- Multi-tenant volumes ----
 

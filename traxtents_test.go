@@ -1,6 +1,7 @@
 package traxtents_test
 
 import (
+	"errors"
 	"testing"
 
 	"traxtents"
@@ -491,5 +492,108 @@ func TestCachedDeviceFacade(t *testing.T) {
 	}
 	if len(cs) != 16 {
 		t.Fatalf("drained %d of 16", len(cs))
+	}
+}
+
+// TestFaultAndRebuildFacade exercises the failure subsystem through
+// the public facade: typed injected faults, write healing, a parity
+// array surviving a lost child, a scrub pass repairing latent errors,
+// and a rebuild competing with foreground load through the composed
+// cache + queue stack.
+func TestFaultAndRebuildFacade(t *testing.T) {
+	m := traxtents.MustDiskModel("HP-C2247")
+	newDisk := func(seed int64) traxtents.Device {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(seed))
+		if err != nil {
+			t.Fatalf("NewDisk: %v", err)
+		}
+		return d
+	}
+
+	// Injected medium errors are typed, leave the clock untouched, and
+	// heal under writes.
+	in, err := traxtents.NewFaultyDevice(newDisk(1),
+		traxtents.WithFaultSeed(3), traxtents.WithBadRange(100, 16))
+	if err != nil {
+		t.Fatalf("NewFaultyDevice: %v", err)
+	}
+	if _, err := in.Serve(0, traxtents.Request{LBN: 100, Sectors: 8}); err == nil {
+		t.Fatal("read of a bad range succeeded")
+	} else if !errors.Is(err, traxtents.ErrMedium) || !traxtents.IsFault(err) || traxtents.IsTransient(err) {
+		t.Fatalf("bad-range read returned %v, want a non-transient ErrMedium fault", err)
+	}
+	if in.Now() != 0 {
+		t.Fatalf("failed request advanced the clock to %g", in.Now())
+	}
+	w, err := in.Serve(0, traxtents.Request{LBN: 96, Sectors: 32, Write: true})
+	if err != nil {
+		t.Fatalf("healing write: %v", err)
+	}
+	if _, err := in.Serve(w.Done, traxtents.Request{LBN: 100, Sectors: 8}); err != nil {
+		t.Fatalf("read after healing write: %v", err)
+	}
+
+	// A parity array serves degraded reads under single-disk loss.
+	var children []traxtents.Device
+	for i := int64(10); i < 13; i++ {
+		children = append(children, newDisk(i))
+	}
+	arr, err := traxtents.NewStripedDevice(children, traxtents.WithParity())
+	if err != nil {
+		t.Fatalf("NewStripedDevice(WithParity): %v", err)
+	}
+	if !arr.Parity() {
+		t.Fatal("Parity() false on a parity array")
+	}
+	if err := arr.Lose(1); err != nil {
+		t.Fatalf("Lose: %v", err)
+	}
+	if _, err := arr.Serve(arr.Now(), traxtents.Request{LBN: 0, Sectors: 64}); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+
+	// ScrubArray finds and repairs latent errors on a healthy child.
+	fchild, err := traxtents.NewFaultyDevice(newDisk(21),
+		traxtents.WithFaultSeed(5), traxtents.WithLatentErrors(4, 8))
+	if err != nil {
+		t.Fatalf("NewFaultyDevice: %v", err)
+	}
+	arr2, err := traxtents.NewStripedDevice(
+		[]traxtents.Device{fchild, newDisk(22), newDisk(23)}, traxtents.WithParity())
+	if err != nil {
+		t.Fatalf("NewStripedDevice: %v", err)
+	}
+	rep, err := traxtents.ScrubArray(arr2, arr2.Now())
+	if err != nil {
+		t.Fatalf("ScrubArray: %v", err)
+	}
+	if rep.Repairs == 0 || rep.Reconstructs < rep.Repairs {
+		t.Fatalf("scrub repaired nothing: %+v", rep)
+	}
+
+	// Rebuild under foreground load through the cache + queue stack.
+	c, err := traxtents.NewCachedDevice(arr, traxtents.WithCacheMB(2))
+	if err != nil {
+		t.Fatalf("NewCachedDevice: %v", err)
+	}
+	q, err := traxtents.NewQueuedDevice(c,
+		traxtents.WithQueueDepth(4), traxtents.WithScheduler(traxtents.SchedulerCLOOK()))
+	if err != nil {
+		t.Fatalf("NewQueuedDevice: %v", err)
+	}
+	mt, err := traxtents.RebuildUnderLoad(q, arr, newDisk(30),
+		traxtents.ForegroundLoad{
+			Workload:   traxtents.DriverWorkload{Requests: 40, IOSectors: 16, Seed: 2},
+			RatePerSec: 50,
+		},
+		traxtents.RebuildConfig{TrackAligned: true, MaxUnits: 6})
+	if err != nil {
+		t.Fatalf("RebuildUnderLoad: %v", err)
+	}
+	if mt.Units != 6 || mt.Requests != 6 {
+		t.Fatalf("track-aligned rebuild issued %d requests over %d units, want 6/6", mt.Requests, mt.Units)
+	}
+	if mt.RebuildMs <= 0 || mt.RebuildMBPerSec <= 0 || mt.ForegroundRequests != 40 {
+		t.Fatalf("implausible rebuild metrics: %+v", mt)
 	}
 }
