@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"traxtents"
+	"traxtents/internal/device/sched"
 	"traxtents/internal/disk/mech"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/ffs"
 	"traxtents/internal/lfs"
 	"traxtents/internal/repro"
+	"traxtents/internal/workload/driver"
 )
 
 // BenchmarkTable1Models builds every Table 1 disk model (geometry walk,
@@ -838,6 +840,188 @@ func TestBenchVolumeJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_volume.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Global event core at fleet scale (BENCH_events.json) ----
+
+// eventFleetSpindles is the scale the event-core gate runs at: one
+// discrete-event heap advancing this many queued spindles on one
+// clock.
+const (
+	eventFleetSpindles   = 1024
+	eventFleetPerSpindle = 16
+	eventFleetRate       = 120.0 // per-spindle arrivals/sec (light load: the metric is core overhead, not queueing)
+)
+
+// eventFleet builds a fleet of queued Atlas 10K II spindles over one
+// event core, each fed a sequential 8-sector read stream — the
+// cheapest request the media model serves, so the measurement weights
+// the event machinery, not seek arithmetic.
+func eventFleet(tb testing.TB, depth int, clook bool) *driver.Fleet {
+	tb.Helper()
+	m := traxtents.MustDiskModel("Quantum-Atlas10KII")
+	qs := make([]*sched.Queue, eventFleetSpindles)
+	for i := range qs {
+		d, err := traxtents.NewDisk(m, traxtents.WithSeed(int64(i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		opts := []sched.Option{sched.WithDepth(depth)}
+		if clook {
+			opts = append(opts, sched.WithScheduler(sched.CLOOK()))
+		}
+		q, err := sched.New(d, opts...)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		qs[i] = q
+	}
+	f, err := driver.NewFleet(qs, driver.Workload{
+		Requests: eventFleetPerSpindle, IOSectors: 8, Sequential: true, Seed: 11,
+	}, eventFleetRate)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkEventFleet measures one full fleet run — every spindle's
+// arrivals and dispatch decisions through the shared event heap — per
+// iteration.
+func BenchmarkEventFleet(b *testing.B) {
+	f := eventFleet(b, 1, false)
+	if _, err := f.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m driver.FleetMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		if m, err = f.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Requests), "req/run")
+	b.ReportMetric(float64(m.Events), "events/run")
+}
+
+// TestBenchEventsJSON emits BENCH_events.json: wall ns/request,
+// events/sec, and allocs/request for 1024 queued spindles advanced by
+// the one global event core, against the single-disk sim hot path
+// measured in the same run (the BENCH_sim stride loop). The gates: at
+// least 1k spindles in one event-core run, zero allocations per
+// request steady-state, and — since an event-core request is a
+// sequential 8-sector read plus all scheduling machinery — cheaper
+// per request than the raw stride hot path, so the core's bookkeeping
+// costs less than the seek arithmetic it amortizes. Baseline and
+// gated-fleet passes interleave so a machine-noise window lands on
+// both sides of the comparison, not just one.
+func TestBenchEventsJSON(t *testing.T) {
+	const passes = 3
+	type row struct {
+		Config       string  `json:"config"`
+		Spindles     int     `json:"spindles"`
+		Requests     int     `json:"requests_per_run"`
+		Events       uint64  `json:"events_per_run"`
+		WallNsPerReq float64 `json:"wall_ns_per_req"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		AllocsPerReq float64 `json:"allocs_per_req"`
+		MakespanMs   float64 `json:"makespan_ms"`
+		MeanRespMs   float64 `json:"mean_resp_ms"`
+	}
+	report := struct {
+		Benchmark           string  `json:"benchmark"`
+		SimBaselineNsPerReq float64 `json:"sim_baseline_ns_per_req"`
+		Rows                []row   `json:"rows"`
+	}{Benchmark: "1024-spindle fleet on one event core, sequential 8-sector reads"}
+
+	// Same-run sim baseline: the BENCH_sim stride loop on one disk.
+	// Warm here, timed pass-by-pass alongside the fleet below.
+	base := deviceBackends(t)["sim"]
+	table, err := traxtents.GroundTruthTable(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveLoop(t, base, table, 64) // warm pooled buffers
+	report.SimBaselineNsPerReq = math.Inf(1)
+	baselinePass := func() {
+		start := time.Now()
+		serveLoop(t, base, table, 2048)
+		if ns := float64(time.Since(start).Nanoseconds()) / 2048; ns < report.SimBaselineNsPerReq {
+			report.SimBaselineNsPerReq = ns
+		}
+	}
+
+	for _, cfg := range []struct {
+		name  string
+		depth int
+		clook bool
+	}{{"fcfs-d1", 1, false}, {"clook-d4", 4, true}} {
+		f := eventFleet(t, cfg.depth, cfg.clook)
+		warm, err := f.Run() // heap + arena high-water marks
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Spindles < 1000 {
+			t.Fatalf("%s: %d spindles in one event-core run, want >= 1000", cfg.name, warm.Spindles)
+		}
+		var runErr error
+		allocs := testing.AllocsPerRun(2, func() {
+			if _, err := f.Run(); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		var m driver.FleetMetrics
+		best, bestEvs := math.Inf(1), 0.0
+		for p := 0; p < passes; p++ { // timed passes after AllocsPerRun's GC churn
+			if cfg.depth == 1 {
+				baselinePass() // interleave with the gated config's passes
+			}
+			start := time.Now()
+			if m, err = f.Run(); err != nil {
+				t.Fatal(err)
+			}
+			wall := float64(time.Since(start).Nanoseconds())
+			if ns := wall / float64(m.Requests); ns < best {
+				best = ns
+				bestEvs = float64(m.Events) / (wall / 1e9)
+			}
+		}
+		report.Rows = append(report.Rows, row{
+			Config: cfg.name, Spindles: m.Spindles, Requests: m.Requests,
+			Events:       m.Events,
+			WallNsPerReq: best,
+			EventsPerSec: bestEvs,
+			AllocsPerReq: allocs / float64(m.Requests),
+			MakespanMs:   m.MakespanMs,
+			MeanRespMs:   m.MeanRespMs,
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state run allocates %.1f (%.4f/request), want 0",
+				cfg.name, allocs, allocs/float64(m.Requests))
+		}
+	}
+	// The ns/req gate compares two same-run wall measurements, so it is
+	// machine-independent; race instrumentation distorts both sides
+	// unevenly, so it stays a logged metric there.
+	fcfs := report.Rows[0]
+	t.Logf("event fleet %.0f ns/req at %d spindles (%.0f events/sec) vs sim stride baseline %.0f ns/req",
+		fcfs.WallNsPerReq, fcfs.Spindles, fcfs.EventsPerSec, report.SimBaselineNsPerReq)
+	if !raceEnabled && fcfs.WallNsPerReq >= report.SimBaselineNsPerReq {
+		t.Errorf("event fleet %.0f ns/req, want strictly below the same-run sim baseline %.0f ns/req",
+			fcfs.WallNsPerReq, report.SimBaselineNsPerReq)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_events.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/event"
+	"traxtents/internal/device/sched"
 	"traxtents/internal/disk/geom"
 )
 
@@ -219,6 +221,14 @@ type Cache struct {
 	pend   []slot
 	routes map[int]route
 
+	// Event-core citizenship (submit.go): when the wrapped device is a
+	// sched.Queue the cache owns a discrete-event core whose single
+	// fleet slot is that queue, so Drain commits the queue's dispatch
+	// decisions as (time, seq)-ordered events rather than one opaque
+	// flush. A striped.Array inner brings its own core.
+	core  *event.Core
+	fleet *event.Queues
+
 	stats Stats
 }
 
@@ -285,6 +295,10 @@ func New(d device.Device, opts ...Option) (*Cache, error) {
 		c.hitSectorMs = float64(d.SectorSize()) / (cfg.hitMBps * 1000)
 	}
 	c.lazyInner = isLazyInner(d)
+	if q, ok := d.(*sched.Queue); ok {
+		c.core = event.New()
+		c.fleet = event.NewQueues(c.core, []*sched.Queue{q}, nil)
+	}
 	if bp, ok := d.(device.BoundaryProvider); ok {
 		if b := bp.TrackBoundaries(); len(b) >= 2 {
 			c.bounds = b

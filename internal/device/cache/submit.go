@@ -187,6 +187,9 @@ func (c *Cache) forwardAs(at float64, inner device.Request, rt route) error {
 			c.err = fmt.Errorf("cache: submit %+v: %w", inner, err)
 			return c.err
 		}
+		if err := c.touchInner(); err != nil {
+			return err
+		}
 		if c.routes == nil {
 			c.routes = make(map[int]route)
 		}
@@ -211,6 +214,9 @@ func (c *Cache) innerFlush(at float64, req device.Request) error {
 		if err := s.Submit(at, req); err != nil {
 			return err
 		}
+		if err := c.touchInner(); err != nil {
+			return err
+		}
 		if c.routes == nil {
 			c.routes = make(map[int]route)
 		}
@@ -222,6 +228,21 @@ func (c *Cache) innerFlush(at float64, req device.Request) error {
 		return err
 	}
 	c.noteDone(res.Done)
+	return nil
+}
+
+// touchInner reschedules the inner queue's decision event after a lazy
+// submission moved its decision point. A striped.Array inner touches
+// its own fleet inside Array.Submit; a plain queue is the cache's one
+// fleet slot.
+func (c *Cache) touchInner() error {
+	if c.fleet == nil {
+		return nil
+	}
+	if err := c.fleet.Touch(0); err != nil {
+		c.err = fmt.Errorf("cache: submit: %w", err)
+		return c.err
+	}
 	return nil
 }
 
@@ -263,19 +284,30 @@ func (c *Cache) Drain() ([]device.Result, error) {
 	}
 	switch d := c.inner.(type) {
 	case *sched.Queue:
-		cs, err := d.Drain()
-		if err != nil {
+		// Commit the queue's dispatch decisions as events on the
+		// cache's core — (time, seq) order — then fold; the Flush is
+		// the drained no-op safety net. Resolution order matches the
+		// legacy drain: the queue buffers completions in dispatch
+		// order either way.
+		_ = c.fleet.Drain()
+		if err := d.Flush(); err != nil {
 			c.err = fmt.Errorf("cache: drain: %w", err)
 			return nil, c.err
 		}
-		for _, comp := range cs {
+		d.ConsumeCompleted(func(comp *sched.Completion) {
+			if c.err != nil {
+				return
+			}
 			rt, ok := c.routes[comp.Seq]
 			if !ok {
 				c.err = fmt.Errorf("cache: inner completion %d has no owner", comp.Seq)
-				return nil, c.err
+				return
 			}
 			delete(c.routes, comp.Seq)
 			c.resolve(rt, comp.Res)
+		})
+		if c.err != nil {
+			return nil, c.err
 		}
 	case *striped.Array:
 		rs, err := d.Drain()

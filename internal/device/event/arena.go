@@ -1,0 +1,42 @@
+package event
+
+// Arena is a typed free-list pool: Get hands out an index into a
+// flat record array, Put returns it. Indices, not pointers, so the
+// backing array can grow without invalidating holders and records
+// pack densely. After the pool reaches its high-water mark, the
+// Get/Put cycle allocates nothing — which is what keeps fleet drivers
+// at zero allocs per request in steady state.
+//
+// A recycled record retains the previous holder's contents; callers
+// must fully initialize what they read. Put does not check for double
+// free — the fuzz harness covers the discipline instead.
+type Arena[T any] struct {
+	recs []T
+	free []int32
+}
+
+// Get returns the index of a free record, growing the pool if none is
+// free.
+func (a *Arena[T]) Get() int32 {
+	if n := len(a.free); n > 0 {
+		i := a.free[n-1]
+		a.free = a.free[:n-1]
+		return i
+	}
+	a.recs = append(a.recs, *new(T))
+	return int32(len(a.recs) - 1)
+}
+
+// At returns the record at index i. The pointer is stable only until
+// the next Get (growth may move the backing array); re-derive it
+// rather than storing it.
+func (a *Arena[T]) At(i int32) *T { return &a.recs[i] }
+
+// Put returns record i to the free list.
+func (a *Arena[T]) Put(i int32) { a.free = append(a.free, i) }
+
+// InUse returns the number of records currently handed out.
+func (a *Arena[T]) InUse() int { return len(a.recs) - len(a.free) }
+
+// Cap returns the pool's high-water mark (total records ever created).
+func (a *Arena[T]) Cap() int { return len(a.recs) }

@@ -1,0 +1,322 @@
+package event
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// recorder collects fired (now, tag) pairs.
+type recorder struct {
+	fires []struct {
+		t   float64
+		tag int64
+	}
+	err error // returned from Fire when non-nil
+}
+
+func (r *recorder) Fire(now float64, tag int64) error {
+	r.fires = append(r.fires, struct {
+		t   float64
+		tag int64
+	}{now, tag})
+	return r.err
+}
+
+func (r *recorder) tags() []int64 {
+	out := make([]int64, len(r.fires))
+	for i, f := range r.fires {
+		out[i] = f.tag
+	}
+	return out
+}
+
+func eqTags(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCoreTieOrderIsScheduleOrder pins the headline property: events at
+// an exactly equal float64 instant fire in Schedule order, regardless
+// of the order constructed in the heap.
+func TestCoreTieOrderIsScheduleOrder(t *testing.T) {
+	c := New()
+	r := &recorder{}
+	id := c.Register(r)
+	// Schedule ties interleaved with non-ties, in a shuffled time order.
+	for i, tm := range []float64{5, 3, 5, 1, 3, 5, 3} {
+		if err := c.Schedule(tm, id, int64(i)); err != nil {
+			t.Fatalf("schedule %d: %v", i, err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Sorted by (time, schedule order): t=1→tag3, t=3→tags 1,4,6, t=5→tags 0,2,5.
+	want := []int64{3, 1, 4, 6, 0, 2, 5}
+	if !eqTags(r.tags(), want) {
+		t.Fatalf("fire order %v, want %v", r.tags(), want)
+	}
+	if c.Fired() != 7 || c.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d after drain", c.Fired(), c.Pending())
+	}
+}
+
+// TestCoreCuts pins the inclusive/strict boundary semantics: AdvanceTo
+// fires an event landing exactly at t, AdvanceBefore does not.
+func TestCoreCuts(t *testing.T) {
+	c := New()
+	r := &recorder{}
+	id := c.Register(r)
+	for i, tm := range []float64{1, 2, 2, 3} {
+		if err := c.Schedule(tm, id, int64(i)); err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+	}
+	if err := c.AdvanceBefore(2); err != nil {
+		t.Fatalf("AdvanceBefore: %v", err)
+	}
+	if !eqTags(r.tags(), []int64{0}) {
+		t.Fatalf("strict cut at 2 fired %v, want [0]", r.tags())
+	}
+	if c.Now() != 1 {
+		t.Fatalf("Now()=%g after firing t=1", c.Now())
+	}
+	if err := c.AdvanceTo(2); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	if !eqTags(r.tags(), []int64{0, 1, 2}) {
+		t.Fatalf("inclusive cut at 2 fired %v, want [0 1 2]", r.tags())
+	}
+	if nxt, ok := c.Next(); !ok || nxt != 3 {
+		t.Fatalf("Next()=%g,%v, want 3,true", nxt, ok)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next() reports an event after Drain")
+	}
+}
+
+// TestCorePastTimeScheduling verifies a handler may schedule at or
+// before the current instant — the event fires next in (time, seq)
+// order — because Drain barriers legally run one device past another's
+// committed batch.
+func TestCorePastTimeScheduling(t *testing.T) {
+	c := New()
+	var order []int64
+	var id HandlerID
+	id = c.Register(HandlerFunc(func(now float64, tag int64) error {
+		order = append(order, tag)
+		if tag == 0 {
+			// From t=5, schedule into the past and at now: both must
+			// still fire, before the t=7 event.
+			if err := c.Schedule(2, id, 10); err != nil {
+				return err
+			}
+			return c.Schedule(5, id, 11)
+		}
+		return nil
+	}))
+	if err := c.Schedule(5, id, 0); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := c.Schedule(7, id, 1); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	want := []int64{0, 10, 11, 1}
+	if !eqTags(order, want) {
+		t.Fatalf("fire order %v, want %v", order, want)
+	}
+}
+
+// TestCoreScheduleBatch checks batch tags, slice-order ties, and the
+// heapify path for large batches over a part-filled heap.
+func TestCoreScheduleBatch(t *testing.T) {
+	c := New()
+	r := &recorder{}
+	id := c.Register(r)
+	if err := c.Schedule(2.5, id, -1); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	ts := make([]float64, 100)
+	for i := range ts {
+		ts[i] = float64(i % 5) // heavy exact ties
+	}
+	if err := c.ScheduleBatch(ts, id, 1000); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if c.Pending() != 101 {
+		t.Fatalf("pending=%d, want 101", c.Pending())
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Within each tied instant, batch entries fire in slice order.
+	got := r.tags()
+	if len(got) != 101 {
+		t.Fatalf("fired %d, want 101", len(got))
+	}
+	prev := struct {
+		t   float64
+		tag int64
+	}{-1, 0}
+	for _, f := range r.fires {
+		if f.t < prev.t {
+			t.Fatalf("time went backwards: %g after %g", f.t, prev.t)
+		}
+		if f.t == prev.t && f.tag != -1 && prev.tag != -1 && f.tag <= prev.tag {
+			t.Fatalf("tie at t=%g fired tag %d after %d: batch slice order broken", f.t, f.tag, prev.tag)
+		}
+		prev.t, prev.tag = f.t, f.tag
+	}
+}
+
+// TestCoreErrors pins the error contract: unregistered ids, NaN times,
+// and handler failures all stick.
+func TestCoreErrors(t *testing.T) {
+	t.Run("unregistered", func(t *testing.T) {
+		c := New()
+		if err := c.Schedule(1, 0, 0); err == nil {
+			t.Fatal("schedule for unregistered handler succeeded")
+		}
+		if c.Err() == nil {
+			t.Fatal("error did not stick")
+		}
+	})
+	t.Run("nan", func(t *testing.T) {
+		c := New()
+		id := c.Register(&recorder{})
+		if err := c.Schedule(math.NaN(), id, 0); err == nil {
+			t.Fatal("schedule at NaN succeeded")
+		}
+		if err := c.ScheduleBatch([]float64{1, math.NaN()}, id, 0); err == nil {
+			t.Fatal("batch with NaN succeeded")
+		}
+	})
+	t.Run("handler failure sticks", func(t *testing.T) {
+		c := New()
+		boom := errors.New("boom")
+		r := &recorder{err: boom}
+		id := c.Register(r)
+		if err := c.Schedule(1, id, 0); err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		if err := c.Schedule(2, id, 1); err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		if err := c.Drain(); !errors.Is(err, boom) {
+			t.Fatalf("drain err=%v, want boom", err)
+		}
+		if len(r.fires) != 1 {
+			t.Fatalf("run continued after failure: %d fires", len(r.fires))
+		}
+		if err := c.Schedule(3, id, 2); !errors.Is(err, boom) {
+			t.Fatalf("schedule after failure err=%v, want sticky boom", err)
+		}
+		if err := c.Drain(); !errors.Is(err, boom) {
+			t.Fatalf("second drain err=%v, want sticky boom", err)
+		}
+	})
+}
+
+// TestCoreSteadyStateAllocs pins the zero-allocation property: once the
+// heap has reached its high-water mark, a schedule/fire cycle allocates
+// nothing.
+func TestCoreSteadyStateAllocs(t *testing.T) {
+	c := New()
+	var sink float64
+	id := c.Register(HandlerFunc(func(now float64, tag int64) error {
+		sink += now
+		return nil
+	}))
+	// Warm to high-water mark.
+	for i := 0; i < 64; i++ {
+		if err := c.Schedule(float64(i), id, int64(i)); err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	tm := 100.0
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			tm++
+			if err := c.Schedule(tm, id, 0); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+		}
+		if err := c.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire cycle allocates %.1f times", allocs)
+	}
+}
+
+// TestArena pins the pool contract: recycled indices, stable InUse
+// accounting, and — the aliasing property — no two live indices ever
+// name the same record.
+func TestArena(t *testing.T) {
+	var a Arena[[2]int64]
+	live := map[int32]int64{}
+	next := int64(1)
+	// Churn get/put in a fixed pattern; every live record must retain
+	// exactly the value its holder wrote (aliasing would clobber it).
+	var held []int32
+	for step := 0; step < 2000; step++ {
+		if len(held) == 0 || step%3 != 0 {
+			i := a.Get()
+			if _, clash := live[i]; clash {
+				t.Fatalf("step %d: Get returned live index %d", step, i)
+			}
+			a.At(i)[0] = next
+			live[i] = next
+			next++
+			held = append(held, i)
+		} else {
+			k := step % len(held)
+			i := held[k]
+			if got := a.At(i)[0]; got != live[i] {
+				t.Fatalf("step %d: record %d holds %d, holder wrote %d (aliased)", step, i, got, live[i])
+			}
+			delete(live, i)
+			a.Put(i)
+			held = append(held[:k], held[k+1:]...)
+		}
+		if a.InUse() != len(live) {
+			t.Fatalf("step %d: InUse=%d, live=%d", step, a.InUse(), len(live))
+		}
+	}
+	for _, i := range held {
+		if got := a.At(i)[0]; got != live[i] {
+			t.Fatalf("final: record %d holds %d, holder wrote %d", i, got, live[i])
+		}
+	}
+	if a.Cap() < a.InUse() {
+		t.Fatalf("Cap()=%d < InUse()=%d", a.Cap(), a.InUse())
+	}
+	// Steady-state Get/Put recycles without allocating.
+	warm := a.Get()
+	a.Put(warm)
+	allocs := testing.AllocsPerRun(100, func() {
+		i := a.Get()
+		a.Put(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f times", allocs)
+	}
+}

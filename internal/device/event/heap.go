@@ -1,0 +1,130 @@
+package event
+
+// The event heap is a binary min-heap over (time, seq) stored
+// struct-of-arrays: the hot comparison path of every sift touches only
+// the times array (8 bytes per probe, one cache line covers eight
+// events), while the cold payload — sequence number, handler id, tag —
+// moves in a single parallel array of fixed-size records. Profiling
+// the fleet loop showed the compare traffic dominating swap traffic,
+// so only the comparison key gets its own array; splitting the payload
+// further bought nothing.
+
+// evRest is the non-key payload of one scheduled event.
+type evRest struct {
+	seq uint64 // schedule order, the deterministic tie-break
+	hid int32  // handler registry index
+	tag int64  // opaque payload handed back to the handler
+}
+
+// eventHeap is the batched binary event heap.
+type eventHeap struct {
+	times []float64
+	rest  []evRest
+}
+
+func (h *eventHeap) len() int { return len(h.times) }
+
+// less orders by time, breaking exact float64 ties by schedule order.
+func (h *eventHeap) less(i, j int) bool {
+	if h.times[i] != h.times[j] {
+		return h.times[i] < h.times[j]
+	}
+	return h.rest[i].seq < h.rest[j].seq
+}
+
+// push schedules one event, restoring the heap invariant.
+func (h *eventHeap) push(t float64, seq uint64, hid int32, tag int64) {
+	h.times = append(h.times, t)
+	h.rest = append(h.rest, evRest{seq: seq, hid: hid, tag: tag})
+	h.up(len(h.times) - 1)
+}
+
+// add appends one event without sifting; the caller must init()
+// before the next pop. Batch loads (prefilling a run's arrival
+// sequence) heapify once in O(n) instead of n sifts in O(n log n).
+func (h *eventHeap) add(t float64, seq uint64, hid int32, tag int64) {
+	h.times = append(h.times, t)
+	h.rest = append(h.rest, evRest{seq: seq, hid: hid, tag: tag})
+}
+
+// init restores the heap invariant over the whole array (Floyd's
+// bottom-up heapify).
+func (h *eventHeap) init() {
+	n := len(h.times)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// pop removes and returns the (time, seq)-minimum event. It uses
+// bottom-up deletion: the root hole sinks along the min-child path to
+// a leaf on ONE comparison per level, the displaced last leaf drops
+// into the hole, and a short sift-up repairs the rare overshoot. The
+// displaced leaf is almost always one of the latest events (pushes
+// append at the bottom), so the classic top-down sift would pay two
+// comparisons per level to carry it right back down to a leaf anyway.
+func (h *eventHeap) pop() (t float64, seq uint64, hid int32, tag int64) {
+	t = h.times[0]
+	r := h.rest[0]
+	n := len(h.times) - 1
+	lt, lr := h.times[n], h.rest[n]
+	h.times = h.times[:n]
+	h.rest = h.rest[:n]
+	if n > 0 {
+		i := 0
+		for {
+			m := 2*i + 1
+			if m >= n {
+				break
+			}
+			if rc := m + 1; rc < n && h.less(rc, m) {
+				m = rc
+			}
+			h.times[i], h.rest[i] = h.times[m], h.rest[m]
+			i = m
+		}
+		h.times[i], h.rest[i] = lt, lr
+		h.up(i)
+	}
+	return t, r.seq, r.hid, r.tag
+}
+
+// up and down sift with a hole instead of pairwise swaps: the moving
+// element is held in registers and written once at its final slot, so
+// each level costs one element move instead of three. The pop path
+// sinks the displaced last leaf nearly to the bottom every time (it is
+// usually one of the latest events), which makes the saved stores
+// worth the slightly longer code.
+
+func (h *eventHeap) up(i int) {
+	t, r := h.times[i], h.rest[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if t > h.times[p] || (t == h.times[p] && r.seq >= h.rest[p].seq) {
+			break
+		}
+		h.times[i], h.rest[i] = h.times[p], h.rest[p]
+		i = p
+	}
+	h.times[i], h.rest[i] = t, r
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.times)
+	t, r := h.times[i], h.rest[i]
+	for {
+		m := 2*i + 1
+		if m >= n {
+			break
+		}
+		if rc := m + 1; rc < n && h.less(rc, m) {
+			m = rc
+		}
+		if h.times[m] > t || (h.times[m] == t && h.rest[m].seq >= r.seq) {
+			break
+		}
+		h.times[i], h.rest[i] = h.times[m], h.rest[m]
+		i = m
+	}
+	h.times[i], h.rest[i] = t, r
+}

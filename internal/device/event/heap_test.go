@@ -1,0 +1,202 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkInvariant verifies the binary-heap ordering property over the
+// whole array.
+func checkInvariant(t *testing.T, h *eventHeap) {
+	t.Helper()
+	for i := 1; i < h.len(); i++ {
+		parent := (i - 1) / 2
+		if h.less(i, parent) {
+			t.Fatalf("heap invariant broken: node %d (t=%g seq=%d) < parent %d (t=%g seq=%d)",
+				i, h.times[i], h.rest[i].seq, parent, h.times[parent], h.rest[parent].seq)
+		}
+	}
+}
+
+// refEvent mirrors one event for the sorted reference model.
+type refEvent struct {
+	t   float64
+	seq uint64
+	hid int32
+	tag int64
+}
+
+func sortRef(ref []refEvent) {
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].t != ref[j].t {
+			return ref[i].t < ref[j].t
+		}
+		return ref[i].seq < ref[j].seq
+	})
+}
+
+// drainAgainstRef pops the heap dry and compares every event against
+// the sorted reference.
+func drainAgainstRef(t *testing.T, h *eventHeap, ref []refEvent) {
+	t.Helper()
+	sortRef(ref)
+	if h.len() != len(ref) {
+		t.Fatalf("heap holds %d events, reference %d", h.len(), len(ref))
+	}
+	for i, want := range ref {
+		checkInvariant(t, h)
+		gt, gseq, ghid, gtag := h.pop()
+		if gt != want.t || gseq != want.seq || ghid != want.hid || gtag != want.tag {
+			t.Fatalf("pop %d: got (t=%g seq=%d hid=%d tag=%d), want (t=%g seq=%d hid=%d tag=%d)",
+				i, gt, gseq, ghid, gtag, want.t, want.seq, want.hid, want.tag)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not empty after draining reference: %d left", h.len())
+	}
+}
+
+// TestHeapPopOrderVsSortedReference pushes random events — with a
+// deliberately tie-heavy time distribution — and checks that pop order
+// matches a stable (time, seq) sort exactly.
+func TestHeapPopOrderVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var h eventHeap
+		var ref []refEvent
+		n := 1 + rng.Intn(300)
+		for seq := 0; seq < n; seq++ {
+			// Times drawn from a small integer grid: exact float64 ties
+			// are the common case, which is the whole point of the seq
+			// tie-break.
+			tm := float64(rng.Intn(8))
+			hid := int32(rng.Intn(4))
+			tag := rng.Int63()
+			h.push(tm, uint64(seq), hid, tag)
+			ref = append(ref, refEvent{t: tm, seq: uint64(seq), hid: hid, tag: tag})
+		}
+		drainAgainstRef(t, &h, ref)
+	}
+}
+
+// TestHeapBatchAddInit loads events through the raw add + Floyd init
+// batch path and checks it is indistinguishable from per-event pushes.
+func TestHeapBatchAddInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var h eventHeap
+		var ref []refEvent
+		// Some pushed singly first, then a raw batch, then init.
+		pre := rng.Intn(20)
+		seq := uint64(0)
+		for ; seq < uint64(pre); seq++ {
+			tm := rng.Float64() * 10
+			h.push(tm, seq, 0, int64(seq))
+			ref = append(ref, refEvent{t: tm, seq: seq, tag: int64(seq)})
+		}
+		batch := 1 + rng.Intn(500)
+		for i := 0; i < batch; i++ {
+			tm := float64(rng.Intn(16))
+			h.add(tm, seq, 1, int64(seq))
+			ref = append(ref, refEvent{t: tm, seq: seq, hid: 1, tag: int64(seq)})
+			seq++
+		}
+		h.init()
+		drainAgainstRef(t, &h, ref)
+	}
+}
+
+// TestHeapInterleavedPushPop interleaves pushes and pops and checks
+// every pop is the (time, seq) minimum of the live set.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h eventHeap
+	live := map[uint64]refEvent{}
+	seq := uint64(0)
+	for step := 0; step < 5000; step++ {
+		if h.len() == 0 || rng.Intn(3) != 0 {
+			tm := float64(rng.Intn(10))
+			h.push(tm, seq, 0, int64(seq))
+			live[seq] = refEvent{t: tm, seq: seq, tag: int64(seq)}
+			seq++
+			continue
+		}
+		gt, gseq, _, _ := h.pop()
+		want, ok := live[gseq]
+		if !ok {
+			t.Fatalf("step %d: popped unknown seq %d", step, gseq)
+		}
+		if gt != want.t {
+			t.Fatalf("step %d: seq %d popped at t=%g, pushed at %g", step, gseq, gt, want.t)
+		}
+		for _, ev := range live {
+			if ev.t < gt || (ev.t == gt && ev.seq < gseq) {
+				t.Fatalf("step %d: popped (t=%g seq=%d) but (t=%g seq=%d) is live and smaller",
+					step, gt, gseq, ev.t, ev.seq)
+			}
+		}
+		delete(live, gseq)
+	}
+}
+
+// FuzzHeap is the native fuzz target over heap operations: each input
+// byte stream drives a push/add+init/pop sequence; the oracle is the
+// heap invariant after every operation plus pop-order agreement with
+// the sorted reference at the end.
+func FuzzHeap(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 1, 2, 255, 1, 0})
+	f.Add([]byte{2, 5, 5, 5, 5, 1, 1, 2})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h eventHeap
+		var ref []refEvent
+		popped := 0
+		seq := uint64(0)
+		batching := false
+		for _, b := range data {
+			switch b % 4 {
+			case 0, 1: // push (or raw add while batching) at a tie-heavy time
+				tm := float64(b >> 2)
+				if batching {
+					h.add(tm, seq, 0, int64(seq))
+				} else {
+					h.push(tm, seq, 0, int64(seq))
+				}
+				ref = append(ref, refEvent{t: tm, seq: seq, tag: int64(seq)})
+				seq++
+			case 2: // toggle batch mode; close with init
+				if batching {
+					h.init()
+				}
+				batching = !batching
+			case 3: // pop, if legal (no raw adds outstanding)
+				if batching || h.len() == 0 {
+					continue
+				}
+				gt, gseq, _, _ := h.pop()
+				popped++
+				// The popped event must be the minimum of the reference's
+				// remaining set.
+				sortRef(ref)
+				want := ref[0]
+				ref = ref[1:]
+				if gt != want.t || gseq != want.seq {
+					t.Fatalf("pop: got (t=%g seq=%d), want (t=%g seq=%d)", gt, gseq, want.t, want.seq)
+				}
+			}
+			if !batching {
+				for i := 1; i < h.len(); i++ {
+					parent := (i - 1) / 2
+					if h.less(i, parent) {
+						t.Fatalf("heap invariant broken at node %d", i)
+					}
+				}
+			}
+		}
+		if batching {
+			h.init()
+		}
+		drainAgainstRef(t, &h, ref)
+	})
+}

@@ -51,10 +51,11 @@ type Stats struct {
 // wrapped device's capabilities, so it can stand anywhere a backend can
 // — including as a child of a striped array.
 type Queue struct {
-	inner device.Device
-	sch   Scheduler
-	depth int
-	fcfs  bool // passthrough mode
+	inner    device.Device
+	sch      Scheduler
+	depth    int
+	fcfs     bool  // passthrough mode
+	capacity int64 // inner.Capacity(), cached off the per-submit path
 
 	pending   []Pending // arrival order, undispatched
 	nextSeq   int
@@ -94,7 +95,7 @@ func New(d device.Device, opts ...Option) (*Queue, error) {
 		return nil, fmt.Errorf("sched: nil scheduler")
 	}
 	_, isFCFS := cfg.sch.(fcfs)
-	return &Queue{inner: d, sch: cfg.sch, depth: cfg.depth, fcfs: isFCFS}, nil
+	return &Queue{inner: d, sch: cfg.sch, depth: cfg.depth, fcfs: isFCFS, capacity: d.Capacity()}, nil
 }
 
 // Depth returns the configured queue depth.
@@ -125,7 +126,7 @@ func (q *Queue) Submit(at float64, req device.Request) error {
 	if q.err != nil {
 		return q.err
 	}
-	if err := device.CheckRequest(q.inner, req); err != nil {
+	if err := device.CheckBounds(req.LBN, req.Sectors, q.capacity); err != nil {
 		return err
 	}
 	if at < q.lastIssue {
@@ -148,7 +149,7 @@ func (q *Queue) Submit(at float64, req device.Request) error {
 		return nil
 	}
 
-	q.advance(at)
+	q.advance(at, false)
 	q.pending = append(q.pending, Pending{Req: req, Issue: at, Seq: seq})
 	if len(q.pending) > q.stats.MaxPending {
 		q.stats.MaxPending = len(q.pending)
@@ -160,9 +161,27 @@ func (q *Queue) Submit(at float64, req device.Request) error {
 // t — the caller promises no arrival earlier than t is still coming.
 // Closed-loop drivers use it to resolve completions (and thus future
 // arrival times) up to their next known wake-up.
+//
+// The cut is deliberately strict (open-world): an arrival submitted at
+// exactly t must still be a candidate for a decision at t, so that
+// decision cannot be committed here. Callers that know no arrival at t
+// is coming — event-core runs whose arrivals are all events — want the
+// inclusive cut, AdvanceThrough. A decision instant landing exactly at
+// t is therefore committed by AdvanceThrough(t) but left uncommitted by
+// AdvanceTo(t); the two agree everywhere else.
 func (q *Queue) AdvanceTo(t float64) error {
 	if q.err == nil {
-		q.advance(t)
+		q.advance(t, false)
+	}
+	return q.err
+}
+
+// AdvanceThrough commits every dispatch decision at instant <= t — the
+// inclusive, closed-world cut matching event.Core.AdvanceTo: the caller
+// promises no arrival at or before t is still coming.
+func (q *Queue) AdvanceThrough(t float64) error {
+	if q.err == nil {
+		q.advance(t, true)
 	}
 	return q.err
 }
@@ -198,11 +217,29 @@ func (q *Queue) NextDecision() (float64, bool) {
 }
 
 // TakeCompleted returns the requests finished since the last call, in
-// dispatch (virtual-time service) order, and clears the buffer.
+// dispatch (virtual-time service) order, and clears the buffer. The
+// returned slice is surrendered to the caller (the next batch gets a
+// fresh buffer); steady-state consumers that do not need to retain the
+// slice should prefer ConsumeCompleted, which recycles it.
 func (q *Queue) TakeCompleted() []Completion {
 	out := q.completed
 	q.completed = nil
 	return out
+}
+
+// ConsumeCompleted calls fn for each request finished since the last
+// TakeCompleted/ConsumeCompleted, in dispatch order, then clears the
+// buffer while retaining its capacity. Unlike TakeCompleted it never
+// reallocates in steady state, which is what keeps event-core fold
+// loops at zero allocations per request. fn receives a pointer into
+// the recycled buffer: it must neither retain it past the call nor
+// call back into the queue. (A completion is a ~200-byte record; the
+// pointer spares fold loops two full copies per request.)
+func (q *Queue) ConsumeCompleted(fn func(*Completion)) {
+	for i := range q.completed {
+		fn(&q.completed[i])
+	}
+	q.completed = q.completed[:0]
 }
 
 // Drain flushes the queue and returns every remaining completion.
@@ -254,11 +291,13 @@ func (q *Queue) nextDecision() float64 {
 	return q.freeAt
 }
 
-// advance commits every dispatch decision strictly before horizon.
-func (q *Queue) advance(horizon float64) {
+// advance commits every dispatch decision before horizon — strictly
+// before when inclusive is false (the open-world cut), at or before
+// when true (the closed-world cut).
+func (q *Queue) advance(horizon float64, inclusive bool) {
 	for q.err == nil && len(q.pending) > 0 {
 		t := q.nextDecision()
-		if t >= horizon {
+		if t > horizon || (!inclusive && t == horizon) {
 			return
 		}
 		if !q.dispatchAt(t) {

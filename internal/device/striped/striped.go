@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/event"
 	"traxtents/internal/device/sched"
 )
 
@@ -102,6 +103,15 @@ type Array struct {
 	routes    []map[int]int
 	childSeq  []int
 	lastIssue float64
+
+	// Event-core citizenship: when any child is a *sched.Queue the
+	// array owns a discrete-event core and a fleet adapter over the
+	// queued children, so Drain advances every spindle on one clock in
+	// global (time, seq) order instead of flushing child by child.
+	// Completions still fold child-major (see Drain), keeping results
+	// bit-identical to the legacy join.
+	core  *event.Core
+	fleet *event.Queues
 }
 
 // join is one array-level request being assembled from child spans.
@@ -255,13 +265,21 @@ func New(children []device.Device, opts ...Option) (*Array, error) {
 	a.spanOf = make([]int, n)
 	a.routes = make([]map[int]int, n)
 	a.childSeq = make([]int, n)
+	anyQueued := false
+	qslots := make([]*sched.Queue, n)
 	for i, c := range children {
 		// Mirror each queued child's submission counter so span
 		// completions can be routed back to their array request even
 		// when the queue was used before the array adopted it.
 		if q, ok := c.(*sched.Queue); ok {
 			a.childSeq[i] = q.Stats().Submitted
+			qslots[i] = q
+			anyQueued = true
 		}
+	}
+	if anyQueued {
+		a.core = event.New()
+		a.fleet = event.NewQueues(a.core, qslots, nil)
 	}
 
 	// A common child rotation period is the array's; mixed spindles (or
@@ -462,6 +480,13 @@ func (a *Array) childOp(at float64, c int, sub device.Request) (device.Result, e
 		if err == nil {
 			if _, ok := a.children[c].(*sched.Queue); ok {
 				a.childSeq[c]++ // the barrier Serve consumed one sequence number
+				if a.fleet != nil {
+					// The barrier ran the queue's clock forward; any event
+					// scheduled at its old decision instant is stale now.
+					if terr := a.fleet.Touch(c); terr != nil {
+						return device.Result{}, &device.Error{Op: fmt.Sprintf("striped child %d", c), Req: sub, Err: terr}
+					}
+				}
 			}
 			return r, nil
 		}
@@ -749,6 +774,9 @@ func (a *Array) Submit(at float64, req device.Request) error {
 			if err := q.Submit(at, sub); err != nil {
 				return fmt.Errorf("striped: child %d: %w", s.child, err)
 			}
+			if err := a.fleet.Touch(s.child); err != nil {
+				return fmt.Errorf("striped: child %d: %w", s.child, err)
+			}
 			if a.routes[s.child] == nil {
 				a.routes[s.child] = make(map[int]int)
 			}
@@ -770,28 +798,47 @@ func (a *Array) Submit(at float64, req device.Request) error {
 // Drain.
 func (a *Array) Outstanding() int { return len(a.joins) }
 
-// Drain flushes every queued child, joins the span completions back
-// into their array requests, and returns the assembled results in
-// submission order.
+// Drain commits every outstanding child dispatch, joins the span
+// completions back into their array requests, and returns the
+// assembled results in submission order. With queued children the
+// dispatches advance on the array's event core — every spindle on one
+// clock, decisions committed in global (time, seq) order — and the
+// per-child Flush below is a drained no-op kept as the safety net (and
+// the whole path for arrays whose queues predate the core). Folding
+// stays child-major regardless of commit order, so the joined results
+// are bit-identical to the legacy per-child drain.
 func (a *Array) Drain() ([]device.Result, error) {
+	if a.fleet != nil {
+		// A sticky child error surfaces identically from the per-child
+		// Flush below, with the legacy child attribution; the core run
+		// stops at the first failure either way.
+		_ = a.fleet.Drain()
+	}
+	var foldErr error
 	for c, child := range a.children {
 		q, ok := child.(*sched.Queue)
 		if !ok {
 			continue
 		}
-		cs, err := q.Drain()
-		if err != nil {
+		if err := q.Flush(); err != nil {
 			return nil, fmt.Errorf("striped: child %d: %w", c, err)
 		}
-		for _, comp := range cs {
-			ji, ok := a.routes[c][comp.Seq]
+		cr := a.routes[c]
+		q.ConsumeCompleted(func(comp *sched.Completion) {
+			ji, ok := cr[comp.Seq]
 			if !ok {
-				return nil, fmt.Errorf("striped: child %d completion %d has no owner", c, comp.Seq)
+				if foldErr == nil {
+					foldErr = fmt.Errorf("striped: child %d completion %d has no owner", c, comp.Seq)
+				}
+				return
 			}
-			delete(a.routes[c], comp.Seq)
+			delete(cr, comp.Seq)
 			j := &a.joins[ji]
 			accumulate(&j.res, &j.started, comp.Res)
 			j.remaining--
+		})
+		if foldErr != nil {
+			return nil, foldErr
 		}
 	}
 	out := make([]device.Result, len(a.joins))
@@ -945,8 +992,16 @@ func (a *Array) Replace(c int, d device.Device) error {
 	}
 	a.children[c] = d
 	a.childSeq[c] = 0
-	if q, ok := d.(*sched.Queue); ok {
+	q, _ := d.(*sched.Queue)
+	if q != nil {
 		a.childSeq[c] = q.Stats().Submitted
+	}
+	if a.fleet != nil {
+		// Swap the fleet slot too (nil for an unqueued replacement);
+		// the old queue's scheduled event goes stale and drops.
+		if err := a.fleet.Update(c, q); err != nil {
+			return fmt.Errorf("striped: child %d: %w", c, err)
+		}
 	}
 	a.lost = -1
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/event"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/disk/mech"
 	"traxtents/internal/stats"
@@ -258,6 +259,40 @@ type join struct {
 	res       device.Result
 	remaining int
 	started   bool
+	// failed marks a join whose batch died mid-route (a shard tier
+	// rejected a span): spans already in flight still fold into it, but
+	// it never accounts and Drain does not demand its missing spans.
+	failed bool
+}
+
+// admissionSnapshot captures the tenant state admit mutates, so a
+// mid-batch routing failure can put it back per the ErrRejected
+// contract: a request the volume server could not place consumes no
+// tokens and holds no in-flight slot.
+type admissionSnapshot struct {
+	reqTokens   float64
+	secTokens   float64
+	bucketAt    float64
+	lastRelease float64
+	deferred    int
+}
+
+func (v *Volume) admitSnap() admissionSnapshot {
+	return admissionSnapshot{
+		reqTokens:   v.reqTokens,
+		secTokens:   v.secTokens,
+		bucketAt:    v.bucketAt,
+		lastRelease: v.lastRelease,
+		deferred:    v.deferred,
+	}
+}
+
+func (v *Volume) restore(s admissionSnapshot) {
+	v.reqTokens = s.reqTokens
+	v.secTokens = s.secTokens
+	v.bucketAt = s.bucketAt
+	v.lastRelease = s.lastRelease
+	v.deferred = s.deferred
 }
 
 // heldReq is an admitted-but-shaped request waiting for its release
@@ -338,6 +373,22 @@ type Manager struct {
 
 	spanBuf []span
 
+	// Event-core citizenship: the shard tiers are one fleet on one
+	// discrete-event core, so an advance commits dispatch decisions
+	// across all shards in global (time, seq) order — deterministic
+	// under exact float64 ties — instead of shard by shard. Commits
+	// only mark shards dirty; completions fold in ascending shard
+	// order afterwards (fold), which keeps the P² accounting stream
+	// bit-identical to the legacy shard-major join.
+	core  *event.Core
+	fleet *event.Queues
+	dirty []bool
+
+	// Prebound fold state (zero-alloc ConsumeCompleted loop).
+	foldCur *shard
+	foldErr error
+	foldFn  func(*sched.Completion)
+
 	// Aggregate accounting across tenants.
 	served          int
 	sumResp         float64
@@ -400,7 +451,22 @@ func New(shards []device.Device, opts ...Option) (*Manager, error) {
 		m.shards = append(m.shards, sh)
 	}
 	m.rotation = commonRotation(shards)
+	m.core = event.New()
+	qs := make([]*sched.Queue, len(m.shards))
+	for i, sh := range m.shards {
+		qs[i] = sh.tier
+	}
+	m.fleet = event.NewQueues(m.core, qs, m.markDirty)
+	m.dirty = make([]bool, len(m.shards))
+	m.foldFn = m.foldOne
 	return m, nil
+}
+
+// markDirty is the fleet's commit hook: a committed tier dispatch may
+// have buffered completions, so the shard joins the next fold sweep.
+func (m *Manager) markDirty(i int) error {
+	m.dirty[i] = true
+	return nil
 }
 
 // extentBounds builds a shard's extent table: its own traxtent
@@ -643,6 +709,7 @@ func (m *Manager) Submit(name string, at float64, req device.Request) error {
 	if err := m.advanceTo(at); err != nil {
 		return err
 	}
+	snap := v.admitSnap()
 	release, err := v.admit(at, req.Sectors)
 	if err != nil {
 		return err
@@ -654,31 +721,83 @@ func (m *Manager) Submit(name string, at float64, req device.Request) error {
 		m.heldOrder++
 		return nil
 	}
-	return m.route(v, at, release, req)
+	if err := m.route(v, at, release, req); err != nil {
+		// Mid-batch failure (a shard tier rejected a span — a fault
+		// injector under the volume, say): route already released the
+		// in-flight slot and marked the join failed; restoring the
+		// pre-admit snapshot returns the tokens, so the failed request
+		// leaves the buckets, counts, and quantile state exactly as a
+		// clean ErrRejected would.
+		v.restore(snap)
+		return err
+	}
+	return nil
 }
 
 // route splits an admitted request and submits its spans to the shard
 // tiers at the release instant, registering a join for reassembly.
+//
+// A span the tier rejects mid-batch cannot be unsubmitted from the
+// spans before it, so route fails softly: the join is marked failed
+// (earlier spans still fold into it, but it never accounts), the
+// tenant's in-flight count drops, and the failed span's bookkeeping is
+// undone — but only when the tier did not consume its submission
+// sequence number, which a sticky dispatch failure does.
 func (m *Manager) route(v *Volume, issue, release float64, req device.Request) error {
 	ji := len(m.joins)
 	m.joins = append(m.joins, join{vol: v, res: device.Result{Req: req, Issue: issue}})
 	spans := m.split(v, req)
 	m.joins[ji].remaining = len(spans)
-	for _, sp := range spans {
+	for si, sp := range spans {
 		sub := device.Request{LBN: sp.lbn, Sectors: sp.sectors, Write: req.Write, FUA: req.FUA}
+		prevFinish := 0.0
+		if m.cfg.tier == tierFair {
+			prevFinish = v.lastFinish[sp.sh.idx]
+		}
+		before := sp.sh.tier.Stats().Submitted
 		m.tag(sp.sh, v, release, sp.sectors)
 		sp.sh.routes[sp.sh.nextSeq] = ji
 		sp.sh.nextSeq++
 		if err := sp.sh.tier.Submit(release, sub); err != nil {
+			j := &m.joins[ji]
+			j.failed = true
+			j.remaining -= len(spans) - si // this span and the rest never complete
+			v.unresolved--
+			if sp.sh.tier.Stats().Submitted == before {
+				delete(sp.sh.routes, sp.sh.nextSeq-1)
+				sp.sh.nextSeq--
+				m.untag(sp.sh, v, prevFinish)
+			}
+			return err
+		}
+		// The tier's Submit may have committed earlier decisions
+		// internally, and its next decision instant moved: re-sweep the
+		// shard on the next fold and reschedule its event.
+		m.dirty[sp.sh.idx] = true
+		if err := m.fleet.Touch(sp.sh.idx); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// untag reverses one tag() call for a span whose tier submission did
+// not consume a sequence number, realigning the tenant-metadata
+// mirrors with the tier's counter.
+func (m *Manager) untag(sh *shard, v *Volume, prevFinish float64) {
+	switch m.cfg.tier {
+	case tierFair:
+		sh.seqTag = sh.seqTag[:len(sh.seqTag)-1]
+		v.lastFinish[sh.idx] = prevFinish
+	case tierEDF:
+		sh.seqDeadline = sh.seqDeadline[:len(sh.seqDeadline)-1]
+	}
+}
+
 // advanceTo releases every held request due by at (in release order,
-// ties by arrival), commits tier decisions before at, and folds the
-// resulting completions.
+// ties by arrival), commits tier decisions before at — as events on
+// the shared core, in global (time, seq) order across all shards —
+// and folds the resulting completions.
 func (m *Manager) advanceTo(at float64) error {
 	for len(m.held) > 0 && m.held[0].release <= at {
 		h := heap.Pop(&m.held).(heldReq)
@@ -686,35 +805,54 @@ func (m *Manager) advanceTo(at float64) error {
 			return err
 		}
 	}
-	for _, sh := range m.shards {
-		if err := sh.tier.AdvanceTo(at); err != nil {
-			return err
-		}
+	if err := m.fleet.AdvanceTo(at); err != nil {
+		return err
 	}
 	return m.fold()
 }
 
 // fold routes finished tier completions back to their joins and
-// accounts every fully reassembled request. A completion no join owns
-// is an accounting fault, not a silently misattributed request.
+// accounts every fully reassembled request. Only shards marked dirty
+// by a commit (or a direct tier submit) are swept, in ascending shard
+// order — the same accounting order as a sweep of every shard, since
+// clean shards have nothing buffered. A completion no join owns is an
+// accounting fault, not a silently misattributed request.
 func (m *Manager) fold() error {
-	for _, sh := range m.shards {
-		for _, c := range sh.tier.TakeCompleted() {
-			ji, ok := sh.routes[c.Seq]
-			if !ok {
-				return fmt.Errorf("volume: shard %d completion %d (%+v) has no owner", sh.idx, c.Seq, c.Res.Req)
-			}
-			delete(sh.routes, c.Seq)
-			j := &m.joins[ji]
-			accumulate(&j.res, &j.started, c.Res)
-			j.remaining--
-			if j.remaining == 0 {
-				j.vol.unresolved--
-				m.account(j.vol, j.res)
-			}
+	for i, sh := range m.shards {
+		if !m.dirty[i] {
+			continue
+		}
+		m.dirty[i] = false
+		m.foldCur = sh
+		sh.tier.ConsumeCompleted(m.foldFn)
+		if err := m.foldErr; err != nil {
+			m.foldErr = nil
+			return err
 		}
 	}
 	return nil
+}
+
+// foldOne settles one tier completion (prebound as m.foldFn so the
+// steady-state fold loop allocates nothing).
+func (m *Manager) foldOne(c *sched.Completion) {
+	if m.foldErr != nil {
+		return
+	}
+	sh := m.foldCur
+	ji, ok := sh.routes[c.Seq]
+	if !ok {
+		m.foldErr = fmt.Errorf("volume: shard %d completion %d (%+v) has no owner", sh.idx, c.Seq, c.Res.Req)
+		return
+	}
+	delete(sh.routes, c.Seq)
+	j := &m.joins[ji]
+	accumulate(&j.res, &j.started, c.Res)
+	j.remaining--
+	if j.remaining == 0 && !j.failed {
+		j.vol.unresolved--
+		m.account(j.vol, j.res)
+	}
 }
 
 // accumulate merges one span result into a join's aggregate. A single
@@ -774,8 +912,9 @@ func (m *Manager) account(v *Volume, res device.Result) {
 	}
 }
 
-// Drain releases every held request, flushes the shard tiers, and
-// folds all remaining completions into the accounting.
+// Drain releases every held request, commits every remaining tier
+// decision on the event core, and folds all remaining completions into
+// the accounting.
 func (m *Manager) Drain() error {
 	for len(m.held) > 0 {
 		h := heap.Pop(&m.held).(heldReq)
@@ -783,19 +922,26 @@ func (m *Manager) Drain() error {
 			return err
 		}
 	}
-	for _, sh := range m.shards {
+	// One clock: every shard's decisions commit in global (time, seq)
+	// order. A sticky tier error surfaces identically from the Flush
+	// safety net below, in shard order like the legacy drain.
+	_ = m.fleet.Drain()
+	for i, sh := range m.shards {
 		if err := sh.tier.Flush(); err != nil {
 			return err
 		}
+		m.dirty[i] = true // barrier: sweep every shard in the fold
 	}
 	if err := m.fold(); err != nil {
 		return err
 	}
 	// Every join must have reassembled: a tier that dropped a span — a
 	// child failure mid-drain, say — must surface as an error naming
-	// the dropped request, not vanish from the accounting.
+	// the dropped request, not vanish from the accounting. Failed joins
+	// are the exception: their missing spans were never submitted (the
+	// rejection already surfaced to the submitter).
 	for i := range m.joins {
-		if j := &m.joins[i]; j.remaining != 0 {
+		if j := &m.joins[i]; j.remaining != 0 && !j.failed {
 			return fmt.Errorf("volume: request %+v for %q still missing %d spans after drain",
 				j.res.Req, j.vol.name, j.remaining)
 		}
@@ -825,6 +971,7 @@ func (m *Manager) ServeTenant(name string, at float64, req device.Request) (devi
 	if at < m.lastIssue {
 		return device.Result{}, fmt.Errorf("volume: issue time %g before previous %g", at, m.lastIssue)
 	}
+	snap := v.admitSnap()
 	release, err := v.admit(at, req.Sectors)
 	if err != nil {
 		return device.Result{}, err
@@ -834,10 +981,23 @@ func (m *Manager) ServeTenant(name string, at float64, req device.Request) (devi
 	started := false
 	for _, sp := range m.split(v, req) {
 		sub := device.Request{LBN: sp.lbn, Sectors: sp.sectors, Write: req.Write, FUA: req.FUA}
+		prevFinish := 0.0
+		if m.cfg.tier == tierFair {
+			prevFinish = v.lastFinish[sp.sh.idx]
+		}
+		before := sp.sh.tier.Stats().Submitted
 		m.tag(sp.sh, v, release, sp.sectors)
 		sp.sh.nextSeq++
 		r, err := sp.sh.tier.Serve(release, sub)
 		if err != nil {
+			// Same contract as the batch path: the failed request holds
+			// no tokens, and the mirrors realign when the tier did not
+			// consume the sequence number.
+			if sp.sh.tier.Stats().Submitted == before {
+				sp.sh.nextSeq--
+				m.untag(sp.sh, v, prevFinish)
+			}
+			v.restore(snap)
 			return device.Result{}, err
 		}
 		accumulate(&res, &started, r)

@@ -49,6 +49,12 @@ type Workload struct {
 	// The unaligned counterpart is the plain IOSectors workload, whose
 	// requests land anywhere and straddle boundaries.
 	SubTrack bool
+	// Sequential walks the device in layout order instead of choosing
+	// targets at random — the streaming pattern of a scan or a rebuild,
+	// and the cheapest request the media model serves. Under Aligned the
+	// walk is whole tracks; otherwise it is IOSectors-sized steps from
+	// LBN 0, wrapping at the end. Incompatible with SubTrack.
+	Sequential bool
 	// WriteEvery makes every k-th request a write; 0 means reads only.
 	WriteEvery int
 	// WorkingSetTracks restricts the workload to the device's first K
@@ -92,6 +98,7 @@ type gen struct {
 	io       int
 	aligned  bool
 	subTrack bool
+	seq      bool
 	wEvery   int
 	n        int // requests produced
 }
@@ -103,10 +110,14 @@ func newGen(d device.Device, wl Workload) (*gen, error) {
 		io:       wl.IOSectors,
 		aligned:  wl.Aligned,
 		subTrack: wl.Aligned && wl.SubTrack,
+		seq:      wl.Sequential,
 		wEvery:   wl.WriteEvery,
 	}
 	if wl.SubTrack && !wl.Aligned {
 		return nil, fmt.Errorf("driver: SubTrack requires Aligned")
+	}
+	if wl.Sequential && wl.SubTrack {
+		return nil, fmt.Errorf("driver: Sequential is incompatible with SubTrack")
 	}
 	if wl.Aligned || wl.WorkingSetTracks > 0 {
 		bp, ok := d.(device.BoundaryProvider)
@@ -151,10 +162,18 @@ func (g *gen) next() device.Request {
 		off := g.rng.Intn(n/g.io) * g.io
 		req = device.Request{LBN: first + int64(off), Sectors: g.io}
 	case g.aligned:
-		t := g.rng.Intn(len(g.bounds) - 1)
+		t := g.n % (len(g.bounds) - 1)
+		if !g.seq {
+			t = g.rng.Intn(len(g.bounds) - 1)
+		}
 		req = device.Request{LBN: g.bounds[t], Sectors: int(g.bounds[t+1] - g.bounds[t])}
 	default:
-		req = device.Request{LBN: g.rng.Int63n(g.cap - int64(g.io) + 1), Sectors: g.io}
+		if g.seq {
+			steps := g.cap / int64(g.io)
+			req = device.Request{LBN: int64(g.n%int(steps)) * int64(g.io), Sectors: g.io}
+		} else {
+			req = device.Request{LBN: g.rng.Int63n(g.cap - int64(g.io) + 1), Sectors: g.io}
+		}
 	}
 	g.n++
 	if g.wEvery > 0 && g.n%g.wEvery == 0 {

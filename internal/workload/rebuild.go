@@ -1,11 +1,11 @@
 package workload
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"traxtents/internal/device"
+	"traxtents/internal/device/event"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/stats"
@@ -59,37 +59,113 @@ type RebuildMetrics struct {
 	Reconstructs int
 }
 
-// rbWake is one pending issue instant in the rebuild event loop: a
-// foreground arrival (its request precomputed) or the rebuild client's
-// next read. Ordering is (time, rebuild-last, arrival index) — a total
-// order, so the pop sequence is deterministic; the tie goes to the
-// foreground arrival, matching the queue's FCFS resolution of
-// same-instant submissions.
-type rbWake struct {
-	t       float64
-	rebuild bool
-	idx     int // foreground arrival index, or rebuild chunk index
+// rbEngine runs a rebuild-under-load as a citizen of the global event
+// core: every issue instant — foreground arrival or rebuild read — is
+// a wake event, and the queue's dispatch decisions are fleet events on
+// the same clock. The legacy bespoke heap ordered wakes by (time,
+// rebuild-last, arrival index) and committed queue decisions only when
+// strictly earlier than the next wake; the core reproduces that total
+// order through sequence numbers alone:
+//
+//   - foreground arrivals are prefilled in one batch, so they hold the
+//     lowest sequence numbers and win every same-instant tie (against
+//     rebuild wakes and queue decisions alike), in arrival order;
+//   - rebuild wakes are scheduled mid-fold, before the queue's
+//     decision event is refreshed, so a decision at the same instant
+//     fires after the wake — the legacy strict t-before-wake cut;
+//   - each wake ends by force-rescheduling the queue's event (Update,
+//     not Touch), so a decision event issued before the wake can never
+//     outrank a same-instant wake scheduled after it.
+type rbEngine struct {
+	core  *event.Core
+	fleet *event.Queues
+	wake  event.HandlerID
+	q     *sched.Queue
+	spare device.Device
+
+	chunks    []rbChunk
+	fgReqs    []device.Request
+	isRebuild map[int]int // queue seq -> chunk index
+	fgResp    []float64
+
+	rebuiltSectors                  int64
+	rebuildEnd                      float64
+	submitted, completed, nextChunk int
+
+	foldFn  func(*sched.Completion)
+	foldErr error
 }
 
-type rbHeap []rbWake
-
-func (h rbHeap) Len() int { return len(h) }
-func (h rbHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// fire handles one wake: submit the tagged request at its instant,
+// fold any completions the submission's internal advance surfaced, and
+// refresh the queue's decision event. Tags below len(fgReqs) are
+// foreground arrival indices; the rest are offset rebuild chunk
+// indices.
+func (e *rbEngine) fire(now float64, tag int64) error {
+	var req device.Request
+	if int(tag) < len(e.fgReqs) {
+		req = e.fgReqs[tag]
+	} else {
+		k := int(tag) - len(e.fgReqs)
+		req = e.chunks[k].req
+		e.isRebuild[e.q.Stats().Submitted] = k
+		e.nextChunk = k + 1
 	}
-	if h[i].rebuild != h[j].rebuild {
-		return !h[i].rebuild
+	if err := e.q.Submit(now, req); err != nil {
+		return err
 	}
-	return h[i].idx < h[j].idx
+	e.submitted++
+	if err := e.fold(); err != nil {
+		return err
+	}
+	return e.fleet.Update(0, e.q)
 }
-func (h rbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *rbHeap) Push(x interface{}) { *h = append(*h, x.(rbWake)) }
-func (h *rbHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+
+// fold consumes the queue's buffered completions in dispatch order.
+func (e *rbEngine) fold() error {
+	e.q.ConsumeCompleted(e.foldFn)
+	err := e.foldErr
+	e.foldErr = nil
+	return err
+}
+
+// foldOne settles one completion: a rebuild read feeds its spare write
+// and wakes the next chunk at its completion instant; a foreground
+// completion records its response time.
+func (e *rbEngine) foldOne(c *sched.Completion) {
+	if e.foldErr != nil {
+		return
+	}
+	e.completed++
+	if k, ok := e.isRebuild[c.Seq]; ok {
+		ch := e.chunks[k]
+		if ch.sectors > 0 {
+			// The regenerated span lands on the spare as the read
+			// completes; the spare's clock orders its writes,
+			// overlapping the next read.
+			res, err := e.spare.Serve(c.Res.Done, device.Request{
+				LBN: ch.spareLBN, Sectors: ch.sectors, Write: true,
+			})
+			if err != nil {
+				e.foldErr = fmt.Errorf("workload: spare write for chunk %d: %w", k, err)
+				return
+			}
+			e.rebuiltSectors += int64(ch.sectors)
+			if res.Done > e.rebuildEnd {
+				e.rebuildEnd = res.Done
+			}
+		}
+		if c.Res.Done > e.rebuildEnd {
+			e.rebuildEnd = c.Res.Done
+		}
+		if e.nextChunk < len(e.chunks) {
+			if err := e.core.Schedule(c.Res.Done, e.wake, int64(len(e.fgReqs)+e.nextChunk)); err != nil {
+				e.foldErr = err
+			}
+		}
+		return
+	}
+	e.fgResp = append(e.fgResp, c.Res.Response())
 }
 
 // rbChunk is one rebuild read and the spare write it feeds.
@@ -183,7 +259,7 @@ func RebuildUnderLoad(q *sched.Queue, arr *striped.Array, spare device.Device, f
 	if err != nil {
 		return RebuildMetrics{}, err
 	}
-	arrivals := make([]rbWake, fg.Workload.Requests)
+	arrivals := make([]float64, fg.Workload.Requests)
 	fgReqs := make([]device.Request, fg.Workload.Requests)
 	{
 		// The arrival process uses its own derived source so the
@@ -191,108 +267,53 @@ func RebuildUnderLoad(q *sched.Queue, arr *striped.Array, spare device.Device, f
 		iat := newExpStream(fg.Workload.Seed^0x7265626c, 1000.0/fg.RatePerSec)
 		at := 0.0
 		for i := range arrivals {
-			arrivals[i] = rbWake{t: at, idx: i}
+			arrivals[i] = at
 			fgReqs[i] = stream.Next()
 			at += iat.next()
 		}
 	}
 
-	var h rbHeap
-	h = append(h, arrivals...)
-	h = append(h, rbWake{t: 0, rebuild: true, idx: 0})
-	heap.Init(&h)
-
 	recon0 := arr.DegradedStats().Reconstructs
-	isRebuild := make(map[int]int) // queue seq -> chunk index
-	fgResp := make([]float64, 0, len(fgReqs))
-	var rebuiltSectors int64
-	var rebuildEnd float64
-	submitted, completed, nextChunk := 0, 0, 0
-	total := len(fgReqs) + len(chunks)
+	eng := &rbEngine{
+		q:         q,
+		spare:     spare,
+		chunks:    chunks,
+		fgReqs:    fgReqs,
+		isRebuild: make(map[int]int),
+		fgResp:    make([]float64, 0, len(fgReqs)),
+	}
+	eng.foldFn = eng.foldOne
+	eng.core = event.New()
+	eng.wake = eng.core.Register(event.HandlerFunc(eng.fire))
+	// Prefill every arrival in one batch (lowest sequence numbers: see
+	// rbEngine's ordering notes), then the first rebuild read at t=0,
+	// then register the queue as a single-slot fleet. Its decision
+	// events are scheduled last at any instant, so wakes submit first.
+	if err := eng.core.ScheduleBatch(arrivals, eng.wake, 0); err != nil {
+		return RebuildMetrics{}, err
+	}
+	if err := eng.core.Schedule(0, eng.wake, int64(len(fgReqs))); err != nil {
+		return RebuildMetrics{}, err
+	}
+	eng.fleet = event.NewQueues(eng.core, []*sched.Queue{q}, func(int) error { return eng.fold() })
 
-	stalled := func() (RebuildMetrics, error) {
+	total := len(fgReqs) + len(chunks)
+	if err := eng.core.Drain(); err != nil {
+		return RebuildMetrics{}, err
+	}
+	if eng.completed < total {
 		if err := q.Err(); err != nil {
 			return RebuildMetrics{}, err
 		}
-		return RebuildMetrics{}, fmt.Errorf("workload: rebuild loop stalled with %d of %d complete", completed, total)
+		return RebuildMetrics{}, fmt.Errorf("workload: rebuild loop stalled with %d of %d complete", eng.completed, total)
 	}
-	fold := func(cs []sched.Completion) error {
-		for _, c := range cs {
-			completed++
-			if k, ok := isRebuild[c.Seq]; ok {
-				ch := chunks[k]
-				if ch.sectors > 0 {
-					// The regenerated span lands on the spare as the
-					// read completes; the spare's clock orders its
-					// writes, overlapping the next read.
-					res, err := spare.Serve(c.Res.Done, device.Request{
-						LBN: ch.spareLBN, Sectors: ch.sectors, Write: true,
-					})
-					if err != nil {
-						return fmt.Errorf("workload: spare write for chunk %d: %w", k, err)
-					}
-					rebuiltSectors += int64(ch.sectors)
-					if res.Done > rebuildEnd {
-						rebuildEnd = res.Done
-					}
-				}
-				if c.Res.Done > rebuildEnd {
-					rebuildEnd = c.Res.Done
-				}
-				if nextChunk < len(chunks) {
-					heap.Push(&h, rbWake{t: c.Res.Done, rebuild: true, idx: nextChunk})
-				}
-				continue
-			}
-			fgResp = append(fgResp, c.Res.Response())
-		}
-		return nil
-	}
-
-	for completed < total {
-		if h.Len() == 0 {
-			// Everything is submitted: force decisions to completion.
-			if !q.ForceNext() {
-				return stalled()
-			}
-			if err := fold(q.TakeCompleted()); err != nil {
-				return RebuildMetrics{}, err
-			}
-			continue
-		}
-		// Commit queue decisions that provably precede the earliest
-		// pending issue (ties go to the arrival), folding completions —
-		// which may push an earlier rebuild wake — between commits.
-		if t, ok := q.NextDecision(); ok && t < h[0].t {
-			if !q.ForceNext() {
-				return stalled()
-			}
-			if err := fold(q.TakeCompleted()); err != nil {
-				return RebuildMetrics{}, err
-			}
-			continue
-		}
-		w := heap.Pop(&h).(rbWake)
-		var req device.Request
-		if w.rebuild {
-			req = chunks[w.idx].req
-			isRebuild[q.Stats().Submitted] = w.idx
-			nextChunk = w.idx + 1
-		} else {
-			req = fgReqs[w.idx]
-		}
-		if err := q.Submit(w.t, req); err != nil {
-			return RebuildMetrics{}, err
-		}
-		submitted++
-		if err := fold(q.TakeCompleted()); err != nil {
-			return RebuildMetrics{}, err
-		}
-	}
-	if submitted != total {
-		return RebuildMetrics{}, fmt.Errorf("workload: submitted %d of %d requests", submitted, total)
+	if eng.submitted != total {
+		return RebuildMetrics{}, fmt.Errorf("workload: submitted %d of %d requests", eng.submitted, total)
 	}
 	if err := q.Flush(); err != nil {
+		return RebuildMetrics{}, err
+	}
+	if err := eng.fold(); err != nil {
 		return RebuildMetrics{}, err
 	}
 	if rc.MaxUnits == 0 || rc.MaxUnits >= len(arr.RebuildUnits()) {
@@ -304,19 +325,19 @@ func RebuildUnderLoad(q *sched.Queue, arr *striped.Array, spare device.Device, f
 	m := RebuildMetrics{
 		Units:              len(units),
 		Requests:           len(chunks),
-		RebuiltMB:          float64(rebuiltSectors) * float64(arr.SectorSize()) / (1 << 20),
-		RebuildMs:          rebuildEnd,
-		ForegroundRequests: len(fgResp),
+		RebuiltMB:          float64(eng.rebuiltSectors) * float64(arr.SectorSize()) / (1 << 20),
+		RebuildMs:          eng.rebuildEnd,
+		ForegroundRequests: len(eng.fgResp),
 		Reconstructs:       arr.DegradedStats().Reconstructs - recon0,
 	}
-	if rebuildEnd > 0 {
-		m.RebuildMBPerSec = m.RebuiltMB / (rebuildEnd / 1000)
+	if eng.rebuildEnd > 0 {
+		m.RebuildMBPerSec = m.RebuiltMB / (eng.rebuildEnd / 1000)
 	}
-	if len(fgResp) > 0 {
-		m.ForegroundMeanMs = stats.Mean(fgResp)
-		m.ForegroundP99Ms = stats.Percentile(fgResp, 99)
-		m.ForegroundP9999Ms = stats.Percentile(fgResp, 99.99)
-		m.ForegroundMaxMs = stats.Max(fgResp)
+	if len(eng.fgResp) > 0 {
+		m.ForegroundMeanMs = stats.Mean(eng.fgResp)
+		m.ForegroundP99Ms = stats.Percentile(eng.fgResp, 99)
+		m.ForegroundP9999Ms = stats.Percentile(eng.fgResp, 99.99)
+		m.ForegroundMaxMs = stats.Max(eng.fgResp)
 	}
 	return m, nil
 }
