@@ -9,9 +9,11 @@
 package traxtents_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"testing"
 	"time"
@@ -1022,6 +1024,250 @@ func TestBenchEventsJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_events.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Trace pipeline at capture scale (BENCH_replay.json) ----
+
+// replayBenchRecords is the capture size the trace-pipeline gate runs
+// at: a million records through codec and replay in one test.
+const replayBenchRecords = 1_000_000
+
+// replayBenchTrace synthesizes a million-record capture with the
+// statistics of a real block trace: locality-heavy LBN deltas,
+// power-of-two sizes, correlated service times, Poisson arrivals.
+func replayBenchTrace() traxtents.Trace {
+	rng := rand.New(rand.NewSource(17))
+	tr := traxtents.Trace{
+		Name:       "replay-bench",
+		Capacity:   17938986,
+		SectorSize: 512,
+		Records:    make([]traxtents.TraceRecord, replayBenchRecords),
+	}
+	lbn := int64(9000)
+	at := 0.0
+	for i := range tr.Records {
+		lbn += int64(rng.Intn(4096) - 2048)
+		if lbn < 0 {
+			lbn = 0
+		}
+		if lbn > tr.Capacity-256 {
+			lbn = tr.Capacity - 256
+		}
+		at += rng.ExpFloat64() * 0.5
+		tr.Records[i] = traxtents.TraceRecord{
+			LBN:     lbn,
+			Sectors: 8 << uint(rng.Intn(4)),
+			Write:   rng.Intn(4) == 0,
+			Issue:   at,
+			Service: 2 + rng.Float64()*8,
+		}
+	}
+	return tr
+}
+
+// BenchmarkTraceDecode measures decoding a 1M-record trace from the
+// binary format.
+func BenchmarkTraceDecode(b *testing.B) {
+	skipShort(b)
+	data, err := traxtents.EncodeTraceBinary(replayBenchTrace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traxtents.DecodeTraceBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data))/replayBenchRecords, "bytes/record")
+}
+
+// BenchmarkTraceReplay measures one full million-request replay
+// (strict player under a passthrough stack) per iteration.
+func BenchmarkTraceReplay(b *testing.B) {
+	skipShort(b)
+	tr := replayBenchTrace()
+	p, err := traxtents.NewTraceDevice(tr, traxtents.StrictReplay())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := traxtents.NewDeviceStack(p, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := traxtents.NewTraceReplay(st, tr, traxtents.ReplayConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(replayBenchRecords, "req/run")
+}
+
+// TestBenchReplayJSON emits BENCH_replay.json: the trace pipeline at
+// capture scale, all in one run over one million-record trace. The
+// gates:
+//
+//   - lossless and canonical: the trace survives binary → JSON →
+//     binary bit-exactly (bytes.Equal on the two binary encodings);
+//   - the binary decode is strictly faster than the JSON decode of
+//     the same capture, measured back to back in this run;
+//   - the bulk replay driver streams the million requests through
+//     cache → queue → strict player at ≥ 1M requests/sec wall clock;
+//   - a steady-state replay run allocates nothing.
+//
+// The allocation and round-trip gates are hardware-independent and
+// always hard; the two timing gates compare same-run measurements and
+// are suspended only under the race detector, whose instrumentation
+// distorts the sides unevenly.
+func TestBenchReplayJSON(t *testing.T) {
+	const passes = 3
+	report := struct {
+		Benchmark         string  `json:"benchmark"`
+		Records           int     `json:"records"`
+		BinaryBytes       int     `json:"binary_bytes"`
+		JSONBytes         int     `json:"json_bytes"`
+		BytesPerRecord    float64 `json:"binary_bytes_per_record"`
+		CompressionVsJSON float64 `json:"json_to_binary_ratio"`
+		BinaryDecodeMs    float64 `json:"binary_decode_ms"`
+		JSONDecodeMs      float64 `json:"json_decode_ms"`
+		DecodeSpeedup     float64 `json:"binary_decode_speedup"`
+		RoundTripExact    bool    `json:"round_trip_bit_exact"`
+		ReplayReqPerSec   float64 `json:"replay_req_per_sec"`
+		ReplayNsPerReq    float64 `json:"replay_ns_per_req"`
+		ReplayAllocsPer   float64 `json:"replay_allocs_per_req"`
+		ReplayP99Ms       float64 `json:"replay_p99_response_ms"`
+		WindowBarriers    int     `json:"window_barriers"`
+	}{Benchmark: "1M-record trace: codec round trip + bulk replay", Records: replayBenchRecords}
+
+	tr := replayBenchTrace()
+
+	// Codec round trip: binary → JSON → binary must be bit-exact.
+	bin, err := traxtents.EncodeTraceBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.BinaryBytes = len(bin)
+	report.BytesPerRecord = float64(len(bin)) / replayBenchRecords
+
+	var fromBin traxtents.Trace
+	report.BinaryDecodeMs = math.Inf(1)
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		fromBin, err = traxtents.DecodeTraceBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < report.BinaryDecodeMs {
+			report.BinaryDecodeMs = ms
+		}
+	}
+	js, err := fromBin.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.JSONBytes = len(js)
+	report.CompressionVsJSON = float64(len(js)) / float64(len(bin))
+	var fromJSON traxtents.Trace
+	report.JSONDecodeMs = math.Inf(1)
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		fromJSON, err = traxtents.DecodeTrace(js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < report.JSONDecodeMs {
+			report.JSONDecodeMs = ms
+		}
+	}
+	bin2, err := traxtents.EncodeTraceBinary(fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.RoundTripExact = bytes.Equal(bin, bin2)
+	if !report.RoundTripExact {
+		t.Errorf("binary -> JSON -> binary round trip of %d records is not bit-exact", replayBenchRecords)
+	}
+	report.DecodeSpeedup = report.JSONDecodeMs / report.BinaryDecodeMs
+	t.Logf("decode %d records: binary %.0f ms (%d bytes), JSON %.0f ms (%d bytes): %.1fx",
+		replayBenchRecords, report.BinaryDecodeMs, report.BinaryBytes,
+		report.JSONDecodeMs, report.JSONBytes, report.DecodeSpeedup)
+	if !raceEnabled && report.BinaryDecodeMs >= report.JSONDecodeMs {
+		t.Errorf("binary decode %.1f ms, want strictly below same-run JSON decode %.1f ms",
+			report.BinaryDecodeMs, report.JSONDecodeMs)
+	}
+
+	// Bulk replay: the decoded capture through cache → queue → strict
+	// player, windowed submit/drain, streaming statistics only.
+	player, err := traxtents.NewTraceDevice(fromBin, traxtents.StrictReplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := traxtents.NewDeviceStack(player, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := traxtents.NewTraceReplay(st, fromBin, traxtents.ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil { // warm: window buffers, quantile state
+		t.Fatal(err)
+	}
+	var m traxtents.ReplayMetrics
+	var runErr error
+	allocs := testing.AllocsPerRun(2, func() {
+		player.Reset()
+		m, runErr = r.Run()
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	report.ReplayAllocsPer = allocs / replayBenchRecords
+	if allocs != 0 {
+		t.Errorf("steady-state replay run allocates %.1f (%.6f/request), want 0",
+			allocs, allocs/replayBenchRecords)
+	}
+	best := math.Inf(1)
+	for p := 0; p < passes; p++ {
+		player.Reset()
+		start := time.Now()
+		if m, err = r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / replayBenchRecords; ns < best {
+			best = ns
+		}
+	}
+	if m.Requests != replayBenchRecords {
+		t.Fatalf("replay resolved %d of %d requests", m.Requests, replayBenchRecords)
+	}
+	if player.Misses() != 0 {
+		t.Fatalf("strict replay missed %d requests", player.Misses())
+	}
+	report.ReplayNsPerReq = best
+	report.ReplayReqPerSec = 1e9 / best
+	report.ReplayP99Ms = m.P99ResponseMs
+	report.WindowBarriers = m.WindowBarriers
+	t.Logf("replay %d requests: %.0f ns/req (%.2fM req/s), %d window barriers",
+		replayBenchRecords, best, report.ReplayReqPerSec/1e6, m.WindowBarriers)
+	if !raceEnabled && report.ReplayReqPerSec < 1e6 {
+		t.Errorf("replay %.0f req/s, want >= 1M req/s steady state", report.ReplayReqPerSec)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_replay.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,336 @@
+// tracebench records, converts, inspects, and bulk-replays block
+// traces in the compact binary trace format (.trx). A million-record
+// capture streams through the full host stack (cache → scheduling
+// queue → device) in bounded memory with streaming statistics only —
+// the CLI face of the replay pipeline gated by BENCH_replay.json.
+//
+// Usage:
+//
+//	tracebench -record t.trx -n 1000000 -disk Quantum-Atlas10KII -rate 2000
+//	tracebench -convert blkparse.txt -o t.trx
+//	tracebench -inspect t.trx
+//	tracebench -tojson t.trx            (binary → JSON on stdout)
+//	tracebench -replay t.trx            (strict replay over the capture itself)
+//	tracebench -replay t.trx -disk Quantum-Atlas10K -sched clook -qdepth 8
+//	tracebench -replay t.trx -fleet 16  (round-robin across 16 spindles, one event core)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"traxtents"
+)
+
+func main() {
+	record := flag.String("record", "", "record a synthetic workload to this binary trace file")
+	convert := flag.String("convert", "", "convert blkparse text output (file or - for stdin) to binary")
+	out := flag.String("o", "trace.trx", "output file for -convert")
+	inspect := flag.String("inspect", "", "summarize a binary trace file")
+	tojson := flag.String("tojson", "", "re-encode a binary trace as JSON on stdout")
+	replay := flag.String("replay", "", "bulk-replay a binary trace through the host stack")
+
+	n := flag.Int("n", 1_000_000, "requests to record")
+	disk := flag.String("disk", "", "disk model to record against or replay onto (default: strict replay of the capture)")
+	rate := flag.Float64("rate", 2000, "arrival rate in req/s (-record, and -replay of traces without timestamps)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	sched := flag.String("sched", "fcfs", "replay scheduler: fcfs, sstf, clook, traxtent")
+	qdepth := flag.Int("qdepth", 1, "replay queue depth")
+	cachemb := flag.Float64("cachemb", 0, "replay host-cache budget in MB")
+	window := flag.Int("window", 4096, "replay submit/drain window (bounds memory)")
+	speedup := flag.Float64("speedup", 1, "compress recorded arrival times by this factor")
+	fleet := flag.Int("fleet", 0, "replay round-robin across this many spindles on one event core")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *record != "":
+		err = doRecord(*record, *n, *disk, *rate, *seed)
+	case *convert != "":
+		err = doConvert(*convert, *out)
+	case *inspect != "":
+		err = doInspect(*inspect)
+	case *tojson != "":
+		err = doToJSON(*tojson)
+	case *replay != "" && *fleet > 0:
+		err = doFleet(*replay, *disk, *fleet, *sched, *qdepth)
+	case *replay != "":
+		err = doReplay(*replay, *disk, *sched, *qdepth, *cachemb, *window, *speedup, *rate, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracebench:", err)
+		os.Exit(1)
+	}
+}
+
+// doRecord captures a synthetic random workload against a simulated
+// disk, streaming records to the output as they are served — the
+// capture never lives in memory.
+func doRecord(path string, n int, disk string, rate float64, seed int64) error {
+	if disk == "" {
+		disk = "Quantum-Atlas10KII"
+	}
+	m, err := traxtents.DiskModel(disk)
+	if err != nil {
+		return err
+	}
+	d, err := traxtents.NewDisk(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// The header identity comes from a zero-record Recorder snapshot;
+	// the records themselves stream straight to the writer, so the
+	// capture never lives in memory.
+	hdr := traxtents.NewRecorder(d).Trace()
+	w, err := traxtents.NewTraceWriter(f, hdr)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	at := 0.0
+	for i := 0; i < n; i++ {
+		req := traxtents.Request{
+			LBN:     rng.Int63n(d.Capacity() - 256),
+			Sectors: 8 << uint(rng.Intn(4)),
+			Write:   rng.Intn(3) == 0,
+		}
+		res, err := d.Serve(at, req)
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		if err := w.Write(traxtents.TraceRecord{
+			LBN: req.LBN, Sectors: req.Sectors, Write: req.Write,
+			Issue: at, Service: res.Done - res.Start,
+		}); err != nil {
+			return err
+		}
+		at += rng.ExpFloat64() / (rate / 1000)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d requests against %s: %s (%d bytes, %.2f bytes/record)\n",
+		n, disk, path, st.Size(), float64(st.Size())/float64(n))
+	return f.Close()
+}
+
+func doConvert(in, out string) error {
+	src := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	tr, stats, err := traxtents.ParseBlkparse(src, traxtents.BlkparseOptions{Name: in})
+	if err != nil {
+		return err
+	}
+	data, err := traxtents.EncodeTraceBinary(tr)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d lines -> %d records (%d unmatched, %d still pending, %d skipped)\n",
+		in, stats.Lines, stats.Records, stats.Unmatched, stats.Pending, stats.Skipped)
+	fmt.Printf("%s: %d bytes (%.2f bytes/record)\n", out, len(data), float64(len(data))/float64(len(tr.Records)))
+	return nil
+}
+
+// doInspect streams the trace — header plus one pass over the records
+// — without materializing it.
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := traxtents.NewTraceReader(f)
+	if err != nil {
+		return err
+	}
+	hdr := r.Header()
+	fmt.Printf("name: %q\ncapacity: %d sectors x %d bytes\nrotation: %g ms\ntrack boundaries: %d\n",
+		hdr.Name, hdr.Capacity, hdr.SectorSize, hdr.RotationPeriod, len(hdr.Boundaries))
+	var reads, writes int
+	var sectors int64
+	var svcSum, span float64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Write {
+			writes++
+		} else {
+			reads++
+		}
+		sectors += int64(rec.Sectors)
+		svcSum += rec.Service
+		span = rec.Issue
+	}
+	n := reads + writes
+	if n == 0 {
+		fmt.Println("records: 0")
+		return nil
+	}
+	fmt.Printf("records: %d (%d reads, %d writes)\n", n, reads, writes)
+	fmt.Printf("mean size: %.1f sectors, mean service: %.3f ms, span: %.1f ms\n",
+		float64(sectors)/float64(n), svcSum/float64(n), span)
+	return nil
+}
+
+func doToJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tr, err := traxtents.DecodeTraceBinary(data)
+	if err != nil {
+		return err
+	}
+	j, err := tr.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(j, '\n'))
+	return err
+}
+
+// loadTrace reads a whole binary trace (replay needs the records
+// resident anyway — the request and offset tables are precomputed).
+func loadTrace(path string) (traxtents.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return traxtents.Trace{}, err
+	}
+	return traxtents.DecodeTraceBinary(data)
+}
+
+// replayBase builds the device the trace replays onto: the capture
+// itself (a strict trace device) by default, or a named disk model.
+func replayBase(tr traxtents.Trace, disk string) (traxtents.Device, string, error) {
+	if disk == "" {
+		p, err := traxtents.NewTraceDevice(tr, traxtents.StrictReplay())
+		return p, "strict capture replay", err
+	}
+	m, err := traxtents.DiskModel(disk)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := traxtents.NewDisk(m)
+	if err != nil {
+		return nil, "", err
+	}
+	if tr.Capacity > d.Capacity() {
+		return nil, "", fmt.Errorf("trace capacity %d exceeds %s capacity %d", tr.Capacity, disk, d.Capacity())
+	}
+	return d, disk, nil
+}
+
+func doReplay(path, disk, schedName string, qdepth int, cachemb float64, window int, speedup, rate float64, seed int64) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	base, baseName, err := replayBase(tr, disk)
+	if err != nil {
+		return err
+	}
+	st, err := traxtents.StackConfig{Depth: qdepth, Scheduler: schedName, CacheMB: cachemb}.Build(base)
+	if err != nil {
+		return err
+	}
+	r, err := traxtents.NewTraceReplay(st, tr, traxtents.ReplayConfig{
+		Window: window, Speedup: speedup, RatePerSec: rate, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	m, err := r.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d requests onto %s (%s depth %d, cache %g MB, window %d)\n",
+		m.Requests, baseName, schedName, qdepth, cachemb, window)
+	fmt.Printf("makespan: %.1f ms, throughput: %.0f IOPS, cache hit rate: %.1f%%\n",
+		m.MakespanMs, m.ThroughputIOPS, m.CacheHitRate*100)
+	fmt.Printf("response ms: mean %.3f  p50 %.3f  p99 %.3f  p99.99 %.3f  max %.3f\n",
+		m.MeanResponseMs, m.P50ResponseMs, m.P99ResponseMs, m.P9999ResponseMs, m.MaxResponseMs)
+	return nil
+}
+
+// doFleet partitions the capture round-robin across n spindles (each a
+// fresh instance of the replay base) and replays on one event core.
+func doFleet(path, disk string, n int, schedName string, qdepth int) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	per := len(tr.Records) / n
+	if per == 0 {
+		return fmt.Errorf("%d records cannot fill %d spindles", len(tr.Records), n)
+	}
+	parts := make([]traxtents.Trace, n)
+	qs := make([]*traxtents.QueuedDevice, n)
+	for s := range parts {
+		parts[s] = tr
+		parts[s].Records = make([]traxtents.TraceRecord, 0, per)
+	}
+	for i, rec := range tr.Records[:per*n] {
+		s := i % n
+		parts[s].Records = append(parts[s].Records, rec)
+	}
+	for s := range qs {
+		base, _, err := replayBase(parts[s], disk)
+		if err != nil {
+			return fmt.Errorf("spindle %d: %w", s, err)
+		}
+		sch, err := traxtents.SchedulerByName(schedName, base)
+		if err != nil {
+			return err
+		}
+		qs[s], err = traxtents.NewQueuedDevice(base, traxtents.WithQueueDepth(qdepth), traxtents.WithScheduler(sch))
+		if err != nil {
+			return err
+		}
+	}
+	f, err := traxtents.NewTraceFleet(qs, parts)
+	if err != nil {
+		return err
+	}
+	m, err := f.Run()
+	if err != nil {
+		return err
+	}
+	if dropped := len(tr.Records) - per*n; dropped > 0 {
+		fmt.Printf("note: dropped %d trailing records to keep partitions equal\n", dropped)
+	}
+	fmt.Printf("fleet: %d spindles, %d requests, %d events, makespan %.1f ms\n",
+		m.Spindles, m.Requests, m.Events, m.MakespanMs)
+	fmt.Printf("response ms: mean %.3f  max %.3f\n", m.MeanRespMs, m.MaxRespMs)
+	return nil
+}

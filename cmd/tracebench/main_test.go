@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quiet routes the subcommands' stdout chatter to /dev/null for the
+// duration of the test.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+// TestPipeline drives every subcommand end to end on a small capture:
+// record → inspect → tojson → replay (strict and onto a model, with a
+// cache) → fleet, plus the blkparse converter.
+func TestPipeline(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	trx := filepath.Join(dir, "t.trx")
+
+	if err := doRecord(trx, 3000, "", 2000, 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := doInspect(trx); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := doToJSON(trx); err != nil {
+		t.Fatalf("tojson: %v", err)
+	}
+	if err := doReplay(trx, "", "fcfs", 1, 0, 512, 1, 2000, 1); err != nil {
+		t.Fatalf("strict replay: %v", err)
+	}
+	if err := doReplay(trx, "Quantum-Atlas10KII", "clook", 4, 1, 512, 4, 2000, 1); err != nil {
+		t.Fatalf("model replay: %v", err)
+	}
+	if err := doFleet(trx, "", 4, "fcfs", 2); err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+
+	txt := filepath.Join(dir, "blk.txt")
+	blk := "8,0 0 1 0.001000000 1 D R 0 + 8 [x]\n" +
+		"8,0 0 2 0.004000000 0 C R 0 + 8 [0]\n" +
+		"8,0 0 3 0.005000000 1 D W 512 + 16 [x]\n" +
+		"8,0 0 4 0.009000000 0 C W 512 + 16 [0]\n"
+	if err := os.WriteFile(txt, []byte(blk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	conv := filepath.Join(dir, "conv.trx")
+	if err := doConvert(txt, conv); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if err := doReplay(conv, "", "fcfs", 1, 0, 512, 1, 0, 1); err != nil {
+		t.Fatalf("replay of converted trace: %v", err)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	if err := doInspect(filepath.Join(dir, "missing.trx")); err == nil {
+		t.Error("inspect of a missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad.trx")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(bad, "", "fcfs", 1, 0, 512, 1, 0, 1); err == nil {
+		t.Error("replay of garbage succeeded")
+	}
+	if err := doRecord(filepath.Join(dir, "x.trx"), 1, "no-such-disk", 100, 1); err == nil ||
+		!strings.Contains(err.Error(), "no-such-disk") {
+		t.Errorf("record against unknown model: %v", err)
+	}
+	if err := doFleet(filepath.Join(dir, "missing.trx"), "", 2, "fcfs", 1); err == nil {
+		t.Error("fleet on a missing file succeeded")
+	}
+}

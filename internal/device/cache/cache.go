@@ -217,9 +217,11 @@ type Cache struct {
 	portFree  float64 // host-port serialization clock for hits
 	err       error   // sticky inner failure
 
-	// Submit/Drain batch state (submit.go).
-	pend   []slot
-	routes map[int]route
+	// Submit/Drain batch state (submit.go). settleFn is the prebound
+	// ConsumeCompleted fold, so repeated drains allocate nothing.
+	pend     []slot
+	routes   map[int]route
+	settleFn func(*sched.Completion)
 
 	// Event-core citizenship (submit.go): when the wrapped device is a
 	// sched.Queue the cache owns a discrete-event core whose single

@@ -279,8 +279,22 @@ func (c *Cache) resolve(rt route, res device.Result) {
 // Drain drains the wrapped device, settles in-flight fills, and
 // returns every submitted request's result in submission order.
 func (c *Cache) Drain() ([]device.Result, error) {
+	out := make([]device.Result, 0, len(c.pend))
+	if err := c.DrainEach(func(r *device.Result) { out = append(out, *r) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DrainEach is Drain without the materialized result slice: fn is
+// called once per submitted request, in submission order, with a
+// pointer into the batch buffer (valid only during the call). With a
+// caller-prebound fn the steady-state path allocates nothing, which is
+// what lets the bulk trace-replay driver stream millions of requests
+// through the stack in bounded windows.
+func (c *Cache) DrainEach(fn func(*device.Result)) error {
 	if c.err != nil {
-		return nil, c.err
+		return c.err
 	}
 	switch d := c.inner.(type) {
 	case *sched.Queue:
@@ -288,38 +302,31 @@ func (c *Cache) Drain() ([]device.Result, error) {
 		// cache's core — (time, seq) order — then fold; the Flush is
 		// the drained no-op safety net. Resolution order matches the
 		// legacy drain: the queue buffers completions in dispatch
-		// order either way.
+		// order either way. The settle closure is bound once and
+		// reused every drain.
 		_ = c.fleet.Drain()
 		if err := d.Flush(); err != nil {
 			c.err = fmt.Errorf("cache: drain: %w", err)
-			return nil, c.err
+			return c.err
 		}
-		d.ConsumeCompleted(func(comp *sched.Completion) {
-			if c.err != nil {
-				return
-			}
-			rt, ok := c.routes[comp.Seq]
-			if !ok {
-				c.err = fmt.Errorf("cache: inner completion %d has no owner", comp.Seq)
-				return
-			}
-			delete(c.routes, comp.Seq)
-			c.resolve(rt, comp.Res)
-		})
+		if c.settleFn == nil {
+			c.settleFn = c.settleQueueCompletion
+		}
+		d.ConsumeCompleted(c.settleFn)
 		if c.err != nil {
-			return nil, c.err
+			return c.err
 		}
 	case *striped.Array:
 		rs, err := d.Drain()
 		if err != nil {
 			c.err = fmt.Errorf("cache: drain: %w", err)
-			return nil, c.err
+			return c.err
 		}
 		for i, res := range rs {
 			rt, ok := c.routes[i]
 			if !ok {
 				c.err = fmt.Errorf("cache: inner completion %d has no owner", i)
-				return nil, c.err
+				return c.err
 			}
 			delete(c.routes, i)
 			c.resolve(rt, res)
@@ -327,16 +334,30 @@ func (c *Cache) Drain() ([]device.Result, error) {
 	}
 	if len(c.routes) > 0 {
 		c.err = fmt.Errorf("cache: %d inner submissions unresolved after drain", len(c.routes))
-		return nil, c.err
+		return c.err
 	}
-	out := make([]device.Result, len(c.pend))
-	for i, s := range c.pend {
-		if !s.filled {
+	for i := range c.pend {
+		if !c.pend[i].filled {
 			c.err = fmt.Errorf("cache: submitted request %d has no completion", i)
-			return nil, c.err
+			return c.err
 		}
-		out[i] = s.res
+		fn(&c.pend[i].res)
 	}
 	c.pend = c.pend[:0]
-	return out, nil
+	return nil
+}
+
+// settleQueueCompletion routes one inner-queue completion back to its
+// batch slot (the prebound ConsumeCompleted fold).
+func (c *Cache) settleQueueCompletion(comp *sched.Completion) {
+	if c.err != nil {
+		return
+	}
+	rt, ok := c.routes[comp.Seq]
+	if !ok {
+		c.err = fmt.Errorf("cache: inner completion %d has no owner", comp.Seq)
+		return
+	}
+	delete(c.routes, comp.Seq)
+	c.resolve(rt, comp.Res)
 }

@@ -1,0 +1,253 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/trace"
+)
+
+// bigTrace synthesizes a realistic capture: locality-heavy LBNs,
+// repeated sector sizes, correlated service times, monotone arrivals.
+func bigTrace(n int, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.Trace{
+		Name:       "synthetic",
+		Capacity:   17938986,
+		SectorSize: 512,
+		Boundaries: []int64{0, 334, 668, 17938986},
+	}
+	tr.RotationPeriod = 6.0
+	lbn := int64(5000)
+	at := 0.0
+	for i := 0; i < n; i++ {
+		lbn += int64(rng.Intn(2048) - 1024)
+		if lbn < 0 {
+			lbn = 0
+		}
+		if lbn > tr.Capacity-256 {
+			lbn = tr.Capacity - 256
+		}
+		at += rng.ExpFloat64() * 0.4
+		tr.Records = append(tr.Records, trace.Record{
+			LBN:     lbn,
+			Sectors: 8 << uint(rng.Intn(4)),
+			Write:   rng.Intn(4) == 0,
+			Issue:   at,
+			Service: 2 + rng.Float64()*8,
+		})
+	}
+	return tr
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, tr := range []trace.Trace{
+		bigTrace(5000, 1),
+		{Capacity: 100, SectorSize: 512, Records: []trace.Record{{LBN: 0, Sectors: 1, Service: 0}}},
+		{Name: "empty", Capacity: 1, SectorSize: 4096},
+		{Capacity: 1 << 40, SectorSize: 512, Boundaries: []int64{0, 1 << 40},
+			Records: []trace.Record{{LBN: 1<<40 - 8, Sectors: 8, Write: true, Service: 1.25, Issue: 9.5}}},
+	} {
+		b1, err := trace.EncodeBinary(tr)
+		if err != nil {
+			t.Fatalf("EncodeBinary: %v", err)
+		}
+		back, err := trace.DecodeBinary(b1)
+		if err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		if !reflect.DeepEqual(back, tr) && !(len(tr.Records) == 0 && len(back.Records) == 0 &&
+			reflect.DeepEqual(withoutRecords(back), withoutRecords(tr))) {
+			t.Fatalf("binary round trip mangled the trace:\n got %+v\nwant %+v", headOf(back), headOf(tr))
+		}
+		// Canonical: decode → encode reproduces the bytes.
+		b2, err := trace.EncodeBinary(back)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("binary encoding is not canonical")
+		}
+		// Cross-codec: JSON round trip preserves the trace exactly.
+		j, err := back.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		viaJSON, err := trace.Decode(j)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		b3, err := trace.EncodeBinary(viaJSON)
+		if err != nil {
+			t.Fatalf("encode via JSON: %v", err)
+		}
+		if !bytes.Equal(b1, b3) {
+			t.Fatal("binary -> JSON -> binary is not bit-exact")
+		}
+	}
+}
+
+func withoutRecords(tr trace.Trace) trace.Trace { tr.Records = nil; return tr }
+
+func headOf(tr trace.Trace) trace.Trace {
+	if len(tr.Records) > 3 {
+		tr.Records = tr.Records[:3]
+	}
+	return tr
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	tr := bigTrace(5000, 2)
+	bin, err := trace.EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin)*4 > len(js) {
+		t.Fatalf("binary %d bytes vs JSON %d: want at least 4x smaller", len(bin), len(js))
+	}
+}
+
+func TestStreamingWriterReader(t *testing.T) {
+	tr := bigTrace(10000, 3) // several blocks worth
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, withoutRecords(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range tr.Records {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Streamed bytes are identical to the one-shot encoding.
+	oneShot, err := trace.EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), oneShot) {
+		t.Fatal("streamed encoding differs from EncodeBinary")
+	}
+
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := r.Header()
+	if !reflect.DeepEqual(hdr, withoutRecords(tr)) {
+		t.Fatalf("reader header %+v", hdr)
+	}
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err == io.EOF {
+			if i != len(tr.Records) {
+				t.Fatalf("reader stopped after %d of %d records", i, len(tr.Records))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if rec != tr.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, rec, tr.Records[i])
+		}
+	}
+	if r.Count() != len(tr.Records) {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	// EOF is sticky.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestWriterValidates(t *testing.T) {
+	if _, err := trace.NewWriter(&bytes.Buffer{}, trace.Trace{Capacity: 0, SectorSize: 512}); err == nil {
+		t.Error("headerless writer accepted")
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Trace{Capacity: 100, SectorSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(trace.Record{LBN: 99, Sectors: 2, Service: 1}); err == nil {
+		t.Error("out-of-bounds record accepted")
+	} else if !errors.Is(err, device.ErrInvalidRequest) {
+		t.Errorf("bounds error not typed: %v", err)
+	}
+	if err := w.Write(trace.Record{LBN: 0, Sectors: 1, Service: -1}); err == nil {
+		t.Error("negative service accepted")
+	}
+	if err := w.Write(trace.Record{LBN: 0, Sectors: 1, Service: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(trace.Record{LBN: 0, Sectors: 1, Service: 1}); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+// TestBinaryDecodeRejectsCorruption walks every truncation prefix and a
+// set of targeted corruptions; each must fail with a typed error
+// (ErrCorrupt or device.ErrInvalidRequest), never succeed or panic.
+func TestBinaryDecodeRejectsCorruption(t *testing.T) {
+	tr := bigTrace(64, 4)
+	good, err := trace.EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := func(err error) bool {
+		return errors.Is(err, trace.ErrCorrupt) || errors.Is(err, device.ErrInvalidRequest)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := trace.DecodeBinary(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded", cut, len(good))
+		} else if !typed(err) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	// Trailing garbage.
+	if _, err := trace.DecodeBinary(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Error("trailing garbage decoded")
+	}
+	// Bad magic / version.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := trace.DecodeBinary(bad); !errors.Is(err, trace.ErrCorrupt) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := trace.DecodeBinary(bad); !errors.Is(err, trace.ErrCorrupt) {
+		t.Errorf("bad version: %v", err)
+	}
+	// The streaming reader fails truncation too, with an index.
+	r, err := trace.NewReader(bytes.NewReader(good[:len(good)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated stream reached clean EOF")
+			}
+			if !typed(err) {
+				t.Fatalf("reader truncation untyped: %v", err)
+			}
+			break
+		}
+	}
+}

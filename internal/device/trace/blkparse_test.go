@@ -1,0 +1,95 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"traxtents/internal/device/trace"
+)
+
+const blkparseSample = `  8,16   1        1     0.000000000  4961  Q  WS 312 + 8 [fio]
+  8,16   1        2     0.000000100  4961  G  WS 312 + 8 [fio]
+  8,16   1        3     0.000000511  4961  D  WS 312 + 8 [fio]
+  8,16   0        1     0.001000000  4962  Q   R 1024 + 64 [reader]
+  8,16   0        2     0.001100000  4962  D   R 1024 + 64 [reader]
+  8,16   1        4     0.002500511     0  C  WS 312 + 8 [0]
+  8,16   0        3     0.004100000     0  C   R 1024 + 64 [0]
+  8,16   0        4     0.005000000  4963  D  DS 2048 + 16 [trim]
+  8,16   0        5     0.005100000     0  C  DS 2048 + 16 [0]
+  8,16   0        6     0.006000000     0  C   R 9999 + 8 [0]
+  8,16   0        7     0.007000000  4964  m   N 0 [message]
+`
+
+func TestParseBlkparse(t *testing.T) {
+	tr, st, err := trace.ParseBlkparse(strings.NewReader(blkparseSample), trace.BlkparseOptions{Name: "sample"})
+	if err != nil {
+		t.Fatalf("ParseBlkparse: %v", err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("records = %d (stats %+v)", st.Records, st)
+	}
+	if st.Unmatched != 1 { // the orphan C at sector 9999
+		t.Errorf("unmatched = %d", st.Unmatched)
+	}
+	if st.Skipped == 0 { // G lines, the discard, the message
+		t.Errorf("skipped = %d", st.Skipped)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("trace records: %+v", tr.Records)
+	}
+	// Issue-ordered, shifted to t=0: the write dispatched at 0.000000511s.
+	w := tr.Records[0]
+	if !w.Write || w.LBN != 312 || w.Sectors != 8 || w.Issue != 0 {
+		t.Fatalf("first record %+v", w)
+	}
+	if got, want := w.Service, (0.002500511-0.000000511)*1000; !near(got, want) {
+		t.Fatalf("write service %g, want %g", got, want)
+	}
+	r := tr.Records[1]
+	if r.Write || r.LBN != 1024 || r.Sectors != 64 {
+		t.Fatalf("second record %+v", r)
+	}
+	if got, want := r.Issue, (0.001100000-0.000000511)*1000; !near(got, want) {
+		t.Fatalf("read issue %g, want %g", got, want)
+	}
+	if got, want := r.Service, (0.004100000-0.001100000)*1000; !near(got, want) {
+		t.Fatalf("read service %g, want %g", got, want)
+	}
+	if tr.SectorSize != 512 || tr.Capacity < 1024+64 {
+		t.Fatalf("header %+v", tr)
+	}
+	// The conversion replays: build a player and serve the records.
+	p, err := trace.NewPlayer(tr, trace.Strict())
+	if err != nil {
+		t.Fatalf("NewPlayer over converted trace: %v", err)
+	}
+	_ = p
+}
+
+func near(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestParseBlkparseQFallbackAndErrors(t *testing.T) {
+	// No D events at all: Q is the issue instant.
+	qOnly := `8,0 0 1 0.100000000 1 Q R 0 + 8 [x]
+8,0 0 2 0.200000000 0 C R 0 + 8 [0]
+`
+	tr, st, err := trace.ParseBlkparse(strings.NewReader(qOnly), trace.BlkparseOptions{})
+	if err != nil || st.Records != 1 {
+		t.Fatalf("Q-fallback: %v %+v", err, st)
+	}
+	if got, want := tr.Records[0].Service, 100.0; !near(got, want) {
+		t.Fatalf("Q-fallback service %g", got)
+	}
+
+	// Malformed numerics fail with the line number.
+	bad := "8,0 0 1 notatime 1 Q R 0 + 8 [x]\n"
+	if _, _, err := trace.ParseBlkparse(strings.NewReader(bad), trace.BlkparseOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("bad timestamp: %v", err)
+	}
+
+	// An explicit capacity too small for the trace fails validation.
+	if _, _, err := trace.ParseBlkparse(strings.NewReader(qOnly), trace.BlkparseOptions{Capacity: 4}); err == nil {
+		t.Fatal("undersized capacity accepted")
+	}
+}

@@ -11,11 +11,29 @@
 // timing; unmatched requests fall back to the trace's mean service time
 // (or fail, under Strict).
 //
-// Key types: Trace (the JSON-encodable capture, carrying the device
-// identity: capacity, sector size, rotation period, boundaries),
-// Record (one traced request), Recorder, and Player. The Player
-// forwards whatever capabilities the trace recorded, so traxtent
-// tables build over replays.
+// Key types: Trace (the capture, carrying the device identity:
+// capacity, sector size, rotation period, boundaries), Record (one
+// traced request), Recorder, and Player. The Player forwards whatever
+// capabilities the trace recorded, so traxtent tables build over
+// replays; Reset rewinds record consumption (never the clock) so one
+// Player replays its trace any number of times without allocating.
+//
+// Traces carry two encodings. Encode/Decode is JSON, for tests and
+// interchange. EncodeBinary/DecodeBinary is the compact varint-delta
+// format (.trx, magic "TRXB") — several times smaller and an order of
+// magnitude faster to decode at a million records — with streaming
+// Writer/Reader counterparts that never hold the record set in
+// memory. Both decoders validate the header and every record through
+// the same overflow-safe bounds gate live requests go through
+// (device.CheckBounds), failing with the record index in the error.
+// ParseBlkparse converts Linux blktrace/blkparse text output into a
+// Trace.
+//
+// Errors are typed: structurally corrupt binary input fails with
+// ErrCorrupt, semantically invalid traces wrap
+// device.ErrInvalidRequest, and a strict-mode replay miss is a
+// *device.Error wrapping ErrNoRecord — a driver-level divergence
+// signal, not a device fault.
 //
 // Determinism: replay consumes records in trace order on the caller's
 // goroutine with no randomness at all — identical traces replay

@@ -1,0 +1,96 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/trace"
+)
+
+// FuzzTraceCodec throws arbitrary bytes at the binary decoder. The
+// contract under attack: hostile input never panics and always fails
+// with a typed error (ErrCorrupt or device.ErrInvalidRequest); input
+// that DOES decode is a valid trace whose binary ↔ JSON ↔ binary
+// round trip is bit-exact, and whose streaming Reader agrees with the
+// bulk decoder record for record.
+func FuzzTraceCodec(f *testing.F) {
+	// Seeds: valid encodings of several shapes, plus truncations and
+	// targeted damage so the fuzzer starts at the format's edges.
+	for _, tr := range []trace.Trace{
+		bigTrace(300, 11),
+		{Capacity: 1, SectorSize: 1},
+		{Name: "seed", Capacity: 1 << 30, SectorSize: 4096, RotationPeriod: 8.5,
+			Boundaries: []int64{0, 1 << 20, 1 << 30},
+			Records:    []trace.Record{{LBN: 7, Sectors: 3, Write: true, Service: 0.5, Issue: 1.5}}},
+	} {
+		b, err := trace.EncodeBinary(tr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+		f.Add(b[:len(b)-1])
+		mut := append([]byte(nil), b...)
+		mut[len(mut)/2] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TRXB"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.DecodeBinary(data)
+		if err != nil {
+			if !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, device.ErrInvalidRequest) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Decoded: the trace must be fully valid and round-trip exactly.
+		b2, err := trace.EncodeBinary(tr)
+		if err != nil {
+			t.Fatalf("decoded trace does not re-encode: %v", err)
+		}
+		if !bytes.Equal(b2, data) {
+			t.Fatalf("encoding not canonical: %d bytes in, %d out", len(data), len(b2))
+		}
+		j, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("decoded trace does not JSON-encode: %v", err)
+		}
+		viaJSON, err := trace.Decode(j)
+		if err != nil {
+			t.Fatalf("JSON round trip rejected: %v", err)
+		}
+		b3, err := trace.EncodeBinary(viaJSON)
+		if err != nil {
+			t.Fatalf("re-encode via JSON: %v", err)
+		}
+		if !bytes.Equal(b3, data) {
+			t.Fatal("binary -> JSON -> binary not bit-exact")
+		}
+		// The streaming reader sees the same stream.
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("bulk decode succeeded but NewReader failed: %v", err)
+		}
+		for i := 0; ; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				if i != len(tr.Records) {
+					t.Fatalf("reader yielded %d records, bulk decode %d", i, len(tr.Records))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("reader failed at record %d on bulk-decodable input: %v", i, err)
+			}
+			if rec != tr.Records[i] {
+				t.Fatalf("reader record %d differs from bulk decode", i)
+			}
+		}
+	})
+}

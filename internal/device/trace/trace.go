@@ -2,18 +2,31 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 
 	"traxtents/internal/device"
 	"traxtents/internal/disk/geom"
 )
 
-// Record is one traced request: what was asked and how long the device
-// was dedicated to it (Start to Done, in ms).
+// ErrNoRecord is the typed class for a strict-mode replay miss: the
+// request found no unconsumed trace record with its (LBN, length,
+// direction) key. Replay drivers branch on it with errors.Is — a miss
+// means the offered workload diverged from the captured one, which is
+// a driver-level condition, not a device fault (device.IsFault is
+// false for it).
+var ErrNoRecord = errors.New("no matching trace record")
+
+// Record is one traced request: what was asked, when the device saw it
+// (Issue, ms from trace start; 0 when the capture did not carry
+// arrival times), and how long the device was dedicated to it (Start
+// to Done, in ms).
 type Record struct {
 	LBN     int64   `json:"lbn"`
 	Sectors int     `json:"sectors"`
 	Write   bool    `json:"write,omitempty"`
+	Issue   float64 `json:"issue_ms,omitempty"`
 	Service float64 `json:"service_ms"`
 }
 
@@ -29,18 +42,63 @@ type Trace struct {
 	Records        []Record `json:"records"`
 }
 
-// Encode serializes the trace as JSON.
+// Encode serializes the trace as JSON. For anything beyond test-sized
+// traces use EncodeBinary / NewWriter (binary.go): the compact format
+// is several times smaller and decodes much faster.
 func (tr Trace) Encode() ([]byte, error) { return json.Marshal(tr) }
 
-// Decode parses an encoded trace.
+// checkHeader validates the device-identity part of a trace.
+func checkHeader(tr Trace) error {
+	if tr.Capacity <= 0 || tr.SectorSize <= 0 {
+		return fmt.Errorf("trace: %w: decoded header invalid (capacity %d, sector size %d)",
+			device.ErrInvalidRequest, tr.Capacity, tr.SectorSize)
+	}
+	return nil
+}
+
+// checkRecord validates one record against the trace header. The
+// bounds test is the same overflow-safe gate live requests go through
+// (device.CheckBounds), so a trace that loads is a trace that replays.
+func checkRecord(i int, rec Record, capacity int64) error {
+	if err := device.CheckBounds(rec.LBN, rec.Sectors, capacity); err != nil {
+		return fmt.Errorf("trace: record %d: %w", i, err)
+	}
+	if !(rec.Service >= 0) || math.IsInf(rec.Service, 0) {
+		return fmt.Errorf("trace: record %d: %w: bad service time %g",
+			i, device.ErrInvalidRequest, rec.Service)
+	}
+	if !(rec.Issue >= 0) || math.IsInf(rec.Issue, 0) {
+		return fmt.Errorf("trace: record %d: %w: bad issue time %g",
+			i, device.ErrInvalidRequest, rec.Issue)
+	}
+	return nil
+}
+
+// checkRecords validates every record of a decoded trace.
+func checkRecords(tr Trace) error {
+	for i, rec := range tr.Records {
+		if err := checkRecord(i, rec, tr.Capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses a JSON-encoded trace. Both the header and every record
+// are validated here — hostile or corrupt ranges fail at load time
+// with the record index in the error (wrapping
+// device.ErrInvalidRequest), not later inside a replay driver with the
+// file context lost.
 func Decode(data []byte) (Trace, error) {
 	var tr Trace
 	if err := json.Unmarshal(data, &tr); err != nil {
 		return Trace{}, fmt.Errorf("trace: decode: %w", err)
 	}
-	if tr.Capacity <= 0 || tr.SectorSize <= 0 {
-		return Trace{}, fmt.Errorf("trace: decoded header invalid (capacity %d, sector size %d)",
-			tr.Capacity, tr.SectorSize)
+	if err := checkHeader(tr); err != nil {
+		return Trace{}, err
+	}
+	if err := checkRecords(tr); err != nil {
+		return Trace{}, err
 	}
 	return tr, nil
 }
@@ -79,12 +137,18 @@ func NewRecorder(d device.Device) *Recorder {
 		r.tr.RotationPeriod = rot.RotationPeriod()
 	}
 	if bp, ok := d.(device.BoundaryProvider); ok {
-		r.tr.Boundaries = bp.TrackBoundaries()
+		// Copy: the provider may reuse or mutate its slice, and the
+		// recorder's header must stay a stable snapshot.
+		if b := bp.TrackBoundaries(); len(b) > 0 {
+			r.tr.Boundaries = append([]int64(nil), b...)
+		}
 	}
 	return r
 }
 
-// Serve forwards to the wrapped device and records the request.
+// Serve forwards to the wrapped device and records the request,
+// including its issue instant, so the capture replays with its
+// original arrival pattern.
 func (r *Recorder) Serve(at float64, req device.Request) (device.Result, error) {
 	res, err := r.dev.Serve(at, req)
 	if err != nil {
@@ -92,6 +156,7 @@ func (r *Recorder) Serve(at float64, req device.Request) (device.Result, error) 
 	}
 	r.tr.Records = append(r.tr.Records, Record{
 		LBN: req.LBN, Sectors: req.Sectors, Write: req.Write,
+		Issue:   at,
 		Service: res.Done - res.Start,
 	})
 	return res, nil
@@ -131,10 +196,13 @@ func (r *Recorder) Name() string {
 	return r.tr.Name
 }
 
-// Trace returns a copy of the captured trace.
+// Trace returns a deep copy of the captured trace: mutating the
+// returned Records or Boundaries never corrupts the live recorder (or
+// the wrapped device, whose boundary table the recorder snapshotted).
 func (r *Recorder) Trace() Trace {
 	tr := r.tr
 	tr.Records = append([]Record(nil), r.tr.Records...)
+	tr.Boundaries = append([]int64(nil), r.tr.Boundaries...)
 	return tr
 }
 
@@ -146,11 +214,23 @@ type key struct {
 	write   bool
 }
 
+// keyState is one key's replay cursor: the FIFO of record indexes
+// (immutable after build) and how many a run has consumed. Keeping the
+// cursor inside the value the key maps to makes the replay hot path a
+// single map access — at a million requests per run a second
+// consumed-prefix map would double the hash work and dominate the
+// whole replay (it did; see BENCH_replay.json).
+type keyState struct {
+	next int32
+	idxs []int32
+}
+
 // Player serves requests from a recorded trace.
 type Player struct {
-	tr     Trace
-	byKey  map[key][]int // record indexes, FIFO per key
-	mean   float64
+	tr    Trace
+	byKey map[key]*keyState // FIFO per key; structure immutable after build
+	mean  float64
+
 	strict bool
 
 	busy     float64 // single-server: time the device frees up
@@ -161,8 +241,9 @@ type Player struct {
 // Option configures a Player.
 type Option func(*Player)
 
-// Strict makes requests with no matching trace record fail instead of
-// falling back to the trace's mean service time.
+// Strict makes requests with no matching trace record fail (with a
+// typed *device.Error wrapping ErrNoRecord) instead of falling back to
+// the trace's mean service time.
 func Strict() Option { return func(p *Player) { p.strict = true } }
 
 var (
@@ -172,27 +253,33 @@ var (
 	_ device.Named            = (*Player)(nil)
 )
 
-// NewPlayer builds a replay device from a trace.
+// NewPlayer builds a replay device from a trace. The trace is validated
+// here too (traces can be built in code, not only decoded), with the
+// record index in any error.
 func NewPlayer(tr Trace, opts ...Option) (*Player, error) {
-	if tr.Capacity <= 0 {
-		return nil, fmt.Errorf("trace: capacity %d", tr.Capacity)
+	if err := checkHeader(tr); err != nil {
+		return nil, err
 	}
-	if tr.SectorSize <= 0 {
-		return nil, fmt.Errorf("trace: sector size %d", tr.SectorSize)
+	if len(tr.Records) > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: %w: %d records exceed the player's 2^31 limit",
+			device.ErrInvalidRequest, len(tr.Records))
 	}
-	p := &Player{tr: tr, byKey: make(map[key][]int, len(tr.Records))}
+	p := &Player{
+		tr:    tr,
+		byKey: make(map[key]*keyState, len(tr.Records)),
+	}
 	var sum float64
 	for i, rec := range tr.Records {
-		// Traces arrive as JSON: hostile ranges go through the same
-		// overflow-safe gate as live requests.
-		if err := device.CheckBounds(rec.LBN, rec.Sectors, tr.Capacity); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		if rec.Service < 0 {
-			return nil, fmt.Errorf("trace: record %d has negative service time", i)
+		if err := checkRecord(i, rec, tr.Capacity); err != nil {
+			return nil, err
 		}
 		k := key{rec.LBN, rec.Sectors, rec.Write}
-		p.byKey[k] = append(p.byKey[k], i)
+		st := p.byKey[k]
+		if st == nil {
+			st = &keyState{}
+			p.byKey[k] = st
+		}
+		st.idxs = append(st.idxs, int32(i))
 		sum += rec.Service
 	}
 	if n := len(tr.Records); n > 0 {
@@ -206,13 +293,12 @@ func NewPlayer(tr Trace, opts ...Option) (*Player, error) {
 
 // match consumes the next unused record for the request's key.
 func (p *Player) match(req device.Request) (float64, bool) {
-	k := key{req.LBN, req.Sectors, req.Write}
-	q := p.byKey[k]
-	if len(q) == 0 {
+	st := p.byKey[key{req.LBN, req.Sectors, req.Write}]
+	if st == nil || int(st.next) >= len(st.idxs) {
 		return 0, false
 	}
-	svc := p.tr.Records[q[0]].Service
-	p.byKey[k] = q[1:]
+	svc := p.tr.Records[st.idxs[st.next]].Service
+	st.next++
 	return svc, true
 }
 
@@ -223,10 +309,10 @@ func (p *Player) Serve(at float64, req device.Request) (device.Result, error) {
 	}
 	svc, ok := p.match(req)
 	if !ok {
-		if p.strict {
-			return device.Result{}, fmt.Errorf("trace: no record for %+v", req)
-		}
 		p.misses++
+		if p.strict {
+			return device.Result{}, &device.Error{Op: "trace replay", Req: req, Err: ErrNoRecord}
+		}
 		svc = p.mean
 	}
 	start := at
@@ -241,6 +327,17 @@ func (p *Player) Serve(at float64, req device.Request) (device.Result, error) {
 	return device.Result{
 		Req: req, Issue: at, Start: start, MediaEnd: done, Done: done,
 	}, nil
+}
+
+// Reset restores every trace record for consumption again, so one
+// Player replays its trace any number of times (steady-state replay
+// benchmarking). The virtual clock is NOT reset — Serve's issue times
+// must stay non-decreasing across runs — and the miss counter keeps
+// accumulating. Reset never allocates.
+func (p *Player) Reset() {
+	for _, st := range p.byKey {
+		st.next = 0
+	}
 }
 
 // Now returns the completion time of the last request replayed.
@@ -268,6 +365,7 @@ func (p *Player) Name() string {
 	return "trace:" + p.tr.Name
 }
 
-// Misses returns how many requests found no matching record and were
-// served at the trace's mean service time.
+// Misses returns how many requests found no matching record — served
+// at the trace's mean service time, or failed with ErrNoRecord under
+// Strict. The counter accumulates across Reset.
 func (p *Player) Misses() int { return p.misses }

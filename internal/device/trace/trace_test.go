@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -146,6 +147,182 @@ func (f *fakeDev) Serve(at float64, req device.Request) (device.Result, error) {
 func (f *fakeDev) Now() float64    { return f.now }
 func (f *fakeDev) Capacity() int64 { return 4096 }
 func (f *fakeDev) SectorSize() int { return 512 }
+
+// boundedDev is fakeDev plus track boundaries, for the Trace()
+// deep-copy regression test.
+type boundedDev struct {
+	fakeDev
+	bounds []int64
+}
+
+func (b *boundedDev) TrackBoundaries() []int64 { return b.bounds }
+
+// Regression: Trace() used to copy Records but alias Boundaries, so a
+// caller mutating the snapshot (or the device reusing its slice)
+// corrupted every later snapshot.
+func TestRecorderTraceCopiesBoundaries(t *testing.T) {
+	dev := &boundedDev{bounds: []int64{0, 1000, 4096}}
+	rec := trace.NewRecorder(dev)
+	tr := rec.Trace()
+	if len(tr.Boundaries) != 3 {
+		t.Fatalf("boundaries not captured: %+v", tr.Boundaries)
+	}
+	tr.Boundaries[1] = 777
+	if got := rec.Trace().Boundaries[1]; got != 1000 {
+		t.Fatalf("snapshot mutation reached the recorder: boundary[1] = %d", got)
+	}
+	// And the recorder's own copy is independent of the device's slice.
+	dev.bounds[2] = 1
+	if got := rec.Trace().Boundaries[2]; got != 4096 {
+		t.Fatalf("device mutation reached the recorder: boundary[2] = %d", got)
+	}
+}
+
+// Decode validates records at decode time with the record's index, so
+// a damaged trace file fails at load, not mid-replay.
+func TestDecodeValidatesRecords(t *testing.T) {
+	for _, tc := range []struct {
+		name, body, want string
+	}{
+		{"out of bounds", `{"capacity":100,"sector_size":512,"records":[{"lbn":0,"sectors":8,"service_ms":1},{"lbn":99,"sectors":8,"service_ms":1}]}`, "record 1"},
+		{"zero sectors", `{"capacity":100,"sector_size":512,"records":[{"lbn":0,"sectors":0,"service_ms":1}]}`, "record 0"},
+		{"negative service", `{"capacity":100,"sector_size":512,"records":[{"lbn":0,"sectors":8,"service_ms":-1}]}`, "record 0"},
+		{"negative issue", `{"capacity":100,"sector_size":512,"records":[{"lbn":0,"sectors":8,"service_ms":1,"issue_ms":-3}]}`, "record 0"},
+	} {
+		_, err := trace.Decode([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: decoded", tc.name)
+			continue
+		}
+		if !errors.Is(err, device.ErrInvalidRequest) {
+			t.Errorf("%s: untyped error %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// A strict-mode miss is a typed ErrNoRecord carrying the request, and
+// the misses counter advances even though no fallback was served.
+func TestStrictMissIsTyped(t *testing.T) {
+	p, err := trace.NewPlayer(testTrace(), trace.Strict())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	_, err = p.Serve(0, device.Request{LBN: 500, Sectors: 4})
+	if !errors.Is(err, trace.ErrNoRecord) {
+		t.Fatalf("strict miss error = %v, want ErrNoRecord", err)
+	}
+	var de *device.Error
+	if !errors.As(err, &de) || de.Req.LBN != 500 {
+		t.Fatalf("strict miss does not carry the request: %v", err)
+	}
+	if p.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", p.Misses())
+	}
+	// A traced request still replays after the miss.
+	if _, err := p.Serve(0, device.Request{LBN: 0, Sectors: 8}); err != nil {
+		t.Fatalf("hit after miss: %v", err)
+	}
+}
+
+// Reset restores consumed records without allocating; misses and the
+// clock deliberately survive it.
+func TestPlayerReset(t *testing.T) {
+	p, err := trace.NewPlayer(testTrace(), trace.Strict())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	run := func() float64 {
+		var last float64
+		for _, req := range []device.Request{
+			{LBN: 0, Sectors: 8}, {LBN: 0, Sectors: 8}, {LBN: 100, Sectors: 16, Write: true},
+		} {
+			res, err := p.Serve(p.Now(), req)
+			if err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			last = res.Done
+		}
+		return last
+	}
+	end1 := run()
+	// Everything is consumed now: a repeat is a strict miss.
+	if _, err := p.Serve(p.Now(), device.Request{LBN: 0, Sectors: 8}); !errors.Is(err, trace.ErrNoRecord) {
+		t.Fatalf("exhausted player served: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(10, p.Reset); allocs != 0 {
+		t.Fatalf("Reset allocates %.0f times", allocs)
+	}
+	end2 := run()
+	if end2 <= end1 {
+		t.Fatalf("second run did not advance the clock: %g then %g", end1, end2)
+	}
+	if p.Misses() != 1 {
+		t.Fatalf("misses reset with the records: %d", p.Misses())
+	}
+}
+
+// Recorder and Player both forward the traced identity through the
+// optional device capabilities.
+func TestIdentityForwarding(t *testing.T) {
+	dev := &boundedDev{bounds: []int64{0, 4096}}
+	rec := trace.NewRecorder(dev)
+	if rec.Now() != 0 || rec.RotationPeriod() != 0 || rec.Layout() != nil {
+		t.Fatalf("recorder identity: now %g rot %g", rec.Now(), rec.RotationPeriod())
+	}
+	if got := rec.TrackBoundaries(); len(got) != 2 {
+		t.Fatalf("recorder boundaries %v", got)
+	}
+	if rec.Name() != "recorder" {
+		t.Fatalf("recorder name %q", rec.Name())
+	}
+
+	tr := testTrace()
+	tr.RotationPeriod = 6
+	tr.Boundaries = []int64{0, 10000}
+	p, err := trace.NewPlayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SectorSize() != 512 || p.RotationPeriod() != 6 || len(p.TrackBoundaries()) != 2 {
+		t.Fatalf("player identity: %d/%g/%v", p.SectorSize(), p.RotationPeriod(), p.TrackBoundaries())
+	}
+	if p.Name() != "trace:unit" {
+		t.Fatalf("player name %q", p.Name())
+	}
+	anon := testTrace()
+	anon.Name = ""
+	q, err := trace.NewPlayer(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "trace-replay" {
+		t.Fatalf("anonymous player name %q", q.Name())
+	}
+}
+
+// The issue_ms field round-trips through JSON and is omitted when
+// zero, so pre-existing captures still decode byte-for-byte.
+func TestIssueFieldRoundTrip(t *testing.T) {
+	tr := testTrace()
+	tr.Records[1].Issue = 4.25
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if strings.Count(string(data), "issue_ms") != 1 {
+		t.Fatalf("issue_ms not omitted when zero:\n%s", data)
+	}
+	back, err := trace.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Records[1].Issue != 4.25 || back.Records[0].Issue != 0 {
+		t.Fatalf("issue times mangled: %+v", back.Records)
+	}
+}
 
 func TestRecorderSnapshotsIdentity(t *testing.T) {
 	rec := trace.NewRecorder(&fakeDev{})

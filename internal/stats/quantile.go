@@ -38,6 +38,17 @@ func NewQuantile(p float64) *Quantile {
 // P returns the target quantile.
 func (q *Quantile) P() float64 { return q.p }
 
+// Reset discards every observation, returning the estimator to its
+// just-constructed state (the target quantile is kept). It never
+// allocates, so steady-state replay loops reset their quantiles
+// between runs without touching the heap.
+func (q *Quantile) Reset() {
+	q.n = 0
+	q.q = [5]float64{}
+	q.pos = [5]float64{}
+	q.want = [5]float64{}
+}
+
 // Count returns the number of observations.
 func (q *Quantile) Count() int { return q.n }
 

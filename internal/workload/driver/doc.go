@@ -5,6 +5,15 @@
 // fixed rate, and a closed loop (N clients with think time) models a
 // fixed population that waits for each completion before re-issuing.
 //
+// Replay drives a captured trace through a full host stack (cache →
+// queue → device) in bounded submit/drain windows with streaming
+// statistics only — zero allocations per request in steady state, so
+// million-record captures replay at memory-bandwidth speeds. Arrival
+// times come from the capture (optionally time-compressed) or from a
+// synthetic seeded process when the trace has none. Fleet fans many
+// queued spindles onto one global event heap (the event core), and
+// NewTraceFleet partitions a capture across them.
+//
 // Determinism is a hard requirement: all randomness flows from one
 // seeded source consumed in a fixed order, and the queued device
 // resolves scheduling decisions in virtual time on one goroutine, so a

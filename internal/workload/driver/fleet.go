@@ -7,6 +7,7 @@ import (
 	"traxtents/internal/device"
 	"traxtents/internal/device/event"
 	"traxtents/internal/device/sched"
+	"traxtents/internal/device/trace"
 )
 
 // Fleet drives open-arrival workloads into many queued spindles on ONE
@@ -126,11 +127,74 @@ func NewFleet(qs []*sched.Queue, wl Workload, ratePerSec float64) (*Fleet, error
 			at += iat.ExpFloat64() / ratePerMs
 		}
 	}
+	f.wire()
+	return f, nil
+}
+
+// wire binds the fleet's fold closures and event-core plumbing (shared
+// by the synthetic and trace constructors).
+func (f *Fleet) wire() {
 	f.foldFn = f.foldOne
 	f.commitFn = f.foldSpindle
 	f.core = event.New()
 	f.arrID = f.core.Register(event.HandlerFunc(f.fire))
-	f.fleet = event.NewQueues(f.core, qs, f.commitFn)
+	f.fleet = event.NewQueues(f.core, f.qs, f.commitFn)
+}
+
+// NewTraceFleet builds a Fleet whose per-spindle workloads come from
+// recorded traces instead of a synthetic generator: spindle s replays
+// trs[s]'s requests at trs[s]'s recorded arrival instants (Issue),
+// all on the one event core — the trace-scale counterpart of NewFleet.
+// Every trace must carry the same number of records (partition a large
+// capture round-robin to get there), with non-decreasing arrival
+// times; a trace with no arrival times at all replays as a burst at
+// the run start, the queue working off the backlog. The queues must be
+// fresh; the fleet owns them from here on. Run's repeat-run contract
+// is unchanged — but note a spindle whose inner device is a
+// trace.Player consumes its records, so Reset the players between
+// runs.
+func NewTraceFleet(qs []*sched.Queue, trs []trace.Trace) (*Fleet, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("driver: fleet needs at least one spindle")
+	}
+	if len(trs) != len(qs) {
+		return nil, fmt.Errorf("driver: %d traces for %d spindles", len(trs), len(qs))
+	}
+	per := len(trs[0].Records)
+	if per == 0 {
+		return nil, fmt.Errorf("driver: fleet trace 0 has no records")
+	}
+	f := &Fleet{
+		qs:         qs,
+		perSpindle: per,
+		reqs:       make([]device.Request, len(qs)*per),
+		offs:       make([]float64, len(qs)*per),
+		base:       make([]int, len(qs)),
+		recOf:      make([]int32, len(qs)*per),
+	}
+	for s, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("driver: fleet spindle %d is nil", s)
+		}
+		if st := q.Stats(); st.Submitted != 0 {
+			return nil, fmt.Errorf("driver: fleet spindle %d already carries %d requests", s, st.Submitted)
+		}
+		if n := len(trs[s].Records); n != per {
+			return nil, fmt.Errorf("driver: fleet trace %d has %d records, trace 0 has %d (equal partitions required)",
+				s, n, per)
+		}
+		prev := 0.0
+		for j, rec := range trs[s].Records {
+			if rec.Issue < prev {
+				return nil, fmt.Errorf("driver: fleet trace %d record %d: issue time %g before %g",
+					s, j, rec.Issue, prev)
+			}
+			prev = rec.Issue
+			f.reqs[s*per+j] = device.Request{LBN: rec.LBN, Sectors: rec.Sectors, Write: rec.Write}
+			f.offs[s*per+j] = rec.Issue
+		}
+	}
+	f.wire()
 	return f, nil
 }
 

@@ -1,0 +1,306 @@
+package driver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/stack"
+	"traxtents/internal/device/trace"
+)
+
+// recordedTrace captures n random requests against a simulated disk,
+// with Poisson arrivals, so replay tests run over a real capture.
+func recordedTrace(t testing.TB, n int, seed int64) trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder(fleetDisk(t, seed))
+	rng := rand.New(rand.NewSource(seed))
+	at := 0.0
+	for i := 0; i < n; i++ {
+		req := device.Request{
+			LBN:     rng.Int63n(rec.Capacity() - 64),
+			Sectors: 8,
+			Write:   rng.Intn(3) == 0,
+		}
+		if _, err := rec.Serve(at, req); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		at += rng.ExpFloat64() * 2
+	}
+	return rec.Trace()
+}
+
+// playerStack wraps a strict player for tr in a passthrough stack.
+func playerStack(t testing.TB, tr trace.Trace) (*stack.Stack, *trace.Player) {
+	t.Helper()
+	p, err := trace.NewPlayer(tr, trace.Strict())
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	st, err := stack.New(p, nil, nil)
+	if err != nil {
+		t.Fatalf("stack.New: %v", err)
+	}
+	return st, p
+}
+
+// TestReplayMatchesDirect pins the windowed replay's metrics to a
+// reference that serves the same requests at the same instants straight
+// into a second strict player: the passthrough stack and the window
+// barriers must not change any outcome.
+func TestReplayMatchesDirect(t *testing.T) {
+	tr := recordedTrace(t, 500, 21)
+	st, _ := playerStack(t, tr)
+	r, err := NewReplay(st, tr, ReplayConfig{Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := trace.NewPlayer(tr, trace.Strict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	var sum, max, maxDone float64
+	for _, rec := range tr.Records {
+		res, err := ref.Serve(rec.Issue, device.Request{LBN: rec.LBN, Sectors: rec.Sectors, Write: rec.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		resp := res.Done - res.Issue
+		sum += resp
+		if resp > max {
+			max = resp
+		}
+		if res.Done > maxDone {
+			maxDone = res.Done
+		}
+	}
+
+	if got.Requests != count {
+		t.Fatalf("requests %d, want %d", got.Requests, count)
+	}
+	if want := sum / float64(count); math.Abs(got.MeanResponseMs-want) > 1e-9*want {
+		t.Errorf("mean resp %g, want %g", got.MeanResponseMs, want)
+	}
+	if got.MaxResponseMs != max {
+		t.Errorf("max resp %g, want %g", got.MaxResponseMs, max)
+	}
+	if got.MakespanMs != maxDone-tr.Records[0].Issue {
+		t.Errorf("makespan %g, want %g", got.MakespanMs, maxDone-tr.Records[0].Issue)
+	}
+	if got.WindowBarriers != (500+63)/64 {
+		t.Errorf("barriers %d", got.WindowBarriers)
+	}
+	if got.ThroughputIOPS <= 0 {
+		t.Errorf("throughput %g", got.ThroughputIOPS)
+	}
+	// The P² estimates are approximations, but they must be ordered and
+	// bracketed by the true extremes.
+	if !(got.P50ResponseMs <= got.P99ResponseMs && got.P99ResponseMs <= got.P9999ResponseMs) {
+		t.Errorf("quantiles out of order: %+v", got)
+	}
+	if got.P9999ResponseMs > got.MaxResponseMs+1e-9 {
+		t.Errorf("p99.99 %g above max %g", got.P9999ResponseMs, got.MaxResponseMs)
+	}
+}
+
+// TestReplayRepeatRuns: Reset the player between runs and the same
+// replay re-runs with the clock shifted forward, allocating nothing in
+// the steady state.
+func TestReplayRepeatRuns(t *testing.T) {
+	tr := recordedTrace(t, 300, 22)
+	st, p := playerStack(t, tr)
+	r, err := NewReplay(st, tr, ReplayConfig{Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 ReplayMetrics
+	var runErr error
+	allocs := testing.AllocsPerRun(3, func() {
+		p.Reset()
+		m2, runErr = r.Run()
+		if runErr != nil {
+			return
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state Run allocates %.1f, want 0", allocs)
+	}
+	if m2.Requests != m1.Requests || m2.WindowBarriers != m1.WindowBarriers {
+		t.Fatalf("second run %+v vs first %+v", m2, m1)
+	}
+	if p.Misses() != 0 {
+		t.Fatalf("strict replay missed %d times", p.Misses())
+	}
+}
+
+// TestReplaySyntheticArrivals covers traces with no recorded arrival
+// times: Poisson at RatePerSec, or a burst when the rate is zero.
+func TestReplaySyntheticArrivals(t *testing.T) {
+	tr := recordedTrace(t, 100, 23)
+	for i := range tr.Records {
+		tr.Records[i].Issue = 0
+	}
+
+	st, _ := playerStack(t, tr)
+	r, err := NewReplay(st, tr, ReplayConfig{RatePerSec: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i, off := range r.offs {
+		if off <= prev {
+			t.Fatalf("synthetic offsets not increasing at %d: %g after %g", i, off, prev)
+		}
+		prev = off
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := playerStack(t, tr)
+	burst, err := NewReplay(st2, tr, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range burst.offs {
+		if off != 0 {
+			t.Fatalf("burst offset %d = %g", i, off)
+		}
+	}
+	m, err := burst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst serializes the whole backlog: the makespan is the full
+	// busy period, so the mean response is far above any single service.
+	if m.MeanResponseMs <= m.MakespanMs/4 {
+		t.Errorf("burst mean %g vs makespan %g: backlog not serialized?", m.MeanResponseMs, m.MakespanMs)
+	}
+}
+
+// TestReplaySpeedup: compressing arrivals 10x shrinks the makespan and
+// never loses requests.
+func TestReplaySpeedup(t *testing.T) {
+	tr := recordedTrace(t, 200, 24)
+	// Stretch the recorded arrivals so the slow run is arrival-paced
+	// (idle gaps between requests), not device-saturated — otherwise
+	// both makespans are the same busy period.
+	for i := range tr.Records {
+		tr.Records[i].Issue *= 50
+	}
+	st, _ := playerStack(t, tr)
+	slow, err := NewReplay(st, tr, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := slow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := playerStack(t, tr)
+	fast, err := NewReplay(st2, tr, ReplayConfig{Speedup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Requests != m1.Requests {
+		t.Fatalf("speedup lost requests: %d vs %d", m2.Requests, m1.Requests)
+	}
+	if m2.MakespanMs >= m1.MakespanMs {
+		t.Errorf("speedup 10 makespan %g not below %g", m2.MakespanMs, m1.MakespanMs)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	tr := recordedTrace(t, 10, 25)
+	st, _ := playerStack(t, tr)
+	if _, err := NewReplay(nil, tr, ReplayConfig{}); err == nil {
+		t.Error("nil stack accepted")
+	}
+	if _, err := NewReplay(st, trace.Trace{Capacity: 100, SectorSize: 512}, ReplayConfig{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewReplay(st, tr, ReplayConfig{Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	bad := tr
+	bad.Records = append([]trace.Record(nil), tr.Records...)
+	bad.Records[3].Issue = bad.Records[2].Issue / 2
+	if _, err := NewReplay(st, bad, ReplayConfig{}); err == nil {
+		t.Error("decreasing issue times accepted")
+	}
+}
+
+// TestTraceFleet replays a capture partitioned round-robin across
+// spindles on the one event core, and pins determinism: two identical
+// fleets produce identical metrics.
+func TestTraceFleet(t *testing.T) {
+	const spindles = 3
+	tr := recordedTrace(t, 300, 26)
+	parts := make([]trace.Trace, spindles)
+	for s := range parts {
+		parts[s] = tr
+		parts[s].Records = nil
+	}
+	for i, rec := range tr.Records {
+		s := i % spindles
+		parts[s].Records = append(parts[s].Records, rec)
+	}
+
+	run := func() FleetMetrics {
+		f, err := NewTraceFleet(fleetQueues(t, spindles), parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := run(), run()
+	if m1 != m2 {
+		t.Fatalf("trace fleet not deterministic:\n%+v\n%+v", m1, m2)
+	}
+	if m1.Requests != len(tr.Records) || m1.Spindles != spindles {
+		t.Fatalf("fleet metrics %+v", m1)
+	}
+	if m1.Events == 0 || m1.MakespanMs <= 0 {
+		t.Fatalf("fleet metrics %+v", m1)
+	}
+
+	// Validation: counts must match and partitions must be equal-sized.
+	if _, err := NewTraceFleet(fleetQueues(t, 2), parts); err == nil {
+		t.Error("trace/queue count mismatch accepted")
+	}
+	ragged := append([]trace.Trace(nil), parts...)
+	ragged[1].Records = ragged[1].Records[:1]
+	if _, err := NewTraceFleet(fleetQueues(t, spindles), ragged); err == nil {
+		t.Error("unequal partitions accepted")
+	}
+	bad := append([]trace.Trace(nil), parts...)
+	bad[0].Records = append([]trace.Record(nil), parts[0].Records...)
+	bad[0].Records[2].Issue = 0
+	bad[0].Records[1].Issue = 1e9
+	if _, err := NewTraceFleet(fleetQueues(t, spindles), bad); err == nil {
+		t.Error("decreasing issue times accepted")
+	}
+}

@@ -51,6 +51,7 @@ package traxtents
 
 import (
 	"fmt"
+	"io"
 
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
@@ -113,6 +114,26 @@ type (
 	TraceRecord = trace.Record
 	// Recorder wraps a Device and captures a Trace of its requests.
 	Recorder = trace.Recorder
+	// TraceWriter streams records into the compact binary trace format.
+	TraceWriter = trace.Writer
+	// TraceReader streams records out of a binary trace without
+	// materializing the whole capture.
+	TraceReader = trace.Reader
+	// BlkparseOptions configures the blktrace/blkparse text converter.
+	BlkparseOptions = trace.BlkparseOptions
+	// BlkparseStats reports what the converter kept and dropped.
+	BlkparseStats = trace.BlkparseStats
+	// TraceReplay is the bulk replay driver: a whole trace streamed
+	// through a DeviceStack with streaming statistics only.
+	TraceReplay = driver.Replay
+	// ReplayConfig shapes a bulk trace replay (window, speedup, rate).
+	ReplayConfig = driver.ReplayConfig
+	// ReplayMetrics summarizes one replay run (P² quantiles, no samples).
+	ReplayMetrics = driver.ReplayMetrics
+	// Fleet drives many queued spindles on one event core.
+	Fleet = driver.Fleet
+	// FleetMetrics summarizes one Fleet run.
+	FleetMetrics = driver.FleetMetrics
 	// QueuedDevice turns any Device into a queue-depth-N device with a
 	// pluggable scheduler.
 	QueuedDevice = sched.Queue
@@ -247,6 +268,13 @@ var (
 	// ErrLost is whole-device loss; every later request fails the same
 	// way.
 	ErrLost = device.ErrLost
+	// ErrNoRecord is a strict-mode trace replay miss: the request has no
+	// matching trace record (wrapped in a DeviceError carrying the
+	// request).
+	ErrNoRecord = trace.ErrNoRecord
+	// ErrTraceCorrupt is structurally invalid binary trace data (bad
+	// magic, truncation, mismatched trailer).
+	ErrTraceCorrupt = trace.ErrCorrupt
 )
 
 // IsFault reports whether err is a device fault (medium error, timeout,
@@ -499,6 +527,58 @@ func StrictReplay() TraceOption { return trace.Strict() }
 
 // DecodeTrace parses a JSON-encoded trace (see Trace.Encode).
 func DecodeTrace(data []byte) (Trace, error) { return trace.Decode(data) }
+
+// EncodeTraceBinary serializes a trace in the compact binary format —
+// several times smaller than JSON and much faster to decode, lossless
+// and canonical (decode → encode reproduces the bytes). For captures
+// too large to materialize, stream through NewTraceWriter instead.
+func EncodeTraceBinary(tr Trace) ([]byte, error) { return trace.EncodeBinary(tr) }
+
+// DecodeTraceBinary parses a binary-encoded trace, validating every
+// record as it decodes. Structural damage fails with ErrTraceCorrupt;
+// semantically invalid records fail with ErrInvalidRequest and the
+// record's index.
+func DecodeTraceBinary(data []byte) (Trace, error) { return trace.DecodeBinary(data) }
+
+// NewTraceWriter streams a binary trace to w: the header (tr with
+// Records ignored) is written eagerly, then each Write appends one
+// record and Close seals the stream with a record-count trailer.
+func NewTraceWriter(w io.Writer, header Trace) (*TraceWriter, error) {
+	return trace.NewWriter(w, header)
+}
+
+// NewTraceReader opens a binary trace stream for record-at-a-time
+// reading; Next returns io.EOF only at a clean trailer, so truncation
+// is always detected.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// ParseBlkparse converts `blkparse` text output (from blktrace) into a
+// Trace: dispatch→completion pairs become records with real service
+// times and arrival instants.
+func ParseBlkparse(r io.Reader, opt BlkparseOptions) (Trace, BlkparseStats, error) {
+	return trace.ParseBlkparse(r, opt)
+}
+
+// NewTraceReplay builds a bulk replay driver: the trace streams through
+// the stack in bounded windows with streaming statistics only, so
+// million-request replays run in O(window) memory and allocate nothing
+// per request in the steady state.
+func NewTraceReplay(st *DeviceStack, tr Trace, cfg ReplayConfig) (*TraceReplay, error) {
+	return driver.NewReplay(st, tr, cfg)
+}
+
+// NewFleet drives len(qs) queued spindles with decorrelated synthetic
+// workloads on one event core (the scale harness of BENCH_events.json).
+func NewFleet(qs []*QueuedDevice, wl DriverWorkload, ratePerSec float64) (*Fleet, error) {
+	return driver.NewFleet(qs, wl, ratePerSec)
+}
+
+// NewTraceFleet replays one recorded trace per spindle on one event
+// core; partition a large capture round-robin to get equal per-spindle
+// record counts.
+func NewTraceFleet(qs []*QueuedDevice, trs []Trace) (*Fleet, error) {
+	return driver.NewTraceFleet(qs, trs)
+}
 
 // ---- Fault injection and rebuild ----
 
