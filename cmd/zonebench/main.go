@@ -1,0 +1,117 @@
+// zonebench runs the flash-era alignment study and ad-hoc zoned/FTL
+// experiments: erase-block-aligned vs block-straddling overwrites
+// through an FTL over the flash device, behind the zone-aware
+// scheduler.
+//
+// Usage:
+//
+//	zonebench -study            repro.ZonedStudy: tail latency and write
+//	                            amplification vs offered rate, aligned
+//	                            vs straddling
+//	zonebench -lfs              LFS-over-zones demo: segments 1:1 onto
+//	                            zones, cleaner as zone reset
+//
+// The committed golden snapshot internal/repro/testdata/golden/
+// zoned_study.json regenerates exactly with:
+//
+//	zonebench -study -n 50 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"traxtents/internal/device/stack"
+	"traxtents/internal/device/zoned"
+	"traxtents/internal/lfs"
+	"traxtents/internal/repro"
+)
+
+func main() {
+	study := flag.Bool("study", false, "tail latency vs offered rate, aligned vs straddling (repro.ZonedStudy)")
+	lfsDemo := flag.Bool("lfs", false, "LFS over a zoned device: segments 1:1 onto zones")
+	n := flag.Int("n", 50, "study size (requests per cell = 40*n)")
+	seed := flag.Int64("seed", 1, "study seed")
+	writes := flag.Int("writes", 20000, "LFS demo: logical block writes")
+	zones := flag.Int("zones", 16, "LFS demo: zone count")
+	flag.Parse()
+
+	switch {
+	case *study:
+		if err := doStudy(*n, *seed); err != nil {
+			fail(err)
+		}
+	case *lfsDemo:
+		if err := doLFS(*writes, *zones, *seed); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doStudy(n int, seed int64) error {
+	pts, err := repro.ZonedStudy(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== ZonedStudy: FTL tail latency vs offered write rate (n=%d, block-sized overwrites) ==\n", n)
+	fmt.Printf("%8s %12s %10s %10s %10s %8s %12s %10s %10s %10s %8s\n",
+		"rate/s", "al iops", "al mean", "al p99", "al p99.99", "al amp",
+		"str iops", "str mean", "str p99", "str p99.99", "str amp")
+	for _, p := range pts {
+		fmt.Printf("%8g %12.1f %10.2f %10.2f %10.2f %8.2f %12.1f %10.2f %10.2f %10.2f %8.2f\n",
+			p.X,
+			p.Values["aligned iops"], p.Values["aligned mean"], p.Values["aligned p99"],
+			p.Values["aligned p99.99"], p.Values["aligned amp"],
+			p.Values["straddling iops"], p.Values["straddling mean"], p.Values["straddling p99"],
+			p.Values["straddling p99.99"], p.Values["straddling amp"])
+	}
+	fmt.Println("\nerase-block-aligned overwrites leave fully-dead GC victims (bare erase, amp 1.0);")
+	fmt.Println("straddling overwrites leave half-live victims whose copy bursts inflate the tail.")
+	return nil
+}
+
+func doLFS(writes, zones int, seed int64) error {
+	f, err := zoned.NewFlash(64 * 1024)
+	if err != nil {
+		return err
+	}
+	z, err := zoned.New(f, zoned.WithZones(zones))
+	if err != nil {
+		return err
+	}
+	segs, err := lfs.ZoneSegments(z)
+	if err != nil {
+		return err
+	}
+	l, err := lfs.NewLFSStack(z, stack.Config{}, segs, 8)
+	if err != nil {
+		return err
+	}
+	working := segs[0].Len / 8 * int64(zones) / 2
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < writes; i++ {
+		if err := l.Write(rng.Int63n(working)); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+	}
+	fmt.Printf("== LFS over %d zones (%d-sector segments), %d block writes ==\n", zones, segs[0].Len, writes)
+	fmt.Printf("new written    %8d blocks\n", l.NewWritten)
+	fmt.Printf("cleaner read   %8d blocks\n", l.CleanRead)
+	fmt.Printf("cleaner wrote  %8d blocks\n", l.CleanWritten)
+	fmt.Printf("zone resets    %8d\n", l.CleanResets)
+	fmt.Printf("write cost     %8.3f\n", l.MeasuredWriteCost())
+	fmt.Printf("virtual time   %8.1f ms\n", l.Now())
+	fmt.Println("\nevery log flush is a sequential zone fill at the write pointer;")
+	fmt.Println("every segment reclaim is one zone reset — no violation is ever issued.")
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "zonebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// quiet routes the subcommands' stdout chatter to /dev/null for the
+// duration of the test.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+// TestSubcommands drives both modes end to end at small sizes.
+func TestSubcommands(t *testing.T) {
+	quiet(t)
+	if err := doStudy(5, 1); err != nil {
+		t.Fatalf("study: %v", err)
+	}
+	if err := doLFS(4000, 16, 1); err != nil {
+		t.Fatalf("lfs: %v", err)
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/devtest"
 	"traxtents/internal/device/faults"
+	"traxtents/internal/device/ftl"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
+	"traxtents/internal/device/zoned"
 	"traxtents/internal/disk/model"
 	"traxtents/internal/disk/sim"
 )
@@ -90,6 +92,40 @@ func newQueued(t testing.TB, depth int, s sched.Scheduler) device.Device {
 	return q
 }
 
+// newZonedFlash builds the zoned wrapper over a fresh flash device,
+// with an optional open-zone limit (0 = unlimited).
+func newZonedFlash(t testing.TB, zones, maxOpen int) *zoned.Device {
+	t.Helper()
+	f, err := zoned.NewFlash(64 * 1024)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	opts := []zoned.Option{zoned.WithZones(zones)}
+	if maxOpen > 0 {
+		opts = append(opts, zoned.WithMaxOpenZones(maxOpen))
+	}
+	z, err := zoned.New(f, opts...)
+	if err != nil {
+		t.Fatalf("zoned.New: %v", err)
+	}
+	return z
+}
+
+// newFTL builds a fresh FTL over a flash device (the FTL discovers the
+// erase-block size from the flash itself).
+func newFTL(t testing.TB) *ftl.FTL {
+	t.Helper()
+	f, err := zoned.NewFlash(64 * 1024)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	l, err := ftl.New(f)
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	return l
+}
+
 // newHostCached wraps a backend in the host cache layer (4 MB,
 // readahead on, the given write mode).
 func newHostCached(t testing.TB, inner device.Device, writeBack bool) device.Device {
@@ -128,6 +164,30 @@ func TestConformance(t *testing.T) {
 	devtest.Run(t, "cache-sched", func(t *testing.T) device.Device {
 		return newHostCached(t, newQueued(t, 8, sched.SSTF()), true)
 	})
+	// Zoned and flash-era backends: the flash device bare, the zoned
+	// wrapper (with and without an open-zone limit), the FTL, and the
+	// zoned wrapper under a write-through host cache (write-back would
+	// absorb writes and replay them out of pointer order, so it does
+	// not compose over a zoned device).
+	devtest.Run(t, "flash", func(t *testing.T) device.Device {
+		f, err := zoned.NewFlash(64 * 1024)
+		if err != nil {
+			t.Fatalf("NewFlash: %v", err)
+		}
+		return f
+	})
+	devtest.Run(t, "zoned", func(t *testing.T) device.Device { return newZonedFlash(t, 16, 0) })
+	devtest.Run(t, "zoned-limited", func(t *testing.T) device.Device { return newZonedFlash(t, 16, 3) })
+	devtest.Run(t, "ftl", func(t *testing.T) device.Device { return newFTL(t) })
+	devtest.Run(t, "cache-zoned", func(t *testing.T) device.Device {
+		return newHostCached(t, newZonedFlash(t, 16, 0), false)
+	})
+	// No sched-over-zoned entry: a queue's dispatch errors are sticky
+	// (a failed command aborts the queue), so the suite's deliberately
+	// zone-illegal writes would poison every later request — correct
+	// queue behavior, but incompatible with the suite's recovery
+	// checks. The legal-stream depth-8 composition is pinned in the
+	// zoned package's scheduler test.
 }
 
 // TestConformanceFuzz runs the seeded property/fuzz suite over the four
@@ -156,6 +216,19 @@ func TestConformanceFuzz(t *testing.T) {
 			t.Fatalf("sched.New: %v", err)
 		}
 		return q
+	}, n, seed)
+	devtest.Fuzz(t, "flash", func(t *testing.T) device.Device {
+		f, err := zoned.NewFlash(64 * 1024)
+		if err != nil {
+			t.Fatalf("NewFlash: %v", err)
+		}
+		return f
+	}, n, seed)
+	devtest.Fuzz(t, "zoned", func(t *testing.T) device.Device { return newZonedFlash(t, 16, 0) }, n, seed)
+	devtest.Fuzz(t, "zoned-limited", func(t *testing.T) device.Device { return newZonedFlash(t, 16, 3) }, n, seed)
+	devtest.Fuzz(t, "ftl", func(t *testing.T) device.Device { return newFTL(t) }, n, seed)
+	devtest.Fuzz(t, "cache-zoned", func(t *testing.T) device.Device {
+		return newHostCached(t, newZonedFlash(t, 16, 0), false)
 	}, n, seed)
 
 	// The cache allocates writes of at most its budget, so the
@@ -200,6 +273,38 @@ func TestConformanceFuzz(t *testing.T) {
 			t.Fatalf("faults.New: %v", err)
 		}
 		return in
+	}, n, seed)
+	// Faults over the zoned wrapper and an FTL over a faulty flash:
+	// injected failures must stay typed and leave write pointers and
+	// mapping tables intact (the dedicated tests audit the tables; the
+	// lockstep replicas here pin determinism).
+	devtest.FuzzFaulty(t, "faults-zoned", func(t *testing.T) device.Device {
+		in, err := faults.New(newZonedFlash(t, 16, 0),
+			faults.WithSeed(23),
+			faults.WithLatentErrors(24, 16),
+			faults.WithTimeoutProb(0.08))
+		if err != nil {
+			t.Fatalf("faults.New: %v", err)
+		}
+		return in
+	}, n, seed)
+	devtest.FuzzFaulty(t, "ftl-faults", func(t *testing.T) device.Device {
+		f, err := zoned.NewFlash(64 * 1024)
+		if err != nil {
+			t.Fatalf("NewFlash: %v", err)
+		}
+		in, err := faults.New(f,
+			faults.WithSeed(24),
+			faults.WithLatentErrors(24, 16),
+			faults.WithTimeoutProb(0.05))
+		if err != nil {
+			t.Fatalf("faults.New: %v", err)
+		}
+		l, err := ftl.New(in, ftl.WithEraseBlockSectors(1024))
+		if err != nil {
+			t.Fatalf("ftl.New: %v", err)
+		}
+		return l
 	}, n, seed)
 }
 

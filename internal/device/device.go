@@ -94,6 +94,49 @@ type Named interface {
 	Name() string
 }
 
+// Zoned is implemented by devices whose natural extents are
+// sequential-write-required zones (ZNS SSDs, host-managed SMR disks):
+// each zone carries a write pointer, writes must land exactly on it,
+// and a zone is reused only after an explicit reset. The zone table is
+// the device's boundary table — for a zoned device, TrackBoundaries
+// and ZoneBoundaries report the same extents.
+type Zoned interface {
+	// ZoneBoundaries returns the ascending zone-boundary LBNs, starting
+	// at 0 and ending at Capacity(), like TrackBoundaries.
+	ZoneBoundaries() []int64
+	// WritePointer returns the next writable LBN of the zone: the zone's
+	// start when empty (or freshly reset), its end when full.
+	WritePointer(zone int) int64
+	// OpenZones returns how many zones are currently open (their write
+	// pointer strictly inside the zone) and the open-zone limit; max 0
+	// means unlimited.
+	OpenZones() (open, max int)
+	// ResetZoneAt rewinds the zone's write pointer to the zone start at
+	// the given host time, returning when the reset completes. Resetting
+	// an empty zone is a legal no-op (still timed).
+	ResetZoneAt(at float64, zone int) (done float64, err error)
+}
+
+// ZonedOf returns the zone model behind a device: the device itself
+// when it implements Zoned, or the zoned device at the bottom of a
+// chain of single-inner wrappers (cache, scheduling queue, fault
+// injector, recorder, stack — anything exposing Inner() Device).
+// Multi-device backends (arrays, volume views) have no single zone
+// model and stop the walk.
+func ZonedOf(d Device) (Zoned, bool) {
+	for d != nil {
+		if z, ok := d.(Zoned); ok {
+			return z, true
+		}
+		u, ok := d.(interface{ Inner() Device })
+		if !ok {
+			return nil, false
+		}
+		d = u.Inner()
+	}
+	return nil, false
+}
+
 // CheckBounds validates an (LBN, sector-count) range against a
 // capacity. The test is overflow-safe: LBN + Sectors near MaxInt64 must
 // not wrap negative and slip past the capacity comparison. It is shared

@@ -4,10 +4,36 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 
 	"traxtents/internal/device"
 )
+
+// zonePlan predicts how a zoned device must treat a valid write: which
+// zone it lands in, the zone's current write pointer, and whether the
+// zone protocol accepts it (exactly on the pointer, inside the zone,
+// and within the open-zone limit when opening an empty zone). The
+// prediction mirrors the documented device.Zoned contract, so Check
+// can hold any zoned implementation to it.
+func zonePlan(zd device.Zoned, req device.Request) (zone int, wp int64, legal bool) {
+	b := zd.ZoneBoundaries()
+	if len(b) < 2 {
+		return -1, 0, true
+	}
+	zone = sort.Search(len(b), func(i int) bool { return b[i] > req.LBN }) - 1
+	wp = zd.WritePointer(zone)
+	if req.LBN != wp || req.LBN+int64(req.Sectors) > b[zone+1] {
+		return zone, wp, false
+	}
+	if wp == b[zone] {
+		if open, max := zd.OpenZones(); max > 0 && open >= max {
+			return zone, wp, false
+		}
+	}
+	return zone, wp, true
+}
 
 // Run exercises the device.Device contract against fresh instances from
 // mk. The factory must return an unused device each call.
@@ -67,33 +93,22 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 	t.Run(name+"/timing-and-clock", func(t *testing.T) {
 		d := mk(t)
 		at := 0.0
-		prevNow := d.Now()
+		served := 0
 		for i := 0; i < 16; i++ {
 			req := device.Request{LBN: int64(i) * 61 % (d.Capacity() - 8), Sectors: 8, Write: i%3 == 0}
-			res, err := d.Serve(at, req)
-			if err != nil {
-				t.Fatalf("Serve %d: %v", i, err)
+			// Check asserts the echo, issue-time, coherence, and clock
+			// invariants; on a zoned device the scattered writes after the
+			// first are zone violations, which Check verifies reject
+			// cleanly (clock and write pointer untouched) — at stands.
+			res, ok := Check(t, d, at, req)
+			if !ok {
+				continue
 			}
-			if res.Req != req {
-				t.Fatalf("Serve %d: result echoes %+v, want %+v", i, res.Req, req)
-			}
-			if res.Issue != at {
-				t.Fatalf("Serve %d: Issue = %g, want %g", i, res.Issue, at)
-			}
-			if res.Done < at {
-				t.Fatalf("Serve %d: Done %g before issue %g", i, res.Done, at)
-			}
-			if res.MediaEnd > res.Done {
-				t.Fatalf("Serve %d: MediaEnd %g after Done %g", i, res.MediaEnd, res.Done)
-			}
-			if d.Now() < prevNow {
-				t.Fatalf("Serve %d: Now went backwards (%g -> %g)", i, prevNow, d.Now())
-			}
-			if d.Now() < res.Done {
-				t.Fatalf("Serve %d: Now %g behind completion %g", i, d.Now(), res.Done)
-			}
-			prevNow = d.Now()
+			served++
 			at = res.Done // onereq
+		}
+		if served == 0 {
+			t.Fatal("no requests served")
 		}
 		if at <= 0 {
 			t.Fatal("no virtual time elapsed over 16 requests")
@@ -118,6 +133,26 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 					t.Fatalf("boundaries not ascending at %d: %d, %d", i, b[i-1], b[i])
 				}
 			}
+			// Shared aliasing regression (every conformance backend runs
+			// it): mutating the returned slice must not corrupt the
+			// device's own boundary table.
+			want := append([]int64(nil), b...)
+			for i := range b {
+				b[i] = -777
+			}
+			if got := bp.TrackBoundaries(); !slices.Equal(got, want) {
+				t.Fatalf("TrackBoundaries aliases internal state: caller mutation leaked (%v, want %v)", got, want)
+			}
+		}
+		if zd, ok := device.ZonedOf(d); ok {
+			zb := zd.ZoneBoundaries()
+			want := append([]int64(nil), zb...)
+			for i := range zb {
+				zb[i] = -777
+			}
+			if got := zd.ZoneBoundaries(); !slices.Equal(got, want) {
+				t.Fatalf("ZoneBoundaries aliases internal state: caller mutation leaked (%v, want %v)", got, want)
+			}
 		}
 		if r, ok := d.(device.Rotational); ok {
 			if r.RotationPeriod() < 0 {
@@ -125,15 +160,90 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 			}
 		}
 	})
+
+	t.Run(name+"/zone-semantics", func(t *testing.T) {
+		d := mk(t)
+		zd, ok := device.ZonedOf(d)
+		if !ok {
+			t.Skip("device is not zoned")
+		}
+		b := zd.ZoneBoundaries()
+		if len(b) < 2 || b[0] != 0 || b[len(b)-1] != d.Capacity() {
+			t.Fatalf("zone boundaries span [%d,%d] over %d entries, want [0,%d]",
+				b[0], b[len(b)-1], len(b), d.Capacity())
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("zone boundaries not ascending at %d: %d, %d", i, b[i-1], b[i])
+			}
+		}
+		if bp, ok := d.(device.BoundaryProvider); ok {
+			if tb := bp.TrackBoundaries(); tb != nil && !slices.Equal(tb, b) {
+				t.Fatalf("TrackBoundaries %v disagree with ZoneBoundaries %v", tb, b)
+			}
+		}
+		zoneLen := int(b[1] - b[0])
+		half := zoneLen / 2
+		if half < 1 {
+			half = 1
+		}
+		// In-order write from the zone start: accepted; Check verifies
+		// the pointer advances by exactly the sector count.
+		res, wok := Check(t, d, 0, device.Request{LBN: 0, Sectors: half, Write: true})
+		if !wok {
+			t.Fatalf("in-order write of %d sectors at the zone start rejected", half)
+		}
+		at := res.Done
+		// Past the pointer, behind the pointer: both violations — Check
+		// verifies the typed reject with clock and pointer untouched.
+		if _, wok = Check(t, d, at, device.Request{LBN: int64(half) + 1, Sectors: 1, Write: true}); wok {
+			t.Fatal("write past the write pointer accepted")
+		}
+		if _, wok = Check(t, d, at, device.Request{LBN: 0, Sectors: 1, Write: true}); wok {
+			t.Fatal("rewrite at the zone start accepted without a reset")
+		}
+		// Reads are unrestricted: beyond the pointer, and across a zone
+		// boundary (split transparently by the device).
+		if _, rok := Check(t, d, at, device.Request{LBN: 0, Sectors: zoneLen}); !rok {
+			t.Fatal("read beyond the write pointer rejected")
+		}
+		if len(b) > 2 {
+			straddle := device.Request{LBN: b[1] - 1, Sectors: 2}
+			if _, rok := Check(t, d, d.Now(), straddle); !rok {
+				t.Fatal("zone-straddling read rejected")
+			}
+		}
+		// Reset: the pointer returns to the zone start, the reset is
+		// timed, and the zone accepts writes from the start again.
+		now := d.Now()
+		done, err := zd.ResetZoneAt(now, 0)
+		if err != nil {
+			t.Fatalf("ResetZoneAt: %v", err)
+		}
+		if done < now {
+			t.Fatalf("reset completed at %g, before its issue at %g", done, now)
+		}
+		if got := zd.WritePointer(0); got != b[0] {
+			t.Fatalf("reset left zone 0's write pointer at %d, want %d", got, b[0])
+		}
+		if _, wok = Check(t, d, done, device.Request{LBN: 0, Sectors: 1, Write: true}); !wok {
+			t.Fatal("write at the zone start rejected after a reset")
+		}
+	})
 }
 
 // Check serves one (possibly invalid) request and asserts the
 // cross-backend invariants every Device must hold:
 //
-//   - acceptance agrees exactly with device.CheckRequest;
+//   - acceptance agrees exactly with device.CheckRequest — except on a
+//     zoned device (device.ZonedOf), where a valid write off the zone
+//     protocol must instead fail typed with device.ErrZoneViolation,
+//     leaving both the clock and the zone's write pointer untouched;
 //   - a rejected request leaves the clock untouched;
 //   - an accepted request echoes itself, is issued when asked, and its
 //     times are coherent (Issue ≤ Start ≤ MediaEnd ≤ Done);
+//   - an accepted write on a zoned device advances its zone's write
+//     pointer by exactly the sector count (monotonic per zone);
 //   - Now() never goes backwards and is never behind a completion.
 //
 // It returns the result and whether the request was accepted. It is the
@@ -141,8 +251,33 @@ func Run(t *testing.T, name string, mk func(t *testing.T) device.Device) {
 func Check(t testing.TB, d device.Device, at float64, req device.Request) (device.Result, bool) {
 	t.Helper()
 	prevNow := d.Now()
-	res, err := d.Serve(at, req)
 	valid := device.CheckRequest(d, req) == nil
+	zone, wpBefore := -1, int64(0)
+	zoneOK := true
+	zd, zoned := device.ZonedOf(d)
+	if zoned && valid && req.Write {
+		zone, wpBefore, zoneOK = zonePlan(zd, req)
+	}
+	res, err := d.Serve(at, req)
+	if valid && !zoneOK {
+		if err == nil {
+			t.Fatalf("Serve(%g, %+v) accepted a zone-violating write (zone %d, wp %d)", at, req, zone, wpBefore)
+		}
+		if !errors.Is(err, device.ErrZoneViolation) {
+			t.Fatalf("Serve(%g, %+v): zone-violating write failed with %v, want ErrZoneViolation", at, req, err)
+		}
+		var de *device.Error
+		if !errors.As(err, &de) {
+			t.Fatalf("Serve(%g, %+v): zone violation is not a typed *device.Error: %v", at, req, err)
+		}
+		if d.Now() != prevNow {
+			t.Fatalf("zone-violating write %+v moved the clock %g -> %g", req, prevNow, d.Now())
+		}
+		if got := zd.WritePointer(zone); got != wpBefore {
+			t.Fatalf("zone-violating write %+v moved zone %d's write pointer %d -> %d", req, zone, wpBefore, got)
+		}
+		return res, false
+	}
 	if valid && err != nil {
 		t.Fatalf("Serve(%g, %+v) = %v, but CheckRequest accepts it", at, req, err)
 	}
@@ -170,6 +305,11 @@ func Check(t testing.TB, d device.Device, at float64, req device.Request) (devic
 	if d.Now() < res.Done {
 		t.Fatalf("Serve(%g, %+v): Now %g behind completion %g", at, req, d.Now(), res.Done)
 	}
+	if zone >= 0 {
+		if got, want := zd.WritePointer(zone), wpBefore+int64(req.Sectors); got != want {
+			t.Fatalf("accepted write %+v: zone %d write pointer %d -> %d, want %d", req, zone, wpBefore, got, want)
+		}
+	}
 	return res, true
 }
 
@@ -178,14 +318,24 @@ func Check(t testing.TB, d device.Device, at float64, req device.Request) (devic
 // A valid request may now fail — but only with a typed device fault:
 // the error must satisfy device.IsFault, carry a *device.Error
 // identifying a request, and leave the clock untouched (no partial
-// state a failed command could have left behind). Invalid requests and
-// successes must uphold exactly the Check invariants. It returns the
-// result and the Serve error (nil on success).
+// state a failed command could have left behind). On a zoned device a
+// write off the zone protocol may fail with either an injected fault
+// (the injector's gates run first) or device.ErrZoneViolation, and any
+// failed write must leave the zone's write pointer untouched. Invalid
+// requests and successes must uphold exactly the Check invariants. It
+// returns the result and the Serve error (nil on success).
 func CheckFaulty(t testing.TB, d device.Device, at float64, req device.Request) (device.Result, error) {
 	t.Helper()
 	prevNow := d.Now()
+	valid := device.CheckRequest(d, req) == nil
+	zone, wpBefore := -1, int64(0)
+	zoneOK := true
+	zd, zoned := device.ZonedOf(d)
+	if zoned && valid && req.Write {
+		zone, wpBefore, zoneOK = zonePlan(zd, req)
+	}
 	res, err := d.Serve(at, req)
-	if device.CheckRequest(d, req) != nil {
+	if !valid {
 		if err == nil {
 			t.Fatalf("Serve(%g, %+v) accepted, but CheckRequest rejects it", at, req)
 		}
@@ -194,8 +344,11 @@ func CheckFaulty(t testing.TB, d device.Device, at float64, req device.Request) 
 		}
 		return res, err
 	}
+	if !zoneOK && err == nil {
+		t.Fatalf("Serve(%g, %+v) accepted a zone-violating write (zone %d, wp %d)", at, req, zone, wpBefore)
+	}
 	if err != nil {
-		if !device.IsFault(err) {
+		if !device.IsFault(err) && !(!zoneOK && errors.Is(err, device.ErrZoneViolation)) {
 			t.Fatalf("Serve(%g, %+v) failed with a non-fault error: %v", at, req, err)
 		}
 		var de *device.Error
@@ -207,6 +360,11 @@ func CheckFaulty(t testing.TB, d device.Device, at float64, req device.Request) 
 		}
 		if d.Now() != prevNow {
 			t.Fatalf("failed request %+v moved the clock %g -> %g: %v", req, prevNow, d.Now(), err)
+		}
+		if zone >= 0 {
+			if got := zd.WritePointer(zone); got != wpBefore {
+				t.Fatalf("failed write %+v moved zone %d's write pointer %d -> %d", req, zone, wpBefore, got)
+			}
 		}
 		return res, err
 	}
@@ -224,6 +382,11 @@ func CheckFaulty(t testing.TB, d device.Device, at float64, req device.Request) 
 	}
 	if d.Now() < res.Done {
 		t.Fatalf("Serve(%g, %+v): Now %g behind completion %g", at, req, d.Now(), res.Done)
+	}
+	if zone >= 0 {
+		if got, want := zd.WritePointer(zone), wpBefore+int64(req.Sectors); got != want {
+			t.Fatalf("accepted write %+v: zone %d write pointer %d -> %d, want %d", req, zone, wpBefore, got, want)
+		}
 	}
 	return res, nil
 }

@@ -18,6 +18,11 @@ import (
 //     unchanged; retrying the same request may succeed.
 //   - ErrLost: the whole device has failed. Every subsequent request
 //     fails the same way; only redundancy recovers the data.
+//   - ErrZoneViolation: a zoned device rejected a write that does not
+//     land on its zone's write pointer, crosses a zone boundary, or
+//     would exceed the open-zone limit. Deterministic from the zone
+//     state — not a fault (IsFault is false): the host issued the
+//     write out of protocol, and the device state is unchanged.
 //
 // Failures never advance a device's clock: a request that errors has
 // consumed no virtual time (the conformance suite asserts this for
@@ -27,6 +32,7 @@ var (
 	ErrMedium         = errors.New("unrecoverable medium error")
 	ErrTimeout        = errors.New("command timeout")
 	ErrLost           = errors.New("device lost")
+	ErrZoneViolation  = errors.New("zone violation")
 )
 
 // Error is the typed failure record carried up the stack: which layer

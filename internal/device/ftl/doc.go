@@ -1,0 +1,30 @@
+// Package ftl emulates a flash translation layer: a log-structured
+// remapper that turns the erase-before-write physics of flash (the
+// zoned.Flash backend, or anything offering an EraseAt method) into a
+// conventional write-anywhere device.
+//
+// Logical pages are remapped onto physical pages allocated
+// sequentially from an open erase block; overwrites invalidate the old
+// physical page in place. When the free-block pool runs low, garbage
+// collection picks the sealed block with the fewest live pages, copies
+// those pages into a GC open block (timed reads and writes against the
+// inner device — the write-amplification cost the repro.ZonedStudy
+// measures), erases the victim, and returns it to the pool. The
+// overprovisioned reserve (WithReserveBlocks) guarantees by pigeonhole
+// that a reclaimable victim exists whenever the pool runs low.
+//
+// TrackBoundaries reports the logical erase-block extents — on flash,
+// the erase block is the natural extent the paper's thesis asks hosts
+// to align to. Aligned whole-block overwrites leave fully-dead victims
+// (GC is a bare erase, write amplification 1.0); block-straddling
+// overwrites leave half-live victims whose pages must be copied, and
+// the copy bursts surface as p99/p99.99 inflation.
+//
+// Mapping-table discipline: a physical slot is reserved before the
+// inner write is issued, and the logical→physical mapping commits only
+// after the write succeeds. A fault from the inner device (under
+// faults.Injector) therefore leaves the old mapping intact — the
+// reserved slots become garbage for GC to reclaim — and never a
+// half-updated table; Audit verifies the invariants after any fault.
+// Failures never advance the FTL's clock.
+package ftl

@@ -1,0 +1,176 @@
+package ftl_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/ftl"
+	"traxtents/internal/device/zoned"
+)
+
+func newFlash(t testing.TB, capacity int64) *zoned.Flash {
+	t.Helper()
+	f, err := zoned.NewFlash(capacity)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	return f
+}
+
+// small builds a small FTL (64-page blocks, 2 reserve) over a fresh
+// flash device, so GC triggers quickly.
+func small(t testing.TB) *ftl.FTL {
+	t.Helper()
+	f, err := zoned.NewFlash(16*1024, zoned.WithEraseSectors(512))
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	l, err := ftl.New(f, ftl.WithPageSectors(8), ftl.WithReserveBlocks(4))
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	return l
+}
+
+// TestFreshIdentityPin is the FTL differential pin: a fresh FTL maps
+// sequential page-aligned writes onto identical physical pages, so the
+// whole stream — and reads over it — is bit-identical to the bare
+// flash device underneath.
+func TestFreshIdentityPin(t *testing.T) {
+	bare := newFlash(t, 16*1024)
+	l, err := ftl.New(newFlash(t, 16*1024), ftl.WithPageSectors(8), ftl.WithEraseBlockSectors(512))
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	at := 0.0
+	// One sequential pass over half the logical space, page-aligned.
+	for lbn := int64(0); lbn < l.Capacity()/2; lbn += 64 {
+		req := device.Request{LBN: lbn, Sectors: 64, Write: true}
+		r1, err1 := bare.Serve(at, req)
+		r2, err2 := l.Serve(at, req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("write %d: errs %v, %v", lbn, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("write %d diverges:\nbare: %+v\nftl:  %+v", lbn, r1, r2)
+		}
+		at = r1.Done
+	}
+	// Random reads over the written range: identity mapping means the
+	// physical run is contiguous and the read passes through bit-identical.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(256)
+		req := device.Request{LBN: rng.Int63n(l.Capacity()/2 - int64(n)), Sectors: n}
+		r1, err1 := bare.Serve(at, req)
+		r2, err2 := l.Serve(at, req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("read %d: errs %v, %v", i, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("read %d (%+v) diverges:\nbare: %+v\nftl:  %+v", i, req, r1, r2)
+		}
+		at = r1.Done
+	}
+	if amp := l.Stats().WriteAmp(); amp != 1 {
+		t.Fatalf("sequential fill write amp = %g, want exactly 1", amp)
+	}
+	if err := l.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+// TestAlignedVsStraddlingWriteAmp pins the mechanism the ZonedStudy
+// measures: overwriting in whole erase blocks leaves fully-dead victims
+// (GC never copies a page, amplification stays 1.0), while the same
+// volume of writes straddling block boundaries leaves half-live victims
+// whose pages must be copied (amplification strictly above 1).
+func TestAlignedVsStraddlingWriteAmp(t *testing.T) {
+	run := func(grain int64) ftl.Stats {
+		l := small(t)
+		rng := rand.New(rand.NewSource(5))
+		at := 0.0
+		const block = 512
+		positions := (l.Capacity()-block)/grain + 1
+		// 300 block-sized overwrites at random positions on the given
+		// grain. Aligned (grain = block): every write coincides with an
+		// erase-block tile and fully kills the block that previously
+		// held it, so victims are fully dead and GC is a bare erase.
+		// Straddling (grain = block/2): half the writes sit astride two
+		// tiles, so writes partially overlap one another, physical
+		// blocks mix pages with different death times, and victims are
+		// part-live — GC must copy before erasing.
+		for i := 0; i < 300; i++ {
+			lbn := rng.Int63n(positions) * grain
+			res, err := l.Serve(at, device.Request{LBN: lbn, Sectors: block, Write: true})
+			if err != nil {
+				t.Fatalf("write at %d: %v", lbn, err)
+			}
+			at = res.Done
+		}
+		if err := l.Audit(); err != nil {
+			t.Fatalf("audit: %v", err)
+		}
+		return l.Stats()
+	}
+	aligned := run(512)
+	straddling := run(256)
+	if aligned.GCRuns == 0 || straddling.GCRuns == 0 {
+		t.Fatalf("GC never ran: aligned %+v, straddling %+v", aligned, straddling)
+	}
+	if amp := aligned.WriteAmp(); amp != 1 {
+		t.Errorf("aligned write amp = %g, want exactly 1 (stats %+v)", amp, aligned)
+	}
+	if amp := straddling.WriteAmp(); amp <= 1.05 {
+		t.Errorf("straddling write amp = %g, want well above 1 (stats %+v)", amp, straddling)
+	}
+}
+
+// TestBoundariesAreEraseBlocks: the FTL reports its logical erase-block
+// extents as track boundaries — the alignment grain the paper's thesis
+// asks hosts to honor — and returns a defensive copy.
+func TestBoundariesAreEraseBlocks(t *testing.T) {
+	l := small(t)
+	b := l.TrackBoundaries()
+	if b[0] != 0 || b[len(b)-1] != l.Capacity() {
+		t.Fatalf("boundaries span [%d, %d], want [0, %d]", b[0], b[len(b)-1], l.Capacity())
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i]-b[i-1] != 512 {
+			t.Fatalf("block %d is %d sectors, want 512", i-1, b[i]-b[i-1])
+		}
+	}
+	b[0] = -777
+	if got := l.TrackBoundaries(); got[0] != 0 {
+		t.Fatal("TrackBoundaries aliases internal state")
+	}
+}
+
+// TestFTLStatsAccounting: demand pages count host writes exactly
+// (sub-page writes still program whole pages), and erases only happen
+// via GC on this workload.
+func TestFTLStatsAccounting(t *testing.T) {
+	l := small(t)
+	at := 0.0
+	// 3 pages worth, in one aligned write and one sub-page write.
+	res, err := l.Serve(at, device.Request{LBN: 0, Sectors: 16, Write: true})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	at = res.Done
+	if _, err := l.Serve(at, device.Request{LBN: 100, Sectors: 3, Write: true}); err != nil {
+		t.Fatalf("sub-page write: %v", err)
+	}
+	st := l.Stats()
+	if st.DemandPages != 3 {
+		t.Fatalf("DemandPages = %d, want 3 (2 aligned + 1 sub-page)", st.DemandPages)
+	}
+	if st.CopiedPages != 0 || st.Erases != 0 || st.GCRuns != 0 {
+		t.Fatalf("background work before pressure: %+v", st)
+	}
+	if amp := st.WriteAmp(); amp != 1 {
+		t.Fatalf("write amp = %g", amp)
+	}
+}

@@ -1,0 +1,147 @@
+package ftl_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/faults"
+	"traxtents/internal/device/ftl"
+	"traxtents/internal/device/zoned"
+)
+
+// faultySmall builds the small FTL over a fault injector over flash, so
+// failures strike the FTL's own media traffic — demand programs, GC
+// copy reads and writes.
+func faultySmall(t *testing.T, fopts ...faults.Option) (*ftl.FTL, *faults.Injector) {
+	t.Helper()
+	f, err := zoned.NewFlash(16*1024, zoned.WithEraseSectors(512))
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	inj, err := faults.New(f, fopts...)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	l, err := ftl.New(inj, ftl.WithPageSectors(8), ftl.WithEraseBlockSectors(512), ftl.WithReserveBlocks(4))
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	return l, inj
+}
+
+// TestFTLLossDuringGC (satellite): whole-device loss in the middle of a
+// GC-heavy overwrite stream. Every failure must surface typed, the
+// mapping tables must audit clean after each one (slot-reserve-then-
+// commit leaves garbage, never a half-updated table), the clock must
+// not advance on failures, and after Repair the FTL serves again.
+func TestFTLLossDuringGC(t *testing.T) {
+	l, inj := faultySmall(t)
+	rng := rand.New(rand.NewSource(9))
+	at := 0.0
+	// Drive until GC has run at least once, so the device is in the
+	// steady state where a loss strikes mid-collection.
+	for l.Stats().GCRuns == 0 {
+		res, err := l.Serve(at, device.Request{LBN: rng.Int63n(l.Capacity()/512) * 512, Sectors: 512, Write: true})
+		if err != nil {
+			t.Fatalf("warmup write: %v", err)
+		}
+		at = res.Done
+	}
+	preStats := l.Stats()
+	preNow := l.Now()
+
+	inj.FailNow()
+	var sawLost bool
+	for i := 0; i < 20; i++ {
+		_, err := l.Serve(at, device.Request{LBN: rng.Int63n(l.Capacity()/512) * 512, Sectors: 512, Write: true})
+		if err == nil {
+			t.Fatalf("write %d succeeded on a lost device", i)
+		}
+		if !errors.Is(err, device.ErrLost) {
+			t.Fatalf("write %d: err = %v, want ErrLost", i, err)
+		}
+		var de *device.Error
+		if !errors.As(err, &de) {
+			t.Fatalf("write %d: loss not typed: %v", i, err)
+		}
+		sawLost = true
+		if err := l.Audit(); err != nil {
+			t.Fatalf("write %d: audit after loss: %v", i, err)
+		}
+		if l.Now() != preNow {
+			t.Fatalf("write %d: failure advanced the clock %g -> %g", i, preNow, l.Now())
+		}
+	}
+	if !sawLost {
+		t.Fatal("no losses observed")
+	}
+	if got := l.Stats(); got.DemandPages != preStats.DemandPages {
+		t.Fatalf("failed writes counted as demand pages: %d -> %d", preStats.DemandPages, got.DemandPages)
+	}
+
+	// Repair: the FTL picks up where it left off — reads of data
+	// written before the loss still resolve through the intact tables,
+	// and new writes (including further GC) succeed.
+	inj.Repair()
+	for i := 0; i < 60; i++ {
+		res, err := l.Serve(at, device.Request{LBN: rng.Int63n(l.Capacity()/512) * 512, Sectors: 512, Write: true})
+		if err != nil {
+			t.Fatalf("write %d after repair: %v", i, err)
+		}
+		at = res.Done
+	}
+	if err := l.Audit(); err != nil {
+		t.Fatalf("audit after repair: %v", err)
+	}
+	if _, err := l.Serve(at, device.Request{LBN: 100, Sectors: 64}); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+}
+
+// TestFTLTimeoutsDuringGC: transient timeouts strike a GC-heavy
+// overwrite stream — demand programs, copy reads, copy writes alike
+// (a latent medium error can never hit a GC read: GC only reads live
+// pages, which were written earlier, and writes heal latent ranges).
+// Every failure propagates typed, the tables audit clean after each
+// one, the clock never advances on a failure, and retrying the same
+// write eventually succeeds because timeouts are transient.
+func TestFTLTimeoutsDuringGC(t *testing.T) {
+	l, _ := faultySmall(t, faults.WithSeed(31), faults.WithTimeoutProb(0.1))
+	rng := rand.New(rand.NewSource(13))
+	at := 0.0
+	failures := 0
+	positions := (l.Capacity() - 512) / 256
+	for i := 0; i < 400; i++ {
+		req := device.Request{LBN: rng.Int63n(positions) * 256, Sectors: 512, Write: true}
+		res, err := l.Serve(at, req)
+		if err != nil {
+			if !errors.Is(err, device.ErrTimeout) {
+				t.Fatalf("write %d: err = %v, want ErrTimeout", i, err)
+			}
+			failures++
+			if aerr := l.Audit(); aerr != nil {
+				t.Fatalf("write %d: audit after timeout: %v", i, aerr)
+			}
+			// Transient: retry until the same write goes through.
+			for err != nil {
+				res, err = l.Serve(at, req)
+				if err != nil && !errors.Is(err, device.ErrTimeout) {
+					t.Fatalf("write %d retry: %v", i, err)
+				}
+			}
+		}
+		at = res.Done
+	}
+	if failures == 0 {
+		t.Fatal("no timeouts fired")
+	}
+	st := l.Stats()
+	if st.GCRuns == 0 || st.CopiedPages == 0 {
+		t.Fatalf("stream never exercised GC copies: %+v", st)
+	}
+	if err := l.Audit(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package ftl_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/ftl"
+)
+
+// failDevice fails every request with a typed medium error; its sizing
+// is otherwise a plausible flash-shaped device.
+type failDevice struct {
+	capacity int64
+}
+
+func (s *failDevice) Serve(at float64, req device.Request) (device.Result, error) {
+	return device.Result{}, &device.Error{Op: "stub", Req: req, Err: device.ErrMedium}
+}
+
+func (s *failDevice) Now() float64    { return 0 }
+func (s *failDevice) Capacity() int64 { return s.capacity }
+func (s *failDevice) SectorSize() int { return 512 }
+
+// TestWriteAmpEmpty pins the no-demand-writes convention: a fresh FTL
+// reports amplification 1.0, not NaN.
+func TestWriteAmpEmpty(t *testing.T) {
+	if got := (ftl.Stats{}).WriteAmp(); got != 1 {
+		t.Fatalf("WriteAmp of zero stats = %g, want 1", got)
+	}
+}
+
+// TestFTLConstructorErrors drives every ftl.New validation branch.
+func TestFTLConstructorErrors(t *testing.T) {
+	inner := newFlash(t, 16*1024)
+	cases := []struct {
+		name  string
+		inner device.Device
+		opts  []ftl.Option
+	}{
+		{"zero page", inner, []ftl.Option{ftl.WithPageSectors(0)}},
+		{"erase not page multiple", inner, []ftl.Option{ftl.WithPageSectors(8), ftl.WithEraseBlockSectors(12)}},
+		{"reserve too small", inner, []ftl.Option{ftl.WithReserveBlocks(1)}},
+		{"reserve eats the device", inner, []ftl.Option{ftl.WithReserveBlocks(1000)}},
+		{"page index overflow", &failDevice{capacity: int64(math.MaxInt32) * 1024}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := ftl.New(tc.inner, tc.opts...); !errors.Is(err, device.ErrInvalidRequest) {
+			t.Errorf("%s: got %v, want ErrInvalidRequest", tc.name, err)
+		}
+	}
+}
+
+// TestFTLReadErrorPropagation pins the fault contract on the read path:
+// an inner failure surfaces unchanged and the clock stays put.
+func TestFTLReadErrorPropagation(t *testing.T) {
+	l, err := ftl.New(&failDevice{capacity: 16 * 1024})
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	if _, err := l.Serve(0, device.Request{LBN: 0, Sectors: 8}); !errors.Is(err, device.ErrMedium) {
+		t.Fatalf("read: got %v, want ErrMedium", err)
+	}
+	if l.Now() != 0 {
+		t.Errorf("failed read advanced the clock to %g", l.Now())
+	}
+}
+
+// TestFragmentedRead scatters a three-page span across non-contiguous
+// physical pages (by writing the middle page last) and reads it back in
+// one request: the FTL must split it into one inner command per
+// physically-contiguous run and merge the results.
+func TestFragmentedRead(t *testing.T) {
+	l := small(t)
+	at := 0.0
+	for _, lp := range []int64{0, 2, 1} { // maps lp 0,2,1 -> pp 0,1,2
+		res, err := l.Serve(at, device.Request{LBN: lp * 8, Sectors: 8, Write: true})
+		if err != nil {
+			t.Fatalf("write page %d: %v", lp, err)
+		}
+		at = res.Done
+	}
+	req := device.Request{LBN: 0, Sectors: 24}
+	res, err := l.Serve(at, req)
+	if err != nil {
+		t.Fatalf("fragmented read: %v", err)
+	}
+	if res.Req != req {
+		t.Errorf("merged result Req = %+v, want %+v", res.Req, req)
+	}
+	if res.Issue != at || res.Done <= at {
+		t.Errorf("merged result times Issue=%g Done=%g at issue %g", res.Issue, res.Done, at)
+	}
+	if err := l.Audit(); err != nil {
+		t.Fatalf("audit after fragmented read: %v", err)
+	}
+}
+
+// TestFTLAccessors covers the capability surface: sector size and
+// Inner forward to the wrapped device, and Name identifies both the
+// block split and the inner device.
+func TestFTLAccessors(t *testing.T) {
+	inner := newFlash(t, 16*1024)
+	l, err := ftl.New(inner)
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	if got := l.SectorSize(); got != inner.SectorSize() {
+		t.Errorf("SectorSize = %d, want %d", got, inner.SectorSize())
+	}
+	if l.Inner() != device.Device(inner) {
+		t.Error("Inner did not return the wrapped flash device")
+	}
+	name := l.Name()
+	if !strings.HasPrefix(name, "ftl[") || !strings.Contains(name, "flash[") {
+		t.Errorf("Name = %q, want ftl[...]+flash[...]", name)
+	}
+}

@@ -66,6 +66,8 @@ func FuzzDevice(f *testing.F) {
 				}
 				return c
 			}},
+			{"zoned", false, func() device.Device { return newZonedFlash(t, 16, 0) }},
+			{"ftl", false, func() device.Device { return newFTL(t) }},
 			{"volume", false, func() device.Device {
 				m, err := volume.New([]device.Device{newSim(t, 3)},
 					volume.WithTier("fair"), volume.WithTierDepth(4))

@@ -184,12 +184,77 @@ func (s *traxtentCLOOK) Pick(cands []Pending, head int64) int {
 	return low
 }
 
+// ---- Zone-aware C-LOOK ----
+
+type zonedCLOOK struct {
+	traxtentCLOOK
+}
+
+// ZonedCLOOK returns a zone-aware C-LOOK for zoned and flash devices:
+// the sweep is ordered by zone (or erase-block) index, and *within* a
+// zone candidates are ordered by ascending LBN — which for a
+// sequential-write-required zone is exactly write-pointer order, so a
+// host that submits its per-zone writes in order never has the
+// scheduler reorder them into a zone violation. The sweep boundary
+// never lands inside a zone, mirroring how the traxtent scheduler
+// never splits a track-aligned batch across a sweep. bounds are
+// ascending zone boundaries starting at 0 (device.Zoned's
+// ZoneBoundaries, or a flash device's erase-block TrackBoundaries).
+func ZonedCLOOK(bounds []int64) (Scheduler, error) {
+	s, err := TraxtentCLOOK(bounds)
+	if err != nil {
+		return nil, err
+	}
+	return &zonedCLOOK{traxtentCLOOK: *s.(*traxtentCLOOK)}, nil
+}
+
+// ZonedCLOOKFor builds the zone-aware scheduler from a device's own
+// zone table: its device.Zoned zone boundaries when the device (or a
+// wrapper chain over one) is zoned, falling back to its
+// TrackBoundaries (an FTL reports erase-block extents there).
+func ZonedCLOOKFor(d device.Device) (Scheduler, error) {
+	if zd, ok := device.ZonedOf(d); ok {
+		return ZonedCLOOK(zd.ZoneBoundaries())
+	}
+	bp, ok := d.(device.BoundaryProvider)
+	if !ok || bp.TrackBoundaries() == nil {
+		return nil, fmt.Errorf("sched: device %T exposes no zone or erase-block boundaries for the zoned scheduler", d)
+	}
+	return ZonedCLOOK(bp.TrackBoundaries())
+}
+
+func (s *zonedCLOOK) Name() string { return "zoned" }
+
+// Pick sweeps by zone index C-LOOK style; within the chosen zone the
+// lowest start LBN wins (write-pointer order), with ties to the
+// earliest arrival.
+func (s *zonedCLOOK) Pick(cands []Pending, head int64) int {
+	hz := s.trackOf(head)
+	ahead, aheadZone, aheadLBN := -1, 0, int64(0)
+	low, lowZone, lowLBN := -1, 0, int64(0)
+	for i, c := range cands {
+		zi := s.trackOf(c.Req.LBN)
+		lbn := c.Req.LBN
+		if low < 0 || zi < lowZone || (zi == lowZone && lbn < lowLBN) {
+			low, lowZone, lowLBN = i, zi, lbn
+		}
+		if zi >= hz && (ahead < 0 || zi < aheadZone || (zi == aheadZone && lbn < aheadLBN)) {
+			ahead, aheadZone, aheadLBN = i, zi, lbn
+		}
+	}
+	if ahead >= 0 {
+		return ahead
+	}
+	return low
+}
+
 // Names lists the built-in scheduler names accepted by ByName.
-func Names() []string { return []string{"fcfs", "sstf", "clook", "traxtent"} }
+func Names() []string { return []string{"fcfs", "sstf", "clook", "traxtent", "zoned"} }
 
 // ByName builds a built-in scheduler from its name. The traxtent
 // scheduler derives its track table from d (which must be a
-// BoundaryProvider); the others ignore d.
+// BoundaryProvider), the zoned scheduler its zone table (device.Zoned
+// or erase-block boundaries); the others ignore d.
 func ByName(name string, d device.Device) (Scheduler, error) {
 	switch name {
 	case "fcfs":
@@ -200,6 +265,8 @@ func ByName(name string, d device.Device) (Scheduler, error) {
 		return CLOOK(), nil
 	case "traxtent":
 		return TraxtentCLOOKFor(d)
+	case "zoned":
+		return ZonedCLOOKFor(d)
 	}
 	return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
 }

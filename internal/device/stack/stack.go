@@ -58,9 +58,10 @@ type Config struct {
 	// Depth is the queue depth (the scheduler's reordering window);
 	// 0 means 1.
 	Depth int
-	// Scheduler names the dispatch policy: "fcfs", "sstf", "clook", or
-	// "traxtent" (resolved against the base device's track boundaries).
-	// "" means "fcfs".
+	// Scheduler names the dispatch policy: "fcfs", "sstf", "clook",
+	// "traxtent" (resolved against the base device's track boundaries),
+	// or "zoned" (the zone-aware sweep, resolved against its zones or
+	// erase blocks). "" means "fcfs".
 	Scheduler string
 	// CacheMB is the host-cache budget in megabytes; 0 is the bypass.
 	CacheMB float64

@@ -176,8 +176,18 @@ func (r *Recorder) SectorSize() int { return r.dev.SectorSize() }
 func (r *Recorder) RotationPeriod() float64 { return r.tr.RotationPeriod }
 
 // TrackBoundaries forwards the wrapped device's boundaries (nil when it
-// has none).
-func (r *Recorder) TrackBoundaries() []int64 { return r.tr.Boundaries }
+// has none). The returned slice is a copy: callers mutating it (sort
+// scratch, in-place filtering) must not corrupt the recorder's header.
+func (r *Recorder) TrackBoundaries() []int64 {
+	if r.tr.Boundaries == nil {
+		return nil
+	}
+	return append([]int64(nil), r.tr.Boundaries...)
+}
+
+// Inner returns the wrapped device, so capability walks (such as
+// device.ZonedOf) can see through a recorder.
+func (r *Recorder) Inner() device.Device { return r.dev }
 
 // Layout forwards the wrapped device's physical mapping; nil when the
 // wrapped device is not Mapped, per the device.Mapped contract.
@@ -354,8 +364,15 @@ func (p *Player) SectorSize() int { return p.tr.SectorSize }
 func (p *Player) RotationPeriod() float64 { return p.tr.RotationPeriod }
 
 // TrackBoundaries returns the traced device's boundaries (nil when the
-// trace does not record them).
-func (p *Player) TrackBoundaries() []int64 { return p.tr.Boundaries }
+// trace does not record them). The returned slice is a copy: callers
+// mutating it must not corrupt the trace header the player replays
+// from.
+func (p *Player) TrackBoundaries() []int64 {
+	if p.tr.Boundaries == nil {
+		return nil
+	}
+	return append([]int64(nil), p.tr.Boundaries...)
+}
 
 // Name identifies the traced device.
 func (p *Player) Name() string {

@@ -1,0 +1,31 @@
+// Package zoned provides the flash-era boundary providers: an emulated
+// flash device (Flash) whose natural extents are erase blocks, and a
+// zone-semantics wrapper (Device) that turns any conventional backend
+// into a host-managed zoned device — fixed-size sequential-write-
+// required zones with per-zone write pointers, zone reset and
+// zone-append operations, and an open-zone limit.
+//
+// The paper's thesis — match host access to the device's natural
+// extent — is not disk-specific. A zoned device's natural extent is
+// the zone; a flash device's is the erase block. Both surface through
+// the same device.BoundaryProvider capability the traxtent machinery
+// already consumes, so the cache sizes lines to zones, the scheduler
+// sweeps by zone (sched "zoned"), and LFS maps segments 1:1 onto zones
+// with the cleaner reduced to a zone reset.
+//
+// Protocol model. A write is legal only when it lands exactly on its
+// zone's write pointer, fits inside the zone, and (when the zone is
+// empty and an open-zone limit is configured) an open slot is
+// available. Illegal writes fail with a typed *device.Error wrapping
+// device.ErrZoneViolation, with the inner device untouched and the
+// clock unadvanced — the same "failures consume no virtual time"
+// contract every backend obeys. Reads are unrestricted; a read that
+// crosses a zone boundary is split into per-zone commands (each paying
+// the inner device's per-command cost), mirroring how zoned hardware
+// refuses multi-zone transfers.
+//
+// Device implements device.Zoned; device.ZonedOf discovers the zone
+// model through any chain of single-inner wrappers, so conformance
+// checks and the LFS cleaner find the write pointers behind a cache or
+// a scheduling queue.
+package zoned

@@ -1,0 +1,162 @@
+package zoned_test
+
+import (
+	"errors"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/ftl"
+	"traxtents/internal/device/zoned"
+)
+
+// FuzzZoned is the zone-protocol model checker: the fuzz engine mutates
+// an op script (each byte pair is one operation — write at / past /
+// behind the pointer, append, reset, read), the script drives a zoned
+// device, and every outcome must match an independent reference model
+// of the write-pointer state machine: accepted exactly when the model
+// says legal, pointer and open-count trajectories identical, clock
+// frozen on violations. The same script then drives an FTL over a
+// flash device through out-of-place writes and garbage collection,
+// with the mapping-table audit run after every operation. CI runs a
+// short -fuzz smoke on this target; the seeded corpus always runs.
+func FuzzZoned(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x41, 0x08, 0x82, 0x00, 0xc3, 0x20})
+	f.Add([]byte{0x01, 0xff, 0x01, 0xff, 0x21, 0x01, 0x81, 0x00})
+	f.Add([]byte{0x40, 0x18, 0x80, 0x00, 0x00, 0x18, 0xc0, 0x7f})
+	f.Add([]byte{0x02, 0x30, 0x12, 0x30, 0x22, 0x30, 0x82, 0x00, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const zones, maxOpen = 8, 3
+		z, err := zoned.New(mustFlash(t), zoned.WithZones(zones), zoned.WithMaxOpenZones(maxOpen))
+		if err != nil {
+			t.Fatalf("zoned.New: %v", err)
+		}
+		b := z.ZoneBoundaries()
+
+		// Reference model: per-zone write pointers. The open count is
+		// derived (start < wp < end), mirroring the implicit-open
+		// accounting the wrapper documents.
+		wp := make([]int64, zones)
+		for i := range wp {
+			wp[i] = b[i]
+		}
+		openCount := func() int {
+			n := 0
+			for i := range wp {
+				if wp[i] > b[i] && wp[i] < b[i+1] {
+					n++
+				}
+			}
+			return n
+		}
+
+		// A deliberately tiny FTL (8 blocks of 32 pages, 2 reserve) so
+		// garbage collection fires within a short script.
+		ff, err := zoned.NewFlash(2048, zoned.WithEraseSectors(256))
+		if err != nil {
+			t.Fatalf("NewFlash: %v", err)
+		}
+		fl, err := ftl.New(ff, ftl.WithPageSectors(8), ftl.WithReserveBlocks(2))
+		if err != nil {
+			t.Fatalf("ftl.New: %v", err)
+		}
+
+		at, fat := 0.0, 0.0
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], int64(script[i+1])
+			zi := int(op>>2) % zones
+			sectors := 1 + arg%64
+			var lbn int64
+			switch op & 0x3 {
+			case 0: // write at the pointer (legal unless full / open-limited)
+				lbn = wp[zi]
+			case 1: // write past the pointer by arg+1
+				lbn = wp[zi] + arg + 1
+			case 2: // append
+				res, err := z.Append(at, zi, int(sectors))
+				legal := wp[zi]+sectors <= b[zi+1] &&
+					(wp[zi] > b[zi] || openCount() < maxOpen)
+				if legal != (err == nil) {
+					t.Fatalf("op %d: append(zone %d, %d): err = %v, model says legal=%v (wp %d)", i, zi, sectors, err, legal, wp[zi])
+				}
+				if err == nil {
+					if res.Req.LBN != wp[zi] {
+						t.Fatalf("op %d: append landed at %d, model pointer %d", i, res.Req.LBN, wp[zi])
+					}
+					wp[zi] += sectors
+					at = res.Done
+				} else if !errors.Is(err, device.ErrZoneViolation) {
+					t.Fatalf("op %d: append rejected with %v, want ErrZoneViolation", i, err)
+				}
+				continue
+			case 3:
+				if arg%2 == 0 { // reset
+					done, err := z.ResetZoneAt(at, zi)
+					if err != nil {
+						t.Fatalf("op %d: reset zone %d: %v", i, zi, err)
+					}
+					wp[zi] = b[zi]
+					at = done
+				} else { // read anywhere in range (always legal)
+					req := device.Request{LBN: (arg * 977) % (z.Capacity() - 64), Sectors: int(sectors)}
+					res, err := z.Serve(at, req)
+					if err != nil {
+						t.Fatalf("op %d: read %+v: %v", i, req, err)
+					}
+					at = res.Done
+				}
+				continue
+			}
+			req := device.Request{LBN: lbn, Sectors: int(sectors), Write: true}
+			legal := lbn == wp[zi] && lbn+sectors <= b[zi+1] &&
+				(wp[zi] > b[zi] || openCount() < maxOpen)
+			before := z.Now()
+			res, err := z.Serve(at, req)
+			if legal != (err == nil) {
+				t.Fatalf("op %d: write %+v: err = %v, model says legal=%v (wp %d, open %d)", i, req, err, legal, wp[zi], openCount())
+			}
+			if err == nil {
+				wp[zi] += sectors
+				at = res.Done
+			} else {
+				if !errors.Is(err, device.ErrZoneViolation) {
+					t.Fatalf("op %d: write rejected with %v, want ErrZoneViolation", i, err)
+				}
+				if z.Now() != before {
+					t.Fatalf("op %d: violation advanced the clock %g -> %g", i, before, z.Now())
+				}
+			}
+			for j := range wp {
+				if got := z.WritePointer(j); got != wp[j] {
+					t.Fatalf("op %d: zone %d pointer = %d, model %d", i, j, got, wp[j])
+				}
+			}
+
+			// Drive the FTL with the same (lbn, sectors) pair, folded
+			// into its logical space. Small hot range so GC triggers.
+			freq := device.Request{LBN: (lbn*7 + arg) % (fl.Capacity() - 64), Sectors: int(sectors), Write: op&0x4 == 0}
+			if freq.LBN < 0 {
+				freq.LBN = -freq.LBN % (fl.Capacity() - 64)
+			}
+			fres, err := fl.Serve(fat, freq)
+			if err != nil {
+				t.Fatalf("op %d: ftl %+v: %v", i, freq, err)
+			}
+			fat = fres.Done
+			if err := fl.Audit(); err != nil {
+				t.Fatalf("op %d: ftl audit after %+v: %v", i, freq, err)
+			}
+		}
+		if open, max := z.OpenZones(); open != openCount() || max != maxOpen {
+			t.Fatalf("final OpenZones = %d/%d, model %d/%d", open, max, openCount(), maxOpen)
+		}
+	})
+}
+
+func mustFlash(t *testing.T) *zoned.Flash {
+	t.Helper()
+	f, err := zoned.NewFlash(16 * 1024)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	return f
+}

@@ -1,0 +1,243 @@
+package zoned_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/zoned"
+	"traxtents/internal/disk/model"
+)
+
+// stubDevice is a minimal Device for error-propagation and
+// construction-edge tests: it either fails every request with a typed
+// medium error or completes instantly.
+type stubDevice struct {
+	capacity int64
+	fail     bool
+}
+
+func (s *stubDevice) Serve(at float64, req device.Request) (device.Result, error) {
+	if s.fail {
+		return device.Result{}, &device.Error{Op: "stub", Req: req, Err: device.ErrMedium}
+	}
+	return device.Result{Req: req, Issue: at, Start: at, MediaEnd: at, Done: at}, nil
+}
+
+func (s *stubDevice) Now() float64    { return 0 }
+func (s *stubDevice) Capacity() int64 { return s.capacity }
+func (s *stubDevice) SectorSize() int { return 512 }
+
+// TestFlashConstructorErrors drives every NewFlash validation branch.
+func TestFlashConstructorErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int64
+		opts     []zoned.FlashOption
+	}{
+		{"zero capacity", 0, nil},
+		{"bad sector size", 1024, []zoned.FlashOption{zoned.WithFlashSectorSize(0)}},
+		{"zero erase block", 1024, []zoned.FlashOption{zoned.WithEraseSectors(0)}},
+		{"erase block beyond capacity", 1024, []zoned.FlashOption{zoned.WithEraseSectors(2048)}},
+		{"negative timing", 1024, []zoned.FlashOption{zoned.WithFlashTiming(-1, 0.06, 0.3, 2, 0.001)}},
+	}
+	for _, tc := range cases {
+		if _, err := zoned.NewFlash(tc.capacity, tc.opts...); !errors.Is(err, device.ErrInvalidRequest) {
+			t.Errorf("%s: got %v, want ErrInvalidRequest", tc.name, err)
+		}
+	}
+}
+
+// TestFlashTimingOptions pins the configured cost model exactly:
+// cmd + latency + sectors*transfer for reads and writes, cmd + erase
+// for erases, FCFS behind prior commitments.
+func TestFlashTimingOptions(t *testing.T) {
+	f, err := zoned.NewFlash(4096,
+		zoned.WithFlashSectorSize(4096),
+		zoned.WithEraseSectors(512),
+		zoned.WithFlashTiming(1, 2, 3, 4, 0.5))
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	if got := f.SectorSize(); got != 4096 {
+		t.Fatalf("SectorSize = %d, want 4096", got)
+	}
+	rd, err := f.Serve(0, device.Request{LBN: 0, Sectors: 8})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if want := 1 + 2 + 8*0.5; rd.Done != want {
+		t.Errorf("read done = %g, want %g", rd.Done, want)
+	}
+	wr, err := f.Serve(rd.Done, device.Request{LBN: 0, Sectors: 8, Write: true})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if want := rd.Done + 1 + 3 + 8*0.5; wr.Done != want {
+		t.Errorf("write done = %g, want %g", wr.Done, want)
+	}
+	// An erase issued in the past queues FCFS behind the write.
+	done, err := f.EraseAt(0, 512, 512)
+	if err != nil {
+		t.Fatalf("EraseAt: %v", err)
+	}
+	if want := wr.Done + 1 + 4; done != want {
+		t.Errorf("erase done = %g, want %g", done, want)
+	}
+	if f.Now() != done {
+		t.Errorf("Now = %g, want %g", f.Now(), done)
+	}
+}
+
+// TestFlashEraseErrors pins the erase legality gate: exactly one
+// aligned erase block, in bounds, always typed.
+func TestFlashEraseErrors(t *testing.T) {
+	f, err := zoned.NewFlash(4096, zoned.WithEraseSectors(512))
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	cases := []struct {
+		name    string
+		lbn     int64
+		sectors int
+	}{
+		{"misaligned start", 100, 512},
+		{"partial block", 512, 256},
+		{"two blocks", 0, 1024},
+		{"out of bounds", 4096, 512},
+	}
+	for _, tc := range cases {
+		if _, err := f.EraseAt(0, tc.lbn, tc.sectors); !errors.Is(err, device.ErrInvalidRequest) {
+			t.Errorf("%s: got %v, want ErrInvalidRequest", tc.name, err)
+		}
+	}
+	if f.Now() != 0 {
+		t.Errorf("failed erases advanced the clock to %g", f.Now())
+	}
+}
+
+// TestFlashBoundariesNoAliasing guards the TrackBoundaries copy
+// contract: callers may scribble on the returned slice without
+// corrupting the device's own table.
+func TestFlashBoundariesNoAliasing(t *testing.T) {
+	f := newFlash(t)
+	b := f.TrackBoundaries()
+	if want := int(f.Capacity()/1024) + 1; len(b) != want {
+		t.Fatalf("len(TrackBoundaries) = %d, want %d", len(b), want)
+	}
+	b[0] = math.MaxInt64
+	if again := f.TrackBoundaries(); again[0] != 0 {
+		t.Fatalf("mutating the returned boundaries corrupted the device table: %d", again[0])
+	}
+}
+
+// TestZonedConstructorErrors drives every zoned.New validation branch.
+func TestZonedConstructorErrors(t *testing.T) {
+	flash := newFlash(t) // 64 KiB sectors
+	cases := []struct {
+		name  string
+		inner device.Device
+		opts  []zoned.Option
+	}{
+		{"zero inner capacity", &stubDevice{capacity: 0}, nil},
+		{"zero zones", flash, []zoned.Option{zoned.WithZones(0)}},
+		{"negative zone size", flash, []zoned.Option{zoned.WithZoneSectors(-1)}},
+		{"zone beyond capacity", flash, []zoned.Option{zoned.WithZoneSectors(128 * 1024)}},
+		{"negative open limit", flash, []zoned.Option{zoned.WithMaxOpenZones(-1)}},
+		{"negative reset time", flash, []zoned.Option{zoned.WithResetMs(-1)}},
+	}
+	for _, tc := range cases {
+		if _, err := zoned.New(tc.inner, tc.opts...); !errors.Is(err, device.ErrInvalidRequest) {
+			t.Errorf("%s: got %v, want ErrInvalidRequest", tc.name, err)
+		}
+	}
+}
+
+// TestZoneSectorsAndResetMs exercises the explicit zone-size carve and
+// the configurable reset latency.
+func TestZoneSectorsAndResetMs(t *testing.T) {
+	z, err := zoned.New(newFlash(t), zoned.WithZoneSectors(1024), zoned.WithResetMs(2.5))
+	if err != nil {
+		t.Fatalf("zoned.New: %v", err)
+	}
+	if got := z.Zones(); got != 64 {
+		t.Fatalf("Zones = %d, want 64", got)
+	}
+	done, err := z.ResetZoneAt(0, 0)
+	if err != nil {
+		t.Fatalf("ResetZoneAt: %v", err)
+	}
+	if done != 2.5 {
+		t.Errorf("reset done = %g, want 2.5", done)
+	}
+}
+
+// TestZonedInnerErrorPropagation pins the fault contract on both Serve
+// paths: an inner failure surfaces unchanged and leaves the write
+// pointer, open-zone count, and clock untouched — including on the
+// split multi-zone read path.
+func TestZonedInnerErrorPropagation(t *testing.T) {
+	z, err := zoned.New(&stubDevice{capacity: 8192, fail: true}, zoned.WithZones(4))
+	if err != nil {
+		t.Fatalf("zoned.New: %v", err)
+	}
+	if _, err := z.Serve(0, device.Request{LBN: 0, Sectors: 64, Write: true}); !errors.Is(err, device.ErrMedium) {
+		t.Fatalf("write: got %v, want ErrMedium", err)
+	}
+	if wp := z.WritePointer(0); wp != 0 {
+		t.Errorf("failed write moved the write pointer to %d", wp)
+	}
+	if open, _ := z.OpenZones(); open != 0 {
+		t.Errorf("failed write opened a zone (%d open)", open)
+	}
+	// A read straddling the zone 0/1 boundary takes the split path.
+	if _, err := z.Serve(0, device.Request{LBN: 2048 - 64, Sectors: 128}); !errors.Is(err, device.ErrMedium) {
+		t.Fatalf("split read: got %v, want ErrMedium", err)
+	}
+	if z.Now() != 0 {
+		t.Errorf("failed requests advanced the clock to %g", z.Now())
+	}
+}
+
+// TestAppendInvalidSectors pins the typed rejection of empty appends.
+func TestAppendInvalidSectors(t *testing.T) {
+	z := newZoned(t)
+	if _, err := z.Append(0, 0, 0); !errors.Is(err, device.ErrInvalidRequest) {
+		t.Fatalf("append of 0 sectors: got %v, want ErrInvalidRequest", err)
+	}
+	if wp := z.WritePointer(0); wp != 0 {
+		t.Errorf("rejected append moved the write pointer to %d", wp)
+	}
+}
+
+// TestZonedDiskForwarding wraps a rotating disk simulator (the SMR
+// shape) and checks the Rotational/Mapped/Inner capabilities forward,
+// while the flash-backed wrapper (the ZNS shape) reports neither.
+func TestZonedDiskForwarding(t *testing.T) {
+	m := model.MustGet("HP-C2247")
+	d, err := m.NewDisk(m.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	z, err := zoned.New(d, zoned.WithZones(8))
+	if err != nil {
+		t.Fatalf("zoned.New: %v", err)
+	}
+	if z.Inner() != device.Device(d) {
+		t.Error("Inner did not return the wrapped disk")
+	}
+	if z.RotationPeriod() <= 0 {
+		t.Error("zoned-over-disk lost the rotation period")
+	}
+	if z.Layout() == nil {
+		t.Error("zoned-over-disk lost the physical layout")
+	}
+	zf := newZoned(t)
+	if zf.RotationPeriod() != 0 {
+		t.Error("zoned-over-flash invented a rotation period")
+	}
+	if zf.Layout() != nil {
+		t.Error("zoned-over-flash invented a layout")
+	}
+}

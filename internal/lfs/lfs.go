@@ -161,10 +161,17 @@ type LFS struct {
 	now      float64
 	cleaning bool // reentrancy guard: Clean's relog writes
 
+	// Zone integration: when the device (or any wrapper under the host
+	// stack) is zoned, segments that begin on a zone boundary are reset
+	// before reuse, so the log head always lands on the write pointer.
+	zoned device.Zoned
+	zb    []int64
+
 	// Accounting for the measured write cost.
 	NewWritten   int64 // blocks of new data written
 	CleanRead    int64 // live blocks read by the cleaner
 	CleanWritten int64 // live blocks rewritten by the cleaner
+	CleanResets  int64 // zone resets issued when reopening segments
 }
 
 type blockLoc struct {
@@ -207,7 +214,28 @@ func NewLFS(d device.Device, segments []traxtent.Extent, blockSectors int64) (*L
 			l.contents[i].blocks[j] = -1
 		}
 	}
+	if zd, ok := device.ZonedOf(d); ok {
+		l.zoned = zd
+		l.zb = zd.ZoneBoundaries()
+	}
 	return l, nil
+}
+
+// ZoneSegments returns one segment extent per zone of a zoned device
+// (or a wrapper chain over one): segments map 1:1 onto zones, so a full
+// segment is exactly one sequential zone fill and freeing a segment is
+// one zone reset — the LFS cleaner *is* the zone-reclaim path.
+func ZoneSegments(d device.Device) ([]traxtent.Extent, error) {
+	zd, ok := device.ZonedOf(d)
+	if !ok {
+		return nil, fmt.Errorf("lfs: device %T is not zoned", d)
+	}
+	b := zd.ZoneBoundaries()
+	out := make([]traxtent.Extent, 0, len(b)-1)
+	for i := 0; i+1 < len(b); i++ {
+		out = append(out, traxtent.Extent{Start: b[i], Len: b[i+1] - b[i]})
+	}
+	return out, nil
 }
 
 // FixedSegments carves [0, n) LBNs into fixed-size extents, the
@@ -332,7 +360,32 @@ func (l *LFS) openSegment() error {
 	l.cur = l.freeSeg[0]
 	l.freeSeg = l.freeSeg[1:]
 	l.curOff = 0
+	// On a zoned device a reused segment's zone still has its write
+	// pointer at the old fill's end; reset it so the coming flush lands
+	// on the pointer. Only whole-zone segments (start on a boundary)
+	// are reset — resetting would wipe any neighbours sharing the zone.
+	if l.zoned != nil {
+		seg := l.segs[l.cur].Ext
+		if zi := l.zoneOf(seg.Start); zi >= 0 && l.zb[zi] == seg.Start && l.zoned.WritePointer(zi) > seg.Start {
+			done, err := l.zoned.ResetZoneAt(l.now, zi)
+			if err != nil {
+				return err
+			}
+			l.now = done
+			l.CleanResets++
+		}
+	}
 	return nil
+}
+
+// zoneOf returns the zone index containing lbn, or -1.
+func (l *LFS) zoneOf(lbn int64) int {
+	for i := 0; i+1 < len(l.zb); i++ {
+		if lbn >= l.zb[i] && lbn < l.zb[i+1] {
+			return i
+		}
+	}
+	return -1
 }
 
 // Clean reclaims up to n segments: it picks the lowest-utilization

@@ -1,0 +1,156 @@
+package lfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"traxtents/internal/device"
+	"traxtents/internal/device/stack"
+	"traxtents/internal/device/zoned"
+)
+
+func newZonedFlash(t testing.TB, zones int) *zoned.Device {
+	t.Helper()
+	f, err := zoned.NewFlash(64 * 1024)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	z, err := zoned.New(f, zoned.WithZones(zones))
+	if err != nil {
+		t.Fatalf("zoned.New: %v", err)
+	}
+	return z
+}
+
+// TestZoneSegments: the helper carves one segment per zone, exactly
+// covering the device, and refuses non-zoned devices.
+func TestZoneSegments(t *testing.T) {
+	z := newZonedFlash(t, 16)
+	segs, err := ZoneSegments(z)
+	if err != nil {
+		t.Fatalf("ZoneSegments: %v", err)
+	}
+	if len(segs) != 16 {
+		t.Fatalf("got %d segments, want 16", len(segs))
+	}
+	b := z.ZoneBoundaries()
+	for i, s := range segs {
+		if s.Start != b[i] || s.Len != b[i+1]-b[i] {
+			t.Fatalf("segment %d = %+v, want [%d, +%d)", i, s, b[i], b[i+1]-b[i])
+		}
+	}
+	f, err := zoned.NewFlash(1024)
+	if err != nil {
+		t.Fatalf("NewFlash: %v", err)
+	}
+	if _, err := ZoneSegments(f); err == nil {
+		t.Fatal("ZoneSegments accepted a non-zoned device")
+	}
+}
+
+// TestLFSOverZoned is the tentpole integration: the LFS runs over a
+// zoned device through the composed host stack, segments mapped 1:1
+// onto zones. Every log flush is a sequential zone fill at the write
+// pointer; the cleaner's segment reclaim is a zone reset. A hammered
+// working set forces steady-state cleaning, and the whole run completes
+// without a single zone violation — the LFS *is* the zone-legal host
+// the protocol wants.
+func TestLFSOverZoned(t *testing.T) {
+	z := newZonedFlash(t, 16)
+	segs, err := ZoneSegments(z)
+	if err != nil {
+		t.Fatalf("ZoneSegments: %v", err)
+	}
+	const blockSectors = 8
+	l, err := NewLFSStack(z, stack.Config{}, segs, blockSectors)
+	if err != nil {
+		t.Fatalf("NewLFSStack: %v", err)
+	}
+	// Live working set ~ half the log; random overwrites force the
+	// cleaner (and so zone resets) once the free list runs dry.
+	zoneBlocks := segs[0].Len / blockSectors
+	working := int64(8 * zoneBlocks)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20000; i++ {
+		if err := l.Write(rng.Int63n(working)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if l.CleanResets == 0 {
+		t.Fatal("steady-state cleaning issued no zone resets")
+	}
+	if l.CleanRead == 0 || l.CleanWritten == 0 {
+		t.Fatalf("cleaner never ran: read %d written %d", l.CleanRead, l.CleanWritten)
+	}
+	if wc := l.MeasuredWriteCost(); wc <= 1 {
+		t.Fatalf("measured write cost = %g, want > 1 under cleaning", wc)
+	}
+	if l.Now() <= 0 {
+		t.Fatal("clock never advanced")
+	}
+	// Every live block still resolves to a location inside a segment.
+	for blk := range l.LiveBlocks() {
+		ext, ok := l.Lookup(blk)
+		if !ok || ext.Start < 0 || ext.Start+ext.Len > z.Capacity() {
+			t.Fatalf("block %d maps to %+v", blk, ext)
+		}
+	}
+	// And the write pointers agree with the segment table: a zone is
+	// untouched (pointer at start) only if its segment holds no blocks
+	// and is not the open head.
+	zd, _ := device.ZonedOf(l.HostStack())
+	for i, s := range l.Segments() {
+		wp := zd.WritePointer(i)
+		if s.Live > 0 && wp == 0 {
+			t.Fatalf("segment %d has %d live blocks but zone %d is unwritten", i, s.Live, i)
+		}
+		_ = wp
+	}
+}
+
+// TestLFSZonedBareVsStack: the zero-config stack is a transparent
+// passthrough, so a bare NewLFS over the zoned device and a
+// NewLFSStack with the zero config replay the same workload to the
+// same clock, counters, and reset count.
+func TestLFSZonedBareVsStack(t *testing.T) {
+	mk := func(wrap bool) *LFS {
+		z := newZonedFlash(t, 16)
+		segs, err := ZoneSegments(z)
+		if err != nil {
+			t.Fatalf("ZoneSegments: %v", err)
+		}
+		var l *LFS
+		if wrap {
+			l, err = NewLFSStack(z, stack.Config{}, segs, 8)
+		} else {
+			l, err = NewLFS(z, segs, 8)
+		}
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return l
+	}
+	bare, stacked := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(23))
+	blocks := make([]int64, 6000)
+	for i := range blocks {
+		blocks[i] = rng.Int63n(3000)
+	}
+	for i, blk := range blocks {
+		if err := bare.Write(blk); err != nil {
+			t.Fatalf("bare write %d: %v", i, err)
+		}
+		if err := stacked.Write(blk); err != nil {
+			t.Fatalf("stacked write %d: %v", i, err)
+		}
+	}
+	if bare.Now() != stacked.Now() {
+		t.Fatalf("clocks diverge: %g vs %g", bare.Now(), stacked.Now())
+	}
+	if bare.CleanResets != stacked.CleanResets || bare.CleanRead != stacked.CleanRead ||
+		bare.CleanWritten != stacked.CleanWritten || bare.NewWritten != stacked.NewWritten {
+		t.Fatalf("counters diverge:\nbare:    resets %d read %d written %d new %d\nstacked: resets %d read %d written %d new %d",
+			bare.CleanResets, bare.CleanRead, bare.CleanWritten, bare.NewWritten,
+			stacked.CleanResets, stacked.CleanRead, stacked.CleanWritten, stacked.NewWritten)
+	}
+}

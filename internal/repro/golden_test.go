@@ -191,3 +191,41 @@ func TestGoldenFFSStudy(t *testing.T) {
 	}
 	checkGolden(t, "ffs_study", pts)
 }
+
+// TestGoldenZonedStudy pins the flash-era alignment study — the FTL's
+// GC behavior, the flash timing model, and the zone-aware scheduler
+// all feed these numbers. The snapshot is this PR's acceptance
+// artifact: before pinning, the test asserts that at every swept rate
+// both layouts achieve the offered rate (the comparison is tail vs
+// tail at equal throughput), the aligned layout's write amplification
+// is exactly 1, and its p99.99 is strictly below the straddling
+// layout's. Reproduce with:
+//
+//	go run ./cmd/zonebench -study -n 50 -seed 1
+func TestGoldenZonedStudy(t *testing.T) {
+	pts, err := ZonedStudy(goldenN, goldenSeed)
+	if err != nil {
+		t.Fatalf("ZonedStudy: %v", err)
+	}
+	for _, p := range pts {
+		for _, side := range []string{"aligned", "straddling"} {
+			got := p.Values[side+" iops"]
+			if got < 0.95*p.X || got > 1.05*p.X {
+				t.Fatalf("rate %g: %s achieved %g iops, not at the offered rate", p.X, side, got)
+			}
+		}
+		if amp := p.Values["aligned amp"]; amp != 1 {
+			t.Fatalf("rate %g: aligned write amp = %g, want exactly 1", p.X, amp)
+		}
+		if amp := p.Values["straddling amp"]; amp <= 1.05 {
+			t.Fatalf("rate %g: straddling write amp = %g, want well above 1", p.X, amp)
+		}
+		if a, s := p.Values["aligned p99.99"], p.Values["straddling p99.99"]; !(a < s) {
+			t.Fatalf("rate %g: aligned p99.99 %g not strictly below straddling %g", p.X, a, s)
+		}
+		if a, s := p.Values["aligned p99"], p.Values["straddling p99"]; !(a < s) {
+			t.Fatalf("rate %g: aligned p99 %g not strictly below straddling %g", p.X, a, s)
+		}
+	}
+	checkGolden(t, "zoned_study", pts)
+}

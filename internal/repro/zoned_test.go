@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestZonedStudyDeterministicAcrossGOMAXPROCS: the zoned study must be
+// bit-identical at GOMAXPROCS 1, 4, and 16 — the per-cell-seed
+// discipline every engine study holds, now including the FTL's garbage
+// collector and the zone-aware scheduler.
+func TestZonedStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() []Point {
+		pts, err := ZonedStudy(10, 1)
+		if err != nil {
+			t.Fatalf("ZonedStudy: %v", err)
+		}
+		return pts
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var ref []Point
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		pts := run()
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		samePoints(t, ref, pts, "zoned study")
+	}
+}
+
+// TestZonedStudyRejectsBadN mirrors the other studies' input checks.
+func TestZonedStudyRejectsBadN(t *testing.T) {
+	if _, err := ZonedStudy(0, 1); err == nil {
+		t.Fatal("ZonedStudy accepted n = 0")
+	}
+}

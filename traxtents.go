@@ -28,6 +28,13 @@
 //     per-tenant token-bucket admission control, a fair-share/deadline
 //     scheduling tier above the per-spindle queues, and streaming P²
 //     tail-latency accounting per tenant.
+//   - Zoned and flash-era backends: an emulated flash device whose
+//     natural extents are erase blocks, a host-managed zoned wrapper
+//     (ZNS/SMR-style write pointers, zone resets, zone append, typed
+//     ErrZoneViolation) that turns any backend into a zoned device, an
+//     FTL with copy-on-write garbage collection, and a zone-aware
+//     scheduler — all speaking the same Device interface, so the cache,
+//     queue, stack, and LFS layers compose over them unchanged.
 //   - A failure subsystem: a deterministic fault-injecting device
 //     wrapper (NewFaultyDevice: seeded latent sector errors, transient
 //     timeouts, whole-disk loss, all typed via DeviceError and the Err*
@@ -56,10 +63,12 @@ import (
 	"traxtents/internal/device"
 	"traxtents/internal/device/cache"
 	"traxtents/internal/device/faults"
+	"traxtents/internal/device/ftl"
 	"traxtents/internal/device/sched"
 	"traxtents/internal/device/stack"
 	"traxtents/internal/device/striped"
 	"traxtents/internal/device/trace"
+	"traxtents/internal/device/zoned"
 	"traxtents/internal/disk/geom"
 	"traxtents/internal/disk/mech"
 	"traxtents/internal/disk/model"
@@ -227,6 +236,36 @@ type (
 	VolumeView = volume.View
 )
 
+// Zoned and flash-era types. A FlashDevice is the emulated
+// conventional flash backend (erase blocks as natural extents); a
+// ZonedDevice wraps any backend with host-managed zone semantics; an
+// FTLDevice remaps logical blocks onto erase blocks with
+// copy-on-write garbage collection. All three are Devices, so the
+// cache, queue, stack, and LFS layers compose over them unchanged.
+type (
+	// FlashDevice is an emulated conventional flash device.
+	FlashDevice = zoned.Flash
+	// FlashOption configures a flash device.
+	FlashOption = zoned.FlashOption
+	// ZonedDevice wraps a backend with ZNS/SMR-style zone semantics:
+	// per-zone write pointers, sequential-write enforcement, zone
+	// resets, zone append, and an open-zone limit.
+	ZonedDevice = zoned.Device
+	// ZonedOption configures a zoned device.
+	ZonedOption = zoned.Option
+	// ZonedCapability is the structural interface any zoned device
+	// exposes (zone table, write pointers, open-zone accounting, zone
+	// reset); discover it through wrapper layers with ZonedOf.
+	ZonedCapability = device.Zoned
+	// FTLDevice is a flash translation layer over a flash device.
+	FTLDevice = ftl.FTL
+	// FTLOption configures an FTL.
+	FTLOption = ftl.Option
+	// FTLStats counts an FTL's background work (demand and copied
+	// pages, erases, GC runs).
+	FTLStats = ftl.Stats
+)
+
 // Failure-model types. A FaultyDevice wraps any Device in a
 // deterministic fault injector; a parity-striped array (WithParity)
 // survives one lost child; RebuildUnderLoad and ScrubArray drive
@@ -268,6 +307,11 @@ var (
 	// ErrLost is whole-device loss; every later request fails the same
 	// way.
 	ErrLost = device.ErrLost
+	// ErrZoneViolation is an out-of-protocol write on a zoned device
+	// (not at the write pointer, across a zone end, or over the
+	// open-zone limit) — a deterministic protocol error, not a fault:
+	// IsFault reports false and the device state is untouched.
+	ErrZoneViolation = device.ErrZoneViolation
 	// ErrNoRecord is a strict-mode trace replay miss: the request has no
 	// matching trace record (wrapped in a DeviceError carrying the
 	// request).
@@ -443,8 +487,15 @@ func SchedulerCLOOK() Scheduler { return sched.CLOOK() }
 // boundary. The device must expose track boundaries.
 func SchedulerTraxtent(d Device) (Scheduler, error) { return sched.TraxtentCLOOKFor(d) }
 
-// SchedulerByName resolves "fcfs", "sstf", "clook", or "traxtent" (the
-// latter derives its track table from d).
+// SchedulerZoned is the zone-aware C-LOOK: the sweep is keyed by zone
+// and requests within a zone dispatch in ascending LBN (write-pointer
+// order), so no request is ever dispatched across a zone boundary.
+// The device must expose zones (ZonedOf) or track boundaries (an
+// FTL's erase blocks).
+func SchedulerZoned(d Device) (Scheduler, error) { return sched.ZonedCLOOKFor(d) }
+
+// SchedulerByName resolves "fcfs", "sstf", "clook", "traxtent", or
+// "zoned" (the latter two derive their boundary tables from d).
 func SchedulerByName(name string, d Device) (Scheduler, error) { return sched.ByName(name, d) }
 
 // WithQueuedChildren makes a striped array wrap every child in its own
@@ -579,6 +630,83 @@ func NewFleet(qs []*QueuedDevice, wl DriverWorkload, ratePerSec float64) (*Fleet
 func NewTraceFleet(qs []*QueuedDevice, trs []Trace) (*Fleet, error) {
 	return driver.NewTraceFleet(qs, trs)
 }
+
+// ---- Zoned and flash backends ----
+
+// NewFlashDevice builds an emulated conventional flash device with the
+// given capacity in sectors: a single-server command queue with flat
+// access costs, an explicit erase operation, and erase blocks as its
+// natural extents (TrackBoundaries reports them).
+func NewFlashDevice(capacity int64, opts ...FlashOption) (*FlashDevice, error) {
+	return zoned.NewFlash(capacity, opts...)
+}
+
+// WithEraseSectors sets a flash device's erase-block size in sectors
+// (default 1024).
+func WithEraseSectors(n int64) FlashOption { return zoned.WithEraseSectors(n) }
+
+// WithFlashTiming overrides a flash device's access costs, all in ms:
+// per-command overhead, read latency, program latency, erase latency,
+// and per-sector transfer time.
+func WithFlashTiming(cmd, read, program, erase, xferPerSector float64) FlashOption {
+	return zoned.WithFlashTiming(cmd, read, program, erase, xferPerSector)
+}
+
+// NewZonedDevice wraps any backend with host-managed zone semantics:
+// the address space is carved into zones, each with a write pointer,
+// and writes must land exactly on the pointer (ErrZoneViolation
+// otherwise). Over a disk simulator it is an SMR drive; over a flash
+// device, a ZNS SSD. With one giant zone and a sequential stream it is
+// bit-identical to the backend it wraps.
+func NewZonedDevice(inner Device, opts ...ZonedOption) (*ZonedDevice, error) {
+	return zoned.New(inner, opts...)
+}
+
+// WithZones carves the capacity into n equal zones (default 32).
+func WithZones(n int) ZonedOption { return zoned.WithZones(n) }
+
+// WithZoneSectors sets the zone size in sectors instead (the last zone
+// takes the remainder).
+func WithZoneSectors(n int64) ZonedOption { return zoned.WithZoneSectors(n) }
+
+// WithMaxOpenZones limits how many zones may be open at once; writes
+// that would open one more are zone violations (0 = unlimited).
+func WithMaxOpenZones(n int) ZonedOption { return zoned.WithMaxOpenZones(n) }
+
+// WithZoneResetMs sets the zone-reset latency in ms (default 0.5).
+func WithZoneResetMs(ms float64) ZonedOption { return zoned.WithResetMs(ms) }
+
+// ZonedOf discovers the zoned capability of a device or any wrapper
+// over one (cache, queue, stack, fault injector), by walking the
+// Inner chain.
+func ZonedOf(d Device) (ZonedCapability, bool) { return device.ZonedOf(d) }
+
+// NewFTLDevice builds a flash translation layer over a flash (or any
+// erasable) device: logical pages remap onto erase blocks, overwrites
+// invalidate old pages, and copy-on-write garbage collection reclaims
+// the emptiest sealed blocks. TrackBoundaries reports the logical
+// erase-block extents — what a flash-aware host should align to.
+func NewFTLDevice(inner Device, opts ...FTLOption) (*FTLDevice, error) {
+	return ftl.New(inner, opts...)
+}
+
+// WithPageSectors sets the FTL's mapping-page size in sectors
+// (default 8).
+func WithPageSectors(n int64) FTLOption { return ftl.WithPageSectors(n) }
+
+// WithEraseBlockSectors sets the FTL's erase-block size in sectors;
+// by default it adopts the inner flash device's.
+func WithEraseBlockSectors(n int64) FTLOption { return ftl.WithEraseBlockSectors(n) }
+
+// WithReserveBlocks sets the FTL's overprovisioned reserve in erase
+// blocks (default 1/8 of the device, minimum 2).
+func WithReserveBlocks(n int) FTLOption { return ftl.WithReserveBlocks(n) }
+
+// ZoneSegments returns one LFS segment extent per zone of a zoned
+// device (or any wrapper over one) — the natural segment map where
+// every log flush is a sequential zone fill and every cleaner reclaim
+// is one zone reset.
+func ZoneSegments(d Device) ([]Extent, error) { return lfs.ZoneSegments(d) }
 
 // ---- Fault injection and rebuild ----
 

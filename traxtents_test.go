@@ -597,3 +597,92 @@ func TestFaultAndRebuildFacade(t *testing.T) {
 		t.Fatalf("implausible rebuild metrics: %+v", mt)
 	}
 }
+
+// TestZonedFacade exercises the flash-era surface end to end through
+// the public API: flash → zoned wrapper → zone protocol, the FTL over
+// flash, zone segments feeding the LFS, and the zone-aware scheduler
+// by name.
+func TestZonedFacade(t *testing.T) {
+	f, err := traxtents.NewFlashDevice(64*1024, traxtents.WithEraseSectors(512))
+	if err != nil {
+		t.Fatalf("NewFlashDevice: %v", err)
+	}
+	z, err := traxtents.NewZonedDevice(f, traxtents.WithZones(16), traxtents.WithMaxOpenZones(4))
+	if err != nil {
+		t.Fatalf("NewZonedDevice: %v", err)
+	}
+
+	// The zone protocol: a write at the pointer advances it, one past
+	// the pointer is a typed, non-fault violation with the clock frozen.
+	res, err := z.Serve(0, traxtents.Request{LBN: 0, Sectors: 64, Write: true})
+	if err != nil {
+		t.Fatalf("write at the pointer: %v", err)
+	}
+	if _, err := z.Serve(res.Done, traxtents.Request{LBN: 128, Sectors: 8, Write: true}); err == nil {
+		t.Fatal("write past the pointer succeeded")
+	} else if !errors.Is(err, traxtents.ErrZoneViolation) || traxtents.IsFault(err) {
+		t.Fatalf("out-of-protocol write returned %v, want a non-fault ErrZoneViolation", err)
+	}
+	var de *traxtents.DeviceError
+	if err := func() error {
+		_, err := z.Serve(res.Done, traxtents.Request{LBN: 128, Sectors: 8, Write: true})
+		return err
+	}(); !errors.As(err, &de) || de.Req.LBN != 128 {
+		t.Fatalf("violation not a DeviceError carrying the request: %v", err)
+	}
+	if z.Now() != res.Done {
+		t.Fatalf("violation advanced the clock to %g", z.Now())
+	}
+
+	// ZonedOf finds the capability through the composed stack.
+	st, err := traxtents.NewDeviceStack(z, nil, nil)
+	if err != nil {
+		t.Fatalf("NewDeviceStack: %v", err)
+	}
+	zc, ok := traxtents.ZonedOf(st)
+	if !ok {
+		t.Fatal("ZonedOf failed through the stack")
+	}
+	if wp := zc.WritePointer(0); wp != 64 {
+		t.Fatalf("write pointer %d, want 64", wp)
+	}
+	if open, max := zc.OpenZones(); open != 1 || max != 4 {
+		t.Fatalf("OpenZones = %d/%d, want 1/4", open, max)
+	}
+
+	// Zone segments feed the LFS; the zone-aware scheduler resolves by
+	// name and through SchedulerZoned.
+	segs, err := traxtents.ZoneSegments(z)
+	if err != nil {
+		t.Fatalf("ZoneSegments: %v", err)
+	}
+	if len(segs) != 16 {
+		t.Fatalf("%d zone segments, want 16", len(segs))
+	}
+	if _, err := traxtents.SchedulerZoned(z); err != nil {
+		t.Fatalf("SchedulerZoned: %v", err)
+	}
+	if _, err := traxtents.SchedulerByName("zoned", z); err != nil {
+		t.Fatalf(`SchedulerByName("zoned"): %v`, err)
+	}
+
+	// The FTL over flash: identity until GC, erase blocks as its
+	// boundary table.
+	l, err := traxtents.NewFTLDevice(f, traxtents.WithPageSectors(8), traxtents.WithReserveBlocks(4))
+	if err != nil {
+		t.Fatalf("NewFTLDevice: %v", err)
+	}
+	if _, err := l.Serve(l.Now(), traxtents.Request{LBN: 0, Sectors: 512, Write: true}); err != nil {
+		t.Fatalf("FTL write: %v", err)
+	}
+	if amp := l.Stats().WriteAmp(); amp != 1 {
+		t.Fatalf("fresh FTL write amp %g, want 1", amp)
+	}
+	tab, err := traxtents.GroundTruthTable(l)
+	if err != nil {
+		t.Fatalf("GroundTruthTable(FTL): %v", err)
+	}
+	if tab.Index(0).Len != 512 {
+		t.Fatalf("FTL boundary extent %d sectors, want the 512-sector erase block", tab.Index(0).Len)
+	}
+}
